@@ -1,0 +1,295 @@
+//! Summary statistics for repeated-trial measurements.
+
+use std::fmt;
+
+/// Summary statistics of a sample of `f64` measurements.
+///
+/// # Examples
+///
+/// ```
+/// use mca_analysis::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.median(), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    var: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "samples must be finite"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let var = if sorted.len() > 1 {
+            sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Summary { sorted, mean, var }
+    }
+
+    /// Summarizes an iterator of integer measurements (e.g. round counts).
+    pub fn of_counts<I: IntoIterator<Item = u64>>(counts: I) -> Self {
+        let v: Vec<f64> = counts.into_iter().map(|c| c as f64).collect();
+        Summary::of(&v)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the summary is of zero samples (never true — construction
+    /// rejects empty samples — but provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (unbiased; 0 for a single sample).
+    pub fn variance(&self) -> f64 {
+        self.var
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// Median (mean of the two central order statistics for even sizes).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Linear-interpolated percentile, `p ∈ [0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Half-width of a normal-approximation 95% confidence interval for the
+    /// mean (`1.96·s/√n`).
+    pub fn ci95_halfwidth(&self) -> f64 {
+        1.96 * self.stddev() / (self.len() as f64).sqrt()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} ±{:.2} (median {:.2}, n={})",
+            self.mean(),
+            self.ci95_halfwidth(),
+            self.median(),
+            self.len()
+        )
+    }
+}
+
+/// Ordinary least-squares fit `y ≈ slope·x + intercept`.
+///
+/// Used by experiments to report scaling slopes (e.g. rounds vs `Δ/F`).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are shorter than 2, or `xs` has
+/// zero variance.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "xs must not be constant");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    (slope, my - slope * mx)
+}
+
+/// Least-squares exponent fit `y ≈ c·x^k`, returned as `(k, c)`.
+/// Fits a line in log–log space; all inputs must be strictly positive.
+pub fn power_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0),
+        "power fit requires positive data"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let (k, lc) = linear_fit(&lx, &ly);
+    (k, lc.exp())
+}
+
+/// Coefficient of determination `R²` of predictions `yhat` against `ys`.
+pub fn r_squared(ys: &[f64], yhat: &[f64]) -> f64 {
+    assert_eq!(ys.len(), yhat.len());
+    assert!(!ys.is_empty());
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = ys.iter().zip(yhat).map(|(y, h)| (y - h) * (y - h)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.median(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert!((s.variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.median(), 7.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.percentile(0.0), 7.0);
+        assert_eq!(s.percentile(100.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn even_median_interpolates() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(s.median(), 2.5);
+    }
+
+    #[test]
+    fn percentiles() {
+        let s = Summary::of(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.percentile(0.0), 0.0);
+        assert_eq!(s.percentile(25.0), 1.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert_eq!(s.percentile(90.0), 3.6);
+    }
+
+    #[test]
+    fn of_counts_works() {
+        let s = Summary::of_counts([1u64, 2, 3]);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 0.5).collect();
+        let (m, b) = linear_fit(&xs, &ys);
+        assert!((m - 3.0).abs() < 1e-9);
+        assert!((b - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_fit_exact_powerlaw() {
+        let xs = [1.0, 2.0, 4.0, 8.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| 5.0 * x.powf(1.5)).collect();
+        let (k, c) = power_fit(&xs, &ys);
+        assert!((k - 1.5).abs() < 1e-9);
+        assert!((c - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean() {
+        let ys = [1.0, 2.0, 3.0];
+        assert!((r_squared(&ys, &ys) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&ys, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", Summary::of(&[1.0, 2.0])).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn summary_invariants(xs in proptest::collection::vec(-1e6..1e6f64, 1..200)) {
+            let s = Summary::of(&xs);
+            prop_assert!(s.min() <= s.median() + 1e-9);
+            prop_assert!(s.median() <= s.max() + 1e-9);
+            prop_assert!(s.min() <= s.mean() + 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+            prop_assert!(s.variance() >= 0.0);
+        }
+
+        #[test]
+        fn percentile_monotone(
+            xs in proptest::collection::vec(-1e3..1e3f64, 2..100),
+            p1 in 0.0..100.0f64,
+            p2 in 0.0..100.0f64,
+        ) {
+            let s = Summary::of(&xs);
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(s.percentile(lo) <= s.percentile(hi) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Seeded trial sweeps.
+//!
+//! All experiments report the median over several independent seeds. The
+//! helpers here derive per-trial seeds deterministically from a master seed
+//! so every table in `EXPERIMENTS.md` is reproducible bit-for-bit.
+
+use crate::stats::Summary;
+
+/// The outcome of a batch of trials of one configuration.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome<T> {
+    /// Raw per-trial results, in seed order.
+    pub results: Vec<T>,
+    /// Per-trial seeds used (derived from the master seed).
+    pub seeds: Vec<u64>,
+}
+
+impl<T> TrialOutcome<T> {
+    /// Summarizes a numeric projection of the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no results.
+    pub fn summarize<F: Fn(&T) -> f64>(&self, f: F) -> Summary {
+        let v: Vec<f64> = self.results.iter().map(f).collect();
+        Summary::of(&v)
+    }
+
+    /// Fraction of results satisfying `pred`.
+    pub fn fraction<F: Fn(&T) -> bool>(&self, pred: F) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results.iter().filter(|r| pred(r)).count() as f64 / self.results.len() as f64
+    }
+}
+
+/// Derives the seed for trial `i` from `master` (SplitMix64 step — distinct,
+/// well-mixed streams for any master).
+pub fn trial_seed(master: u64, i: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `trials` independent executions of `f`, handing each a derived seed.
+///
+/// # Examples
+///
+/// ```
+/// use mca_analysis::run_trials;
+/// let out = run_trials(42, 5, |seed| seed % 7);
+/// assert_eq!(out.results.len(), 5);
+/// ```
+pub fn run_trials<T, F: FnMut(u64) -> T>(master: u64, trials: usize, mut f: F) -> TrialOutcome<T> {
+    let seeds: Vec<u64> = (0..trials as u64).map(|i| trial_seed(master, i)).collect();
+    let results = seeds.iter().map(|&s| f(s)).collect();
+    TrialOutcome { results, seeds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seeds_distinct_and_deterministic() {
+        let a: Vec<u64> = (0..100).map(|i| trial_seed(7, i)).collect();
+        let b: Vec<u64> = (0..100).map(|i| trial_seed(7, i)).collect();
+        assert_eq!(a, b);
+        let set: HashSet<u64> = a.iter().copied().collect();
+        assert_eq!(set.len(), 100, "trial seeds must be distinct");
+        let other: Vec<u64> = (0..100).map(|i| trial_seed(8, i)).collect();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn run_trials_passes_seeds() {
+        let out = run_trials(1, 4, |s| s);
+        assert_eq!(out.results, out.seeds);
+    }
+
+    #[test]
+    fn summarize_and_fraction() {
+        let out = run_trials(3, 10, |s| (s % 10) as f64);
+        let sum = out.summarize(|&x| x);
+        assert_eq!(sum.len(), 10);
+        let frac = out.fraction(|&x| x >= 0.0);
+        assert_eq!(frac, 1.0);
+    }
+
+    #[test]
+    fn zero_trials() {
+        let out = run_trials(3, 0, |s| s);
+        assert!(out.results.is_empty());
+        assert_eq!(out.fraction(|_| true), 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # `mca-baselines` — comparison algorithms and lower-bound instances
+//!
+//! The comparators the paper's reproduction measures against:
+//!
+//! * [`single_channel`] — classical single-channel aggregation
+//!   (Li et al. \[24\]-flavored, `O(D + Δ)` up to logs);
+//! * [`single_coloring`] — single-channel `O(Δ·log n)` coloring
+//!   (Derbel–Talbi / Moscibroda–Wattenhofer style);
+//! * [`naive_tdma`] — deterministic `Θ(n·D)` round-robin flood;
+//! * [`multichannel_graph`] — multichannel flood in the *graph* interference
+//!   model (Daum et al. \[4\]-flavored);
+//! * [`chain`] — the exponential-chain instance behind the single-channel
+//!   `Δ` lower bound;
+//! * [`info_exchange`] — multichannel local information exchange
+//!   (Yu et al. \[37\]-flavored), the incompressible task whose channel
+//!   speedup saturates at the `Θ(Δ)` receive floor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod info_exchange;
+pub mod multichannel_graph;
+pub mod naive_tdma;
+pub mod single_channel;
+pub mod single_coloring;
+
+pub use chain::{
+    descending_successes_for_subset, greedy_relay_slots, max_concurrent_successes_exhaustive,
+};
+pub use info_exchange::{run_info_exchange, ExchangeConfig, ExchangeNode, ExchangeOutcome};
+pub use multichannel_graph::{run_graph_flood, GraphModelOutcome};
+pub use naive_tdma::run_naive_tdma;
+pub use single_channel::{run_single_channel, BaselineOutcome};
+pub use single_coloring::{run_single_coloring, ColoringBaselineOutcome};

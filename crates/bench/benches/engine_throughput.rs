@@ -1,0 +1,40 @@
+//! Wall-clock throughput of the simulation engine (slots/second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mca_core::aggregate::intercluster::{FloodCfg, FloodCombine};
+use mca_core::{MaxAgg, Tdma};
+use mca_geom::Deployment;
+use mca_radio::Engine;
+use mca_sinr::SinrParams;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn engine_slots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_slots");
+    group.sample_size(10);
+    for &n in &[100usize, 400, 1000] {
+        group.bench_with_input(BenchmarkId::new("flood_100_slots", n), &n, |b, &n| {
+            let params = SinrParams::default();
+            let mut rng = SmallRng::seed_from_u64(1);
+            let deploy = Deployment::uniform(n, (n as f64 / 4.0).sqrt(), &mut rng);
+            let cfg = FloodCfg {
+                q: 0.2,
+                flood_rounds: 1_000_000,
+                tail_rounds: 0,
+                tdma: Tdma::new(1, 1),
+                hop_channels: 0,
+            };
+            b.iter(|| {
+                let protocols: Vec<FloodCombine<MaxAgg>> = (0..n)
+                    .map(|i| FloodCombine::dominator(MaxAgg, cfg, 0, i as i64))
+                    .collect();
+                let mut engine = Engine::new(params, deploy.points().to_vec(), protocols, 7);
+                engine.run(100);
+                engine.metrics().receptions
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_slots);
+criterion_main!(benches);

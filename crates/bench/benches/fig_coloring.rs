@@ -1,0 +1,35 @@
+//! Criterion wrapper around experiment E4: structure coloring end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mca_core::{
+    build_structure, color_nodes, AlgoConfig, NetworkEnv, StructureConfig, SubstrateMode,
+};
+use mca_geom::Deployment;
+use mca_sinr::SinrParams;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn coloring(c: &mut Criterion) {
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let deploy = Deployment::uniform(200, 6.0, &mut rng);
+    let env = NetworkEnv::new(params, &deploy);
+    let algo = AlgoConfig::practical(8, &params, 200);
+    let mut cfg = StructureConfig::new(algo, 5);
+    cfg.substrate = SubstrateMode::Oracle;
+    cfg.cluster_radius = 2.0;
+    let structure = build_structure(&env, &cfg);
+
+    let mut group = c.benchmark_group("coloring_e2e");
+    group.sample_size(10);
+    group.bench_function("n200_f8", |b| {
+        b.iter(|| {
+            let out = color_nodes(&env, &structure, &algo, 5);
+            assert_eq!(out.uncolored, 0);
+            out.total_slots()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, coloring);
+criterion_main!(benches);

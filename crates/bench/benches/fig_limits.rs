@@ -1,0 +1,86 @@
+//! Criterion wrapper around experiments E12–E14: applications of the
+//! structure (leader election, broadcast) and the compressibility limit
+//! (info exchange vs aggregation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mca_baselines::{run_info_exchange, ExchangeConfig};
+use mca_core::{
+    broadcast_many, build_structure, elect_leader, AlgoConfig, NetworkEnv, StructureConfig,
+    SubstrateMode,
+};
+use mca_geom::Deployment;
+use mca_radio::NodeId;
+use mca_sinr::SinrParams;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn applications(c: &mut Criterion) {
+    let params = SinrParams::default();
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10);
+
+    // Leader election at 1 vs 8 channels (the E12 speedup).
+    for channels in [1u16, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("leader_n200", format!("F{channels}")),
+            &channels,
+            |b, &channels| {
+                let mut rng = SmallRng::seed_from_u64(3);
+                let deploy = Deployment::uniform(200, 6.0, &mut rng);
+                let env = NetworkEnv::new(params, &deploy);
+                let algo = AlgoConfig::practical(channels, &params, 200);
+                let mut cfg = StructureConfig::new(algo, 3);
+                cfg.substrate = SubstrateMode::Oracle;
+                cfg.cluster_radius = 2.0;
+                let s = build_structure(&env, &cfg);
+                let d_hat = env.comm_graph().diameter_approx() + 2;
+                b.iter(|| {
+                    let out = elect_leader(&env, &s, &algo, d_hat, 42);
+                    assert!(out.agreement > 0);
+                    out.total_slots()
+                })
+            },
+        );
+    }
+
+    // Multi-message broadcast at k = 8 (the E13 workload).
+    group.bench_function("broadcast_many_k8_n100", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let deploy = Deployment::uniform(100, 9.0, &mut rng);
+        let env = NetworkEnv::new(params, &deploy);
+        let algo = AlgoConfig::practical(4, &params, 100);
+        let mut cfg = StructureConfig::new(algo, 5);
+        cfg.substrate = SubstrateMode::Oracle;
+        cfg.cluster_radius = 2.0;
+        let s = build_structure(&env, &cfg);
+        let d_hat = env.comm_graph().diameter_approx() + 2;
+        let messages: Vec<(NodeId, u64)> = (0..8).map(|i| (NodeId(i * 12), i as u64)).collect();
+        b.iter(|| {
+            let out = broadcast_many(&env, &s, &algo, &messages, d_hat, 9);
+            assert_eq!(out.unhoisted, 0);
+            out.total_slots()
+        })
+    });
+
+    // Info exchange: the flat curve of E14, F = 1 vs 8.
+    for channels in [1u16, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("exchange_n50", format!("F{channels}")),
+            &channels,
+            |b, &channels| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                let deploy = Deployment::disk(50, params.r_eps() / 4.0, &mut rng);
+                let cfg = ExchangeConfig::new(channels, 50);
+                b.iter(|| {
+                    let out = run_info_exchange(&params, deploy.points(), cfg, 11);
+                    assert_eq!(out.completed(), 50);
+                    out.slots
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, applications);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion wrapper around experiment E1: end-to-end aggregation at
+//! `F ∈ {1, 8}` (wall-clock; the slot counts are what `experiments e1`
+//! reports).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mca_bench::measure_aggregation;
+use mca_core::{Constants, SubstrateMode};
+
+fn speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation_e2e");
+    group.sample_size(10);
+    for &f in &[1u16, 8] {
+        group.bench_with_input(BenchmarkId::new("channels", f), &f, |b, &f| {
+            b.iter(|| {
+                let m = measure_aggregation(
+                    250,
+                    5.5,
+                    f,
+                    2.0,
+                    SubstrateMode::Oracle,
+                    Constants::practical(),
+                    42,
+                );
+                assert!(m.correct);
+                m.agg_slots
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, speedup);
+criterion_main!(benches);

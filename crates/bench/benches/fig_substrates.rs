@@ -1,0 +1,37 @@
+//! Criterion wrapper around experiments E5/E6: substrate construction
+//! (dominating set + clustering + coloring + CSA + election).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mca_core::{build_structure, AlgoConfig, NetworkEnv, StructureConfig, SubstrateMode};
+use mca_geom::Deployment;
+use mca_sinr::SinrParams;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn substrates(c: &mut Criterion) {
+    let params = SinrParams::default();
+    let mut group = c.benchmark_group("structure_build");
+    group.sample_size(10);
+    for mode in [SubstrateMode::Oracle, SubstrateMode::Distributed] {
+        group.bench_with_input(
+            BenchmarkId::new("n300", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                let mut rng = SmallRng::seed_from_u64(3);
+                let deploy = Deployment::uniform(300, 10.0, &mut rng);
+                let env = NetworkEnv::new(params, &deploy);
+                let algo = AlgoConfig::practical(8, &params, 300);
+                b.iter(|| {
+                    let mut cfg = StructureConfig::new(algo, 3);
+                    cfg.substrate = mode;
+                    let s = build_structure(&env, &cfg);
+                    assert!(s.report.clusters > 0);
+                    s.report.total_slots()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, substrates);
+criterion_main!(benches);

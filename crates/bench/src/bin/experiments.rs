@@ -1,0 +1,77 @@
+//! Regenerates every experiment of `EXPERIMENTS.md`.
+//!
+//! Usage: `experiments [e1|...|e8|e10|...|e15|t1|a1|a2|all|quick] [trials]`
+
+use std::env;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("quick");
+    let trials: usize = args
+        .get(2)
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(if which == "quick" { 2 } else { 3 });
+
+    let all = which == "all" || which == "quick";
+    let want = |id: &str| all || which == id;
+    let t0 = Instant::now();
+
+    if want("e1") {
+        println!("{}", mca_bench::e1_speedup(trials));
+    }
+    if want("e2") {
+        println!("{}", mca_bench::e2_scaling_n(trials));
+    }
+    if want("e3") {
+        println!("{}", mca_bench::e3_delta(trials));
+    }
+    if want("e4") {
+        println!("{}", mca_bench::e4_coloring(trials));
+    }
+    if want("e5") {
+        println!("{}", mca_bench::e5_ruling(trials));
+    }
+    if want("e6") {
+        println!("{}", mca_bench::e6_dominate(trials));
+    }
+    if want("e7") {
+        println!("{}", mca_bench::e7_csa(trials));
+    }
+    if want("e8") {
+        println!("{}", mca_bench::e8_reporters(trials));
+    }
+    if want("e10") {
+        let (a, b) = mca_bench::e10_lower_bounds(trials);
+        println!("{a}");
+        println!("{b}");
+    }
+    if want("e11") {
+        println!("{}", mca_bench::e11_lemmas(trials));
+    }
+    if want("e12") {
+        println!("{}", mca_bench::e12_applications(trials));
+    }
+    if want("e13") {
+        println!("{}", mca_bench::e13_multimessage(trials));
+    }
+    if want("e14") {
+        println!("{}", mca_bench::e14_compressibility(trials));
+    }
+    if want("e15") {
+        println!("{}", mca_bench::e15_mis(trials));
+    }
+    if want("t1") {
+        println!("{}", mca_bench::t1_comparison(trials));
+    }
+    if want("a1") {
+        println!("{}", mca_bench::a1_ablations(trials));
+    }
+    if want("a2") {
+        println!("{}", mca_bench::a2_faults(trials));
+    }
+    if want("a3") {
+        println!("{}", mca_bench::a3_gossip(trials));
+    }
+    eprintln!("[experiments done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

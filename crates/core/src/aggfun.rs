@@ -1,0 +1,334 @@
+//! Aggregate functions.
+//!
+//! The data aggregation problem computes a *compressible* function of the
+//! node inputs (paper §2). [`Aggregate`] captures the algebra the structure
+//! needs: a commutative, associative combine with identity. Idempotent
+//! aggregates (max, min, or, FM sketches) additionally support the
+//! `O(D + log n)` flood-and-combine inter-cluster phase; duplicate-sensitive
+//! ones (sum, count, average) use the exact tree upcast (see
+//! `DESIGN.md`, substitution #2).
+
+use std::fmt;
+
+/// A commutative, associative aggregation with identity.
+///
+/// Implementations must satisfy (checked by property tests):
+/// `combine(a, b) = combine(b, a)`,
+/// `combine(a, combine(b, c)) = combine(combine(a, b), c)`,
+/// `combine(a, identity()) = a`, and — when [`Aggregate::is_idempotent`] —
+/// `combine(a, a) = a`.
+pub trait Aggregate: Clone {
+    /// The value being aggregated (also the message payload).
+    type Value: Clone + PartialEq + fmt::Debug;
+
+    /// The neutral element.
+    fn identity(&self) -> Self::Value;
+
+    /// Combines two partial aggregates.
+    fn combine(&self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// Whether `combine(a, a) = a` (enables flood-based dissemination).
+    fn is_idempotent(&self) -> bool {
+        false
+    }
+}
+
+/// Maximum of `i64` inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaxAgg;
+
+impl Aggregate for MaxAgg {
+    type Value = i64;
+    fn identity(&self) -> i64 {
+        i64::MIN
+    }
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        *a.max(b)
+    }
+    fn is_idempotent(&self) -> bool {
+        true
+    }
+}
+
+/// Minimum of `i64` inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MinAgg;
+
+impl Aggregate for MinAgg {
+    type Value = i64;
+    fn identity(&self) -> i64 {
+        i64::MAX
+    }
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        *a.min(b)
+    }
+    fn is_idempotent(&self) -> bool {
+        true
+    }
+}
+
+/// Sum of `i64` inputs (duplicate-sensitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SumAgg;
+
+impl Aggregate for SumAgg {
+    type Value = i64;
+    fn identity(&self) -> i64 {
+        0
+    }
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        a.wrapping_add(*b)
+    }
+}
+
+/// Boolean disjunction (e.g. "has any sensor triggered?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OrAgg;
+
+impl Aggregate for OrAgg {
+    type Value = bool;
+    fn identity(&self) -> bool {
+        false
+    }
+    fn combine(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn is_idempotent(&self) -> bool {
+        true
+    }
+}
+
+/// Running `(sum, count)` pair for averages.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AvgAgg;
+
+/// Partial state of [`AvgAgg`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AvgValue {
+    /// Sum of inputs.
+    pub sum: f64,
+    /// Number of inputs.
+    pub count: u64,
+}
+
+impl AvgValue {
+    /// A single input sample.
+    pub fn sample(x: f64) -> Self {
+        AvgValue { sum: x, count: 1 }
+    }
+
+    /// The average, or `None` for the empty aggregate.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+impl Aggregate for AvgAgg {
+    type Value = AvgValue;
+    fn identity(&self) -> AvgValue {
+        AvgValue::default()
+    }
+    fn combine(&self, a: &AvgValue, b: &AvgValue) -> AvgValue {
+        AvgValue {
+            sum: a.sum + b.sum,
+            count: a.count + b.count,
+        }
+    }
+}
+
+/// Number of registers in an [`FmSketch`] value.
+pub const FM_REGISTERS: usize = 16;
+
+/// Flajolet–Martin distinct-count sketch: a *duplicate-insensitive*
+/// (idempotent) approximate counter.
+///
+/// Each node inserts its unique id; unions are bitwise ORs, so the sketch
+/// rides the `O(D + log n)` flood path while still estimating `n` — the
+/// trick the paper's reference \[2\] uses for fast duplicate-sensitive
+/// aggregation without exact trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FmSketch;
+
+/// Register state of an [`FmSketch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmValue {
+    registers: [u64; FM_REGISTERS],
+}
+
+impl Default for FmValue {
+    fn default() -> Self {
+        FmValue {
+            registers: [0; FM_REGISTERS],
+        }
+    }
+}
+
+impl FmValue {
+    /// The empty sketch.
+    pub fn empty() -> Self {
+        FmValue::default()
+    }
+
+    /// A sketch containing exactly one item.
+    pub fn of_item(item: u64) -> Self {
+        let mut v = FmValue::empty();
+        v.insert(item);
+        v
+    }
+
+    /// Inserts an item (idempotently).
+    pub fn insert(&mut self, item: u64) {
+        for (r, reg) in self.registers.iter_mut().enumerate() {
+            let h = mca_radio::rng::mix64(item ^ ((r as u64 + 1) << 56));
+            let bit = h.trailing_zeros().min(63);
+            *reg |= 1u64 << bit;
+        }
+    }
+
+    /// Estimated number of distinct items inserted (Flajolet–Martin:
+    /// `2^R̄ / 0.77351` where `R̄` averages the lowest unset bit position).
+    pub fn estimate(&self) -> f64 {
+        let mean_r: f64 = self
+            .registers
+            .iter()
+            .map(|&reg| (!reg).trailing_zeros() as f64)
+            .sum::<f64>()
+            / FM_REGISTERS as f64;
+        2f64.powf(mean_r) / 0.77351
+    }
+}
+
+impl Aggregate for FmSketch {
+    type Value = FmValue;
+    fn identity(&self) -> FmValue {
+        FmValue::empty()
+    }
+    fn combine(&self, a: &FmValue, b: &FmValue) -> FmValue {
+        let mut out = *a;
+        for (o, r) in out.registers.iter_mut().zip(b.registers.iter()) {
+            *o |= r;
+        }
+        out
+    }
+    fn is_idempotent(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_laws<A: Aggregate>(agg: &A, vals: &[A::Value]) {
+        let id = agg.identity();
+        for a in vals {
+            assert_eq!(&agg.combine(a, &id), a, "identity law");
+            if agg.is_idempotent() {
+                assert_eq!(&agg.combine(a, a), a, "idempotence");
+            }
+            for b in vals {
+                assert_eq!(agg.combine(a, b), agg.combine(b, a), "commutativity");
+                for c in vals {
+                    assert_eq!(
+                        agg.combine(a, &agg.combine(b, c)),
+                        agg.combine(&agg.combine(a, b), c),
+                        "associativity"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_min_sum_or_laws() {
+        check_laws(&MaxAgg, &[-5, 0, 3, i64::MIN, i64::MAX]);
+        check_laws(&MinAgg, &[-5, 0, 3, i64::MIN, i64::MAX]);
+        check_laws(&SumAgg, &[-5, 0, 3, 17]);
+        check_laws(&OrAgg, &[true, false]);
+    }
+
+    #[test]
+    fn avg_combines_to_true_mean() {
+        let agg = AvgAgg;
+        let vals = [1.0, 2.0, 3.0, 10.0];
+        let total = vals
+            .iter()
+            .map(|&x| AvgValue::sample(x))
+            .fold(agg.identity(), |acc, v| agg.combine(&acc, &v));
+        assert_eq!(total.count, 4);
+        assert!((total.mean().unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(agg.identity().mean(), None);
+    }
+
+    #[test]
+    fn fm_idempotent_and_accurate() {
+        let agg = FmSketch;
+        let mut v = FmValue::empty();
+        for i in 0..1000u64 {
+            v.insert(i);
+        }
+        // Re-inserting changes nothing.
+        let mut v2 = v;
+        for i in 0..1000u64 {
+            v2.insert(i);
+        }
+        assert_eq!(v, v2);
+        // Union with itself changes nothing.
+        assert_eq!(agg.combine(&v, &v), v);
+        // Estimate within a factor of 2 (16 registers).
+        let est = v.estimate();
+        assert!(
+            est > 500.0 && est < 2000.0,
+            "estimate {est} too far from 1000"
+        );
+    }
+
+    #[test]
+    fn fm_union_equals_insert_all() {
+        let agg = FmSketch;
+        let mut a = FmValue::empty();
+        let mut b = FmValue::empty();
+        let mut all = FmValue::empty();
+        for i in 0..100u64 {
+            if i % 2 == 0 {
+                a.insert(i);
+            } else {
+                b.insert(i);
+            }
+            all.insert(i);
+        }
+        assert_eq!(agg.combine(&a, &b), all);
+    }
+
+    #[test]
+    fn fm_empty_estimates_near_zero() {
+        assert!(FmValue::empty().estimate() < 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn sum_agrees_with_iter_sum(xs in proptest::collection::vec(-1000i64..1000, 0..50)) {
+            let agg = SumAgg;
+            let folded = xs.iter().fold(agg.identity(), |acc, x| agg.combine(&acc, x));
+            prop_assert_eq!(folded, xs.iter().sum::<i64>());
+        }
+
+        #[test]
+        fn max_agrees_with_iter_max(xs in proptest::collection::vec(-1000i64..1000, 1..50)) {
+            let agg = MaxAgg;
+            let folded = xs.iter().fold(agg.identity(), |acc, x| agg.combine(&acc, x));
+            prop_assert_eq!(folded, *xs.iter().max().unwrap());
+        }
+
+        #[test]
+        fn fm_insert_order_irrelevant(mut xs in proptest::collection::vec(0u64..10_000, 1..40)) {
+            let mut fwd = FmValue::empty();
+            for &x in &xs { fwd.insert(x); }
+            xs.reverse();
+            let mut rev = FmValue::empty();
+            for &x in &xs { rev.insert(x); }
+            prop_assert_eq!(fwd, rev);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! The data aggregation algorithm (paper §6).
+//!
+//! Three procedures, run sequentially (DESIGN.md deviation #3):
+//!
+//! 1. [`follower`] — collect follower data at the per-channel reporters
+//!    with backoff-controlled random access (Lemmas 18–21);
+//! 2. [`treecast`] — deterministic convergecast up the reporter tree to the
+//!    dominator (Lemma 16);
+//! 3. [`intercluster`] — disseminate among dominators: flood-and-combine in
+//!    `O(D + log n)` for idempotent aggregates, exact tree upcast for
+//!    duplicate-sensitive ones (Theorem 22; DESIGN.md deviation #2).
+//!
+//! The end-to-end driver lives in [`crate::structure`].
+
+pub mod follower;
+pub mod intercluster;
+pub mod treecast;

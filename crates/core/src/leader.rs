@@ -1,0 +1,322 @@
+//! Leader election on the aggregation structure.
+//!
+//! The paper's introduction motivates multiple channels with leader
+//! election (its reference \[5\], Daum et al., *Leader election in shared
+//! spectrum radio networks*, PODC 2012). The aggregation structure solves
+//! it directly: every node draws a random rank, the network aggregates the
+//! maximum `(rank, id)` pair — an idempotent function, so it rides the
+//! flood-and-combine inter-cluster path — and the unique maximum is the
+//! leader every node agrees on.
+//!
+//! The round cost is exactly one aggregation:
+//! `O(D + Δ/F + log n·log log n)` (Theorem 22), which inherits the linear
+//! channel speedup. On single-hop instances this is
+//! `O(Δ/F + log n·log log n)`, compared with the `O(log² n / F + …)` of
+//! the dedicated multichannel algorithms — the structure pays its `Δ/F`
+//! construction cost once and then answers *any* aggregate query, leader
+//! election included.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mca_core::leader::elect_leader;
+//! use mca_core::{build_structure, AlgoConfig, NetworkEnv, StructureConfig};
+//! use mca_geom::Deployment;
+//! use mca_sinr::SinrParams;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let params = SinrParams::default();
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let deploy = Deployment::uniform(120, 10.0, &mut rng);
+//! let env = NetworkEnv::new(params, &deploy);
+//! let algo = AlgoConfig::practical(8, &params, 120);
+//! let structure = build_structure(&env, &StructureConfig::new(algo, 7));
+//! let d_hat = env.comm_graph().diameter_approx() + 2;
+//! let out = elect_leader(&env, &structure, &algo, d_hat, 42);
+//! println!("leader: {:?}, agreement: {}/120", out.leader, out.agreement);
+//! ```
+
+use crate::aggfun::Aggregate;
+use crate::config::AlgoConfig;
+use crate::structure::{aggregate, AggregationStructure, InterclusterMode, NetworkEnv};
+use mca_radio::{rng, NodeId};
+
+/// A leadership candidate: a random rank with the node id as tiebreak.
+///
+/// Candidates are totally ordered by `(rank, id)`; the network-wide maximum
+/// is the elected leader. Ranks are drawn uniformly from `[1, u64::MAX]`,
+/// so rank 0 is reserved for [`LeaderAgg::identity`] (the "no candidate"
+/// element, which loses to every real candidate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Candidate {
+    /// Random rank (primary key; `0` only in the identity element).
+    pub rank: u64,
+    /// The candidate node (tiebreak key).
+    pub id: NodeId,
+}
+
+impl Candidate {
+    /// The "no candidate yet" element: loses to every drawn candidate.
+    pub fn none() -> Self {
+        Candidate {
+            rank: 0,
+            id: NodeId(0),
+        }
+    }
+
+    /// Draws node `id`'s candidate for election round `seed`.
+    ///
+    /// The rank is a deterministic hash of `(seed, id)` — each node can
+    /// compute its own rank locally without communication, and the draw is
+    /// uniform over `[1, u64::MAX]`.
+    pub fn draw(seed: u64, id: NodeId) -> Self {
+        let rank = rng::mix64(rng::derive_seed(seed, 0x1EAD_E1EC ^ u64::from(id.0))).max(1);
+        Candidate { rank, id }
+    }
+
+    /// Whether this is a real (drawn) candidate rather than the identity.
+    pub fn is_some(&self) -> bool {
+        self.rank > 0
+    }
+}
+
+/// The max-candidate aggregate: idempotent, so leader election floods at
+/// `O(D + log n)` across clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LeaderAgg;
+
+impl Aggregate for LeaderAgg {
+    type Value = Candidate;
+
+    fn identity(&self) -> Candidate {
+        Candidate::none()
+    }
+
+    fn combine(&self, a: &Candidate, b: &Candidate) -> Candidate {
+        *a.max(b)
+    }
+
+    fn is_idempotent(&self) -> bool {
+        true
+    }
+}
+
+/// Result of a leader election run.
+#[derive(Debug, Clone)]
+pub struct LeaderOutcome {
+    /// The ground-truth winner (maximum candidate over all inputs); the
+    /// node every correct execution elects.
+    pub leader: NodeId,
+    /// What each node learned (`None` if it never heard any candidate).
+    pub learned: Vec<Option<NodeId>>,
+    /// Nodes that learned the true leader.
+    pub agreement: usize,
+    /// Whether the leader itself knows it won.
+    pub leader_knows: bool,
+    /// Slots of the follower→reporter procedure.
+    pub follower_slots: u64,
+    /// Slots of the reporter-tree convergecast.
+    pub tree_slots: u64,
+    /// Slots of the inter-cluster flood.
+    pub inter_slots: u64,
+}
+
+impl LeaderOutcome {
+    /// Total slots across the three aggregation procedures.
+    pub fn total_slots(&self) -> u64 {
+        self.follower_slots + self.tree_slots + self.inter_slots
+    }
+
+    /// Whether every node elected the same (true) leader.
+    pub fn unanimous(&self) -> bool {
+        self.agreement == self.learned.len()
+    }
+}
+
+/// Elects a leader over a built aggregation structure.
+///
+/// Every node draws [`Candidate::draw`]`(seed, id)` and the network
+/// aggregates the maximum with [`LeaderAgg`] (flood mode). `d_hat` bounds
+/// the hop diameter, as in [`aggregate`].
+///
+/// # Panics
+///
+/// Panics if the environment is empty (no candidates to elect).
+pub fn elect_leader(
+    env: &NetworkEnv,
+    structure: &AggregationStructure,
+    algo: &AlgoConfig,
+    d_hat: u32,
+    seed: u64,
+) -> LeaderOutcome {
+    let n = env.len();
+    assert!(n > 0, "cannot elect a leader over an empty network");
+    let inputs: Vec<Candidate> = (0..n)
+        .map(|i| Candidate::draw(seed, NodeId(i as u32)))
+        .collect();
+    let winner = *inputs
+        .iter()
+        .max()
+        .expect("non-empty input set has a maximum");
+
+    let out = aggregate(
+        env,
+        structure,
+        algo,
+        LeaderAgg,
+        &inputs,
+        InterclusterMode::Flood,
+        d_hat,
+        seed,
+    );
+
+    let learned: Vec<Option<NodeId>> = out
+        .values
+        .iter()
+        .map(|v| v.as_ref().filter(|c| c.is_some()).map(|c| c.id))
+        .collect();
+    let agreement = learned
+        .iter()
+        .filter(|l| **l == Some(winner.id))
+        .count();
+    let leader_knows = learned[winner.id.index()] == Some(winner.id);
+
+    LeaderOutcome {
+        leader: winner.id,
+        learned,
+        agreement,
+        leader_knows,
+        follower_slots: out.follower_slots,
+        tree_slots: out.tree_slots,
+        inter_slots: out.inter_slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{build_structure, StructureConfig, SubstrateMode};
+    use mca_geom::Deployment;
+    use mca_sinr::SinrParams;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn setup(n: usize, side: f64, channels: u16, seed: u64) -> (NetworkEnv, AggregationStructure, AlgoConfig) {
+        let params = SinrParams::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let deploy = Deployment::uniform(n, side, &mut rng);
+        let env = NetworkEnv::new(params, &deploy);
+        let algo = AlgoConfig::practical(channels, &params, n);
+        let mut cfg = StructureConfig::new(algo, seed);
+        cfg.substrate = SubstrateMode::Oracle;
+        let s = build_structure(&env, &cfg);
+        (env, s, algo)
+    }
+
+    #[test]
+    fn candidate_order_is_rank_then_id() {
+        let a = Candidate {
+            rank: 5,
+            id: NodeId(9),
+        };
+        let b = Candidate {
+            rank: 7,
+            id: NodeId(1),
+        };
+        let c = Candidate {
+            rank: 7,
+            id: NodeId(2),
+        };
+        assert!(b > a, "higher rank wins regardless of id");
+        assert!(c > b, "id breaks rank ties");
+        assert!(Candidate::none() < a, "identity loses to everything");
+    }
+
+    #[test]
+    fn leader_agg_laws() {
+        let agg = LeaderAgg;
+        let vals = [
+            Candidate::none(),
+            Candidate::draw(1, NodeId(0)),
+            Candidate::draw(1, NodeId(1)),
+            Candidate::draw(2, NodeId(0)),
+        ];
+        for a in &vals {
+            assert_eq!(agg.combine(a, &agg.identity()), *a);
+            assert_eq!(agg.combine(a, a), *a, "idempotence");
+            for b in &vals {
+                assert_eq!(agg.combine(a, b), agg.combine(b, a));
+                for c in &vals {
+                    assert_eq!(
+                        agg.combine(a, &agg.combine(b, c)),
+                        agg.combine(&agg.combine(a, b), c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn draw_is_deterministic_and_spread() {
+        let a = Candidate::draw(42, NodeId(7));
+        assert_eq!(a, Candidate::draw(42, NodeId(7)));
+        assert_ne!(
+            Candidate::draw(42, NodeId(8)).rank,
+            a.rank,
+            "distinct nodes draw distinct ranks"
+        );
+        assert_ne!(
+            Candidate::draw(43, NodeId(7)).rank,
+            a.rank,
+            "distinct seeds draw distinct ranks"
+        );
+        assert!(a.rank >= 1, "rank 0 is reserved for the identity");
+    }
+
+    #[test]
+    fn election_is_unanimous_and_correct() {
+        let (env, s, algo) = setup(150, 12.0, 8, 101);
+        let d_hat = env.comm_graph().diameter_approx() + 2;
+        let out = elect_leader(&env, &s, &algo, d_hat, 77);
+        assert!(out.leader_knows, "the winner must learn it won");
+        assert!(
+            out.agreement * 10 >= 150 * 9,
+            "only {}/150 nodes agree on the leader",
+            out.agreement
+        );
+        // The ground truth winner is the max candidate.
+        let expect = (0..150)
+            .map(|i| Candidate::draw(77, NodeId(i)))
+            .max()
+            .unwrap();
+        assert_eq!(out.leader, expect.id);
+    }
+
+    #[test]
+    fn different_seeds_elect_different_leaders() {
+        // The election is randomized: over several seeds the winner should
+        // not be constant (probability of a repeat triple is ~(1/n)²).
+        let leaders: Vec<NodeId> = [11u64, 22, 33]
+            .iter()
+            .map(|&seed| {
+                (0..200)
+                    .map(|i| Candidate::draw(seed, NodeId(i)))
+                    .max()
+                    .unwrap()
+                    .id
+            })
+            .collect();
+        assert!(
+            leaders.windows(2).any(|w| w[0] != w[1]),
+            "three elections produced the same leader: {leaders:?}"
+        );
+    }
+
+    #[test]
+    fn election_works_single_channel() {
+        let (env, s, algo) = setup(80, 9.0, 1, 55);
+        let d_hat = env.comm_graph().diameter_approx() + 2;
+        let out = elect_leader(&env, &s, &algo, d_hat, 3);
+        assert!(out.agreement * 10 >= 80 * 9);
+        assert!(out.leader_knows);
+    }
+}

@@ -1,0 +1,256 @@
+//! The reporter tree: a complete binary tree over channel positions
+//! (paper §5.2.2, Lemma 16).
+//!
+//! Reporters are addressed by their 1-based *heap position* `k` (the
+//! reporter elected on channel `F_k` sits at position `k`); the dominator is
+//! position 0, the parent of position 1. `u_{⌊k/2⌋}` is the parent of `u_k`.
+//! The tree is never built explicitly — every node derives schedule, parent,
+//! and channel from its position, which is why tree formation costs zero
+//! communication (Lemma 16).
+
+use mca_radio::Channel;
+
+/// Geometry of the reporter tree for a cluster using `fv` channels.
+///
+/// # Examples
+///
+/// ```
+/// use mca_core::tree::HeapTree;
+/// let t = HeapTree::new(7);
+/// assert_eq!(t.parent(5), 2);
+/// assert_eq!(t.depth(1), 1);
+/// assert_eq!(t.max_depth(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapTree {
+    fv: u16,
+}
+
+impl HeapTree {
+    /// Tree over positions `1..=fv` (plus the dominator at position 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fv == 0`.
+    pub fn new(fv: u16) -> Self {
+        assert!(fv >= 1, "a cluster uses at least one channel");
+        HeapTree { fv }
+    }
+
+    /// Number of reporter positions.
+    pub fn size(&self) -> u16 {
+        self.fv
+    }
+
+    /// Parent position of `k` (position 1's parent is the dominator, 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `k == 0` or `k > fv`.
+    pub fn parent(&self, k: u16) -> u16 {
+        assert!(k >= 1 && k <= self.fv, "position {k} out of range");
+        k / 2
+    }
+
+    /// Children of position `k` (0 = dominator) that exist in this tree.
+    pub fn children(&self, k: u16) -> impl Iterator<Item = u16> + '_ {
+        let (lo, hi) = if k == 0 {
+            (1u32, 1u32) // the dominator's only child is position 1
+        } else {
+            (2 * k as u32, 2 * k as u32 + 1)
+        };
+        (lo..=hi).filter(move |&c| c <= self.fv as u32).map(|c| c as u16)
+    }
+
+    /// Depth of position `k`: dominator 0, position 1 is 1, etc.
+    pub fn depth(&self, k: u16) -> u16 {
+        if k == 0 {
+            0
+        } else {
+            assert!(k <= self.fv, "position {k} out of range");
+            (u16::BITS - k.leading_zeros()) as u16
+        }
+    }
+
+    /// Depth of the deepest position.
+    pub fn max_depth(&self) -> u16 {
+        self.depth(self.fv)
+    }
+
+    /// The channel a reporter at position `k ≥ 1` was elected on
+    /// (`F_k` is `Channel(k−1)`); the dominator (0) listens on the first
+    /// channel.
+    pub fn channel_of(&self, k: u16) -> Channel {
+        if k == 0 {
+            Channel::FIRST
+        } else {
+            Channel(k - 1)
+        }
+    }
+
+    /// Convergecast round (0-based) in which position `k ≥ 1` transmits to
+    /// its parent: deepest positions go first, position 1 goes last.
+    pub fn tx_round(&self, k: u16) -> u16 {
+        self.max_depth() - self.depth(k)
+    }
+
+    /// Number of convergecast rounds (= max depth; every depth gets one).
+    pub fn rounds(&self) -> u16 {
+        self.max_depth()
+    }
+
+    /// Sub-slot parity per the paper: odd positions transmit in the first
+    /// send slot, even positions in the second.
+    pub fn is_first_subslot(&self, k: u16) -> bool {
+        k % 2 == 1
+    }
+
+    /// Whether the *odd* sibling of `k` exists (used by the takeover rule:
+    /// an even child claims a vacant parent only when it has no odd sibling
+    /// to do so).
+    pub fn odd_sibling_exists(&self, k: u16) -> bool {
+        if k % 2 == 1 {
+            true // k itself is odd
+        } else {
+            k < self.fv
+        }
+    }
+
+    /// Lemma 16's bound: a convergecast completes within
+    /// `2·⌊log₂(fv + 1)⌋` send slots.
+    pub fn lemma16_slots(&self) -> u16 {
+        2 * (u32::BITS - (self.fv as u32 + 1).leading_zeros() - 1) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn structure_of_seven() {
+        let t = HeapTree::new(7);
+        assert_eq!(t.parent(1), 0);
+        assert_eq!(t.parent(2), 1);
+        assert_eq!(t.parent(3), 1);
+        assert_eq!(t.parent(7), 3);
+        assert_eq!(t.depth(1), 1);
+        assert_eq!(t.depth(3), 2);
+        assert_eq!(t.depth(7), 3);
+        assert_eq!(t.max_depth(), 3);
+        assert_eq!(t.rounds(), 3);
+        let kids: Vec<u16> = t.children(1).collect();
+        assert_eq!(kids, vec![2, 3]);
+        let root_kids: Vec<u16> = t.children(0).collect();
+        assert_eq!(root_kids, vec![1]);
+    }
+
+    #[test]
+    fn partial_last_level() {
+        let t = HeapTree::new(5);
+        let kids2: Vec<u16> = t.children(2).collect();
+        assert_eq!(kids2, vec![4, 5]);
+        let kids3: Vec<u16> = t.children(3).collect();
+        assert!(kids3.is_empty());
+        assert_eq!(t.max_depth(), 3);
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = HeapTree::new(1);
+        assert_eq!(t.parent(1), 0);
+        assert_eq!(t.max_depth(), 1);
+        assert_eq!(t.rounds(), 1);
+        assert_eq!(t.tx_round(1), 0);
+        assert_eq!(t.lemma16_slots(), 2);
+    }
+
+    #[test]
+    fn channels_match_positions() {
+        let t = HeapTree::new(4);
+        assert_eq!(t.channel_of(0), Channel(0));
+        assert_eq!(t.channel_of(1), Channel(0));
+        assert_eq!(t.channel_of(4), Channel(3));
+    }
+
+    #[test]
+    fn schedule_orders_deepest_first() {
+        let t = HeapTree::new(7);
+        assert_eq!(t.tx_round(7), 0);
+        assert_eq!(t.tx_round(4), 0);
+        assert_eq!(t.tx_round(2), 1);
+        assert_eq!(t.tx_round(1), 2);
+    }
+
+    #[test]
+    fn subslot_parity() {
+        let t = HeapTree::new(6);
+        assert!(t.is_first_subslot(1));
+        assert!(t.is_first_subslot(5));
+        assert!(!t.is_first_subslot(2));
+    }
+
+    #[test]
+    fn odd_sibling_logic() {
+        let t = HeapTree::new(4);
+        assert!(t.odd_sibling_exists(3)); // odd itself
+        assert!(!t.odd_sibling_exists(4)); // sibling 5 doesn't exist
+        let t6 = HeapTree::new(6);
+        assert!(!t6.odd_sibling_exists(6)); // 7 missing
+        assert!(t6.odd_sibling_exists(2)); // 3 exists
+    }
+
+    #[test]
+    fn lemma16_examples() {
+        // fv = 7: 2*log2(8) = 6; fv = 1: 2*log2(2) = 2.
+        assert_eq!(HeapTree::new(7).lemma16_slots(), 6);
+        assert_eq!(HeapTree::new(3).lemma16_slots(), 4);
+        assert_eq!(HeapTree::new(15).lemma16_slots(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_rejected() {
+        HeapTree::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn parent_child_consistency(fv in 1u16..512, k in 1u16..512) {
+            prop_assume!(k <= fv);
+            let t = HeapTree::new(fv);
+            if k > 1 {
+                let p = t.parent(k);
+                prop_assert!(t.children(p).any(|c| c == k));
+                prop_assert_eq!(t.depth(k), t.depth(p) + 1);
+            }
+            // Every position reaches the dominator by following parents.
+            let mut cur = k;
+            let mut hops = 0;
+            while cur != 0 {
+                cur = t.parent(cur);
+                hops += 1;
+                prop_assert!(hops <= 17, "parent chain too long");
+            }
+            prop_assert_eq!(hops, t.depth(k));
+        }
+
+        #[test]
+        fn depth_bounded_by_log(fv in 1u16..1024) {
+            let t = HeapTree::new(fv);
+            let expect = (fv as f64 + 1.0).log2().ceil() as u16;
+            prop_assert!(t.max_depth() <= expect + 1);
+            prop_assert!(t.max_depth() >= expect.saturating_sub(1).max(1));
+        }
+
+        #[test]
+        fn tx_rounds_respect_depth_order(fv in 2u16..300, a in 1u16..300, b in 1u16..300) {
+            prop_assume!(a <= fv && b <= fv);
+            let t = HeapTree::new(fv);
+            if t.depth(a) > t.depth(b) {
+                prop_assert!(t.tx_round(a) < t.tx_round(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Axis-aligned bounding boxes for deployments and spatial indexing.
+
+use crate::point::Point;
+
+/// An axis-aligned bounding box `[min_x, max_x] × [min_y, max_y]`.
+///
+/// # Examples
+///
+/// ```
+/// use mca_geom::{BoundingBox, Point};
+/// let bb = BoundingBox::from_points([Point::new(0.0, 1.0), Point::new(2.0, -1.0)]).unwrap();
+/// assert!(bb.contains(Point::new(1.0, 0.0)));
+/// assert_eq!(bb.width(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    min: Point,
+    max: Point,
+}
+
+impl BoundingBox {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        BoundingBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The square `[0, side] × [0, side]`.
+    pub fn square(side: f64) -> Self {
+        BoundingBox::new(Point::ORIGIN, Point::new(side, side))
+    }
+
+    /// Smallest box containing all `points`, or `None` if empty.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BoundingBox::new(first, first);
+        for p in it {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box to include `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Returns a copy grown by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> Self {
+        BoundingBox {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
+    /// Lower-left corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Horizontal extent.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Vertical extent.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the box.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point of the box.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside the box (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether `other` intersects this box (boundary inclusive).
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn corners_normalized() {
+        let bb = BoundingBox::new(Point::new(2.0, -1.0), Point::new(-3.0, 4.0));
+        assert_eq!(bb.min(), Point::new(-3.0, -1.0));
+        assert_eq!(bb.max(), Point::new(2.0, 4.0));
+        assert_eq!(bb.width(), 5.0);
+        assert_eq!(bb.height(), 5.0);
+        assert_eq!(bb.area(), 25.0);
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BoundingBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point::new(1.0, 1.0),
+            Point::new(-2.0, 3.0),
+            Point::new(0.5, -4.0),
+        ];
+        let bb = BoundingBox::from_points(pts).unwrap();
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+    }
+
+    #[test]
+    fn square_and_center() {
+        let bb = BoundingBox::square(10.0);
+        assert_eq!(bb.center(), Point::new(5.0, 5.0));
+        assert!(bb.contains(Point::new(0.0, 0.0)));
+        assert!(bb.contains(Point::new(10.0, 10.0)));
+        assert!(!bb.contains(Point::new(10.0001, 5.0)));
+    }
+
+    #[test]
+    fn inflate_contains_boundary_neighborhood() {
+        let bb = BoundingBox::square(1.0).inflated(0.5);
+        assert!(bb.contains(Point::new(-0.5, -0.5)));
+        assert!(bb.contains(Point::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = BoundingBox::square(1.0);
+        let b = BoundingBox::new(Point::new(0.5, 0.5), Point::new(2.0, 2.0));
+        let c = BoundingBox::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching boundary counts as intersecting.
+        let d = BoundingBox::new(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&d));
+    }
+
+    proptest! {
+        #[test]
+        fn expand_is_monotone(xs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..50)) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let bb = BoundingBox::from_points(pts.iter().copied()).unwrap();
+            for p in &pts {
+                prop_assert!(bb.contains(*p));
+            }
+            prop_assert!(bb.area() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Deployment (workload) generators.
+//!
+//! Every experiment in the paper's reproduction runs over a node placement.
+//! The generators here cover the standard sensor-network workloads: uniform
+//! random deployments, perturbed grids, clustered ("hotspot") placements,
+//! lines and corridors (to sweep the diameter `D`), and the paper's
+//! *exponential chain* lower-bound instance (§1, "Lower Bounds"), where node
+//! `i` sits at position `2^i` on the real line.
+
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+use rand::Rng;
+
+/// A named node placement, the input workload of every experiment.
+///
+/// # Examples
+///
+/// ```
+/// use mca_geom::Deployment;
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// let mut rng = SmallRng::seed_from_u64(42);
+/// let d = Deployment::uniform(100, 50.0, &mut rng);
+/// assert_eq!(d.len(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    name: String,
+    points: Vec<Point>,
+}
+
+impl Deployment {
+    /// Wraps an explicit list of positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is non-finite.
+    pub fn from_points(name: impl Into<String>, points: Vec<Point>) -> Self {
+        for (i, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {i} has non-finite coordinates");
+        }
+        Deployment {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// `n` points i.i.d. uniform over the square `[0, side]²`.
+    pub fn uniform<R: Rng + ?Sized>(n: usize, side: f64, rng: &mut R) -> Self {
+        assert!(side > 0.0, "side must be positive");
+        let points = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect();
+        Deployment::from_points(format!("uniform(n={n},side={side})"), points)
+    }
+
+    /// Uniform deployment with a target average *degree*: the square side is
+    /// chosen so a disk of radius `r` holds `target_degree` points in
+    /// expectation. Useful for sweeping `Δ` at fixed `n`.
+    pub fn uniform_with_degree<R: Rng + ?Sized>(
+        n: usize,
+        r: f64,
+        target_degree: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(target_degree > 0.0 && r > 0.0);
+        // E[deg] = n * pi r^2 / side^2  =>  side = r * sqrt(n * pi / target).
+        let side = r * (n as f64 * std::f64::consts::PI / target_degree).sqrt();
+        let mut d = Deployment::uniform(n, side, rng);
+        d.name = format!("uniform_deg(n={n},deg={target_degree})");
+        d
+    }
+
+    /// `n` points i.i.d. uniform over the disk of `radius` centered at the
+    /// origin (by the `√u` radial transform). A disk of radius `≤ R_ε/2`
+    /// is the canonical *single-hop* instance: every pair is in mutual
+    /// range, so `Δ = n − 1`.
+    pub fn disk<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Self {
+        assert!(radius > 0.0, "radius must be positive");
+        let points = (0..n)
+            .map(|_| {
+                let r = radius * rng.gen_range(0.0f64..1.0).sqrt();
+                let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+                Point::new(r * theta.cos(), r * theta.sin())
+            })
+            .collect();
+        Deployment::from_points(format!("disk(n={n},radius={radius})"), points)
+    }
+
+    /// A `nx × ny` grid with spacing `step`, optionally jittered by a uniform
+    /// offset in `[-jitter, jitter]²` per node.
+    pub fn grid<R: Rng + ?Sized>(
+        nx: usize,
+        ny: usize,
+        step: f64,
+        jitter: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(step > 0.0 && jitter >= 0.0);
+        let mut points = Vec::with_capacity(nx * ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let jx = if jitter > 0.0 {
+                    rng.gen_range(-jitter..=jitter)
+                } else {
+                    0.0
+                };
+                let jy = if jitter > 0.0 {
+                    rng.gen_range(-jitter..=jitter)
+                } else {
+                    0.0
+                };
+                points.push(Point::new(ix as f64 * step + jx, iy as f64 * step + jy));
+            }
+        }
+        Deployment::from_points(format!("grid({nx}x{ny},step={step})"), points)
+    }
+
+    /// `k` Gaussian clusters of `per_cluster` points each; centers uniform in
+    /// `[0, side]²`, points offset by `N(0, sigma²)` per coordinate.
+    ///
+    /// Models the "hotspot" sensor placements that stress intra-cluster
+    /// contention (the `Δ/F` term).
+    pub fn clustered<R: Rng + ?Sized>(
+        k: usize,
+        per_cluster: usize,
+        side: f64,
+        sigma: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(side > 0.0 && sigma >= 0.0);
+        let mut points = Vec::with_capacity(k * per_cluster);
+        for _ in 0..k {
+            let c = Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+            for _ in 0..per_cluster {
+                points.push(Point::new(c.x + gauss(rng) * sigma, c.y + gauss(rng) * sigma));
+            }
+        }
+        Deployment::from_points(
+            format!("clustered(k={k},per={per_cluster},sigma={sigma})"),
+            points,
+        )
+    }
+
+    /// `n` nodes on a line with constant spacing — a diameter-`n−1` instance
+    /// (with spacing just below the communication radius) for sweeping `D`.
+    pub fn line(n: usize, spacing: f64) -> Self {
+        assert!(spacing > 0.0);
+        let points = (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect();
+        Deployment::from_points(format!("line(n={n},spacing={spacing})"), points)
+    }
+
+    /// A corridor: `n` nodes uniform in a `length × width` strip. Sweeping
+    /// `length` at fixed density sweeps `D` at roughly constant `Δ`.
+    pub fn corridor<R: Rng + ?Sized>(n: usize, length: f64, width: f64, rng: &mut R) -> Self {
+        assert!(length > 0.0 && width > 0.0);
+        let points = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..length), rng.gen_range(0.0..width)))
+            .collect();
+        Deployment::from_points(format!("corridor(n={n},len={length},w={width})"), points)
+    }
+
+    /// The paper's exponential chain: node `i` at position `2^i · unit` on the
+    /// real line, `i = 0, …, n−1`.
+    ///
+    /// With uniform power and `β ≥ 2^{1/α}`, at most one transmission can
+    /// succeed per slot on this instance [Moscibroda–Wattenhofer 2006], which
+    /// is the source of the `Δ` lower-bound term (paper §1). `unit` scales
+    /// the whole chain (e.g. to make adjacent nodes just within range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 60` (positions would overflow `f64`'s useful range).
+    pub fn exponential_chain(n: usize, unit: f64) -> Self {
+        assert!(n <= 60, "exponential chain longer than 60 overflows");
+        assert!(unit > 0.0);
+        let points = (0..n)
+            .map(|i| Point::new((1u64 << i) as f64 * unit, 0.0))
+            .collect();
+        Deployment::from_points(format!("exp_chain(n={n})"), points)
+    }
+
+    /// A ring of `n` nodes of radius `radius` centered at `center`.
+    pub fn ring(n: usize, radius: f64, center: Point) -> Self {
+        assert!(radius > 0.0 && n > 0);
+        let points = (0..n)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                center + Point::unit(theta) * radius
+            })
+            .collect();
+        Deployment::from_points(format!("ring(n={n},r={radius})"), points)
+    }
+
+    /// Human-readable generator label (used in experiment tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Node positions, indexed by node id.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the deployment has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Bounding box of the deployment, or `None` if empty.
+    pub fn bounding_box(&self) -> Option<BoundingBox> {
+        BoundingBox::from_points(self.points.iter().copied())
+    }
+
+    /// Consumes the deployment, returning its points.
+    pub fn into_points(self) -> Vec<Point> {
+        self.points
+    }
+}
+
+/// Standard normal sample via Box–Muller (no extra dependencies).
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = Deployment::uniform(500, 25.0, &mut rng);
+        assert_eq!(d.len(), 500);
+        for p in d.points() {
+            assert!(p.x >= 0.0 && p.x < 25.0 && p.y >= 0.0 && p.y < 25.0);
+        }
+    }
+
+    #[test]
+    fn uniform_with_degree_hits_target_density() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 2000;
+        let r = 2.0;
+        let target = 20.0;
+        let d = Deployment::uniform_with_degree(n, r, target, &mut rng);
+        let side = d.bounding_box().unwrap().width();
+        let expected = n as f64 * std::f64::consts::PI * r * r / (side * side);
+        assert!(
+            (expected - target).abs() / target < 0.15,
+            "expected density {expected} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn grid_shape_and_jitter() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = Deployment::grid(4, 3, 2.0, 0.0, &mut rng);
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.points()[0], Point::new(0.0, 0.0));
+        assert_eq!(d.points()[11], Point::new(6.0, 4.0));
+        let dj = Deployment::grid(4, 3, 2.0, 0.5, &mut rng);
+        for (a, b) in d.points().iter().zip(dj.points()) {
+            assert!(a.dist(*b) <= (2.0f64 * 0.25).sqrt() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn clustered_size() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let d = Deployment::clustered(5, 20, 100.0, 1.0, &mut rng);
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn line_spacing() {
+        let d = Deployment::line(10, 1.5);
+        assert_eq!(d.len(), 10);
+        for w in d.points().windows(2) {
+            assert!((w[0].dist(w[1]) - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exponential_chain_doubles() {
+        let d = Deployment::exponential_chain(8, 1.0);
+        let pts = d.points();
+        for i in 1..pts.len() {
+            assert!((pts[i].x - 2.0 * pts[i - 1].x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn exponential_chain_too_long_panics() {
+        Deployment::exponential_chain(61, 1.0);
+    }
+
+    #[test]
+    fn ring_is_equidistant_from_center() {
+        let c = Point::new(5.0, 5.0);
+        let d = Deployment::ring(12, 3.0, c);
+        for p in d.points() {
+            assert!((p.dist(c) - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d1 = Deployment::uniform(50, 10.0, &mut SmallRng::seed_from_u64(9));
+        let d2 = Deployment::uniform(50, 10.0, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn gauss_has_roughly_zero_mean_unit_var() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,326 @@
+//! Uniform spatial hash grid for fast range queries.
+//!
+//! Protocol bookkeeping (neighbor discovery, density checks, validators) and
+//! the interference engine need "all points within distance `r` of `q`"
+//! queries. The [`SpatialGrid`] buckets points into square cells of side
+//! `cell`, so a radius-`r` query touches `O((r/cell + 2)²)` cells.
+
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+
+/// A uniform grid index over a fixed set of points.
+///
+/// Build once with [`SpatialGrid::build`]; query with
+/// [`SpatialGrid::within`] or [`SpatialGrid::for_each_within`]. Indices
+/// returned by queries refer to the slice the grid was built from.
+///
+/// # Examples
+///
+/// ```
+/// use mca_geom::{Point, SpatialGrid};
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(5.0, 5.0)];
+/// let grid = SpatialGrid::build(&pts, 1.0);
+/// let mut near = grid.within(&pts, Point::new(0.0, 0.0), 1.5);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    origin: Point,
+    nx: usize,
+    ny: usize,
+    /// CSR-style storage: `starts[c]..starts[c+1]` indexes into `items` for cell `c`.
+    starts: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid over `points` with cell side `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive and finite, or if any point
+    /// has a non-finite coordinate.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "cell side must be positive and finite, got {cell}"
+        );
+        for (i, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {i} has non-finite coordinates");
+        }
+        let bb = BoundingBox::from_points(points.iter().copied())
+            .unwrap_or_else(|| BoundingBox::new(Point::ORIGIN, Point::ORIGIN));
+        let origin = bb.min();
+        let nx = (bb.width() / cell).floor() as usize + 1;
+        let ny = (bb.height() / cell).floor() as usize + 1;
+        let ncells = nx * ny;
+
+        // Counting sort into CSR layout.
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of = |p: &Point| -> usize {
+            let cx = (((p.x - origin.x) / cell) as usize).min(nx - 1);
+            let cy = (((p.y - origin.y) / cell) as usize).min(ny - 1);
+            cy * nx + cx
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 0..ncells {
+            counts[i + 1] += counts[i];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        SpatialGrid {
+            cell,
+            origin,
+            nx,
+            ny,
+            starts,
+            items,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the grid indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Cell side length the grid was built with.
+    pub fn cell_side(&self) -> f64 {
+        self.cell
+    }
+
+    /// Calls `f(i)` for every point index `i` with `dist(points[i], q) <= r`.
+    ///
+    /// `points` must be the same slice the grid was built from (same length
+    /// and order); this is debug-asserted.
+    pub fn for_each_within<F: FnMut(usize)>(&self, points: &[Point], q: Point, r: f64, mut f: F) {
+        debug_assert_eq!(points.len(), self.items.len());
+        if self.items.is_empty() || !r.is_finite() || r < 0.0 {
+            return;
+        }
+        let r_sq = r * r;
+        let cx0 = ((q.x - r - self.origin.x) / self.cell).floor().max(0.0) as usize;
+        let cy0 = ((q.y - r - self.origin.y) / self.cell).floor().max(0.0) as usize;
+        let cx1 = (((q.x + r - self.origin.x) / self.cell).floor().max(0.0) as usize)
+            .min(self.nx - 1);
+        let cy1 = (((q.y + r - self.origin.y) / self.cell).floor().max(0.0) as usize)
+            .min(self.ny - 1);
+        if cx0 > cx1 || cy0 > cy1 {
+            return;
+        }
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let c = cy * self.nx + cx;
+                let lo = self.starts[c] as usize;
+                let hi = self.starts[c + 1] as usize;
+                for &i in &self.items[lo..hi] {
+                    if points[i as usize].dist_sq(q) <= r_sq {
+                        f(i as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects the indices of all points within distance `r` of `q`.
+    pub fn within(&self, points: &[Point], q: Point, r: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(points, q, r, |i| out.push(i));
+        out
+    }
+
+    /// Counts the points within distance `r` of `q`.
+    pub fn count_within(&self, points: &[Point], q: Point, r: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(points, q, r, |_| n += 1);
+        n
+    }
+
+    /// Index of the nearest point to `q`, or `None` if the grid is empty.
+    ///
+    /// Searches rings of cells outward from `q`, so typical cost is a few
+    /// cells rather than the whole set.
+    pub fn nearest(&self, points: &[Point], q: Point) -> Option<usize> {
+        if self.items.is_empty() {
+            return None;
+        }
+        // Expanding-radius search; each iteration doubles the radius.
+        let mut r = self.cell;
+        let max_extent = {
+            let w = self.nx as f64 * self.cell;
+            let h = self.ny as f64 * self.cell;
+            // q may lie outside the grid bounding box; account for its offset.
+            let dx = (self.origin.x - q.x).abs().max((q.x - (self.origin.x + w)).abs());
+            let dy = (self.origin.y - q.y).abs().max((q.y - (self.origin.y + h)).abs());
+            (w + h + dx + dy) * 2.0 + self.cell
+        };
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            self.for_each_within(points, q, r, |i| {
+                let d = points[i].dist_sq(q);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            });
+            if let Some((i, _)) = best {
+                return Some(i);
+            }
+            if r > max_extent {
+                // Fall back to a linear scan (should be unreachable, kept for safety).
+                return (0..points.len()).min_by(|&a, &b| {
+                    points[a]
+                        .dist_sq(q)
+                        .partial_cmp(&points[b].dist_sq(q))
+                        .unwrap()
+                });
+            }
+            r *= 2.0;
+        }
+    }
+
+    /// Maximum number of points in any disk of radius `r`, probing disks
+    /// centered at every indexed point.
+    ///
+    /// This matches the paper's notion of *density* of a dominating set (max
+    /// dominators in an `r`-ball); probing at the points themselves gives a
+    /// 1-to-4 approximation of the continuum maximum and is the quantity our
+    /// validators bound.
+    pub fn max_ball_occupancy(&self, points: &[Point], r: f64) -> usize {
+        points
+            .iter()
+            .map(|&p| self.count_within(points, p, r))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_within(points: &[Point], q: Point, r: f64) -> Vec<usize> {
+        let r_sq = r * r;
+        (0..points.len())
+            .filter(|&i| points[i].dist_sq(q) <= r_sq)
+            .collect()
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid = SpatialGrid::build(&[], 1.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.len(), 0);
+        assert_eq!(grid.within(&[], Point::ORIGIN, 10.0), Vec::<usize>::new());
+        assert_eq!(grid.nearest(&[], Point::ORIGIN), None);
+    }
+
+    #[test]
+    fn single_point() {
+        let pts = [Point::new(3.0, 3.0)];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        assert_eq!(grid.within(&pts, Point::new(3.0, 3.0), 0.0), vec![0]);
+        assert_eq!(grid.nearest(&pts, Point::new(100.0, 100.0)), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell side must be positive")]
+    fn zero_cell_panics() {
+        SpatialGrid::build(&[Point::ORIGIN], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_point_panics() {
+        SpatialGrid::build(&[Point::new(f64::NAN, 0.0)], 1.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_sets() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let n = 50 + trial * 13;
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)))
+                .collect();
+            let cell = rng.gen_range(0.5..5.0);
+            let grid = SpatialGrid::build(&pts, cell);
+            for _ in 0..10 {
+                let q = Point::new(rng.gen_range(-5.0..55.0), rng.gen_range(-5.0..55.0));
+                let r = rng.gen_range(0.0..20.0);
+                let mut got = grid.within(&pts, q, r);
+                got.sort_unstable();
+                assert_eq!(got, brute_within(&pts, q, r));
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0)))
+            .collect();
+        let grid = SpatialGrid::build(&pts, 2.0);
+        for _ in 0..50 {
+            let q = Point::new(rng.gen_range(-10.0..40.0), rng.gen_range(-10.0..40.0));
+            let got = grid.nearest(&pts, q).unwrap();
+            let best = (0..pts.len())
+                .min_by(|&a, &b| pts[a].dist_sq(q).partial_cmp(&pts[b].dist_sq(q)).unwrap())
+                .unwrap();
+            assert!(
+                (pts[got].dist(q) - pts[best].dist(q)).abs() < 1e-9,
+                "nearest mismatch: got {got}, want {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_ball_occupancy_simple() {
+        // Three colinear points spaced 1 apart: a radius-1 ball at the middle
+        // point holds all three.
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        assert_eq!(grid.max_ball_occupancy(&pts, 1.0), 3);
+        assert_eq!(grid.max_ball_occupancy(&pts, 0.5), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn grid_equals_brute(
+            raw in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..120),
+            qx in -10.0..110.0f64,
+            qy in -10.0..110.0f64,
+            r in 0.0..60.0f64,
+            cell in 0.3..10.0f64,
+        ) {
+            let pts: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let grid = SpatialGrid::build(&pts, cell);
+            let q = Point::new(qx, qy);
+            let mut got = grid.within(&pts, q, r);
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_within(&pts, q, r));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # `mca-geom` — geometry substrate for the multichannel SINR reproduction
+//!
+//! Planar geometry for simulating wireless ad hoc networks in the SINR model
+//! per Halldórsson–Wang–Yu, *Leveraging Multiple Channels in Ad Hoc Networks*
+//! (PODC 2015): node positions ([`Point`]), deployment workload generators
+//! ([`Deployment`]), a spatial hash index for range queries
+//! ([`SpatialGrid`]), and the communication graph `G(V,E)` with its
+//! parameters `Δ` (max degree) and `D` (diameter) ([`CommGraph`]).
+//!
+//! The communication graph is an *analysis* artifact: protocols in the
+//! simulation never read it (nodes know nothing about topology); experiment
+//! harnesses use it to compute the quantities the paper's bounds are stated
+//! in.
+//!
+//! # Examples
+//!
+//! ```
+//! use mca_geom::{CommGraph, Deployment};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let deploy = Deployment::uniform(200, 30.0, &mut rng);
+//! let graph = CommGraph::build(deploy.points(), 4.0);
+//! println!("Δ = {}, D = {}", graph.max_degree(), graph.diameter_approx());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+mod deploy;
+mod graph;
+mod grid;
+mod point;
+
+pub use bbox::BoundingBox;
+pub use deploy::Deployment;
+pub use graph::CommGraph;
+pub use grid::SpatialGrid;
+pub use point::Point;

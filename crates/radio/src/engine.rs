@@ -1,0 +1,598 @@
+//! The synchronous multi-channel simulation engine.
+//!
+//! One [`Engine::step`] is one slot: every live node picks an action
+//! (transmit/listen/idle on a channel of its choice); the engine resolves
+//! each channel independently under the SINR rule and hands every node its
+//! observation. Nodes on different channels never interact — the defining
+//! property of the multi-channel model.
+
+use crate::fault::FaultPlan;
+use crate::ids::{Channel, NodeId};
+use crate::message::{Action, Observation};
+use crate::metrics::Metrics;
+use crate::node::Protocol;
+use crate::rng::derive_rng;
+use crate::trace::{TraceEvent, TraceRecorder};
+use mca_geom::Point;
+use mca_sinr::{resolve_listener, SinrParams};
+use rand::rngs::SmallRng;
+use std::collections::HashMap;
+
+/// The simulation engine driving one protocol instance per node.
+///
+/// # Examples
+///
+/// ```
+/// use mca_radio::{Action, Channel, Engine, Observation, Protocol};
+/// use mca_geom::Point;
+/// use mca_sinr::SinrParams;
+/// use rand::rngs::SmallRng;
+///
+/// struct Beacon { heard: bool, id: u32 }
+/// impl Protocol for Beacon {
+///     type Msg = u32;
+///     fn act(&mut self, _s: u64, _r: &mut SmallRng) -> Action<u32> {
+///         if self.id == 0 {
+///             Action::Transmit { channel: Channel::FIRST, msg: 7 }
+///         } else {
+///             Action::Listen { channel: Channel::FIRST }
+///         }
+///     }
+///     fn observe(&mut self, _s: u64, obs: Observation<u32>, _r: &mut SmallRng) {
+///         if obs.reception().is_some() { self.heard = true; }
+///     }
+/// }
+///
+/// let positions = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+/// let protocols = vec![Beacon { heard: false, id: 0 }, Beacon { heard: false, id: 1 }];
+/// let mut engine = Engine::new(SinrParams::default(), positions, protocols, 42);
+/// engine.step();
+/// assert!(engine.protocols()[1].heard);
+/// ```
+pub struct Engine<P: Protocol> {
+    params: SinrParams,
+    positions: Vec<Point>,
+    protocols: Vec<P>,
+    rngs: Vec<SmallRng>,
+    slot: u64,
+    metrics: Metrics,
+    faults: FaultPlan,
+    trace: Option<TraceRecorder>,
+    // Scratch buffers reused across steps.
+    actions: Vec<SlotAction<P::Msg>>,
+    groups: HashMap<u16, ChannelGroup>,
+}
+
+/// Internal, flattened per-node action for one slot.
+enum SlotAction<M> {
+    Tx(Channel, M),
+    Rx(Channel),
+    Off,
+}
+
+#[derive(Default)]
+struct ChannelGroup {
+    tx: Vec<u32>,
+    rx: Vec<u32>,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Creates an engine over `positions` with one protocol per node.
+    ///
+    /// Each node receives an independent RNG stream derived from
+    /// `master_seed`, so a run is a pure function of
+    /// `(params, positions, protocols, master_seed, faults)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` and `protocols` differ in length.
+    pub fn new(
+        params: SinrParams,
+        positions: Vec<Point>,
+        protocols: Vec<P>,
+        master_seed: u64,
+    ) -> Self {
+        assert_eq!(
+            positions.len(),
+            protocols.len(),
+            "one protocol per position required"
+        );
+        let rngs = (0..positions.len())
+            .map(|i| derive_rng(master_seed, i as u64))
+            .collect();
+        Engine {
+            params,
+            positions,
+            protocols,
+            rngs,
+            slot: 0,
+            metrics: Metrics::new(),
+            faults: FaultPlan::none(),
+            trace: None,
+            actions: Vec::new(),
+            groups: HashMap::new(),
+        }
+    }
+
+    /// Installs a fault plan (builder-style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables reception tracing, retaining at most `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceRecorder::new(capacity));
+    }
+
+    /// The trace recorder, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_ref()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the engine has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The global slot counter (slots executed so far).
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Physical parameters in force.
+    pub fn params(&self) -> &SinrParams {
+        &self.params
+    }
+
+    /// Node positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Run metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The per-node protocol states.
+    pub fn protocols(&self) -> &[P] {
+        &self.protocols
+    }
+
+    /// Mutable access to protocol states (for harness-driven phase stitching).
+    pub fn protocols_mut(&mut self) -> &mut [P] {
+        &mut self.protocols
+    }
+
+    /// Consumes the engine, returning the protocol states.
+    pub fn into_protocols(self) -> Vec<P> {
+        self.protocols
+    }
+
+    /// Whether every node's protocol reports done.
+    pub fn all_done(&self) -> bool {
+        self.protocols.iter().all(|p| p.is_done())
+    }
+
+    /// Executes one slot.
+    pub fn step(&mut self) {
+        let slot = self.slot;
+        self.actions.clear();
+        for g in self.groups.values_mut() {
+            g.tx.clear();
+            g.rx.clear();
+        }
+
+        // Phase 1: gather actions. Crashed or finished nodes stay silent.
+        for i in 0..self.protocols.len() {
+            let act = if self.faults.is_crashed(i as u32, slot) || self.protocols[i].is_done() {
+                SlotAction::Off
+            } else {
+                match self.protocols[i].act(slot, &mut self.rngs[i]) {
+                    Action::Transmit { channel, msg } => SlotAction::Tx(channel, msg),
+                    Action::Listen { channel } => SlotAction::Rx(channel),
+                    Action::Idle => SlotAction::Off,
+                }
+            };
+            match &act {
+                SlotAction::Tx(ch, _) => {
+                    self.metrics.record_tx(ch.index());
+                    self.groups.entry(ch.0).or_default().tx.push(i as u32);
+                }
+                SlotAction::Rx(ch) => {
+                    self.metrics.listens += 1;
+                    self.groups.entry(ch.0).or_default().rx.push(i as u32);
+                }
+                SlotAction::Off => self.metrics.idles += 1,
+            }
+            self.actions.push(act);
+        }
+
+        // Phase 2: resolve each channel independently and deliver.
+        let groups = std::mem::take(&mut self.groups);
+        for (&ch, group) in groups.iter() {
+            if group.rx.is_empty() {
+                continue;
+            }
+            let tx_positions: Vec<Point> = group
+                .tx
+                .iter()
+                .map(|&i| self.positions[i as usize])
+                .collect();
+            let jam = self.faults.jam_power(ch, slot);
+            // A jammer is modeled as extra wideband interference on the
+            // channel: it raises the effective noise floor.
+            let eff_params = if jam > 0.0 {
+                let mut p = self.params;
+                p.noise += jam;
+                p
+            } else {
+                self.params
+            };
+            for &li in &group.rx {
+                let lpos = self.positions[li as usize];
+                let outcome = resolve_listener(&eff_params, &tx_positions, lpos);
+                let obs = Observation::from_outcome(&outcome, |k| {
+                    let sender = group.tx[k] as usize;
+                    let msg = match &self.actions[sender] {
+                        SlotAction::Tx(_, m) => m.clone(),
+                        _ => unreachable!("decoded node was not transmitting"),
+                    };
+                    (NodeId(group.tx[k]), msg)
+                });
+                match &obs {
+                    Observation::Received(r) => {
+                        self.metrics.receptions += 1;
+                        if let Some(t) = self.trace.as_mut() {
+                            t.record(TraceEvent {
+                                slot,
+                                channel: Channel(ch),
+                                from: r.from,
+                                to: NodeId(li),
+                            });
+                        }
+                    }
+                    Observation::Noise { total_power } => {
+                        if *total_power > 0.0 {
+                            self.metrics.busy_failures += 1;
+                        } else {
+                            self.metrics.silent_listens += 1;
+                        }
+                    }
+                    _ => {}
+                }
+                self.protocols[li as usize].observe(slot, obs, &mut self.rngs[li as usize]);
+            }
+            // Transmitters learn nothing.
+            for &ti in &group.tx {
+                self.protocols[ti as usize].observe(
+                    slot,
+                    Observation::Sent,
+                    &mut self.rngs[ti as usize],
+                );
+            }
+        }
+        self.groups = groups;
+
+        // Idle nodes get a sleep observation so state machines can advance.
+        for i in 0..self.actions.len() {
+            if matches!(self.actions[i], SlotAction::Off)
+                && !self.faults.is_crashed(i as u32, slot)
+                && !self.protocols[i].is_done()
+            {
+                self.protocols[i].observe(slot, Observation::Slept, &mut self.rngs[i]);
+            }
+        }
+
+        // Transmitters on channels nobody listened to still need feedback.
+        for (_, group) in self.groups.iter() {
+            if group.rx.is_empty() {
+                for &ti in &group.tx {
+                    self.protocols[ti as usize].observe(
+                        slot,
+                        Observation::Sent,
+                        &mut self.rngs[ti as usize],
+                    );
+                }
+            }
+        }
+
+        self.slot += 1;
+        self.metrics.slots += 1;
+    }
+
+    /// Executes exactly `slots` slots.
+    pub fn run(&mut self, slots: u64) {
+        for _ in 0..slots {
+            self.step();
+        }
+    }
+
+    /// Steps until every protocol is done or `max_slots` is reached.
+    /// Returns `true` if all protocols finished.
+    pub fn run_until_done(&mut self, max_slots: u64) -> bool {
+        while self.slot < max_slots {
+            if self.all_done() {
+                return true;
+            }
+            self.step();
+        }
+        self.all_done()
+    }
+
+    /// Steps until `pred(protocols)` holds or `max_slots` is reached.
+    /// Returns `true` if the predicate became true.
+    pub fn run_until<F: FnMut(&[P]) -> bool>(&mut self, max_slots: u64, mut pred: F) -> bool {
+        while self.slot < max_slots {
+            if pred(&self.protocols) {
+                return true;
+            }
+            self.step();
+        }
+        pred(&self.protocols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::JamSpec;
+
+    /// Transmits `msg` on `channel` in every slot.
+    struct Talker {
+        channel: Channel,
+        msg: u32,
+    }
+    impl Protocol for Talker {
+        type Msg = u32;
+        fn act(&mut self, _s: u64, _r: &mut SmallRng) -> Action<u32> {
+            Action::Transmit {
+                channel: self.channel,
+                msg: self.msg,
+            }
+        }
+        fn observe(&mut self, _s: u64, obs: Observation<u32>, _r: &mut SmallRng) {
+            assert!(matches!(obs, Observation::Sent), "transmitters learn nothing");
+        }
+    }
+
+    /// Listens on `channel`, recording every decode.
+    struct Ear {
+        channel: Channel,
+        heard: Vec<(NodeId, u32)>,
+        noise_slots: u32,
+    }
+    impl Ear {
+        fn new(channel: Channel) -> Self {
+            Ear {
+                channel,
+                heard: Vec::new(),
+                noise_slots: 0,
+            }
+        }
+    }
+    impl Protocol for Ear {
+        type Msg = u32;
+        fn act(&mut self, _s: u64, _r: &mut SmallRng) -> Action<u32> {
+            Action::Listen {
+                channel: self.channel,
+            }
+        }
+        fn observe(&mut self, _s: u64, obs: Observation<u32>, _r: &mut SmallRng) {
+            match obs {
+                Observation::Received(r) => self.heard.push((r.from, r.msg)),
+                Observation::Noise { .. } => self.noise_slots += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Either Talker or Ear — engines are homogeneous in `P`.
+    enum Role {
+        Talk(Talker),
+        Hear(Ear),
+    }
+    impl Protocol for Role {
+        type Msg = u32;
+        fn act(&mut self, s: u64, r: &mut SmallRng) -> Action<u32> {
+            match self {
+                Role::Talk(t) => t.act(s, r),
+                Role::Hear(e) => e.act(s, r),
+            }
+        }
+        fn observe(&mut self, s: u64, obs: Observation<u32>, r: &mut SmallRng) {
+            match self {
+                Role::Talk(t) => t.observe(s, obs, r),
+                Role::Hear(e) => e.observe(s, obs, r),
+            }
+        }
+    }
+
+    fn two_node_setup(listener_channel: Channel) -> Engine<Role> {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        let protocols = vec![
+            Role::Talk(Talker {
+                channel: Channel::FIRST,
+                msg: 99,
+            }),
+            Role::Hear(Ear::new(listener_channel)),
+        ];
+        Engine::new(SinrParams::default(), positions, protocols, 7)
+    }
+
+    #[test]
+    fn same_channel_delivers() {
+        let mut e = two_node_setup(Channel::FIRST);
+        e.enable_trace(16);
+        e.step();
+        match &e.protocols()[1] {
+            Role::Hear(ear) => assert_eq!(ear.heard, vec![(NodeId(0), 99)]),
+            _ => unreachable!(),
+        }
+        assert_eq!(e.metrics().receptions, 1);
+        assert_eq!(e.metrics().transmissions, 1);
+        assert_eq!(e.trace().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cross_channel_isolated() {
+        // Listener on channel 1 hears nothing from a channel-0 transmitter —
+        // not even noise (channels are non-overlapping).
+        let mut e = two_node_setup(Channel(1));
+        e.step();
+        match &e.protocols()[1] {
+            Role::Hear(ear) => {
+                assert!(ear.heard.is_empty());
+                assert_eq!(ear.noise_slots, 1);
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(e.metrics().silent_listens, 1);
+    }
+
+    #[test]
+    fn collision_blocks_decoding() {
+        let positions = vec![
+            Point::new(-2.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 0.0),
+        ];
+        let protocols = vec![
+            Role::Talk(Talker {
+                channel: Channel::FIRST,
+                msg: 1,
+            }),
+            Role::Talk(Talker {
+                channel: Channel::FIRST,
+                msg: 2,
+            }),
+            Role::Hear(Ear::new(Channel::FIRST)),
+        ];
+        let mut e = Engine::new(SinrParams::default(), positions, protocols, 7);
+        e.step();
+        match &e.protocols()[2] {
+            Role::Hear(ear) => assert!(ear.heard.is_empty(), "equidistant colliders must jam"),
+            _ => unreachable!(),
+        }
+        assert_eq!(e.metrics().busy_failures, 1);
+    }
+
+    #[test]
+    fn crashed_node_is_silent() {
+        let mut e = two_node_setup(Channel::FIRST);
+        let mut faults = FaultPlan::none();
+        faults.crash_at(0, 0);
+        e = Engine::new(
+            SinrParams::default(),
+            e.positions().to_vec(),
+            vec![
+                Role::Talk(Talker {
+                    channel: Channel::FIRST,
+                    msg: 99,
+                }),
+                Role::Hear(Ear::new(Channel::FIRST)),
+            ],
+            7,
+        )
+        .with_faults(faults);
+        e.step();
+        match &e.protocols()[1] {
+            Role::Hear(ear) => assert!(ear.heard.is_empty()),
+            _ => unreachable!(),
+        }
+        assert_eq!(e.metrics().transmissions, 0);
+    }
+
+    #[test]
+    fn jamming_kills_marginal_link() {
+        // Transmitter at distance 6 of R_T=8: decodes fine without jamming,
+        // fails under a strong jammer.
+        let positions = vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0)];
+        let mk = || {
+            vec![
+                Role::Talk(Talker {
+                    channel: Channel::FIRST,
+                    msg: 5,
+                }),
+                Role::Hear(Ear::new(Channel::FIRST)),
+            ]
+        };
+        let mut clean = Engine::new(SinrParams::default(), positions.clone(), mk(), 7);
+        clean.step();
+        match &clean.protocols()[1] {
+            Role::Hear(ear) => assert_eq!(ear.heard.len(), 1),
+            _ => unreachable!(),
+        }
+
+        let mut faults = FaultPlan::none();
+        faults.jam(JamSpec::Fixed {
+            channel: 0,
+            from: 0,
+            to: 100,
+            power: 1000.0,
+        });
+        let mut jammed = Engine::new(SinrParams::default(), positions, mk(), 7).with_faults(faults);
+        jammed.step();
+        match &jammed.protocols()[1] {
+            Role::Hear(ear) => assert!(ear.heard.is_empty()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut e = two_node_setup(Channel::FIRST);
+            e.run(10);
+            match &e.protocols()[1] {
+                Role::Hear(ear) => ear.heard.clone(),
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_done_stops_early() {
+        struct OneShot {
+            sent: bool,
+        }
+        impl Protocol for OneShot {
+            type Msg = ();
+            fn act(&mut self, _s: u64, _r: &mut SmallRng) -> Action<()> {
+                Action::Idle
+            }
+            fn observe(&mut self, _s: u64, _o: Observation<()>, _r: &mut SmallRng) {
+                self.sent = true;
+            }
+            fn is_done(&self) -> bool {
+                self.sent
+            }
+        }
+        let mut e = Engine::new(
+            SinrParams::default(),
+            vec![Point::ORIGIN],
+            vec![OneShot { sent: false }],
+            1,
+        );
+        assert!(e.run_until_done(100));
+        assert!(e.slot() < 100, "should stop well before the cap");
+    }
+
+    #[test]
+    #[should_panic(expected = "one protocol per position")]
+    fn mismatched_lengths_panic() {
+        let _ = Engine::new(
+            SinrParams::default(),
+            vec![Point::ORIGIN],
+            Vec::<Role>::new(),
+            1,
+        );
+    }
+}

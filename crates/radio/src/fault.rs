@@ -1,0 +1,220 @@
+//! Failure injection: crash-stop nodes and jammed channels.
+//!
+//! Extensions beyond the paper's fault-free model, motivated by its related
+//! work on disrupted channels (Dolev et al., DISC'11, cited as [9]): an
+//! adversary may disrupt up to `t` channels per slot. Experiments A2 uses
+//! these to probe the robustness of the aggregation structure.
+
+use crate::rng::mix64;
+use std::collections::HashMap;
+
+/// A channel-jamming specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JamSpec {
+    /// Jam a fixed channel for the slot interval `[from, to)` with the given
+    /// interference power at every listener.
+    Fixed {
+        /// Channel index to jam.
+        channel: u16,
+        /// First jammed slot.
+        from: u64,
+        /// One past the last jammed slot.
+        to: u64,
+        /// Interference power added at every listener on the channel.
+        power: f64,
+    },
+    /// Each slot, jam `t` channels chosen pseudo-randomly (seeded, hence
+    /// reproducible) out of `total` channels — the *t-disrupted* adversary.
+    Random {
+        /// Number of channels disrupted per slot.
+        t: u16,
+        /// Total number of channels the adversary picks from.
+        total: u16,
+        /// Interference power added on disrupted channels.
+        power: f64,
+        /// Adversary seed.
+        seed: u64,
+    },
+}
+
+impl JamSpec {
+    /// Jamming power this spec contributes on `channel` at `slot`.
+    pub fn power_at(&self, channel: u16, slot: u64) -> f64 {
+        match *self {
+            JamSpec::Fixed {
+                channel: ch,
+                from,
+                to,
+                power,
+            } => {
+                if ch == channel && slot >= from && slot < to {
+                    power
+                } else {
+                    0.0
+                }
+            }
+            JamSpec::Random {
+                t,
+                total,
+                power,
+                seed,
+            } => {
+                if total == 0 || channel >= total {
+                    return 0.0;
+                }
+                // Rank channels by a per-slot hash; the t smallest are jammed.
+                // This gives exactly t distinct disrupted channels per slot.
+                let my_rank = mix64(seed ^ mix64(slot) ^ (channel as u64) << 32);
+                let mut smaller = 0u16;
+                for c in 0..total {
+                    if c == channel {
+                        continue;
+                    }
+                    let r = mix64(seed ^ mix64(slot) ^ (c as u64) << 32);
+                    if r < my_rank || (r == my_rank && c < channel) {
+                        smaller += 1;
+                    }
+                }
+                if smaller < t {
+                    power
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// A plan of faults injected into a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    crashes: HashMap<u32, u64>,
+    jams: Vec<JamSpec>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crash-stops node `node` from slot `slot` onward (it neither
+    /// transmits nor listens after that).
+    pub fn crash_at(&mut self, node: u32, slot: u64) -> &mut Self {
+        self.crashes.insert(node, slot);
+        self
+    }
+
+    /// Adds a jamming spec.
+    pub fn jam(&mut self, spec: JamSpec) -> &mut Self {
+        self.jams.push(spec);
+        self
+    }
+
+    /// Whether `node` is crashed at `slot`.
+    pub fn is_crashed(&self, node: u32, slot: u64) -> bool {
+        self.crashes.get(&node).is_some_and(|&s| slot >= s)
+    }
+
+    /// Total jamming power on `channel` at `slot`.
+    pub fn jam_power(&self, channel: u16, slot: u64) -> f64 {
+        self.jams.iter().map(|j| j.power_at(channel, slot)).sum()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_trivial(&self) -> bool {
+        self.crashes.is_empty() && self.jams.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_plan() {
+        let p = FaultPlan::none();
+        assert!(p.is_trivial());
+        assert!(!p.is_crashed(0, 100));
+        assert_eq!(p.jam_power(0, 100), 0.0);
+    }
+
+    #[test]
+    fn crash_takes_effect_at_slot() {
+        let mut p = FaultPlan::none();
+        p.crash_at(3, 10);
+        assert!(!p.is_crashed(3, 9));
+        assert!(p.is_crashed(3, 10));
+        assert!(p.is_crashed(3, 11));
+        assert!(!p.is_crashed(4, 11));
+        assert!(!p.is_trivial());
+    }
+
+    #[test]
+    fn fixed_jam_window() {
+        let spec = JamSpec::Fixed {
+            channel: 2,
+            from: 5,
+            to: 8,
+            power: 1.5,
+        };
+        assert_eq!(spec.power_at(2, 4), 0.0);
+        assert_eq!(spec.power_at(2, 5), 1.5);
+        assert_eq!(spec.power_at(2, 7), 1.5);
+        assert_eq!(spec.power_at(2, 8), 0.0);
+        assert_eq!(spec.power_at(1, 6), 0.0);
+    }
+
+    #[test]
+    fn random_jam_hits_exactly_t_channels() {
+        let spec = JamSpec::Random {
+            t: 3,
+            total: 16,
+            power: 2.0,
+            seed: 99,
+        };
+        for slot in 0..50 {
+            let jammed: Vec<u16> = (0..16)
+                .filter(|&c| spec.power_at(c, slot) > 0.0)
+                .collect();
+            assert_eq!(jammed.len(), 3, "slot {slot}: {jammed:?}");
+        }
+        // Different slots jam different sets (overwhelmingly likely).
+        let s0: Vec<u16> = (0..16).filter(|&c| spec.power_at(c, 0) > 0.0).collect();
+        let any_diff = (1..20).any(|s| {
+            let v: Vec<u16> = (0..16).filter(|&c| spec.power_at(c, s) > 0.0).collect();
+            v != s0
+        });
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn random_jam_out_of_range_channel() {
+        let spec = JamSpec::Random {
+            t: 2,
+            total: 4,
+            power: 2.0,
+            seed: 1,
+        };
+        assert_eq!(spec.power_at(10, 0), 0.0);
+    }
+
+    #[test]
+    fn plan_sums_jammers() {
+        let mut p = FaultPlan::none();
+        p.jam(JamSpec::Fixed {
+            channel: 0,
+            from: 0,
+            to: 10,
+            power: 1.0,
+        });
+        p.jam(JamSpec::Fixed {
+            channel: 0,
+            from: 5,
+            to: 10,
+            power: 2.0,
+        });
+        assert_eq!(p.jam_power(0, 3), 1.0);
+        assert_eq!(p.jam_power(0, 7), 3.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Identifier newtypes: nodes and channels.
+
+use std::fmt;
+
+/// Unique identifier of a network node (its index in the deployment).
+///
+/// The paper assumes nodes have unique IDs (§2); the simulator uses the
+/// deployment index, which protocols treat as an opaque comparable ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node index exceeds u32"))
+    }
+}
+
+/// One of the `F` non-overlapping communication channels, 0-based.
+///
+/// The paper's channel `F_i` is `Channel(i - 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Channel(pub u16);
+
+impl Channel {
+    /// The first channel (`F₁` in the paper) — control/dominator channel.
+    pub const FIRST: Channel = Channel(0);
+
+    /// The channel index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+impl From<u16> for Channel {
+    fn from(v: u16) -> Self {
+        Channel(v)
+    }
+}
+
+impl From<usize> for Channel {
+    fn from(v: usize) -> Self {
+        Channel(u16::try_from(v).expect("channel index exceeds u16"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id: NodeId = 5usize.into();
+        assert_eq!(id, NodeId(5));
+        assert_eq!(id.index(), 5);
+        assert_eq!(format!("{id}"), "n5");
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let c: Channel = 3usize.into();
+        assert_eq!(c, Channel(3));
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c}"), "ch3");
+        assert_eq!(Channel::FIRST, Channel(0));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(Channel(0) < Channel(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel index exceeds u16")]
+    fn oversized_channel_panics() {
+        let _: Channel = (1usize << 20).into();
+    }
+}

@@ -1,0 +1,37 @@
+//! # `mca-radio` — synchronous multi-channel SINR network simulator
+//!
+//! Executes distributed node programs under the model of
+//! Halldórsson–Wang–Yu (PODC 2015), §2:
+//!
+//! * time is slotted and synchronized; per slot each node transmits or
+//!   listens on **one** of `F` channels (or idles), and learns nothing about
+//!   other channels;
+//! * reception follows the SINR rule (Eq. 1), resolved by `mca-sinr`;
+//! * listeners have receiver-side carrier sense (total power; signal power
+//!   and SINR on success); transmitters get **no** feedback;
+//! * nodes have unique ids, independent RNG streams, and only local state —
+//!   the engine never leaks topology to protocols.
+//!
+//! Implement [`Protocol`] for a node program, then drive it with
+//! [`Engine`]. Fault injection (crash-stop nodes, jammed channels per the
+//! *t-disrupted* adversary) is available through [`FaultPlan`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod fault;
+mod ids;
+mod message;
+mod metrics;
+mod node;
+pub mod rng;
+mod trace;
+
+pub use engine::Engine;
+pub use fault::{FaultPlan, JamSpec};
+pub use ids::{Channel, NodeId};
+pub use message::{Action, Observation, Reception};
+pub use metrics::Metrics;
+pub use node::Protocol;
+pub use trace::{TraceEvent, TraceRecorder};

@@ -1,0 +1,145 @@
+//! Run metrics: slot, transmission, and reception accounting.
+
+use std::fmt;
+
+/// Counters accumulated by the engine over a run.
+///
+/// `slots` counts engine steps; the paper's *round* is a constant number of
+/// slots defined by each protocol, so experiments convert via the protocol's
+/// slots-per-round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Engine steps executed.
+    pub slots: u64,
+    /// Transmit actions.
+    pub transmissions: u64,
+    /// Listen actions.
+    pub listens: u64,
+    /// Idle actions (includes terminated nodes).
+    pub idles: u64,
+    /// Successful decodes delivered to listeners.
+    pub receptions: u64,
+    /// Listen slots that sensed power but decoded nothing (collision or
+    /// out-of-range energy).
+    pub busy_failures: u64,
+    /// Listen slots on a completely silent channel.
+    pub silent_listens: u64,
+    /// Per-channel transmission counts (index = channel).
+    pub tx_per_channel: Vec<u64>,
+}
+
+impl Metrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records a transmission on `channel`.
+    pub(crate) fn record_tx(&mut self, channel: usize) {
+        self.transmissions += 1;
+        if self.tx_per_channel.len() <= channel {
+            self.tx_per_channel.resize(channel + 1, 0);
+        }
+        self.tx_per_channel[channel] += 1;
+    }
+
+    /// Fraction of listen slots that decoded a message.
+    pub fn reception_rate(&self) -> f64 {
+        if self.listens == 0 {
+            0.0
+        } else {
+            self.receptions as f64 / self.listens as f64
+        }
+    }
+
+    /// Fraction of transmissions that were decoded by at least… — not
+    /// measurable per-transmission cheaply; this reports decodes per
+    /// transmission (can exceed 1 when several listeners decode one sender).
+    pub fn decodes_per_transmission(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            self.receptions as f64 / self.transmissions as f64
+        }
+    }
+
+    /// Merges another metrics block into this one (for multi-phase runs).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.slots += other.slots;
+        self.transmissions += other.transmissions;
+        self.listens += other.listens;
+        self.idles += other.idles;
+        self.receptions += other.receptions;
+        self.busy_failures += other.busy_failures;
+        self.silent_listens += other.silent_listens;
+        if self.tx_per_channel.len() < other.tx_per_channel.len() {
+            self.tx_per_channel.resize(other.tx_per_channel.len(), 0);
+        }
+        for (i, &v) in other.tx_per_channel.iter().enumerate() {
+            self.tx_per_channel[i] += v;
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slots={} tx={} rx={} busy={} rx-rate={:.3}",
+            self.slots,
+            self.transmissions,
+            self.receptions,
+            self.busy_failures,
+            self.reception_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tx_grows_channels() {
+        let mut m = Metrics::new();
+        m.record_tx(3);
+        m.record_tx(0);
+        m.record_tx(3);
+        assert_eq!(m.transmissions, 3);
+        assert_eq!(m.tx_per_channel, vec![1, 0, 0, 2]);
+    }
+
+    #[test]
+    fn rates() {
+        let mut m = Metrics::new();
+        assert_eq!(m.reception_rate(), 0.0);
+        assert_eq!(m.decodes_per_transmission(), 0.0);
+        m.listens = 10;
+        m.receptions = 4;
+        m.transmissions = 2;
+        assert!((m.reception_rate() - 0.4).abs() < 1e-12);
+        assert!((m.decodes_per_transmission() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_everything() {
+        let mut a = Metrics::new();
+        a.record_tx(0);
+        a.slots = 5;
+        a.listens = 2;
+        let mut b = Metrics::new();
+        b.record_tx(2);
+        b.slots = 3;
+        b.receptions = 1;
+        a.absorb(&b);
+        assert_eq!(a.slots, 8);
+        assert_eq!(a.transmissions, 2);
+        assert_eq!(a.receptions, 1);
+        assert_eq!(a.tx_per_channel, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", Metrics::new()).is_empty());
+    }
+}

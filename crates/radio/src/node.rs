@@ -1,0 +1,60 @@
+//! The node-program abstraction.
+
+use crate::message::{Action, Observation};
+use rand::rngs::SmallRng;
+
+/// A distributed node program driven by the engine, one call pair per slot.
+///
+/// The engine calls [`Protocol::act`] at the start of each slot (collecting
+/// every node's action *before* resolving the physical layer — synchronized
+/// slots), then [`Protocol::observe`] with what the node experienced.
+///
+/// Implementations are state machines; they see only their own local state,
+/// their RNG, and their observations — never the topology or other nodes'
+/// state. This is what makes the simulation a faithful execution of a
+/// distributed algorithm.
+pub trait Protocol {
+    /// The message type this protocol exchanges.
+    type Msg: Clone;
+
+    /// Decide this slot's action. `slot` is the global slot counter
+    /// (all nodes start synchronized, per the paper's model).
+    fn act(&mut self, slot: u64, rng: &mut SmallRng) -> Action<Self::Msg>;
+
+    /// Receive the outcome of the slot.
+    fn observe(&mut self, slot: u64, obs: Observation<Self::Msg>, rng: &mut SmallRng);
+
+    /// Whether the node has terminated its protocol. Once `true`, the engine
+    /// stops calling [`Protocol::act`] (the node stays silent) and a run
+    /// driven by `run_until_done` may stop.
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Channel;
+
+    /// A protocol that transmits its id forever — exercises the trait's
+    /// default `is_done`.
+    struct Chatter(u8);
+
+    impl Protocol for Chatter {
+        type Msg = u8;
+        fn act(&mut self, _slot: u64, _rng: &mut SmallRng) -> Action<u8> {
+            Action::Transmit {
+                channel: Channel::FIRST,
+                msg: self.0,
+            }
+        }
+        fn observe(&mut self, _slot: u64, _obs: Observation<u8>, _rng: &mut SmallRng) {}
+    }
+
+    #[test]
+    fn default_is_done_is_false() {
+        let c = Chatter(1);
+        assert!(!c.is_done());
+    }
+}

@@ -1,0 +1,115 @@
+//! Optional event tracing for debugging and invariant experiments.
+
+use crate::ids::{Channel, NodeId};
+use std::collections::VecDeque;
+
+/// One successful decode, as seen by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Slot in which the reception happened.
+    pub slot: u64,
+    /// Channel it happened on.
+    pub channel: Channel,
+    /// Transmitter.
+    pub from: NodeId,
+    /// Listener that decoded.
+    pub to: NodeId,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+///
+/// When full, the oldest events are dropped — tracing never grows without
+/// bound even in very long runs.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    total_recorded: u64,
+}
+
+impl TraceRecorder {
+    /// A recorder holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceRecorder {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total_recorded: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest if at capacity.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+        self.total_recorded += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(slot: u64) -> TraceEvent {
+        TraceEvent {
+            slot,
+            channel: Channel(0),
+            from: NodeId(1),
+            to: NodeId(2),
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = TraceRecorder::new(10);
+        t.record(ev(1));
+        t.record(ev(2));
+        let slots: Vec<u64> = t.iter().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![1, 2]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut t = TraceRecorder::new(2);
+        t.record(ev(1));
+        t.record(ev(2));
+        t.record(ev(3));
+        let slots: Vec<u64> = t.iter().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![2, 3]);
+        assert_eq!(t.total_recorded(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        TraceRecorder::new(0);
+    }
+}

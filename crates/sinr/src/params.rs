@@ -1,0 +1,499 @@
+//! SINR model parameters and the paper's derived radii and thresholds.
+//!
+//! The physical model (paper §2, Eq. 1): a transmission from `u` is decoded
+//! at `v` iff `SINR(u,v) = (P/d(u,v)^α) / (N + Σ_w P/d(w,v)^α) ≥ β`, with
+//! path-loss exponent `α > 2`, ambient noise `N`, threshold `β ≥ 1`, and
+//! uniform transmit power `P`.
+//!
+//! Everything the algorithms need is derived here:
+//! * transmission range `R_T = (P/(βN))^{1/α}`;
+//! * graph radius `R_ε = (1 − ε)·R_T` and generally `R_c = (1 − c)·R_T`;
+//! * Lemma 2 separation constant `t = ((α−2)/(48β(α−1)))^{1/α}`;
+//! * cluster radius `r_c = min{ t/(2t+2) · R_{ε/2}, ε·R_T/4 }` (§5.1.1);
+//! * clear-reception interference threshold
+//!   `T_s = N · min{(2^α − 1)/2^α, (1/2)^α · β}` (Definition 4).
+
+use std::fmt;
+
+/// Ground-truth physical parameters used by the simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use mca_sinr::SinrParams;
+/// let p = SinrParams::default();
+/// assert!(p.transmission_range() > 0.0);
+/// assert!(p.r_cluster() < p.r_eps());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinrParams {
+    /// Path-loss exponent `α > 2`.
+    pub alpha: f64,
+    /// SINR decoding threshold `β ≥ 1`.
+    pub beta: f64,
+    /// Ambient noise `N > 0`.
+    pub noise: f64,
+    /// Uniform transmission power `P > 0`.
+    pub power: f64,
+    /// Communication-graph margin `ε ∈ (0, 1)`: graph edges span `R_ε`.
+    pub eps: f64,
+    /// Near-field clamp: received power saturates below this distance
+    /// (prevents singularities when two nodes are (nearly) co-located).
+    pub min_dist: f64,
+}
+
+impl Default for SinrParams {
+    /// `α = 3`, `β = 1.5`, `N = 1`, `ε = 0.5`, and `P` chosen so that
+    /// `R_T = 8` distance units.
+    fn default() -> Self {
+        SinrParams::with_range(3.0, 1.5, 1.0, 8.0, 0.5)
+    }
+}
+
+impl SinrParams {
+    /// Creates parameters from explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `α > 2`, `β ≥ 1`, `N > 0`, `P > 0`, `0 < ε < 1`.
+    pub fn new(alpha: f64, beta: f64, noise: f64, power: f64, eps: f64) -> Self {
+        let p = SinrParams {
+            alpha,
+            beta,
+            noise,
+            power,
+            eps,
+            min_dist: 1e-6,
+        };
+        p.validate();
+        p
+    }
+
+    /// Creates parameters with `P` back-solved so the transmission range is
+    /// exactly `range`: `P = β·N·range^α`.
+    pub fn with_range(alpha: f64, beta: f64, noise: f64, range: f64, eps: f64) -> Self {
+        assert!(range > 0.0, "range must be positive");
+        SinrParams::new(alpha, beta, noise, beta * noise * range.powf(alpha), eps)
+    }
+
+    fn validate(&self) {
+        assert!(self.alpha > 2.0, "alpha must exceed 2, got {}", self.alpha);
+        assert!(self.beta >= 1.0, "beta must be at least 1, got {}", self.beta);
+        assert!(self.noise > 0.0, "noise must be positive");
+        assert!(self.power > 0.0, "power must be positive");
+        assert!(
+            self.eps > 0.0 && self.eps < 1.0,
+            "eps must lie in (0,1), got {}",
+            self.eps
+        );
+    }
+
+    /// Transmission range `R_T = (P/(β·N))^{1/α}` — the maximum distance at
+    /// which a transmission can be decoded in the absence of interference.
+    pub fn transmission_range(&self) -> f64 {
+        (self.power / (self.beta * self.noise)).powf(1.0 / self.alpha)
+    }
+
+    /// `R_c = (1 − c)·R_T` for `0 < c < 1` (paper notation `R_c`).
+    pub fn r_scaled(&self, c: f64) -> f64 {
+        assert!((0.0..1.0).contains(&c), "c must lie in [0,1), got {c}");
+        (1.0 - c) * self.transmission_range()
+    }
+
+    /// Communication-graph radius `R_ε = (1 − ε)·R_T`.
+    pub fn r_eps(&self) -> f64 {
+        self.r_scaled(self.eps)
+    }
+
+    /// `R_{ε/2} = (1 − ε/2)·R_T`, the cluster-coloring separation radius.
+    pub fn r_eps_half(&self) -> f64 {
+        self.r_scaled(self.eps / 2.0)
+    }
+
+    /// Lemma 2 constant `t = ((α−2) / (48·β·(α−1)))^{1/α}`: transmitters
+    /// mutually separated by `r₁` are decoded by all listeners within
+    /// `t·r₁` (capped at `R_T/2`).
+    pub fn lemma2_t(&self) -> f64 {
+        ((self.alpha - 2.0) / (48.0 * self.beta * (self.alpha - 1.0))).powf(1.0 / self.alpha)
+    }
+
+    /// Cluster radius `r_c = min{ t/(2t+2) · R_{ε/2}, ε·R_T/4 }` (§5.1.1).
+    pub fn r_cluster(&self) -> f64 {
+        let t = self.lemma2_t();
+        (t / (2.0 * t + 2.0) * self.r_eps_half()).min(self.eps * self.transmission_range() / 4.0)
+    }
+
+    /// Clear-reception interference threshold
+    /// `T_s = N · min{(2^α − 1)/2^α, (1/2)^α · β}` (Definition 4).
+    ///
+    /// This fixed value is calibrated for the largest radius the ruling set
+    /// admits (`r = R_T/2`); see [`SinrParams::clear_threshold_for`] for the
+    /// radius-dependent generalization the implementation uses.
+    pub fn clear_threshold(&self) -> f64 {
+        let a = (2f64.powf(self.alpha) - 1.0) / 2f64.powf(self.alpha);
+        let b = 0.5f64.powf(self.alpha) * self.beta;
+        self.noise * a.min(b)
+    }
+
+    /// Radius-dependent clear-reception threshold
+    /// `T_s(r) = min{ P/(β·r^α) − N,  P/(4r)^α }`.
+    ///
+    /// The two terms are exactly Definition 4's two goals, re-derived for a
+    /// general radius `r`: interference at most the first term keeps a
+    /// sender at distance `r` decodable; at most the second certifies that
+    /// no other node within `4r` transmitted. At `r = R_T/2` the second term
+    /// equals the paper's `(1/2)^α·β·N`; for the small radii used inside
+    /// clusters the paper's fixed `T_s` is needlessly strict by a factor of
+    /// `(R_T/2r)^α`, which would stall elections (DESIGN.md deviation #8).
+    ///
+    /// Returns 0 when `r ≥ R_T` (no interference level makes distance-`r`
+    /// reception clear).
+    pub fn clear_threshold_for(&self, r: f64) -> f64 {
+        assert!(r > 0.0, "radius must be positive");
+        let decode = self.power / (self.beta * r.powf(self.alpha)) - self.noise;
+        let exclude = self.power / (4.0 * r).powf(self.alpha);
+        decode.min(exclude).max(0.0)
+    }
+
+    /// Received power `P/d^α` at distance `d` (clamped at `min_dist`).
+    pub fn received_power(&self, d: f64) -> f64 {
+        let d = d.max(self.min_dist);
+        self.power / d.powf(self.alpha)
+    }
+
+    /// Inverts [`SinrParams::received_power`]: the distance at which a
+    /// transmitter would produce `signal` — the RSSI-based distance estimate
+    /// available to listeners (paper §2, "Knowledge of Nodes").
+    pub fn distance_from_power(&self, signal: f64) -> f64 {
+        assert!(signal > 0.0, "signal must be positive");
+        (self.power / signal).powf(1.0 / self.alpha)
+    }
+
+    /// SINR of a signal of strength `signal` against interference `interf`
+    /// (sum of other received powers) plus ambient noise.
+    pub fn sinr(&self, signal: f64, interf: f64) -> f64 {
+        signal / (self.noise + interf)
+    }
+
+    /// Whether a signal decodes: `sinr(signal, interf) ≥ β`.
+    pub fn decodes(&self, signal: f64, interf: f64) -> bool {
+        self.sinr(signal, interf) >= self.beta
+    }
+
+    /// Whether `β ≥ 2^{1/α}`, the condition under which the exponential
+    /// chain admits at most one successful transmission per slot
+    /// (Moscibroda–Wattenhofer; paper §1 "Lower Bounds").
+    pub fn chain_lower_bound_applies(&self) -> bool {
+        self.beta >= 2f64.powf(1.0 / self.alpha)
+    }
+}
+
+impl fmt::Display for SinrParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SINR(α={}, β={}, N={}, P={:.3}, ε={}, R_T={:.3})",
+            self.alpha,
+            self.beta,
+            self.noise,
+            self.power,
+            self.eps,
+            self.transmission_range()
+        )
+    }
+}
+
+/// An inclusive `[min, max]` interval of a physical parameter.
+///
+/// Nodes do not know `α`, `β`, `N` exactly — only ranges (paper §2,
+/// "Knowledge of Nodes"). Conservative algorithm constants pick whichever
+/// end of the interval is safe for the computation at hand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamInterval {
+    /// Lower bound.
+    pub min: f64,
+    /// Upper bound.
+    pub max: f64,
+}
+
+impl ParamInterval {
+    /// An interval; panics if `min > max`.
+    pub fn new(min: f64, max: f64) -> Self {
+        assert!(min <= max, "interval min {min} exceeds max {max}");
+        ParamInterval { min, max }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn exact(v: f64) -> Self {
+        ParamInterval { min: v, max: v }
+    }
+
+    /// Whether `v` lies in the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.min && v <= self.max
+    }
+}
+
+/// What a *node* knows about the physical layer: parameter intervals plus a
+/// polynomial estimate of `n`.
+///
+/// `conservative()` produces a [`SinrParams`] whose derived radii are *safe*:
+/// its transmission range lower-bounds the true one, so ranges computed from
+/// it never overshoot (`α`, `β`, `N` at their maxima).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeKnowledge {
+    /// Known range of the path-loss exponent.
+    pub alpha: ParamInterval,
+    /// Known range of the decoding threshold.
+    pub beta: ParamInterval,
+    /// Known range of the ambient noise.
+    pub noise: ParamInterval,
+    /// The (known) uniform power.
+    pub power: f64,
+    /// The (known) graph margin ε.
+    pub eps: f64,
+    /// Polynomial upper bound on the node count (`n̂ ≥ n`).
+    pub n_bound: usize,
+}
+
+impl NodeKnowledge {
+    /// Exact knowledge of `params`, with node-count bound `n_bound`.
+    pub fn exact(params: &SinrParams, n_bound: usize) -> Self {
+        NodeKnowledge {
+            alpha: ParamInterval::exact(params.alpha),
+            beta: ParamInterval::exact(params.beta),
+            noise: ParamInterval::exact(params.noise),
+            power: params.power,
+            eps: params.eps,
+            n_bound,
+        }
+    }
+
+    /// Widens each interval by the multiplicative `slack ≥ 1` (min divided,
+    /// max multiplied), modeling calibration error.
+    pub fn with_slack(params: &SinrParams, n_bound: usize, slack: f64) -> Self {
+        assert!(slack >= 1.0, "slack must be at least 1");
+        NodeKnowledge {
+            alpha: ParamInterval::new((params.alpha / slack).max(2.0 + 1e-9), params.alpha * slack),
+            beta: ParamInterval::new((params.beta / slack).max(1.0), params.beta * slack),
+            noise: ParamInterval::new(params.noise / slack, params.noise * slack),
+            power: params.power,
+            eps: params.eps,
+            n_bound,
+        }
+    }
+
+    /// A safe parameter set: the derived transmission range lower-bounds the
+    /// true one, and the clear-reception threshold lower-bounds the true one,
+    /// so clear receptions inferred by nodes are genuine.
+    pub fn conservative(&self) -> SinrParams {
+        SinrParams::new(
+            self.alpha.max,
+            self.beta.max,
+            self.noise.max,
+            self.power,
+            self.eps,
+        )
+    }
+
+    /// `ln n̂` — the factor all round counts scale with.
+    pub fn ln_n(&self) -> f64 {
+        (self.n_bound.max(2) as f64).ln()
+    }
+
+    /// `log₂ n̂`, rounded up, at least 1.
+    pub fn log2_n(&self) -> usize {
+        (usize::BITS - (self.n_bound.max(2) - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        let p = SinrParams::default();
+        assert!((p.transmission_range() - 8.0).abs() < 1e-9);
+        assert!(p.alpha > 2.0 && p.beta >= 1.0);
+    }
+
+    #[test]
+    fn with_range_roundtrips() {
+        let p = SinrParams::with_range(2.5, 2.0, 0.5, 10.0, 0.25);
+        assert!((p.transmission_range() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must exceed 2")]
+    fn alpha_at_most_two_rejected() {
+        SinrParams::new(2.0, 1.5, 1.0, 100.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be at least 1")]
+    fn beta_below_one_rejected() {
+        SinrParams::new(3.0, 0.9, 1.0, 100.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must lie in (0,1)")]
+    fn eps_out_of_range_rejected() {
+        SinrParams::new(3.0, 1.5, 1.0, 100.0, 1.0);
+    }
+
+    #[test]
+    fn radii_ordering() {
+        // r_c < R_eps < R_{eps/2} < R_T, as the construction requires.
+        let p = SinrParams::default();
+        assert!(p.r_cluster() < p.r_eps());
+        assert!(p.r_eps() < p.r_eps_half());
+        assert!(p.r_eps_half() < p.transmission_range());
+    }
+
+    #[test]
+    fn cluster_radius_satisfies_paper_caps() {
+        let p = SinrParams::default();
+        let t = p.lemma2_t();
+        let rc = p.r_cluster();
+        assert!(rc <= t / (2.0 * t + 2.0) * p.r_eps_half() + 1e-12);
+        assert!(rc <= p.eps * p.transmission_range() / 4.0 + 1e-12);
+    }
+
+    #[test]
+    fn decode_at_exact_range_without_interference() {
+        let p = SinrParams::default();
+        let rt = p.transmission_range();
+        let sig = p.received_power(rt);
+        assert!(p.decodes(sig, 0.0));
+        let sig_far = p.received_power(rt * 1.01);
+        assert!(!p.decodes(sig_far, 0.0));
+    }
+
+    #[test]
+    fn clear_threshold_matches_definition_4() {
+        let p = SinrParams::new(3.0, 1.5, 2.0, 1000.0, 0.5);
+        let a = (2f64.powi(3) - 1.0) / 8.0; // (2^3-1)/2^3 = 7/8
+        let b = 0.125 * 1.5; // (1/2)^3 * beta
+        assert!((p.clear_threshold() - 2.0 * a.min(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_threshold_for_matches_paper_at_half_range() {
+        let p = SinrParams::default();
+        let r = p.transmission_range() / 2.0;
+        // Second term at r = R_T/2 equals the paper's (1/2)^α·β·N.
+        let paper_term = p.noise * 0.5f64.powf(p.alpha) * p.beta;
+        assert!((p.clear_threshold_for(r) - paper_term).abs() < 1e-9 * paper_term);
+    }
+
+    #[test]
+    fn clear_threshold_for_shrinks_with_radius() {
+        let p = SinrParams::default();
+        let t1 = p.clear_threshold_for(1.0);
+        let t2 = p.clear_threshold_for(2.0);
+        assert!(t1 > t2, "smaller radii tolerate more interference");
+        // At the transmission range, nothing is clear.
+        assert_eq!(p.clear_threshold_for(p.transmission_range() * 1.01), 0.0);
+    }
+
+    #[test]
+    fn clear_threshold_for_excludes_4r_transmitter() {
+        let p = SinrParams::default();
+        for r in [0.5, 1.0, 2.0, 3.0] {
+            // A single transmitter strictly inside 4r exceeds the threshold.
+            let inside = p.received_power(3.9 * r);
+            assert!(inside > p.clear_threshold_for(r), "r themselves = {r}");
+        }
+    }
+
+    #[test]
+    fn distance_inference_inverts_power() {
+        let p = SinrParams::default();
+        for d in [0.5, 1.0, 3.0, 7.9] {
+            let sig = p.received_power(d);
+            assert!((p.distance_from_power(sig) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn near_field_clamp() {
+        let p = SinrParams::default();
+        assert_eq!(p.received_power(0.0), p.received_power(p.min_dist));
+        assert!(p.received_power(0.0).is_finite());
+    }
+
+    #[test]
+    fn chain_condition() {
+        // beta = 1.5 >= 2^(1/3) ≈ 1.26
+        assert!(SinrParams::default().chain_lower_bound_applies());
+        // beta = 1.0 < 2^(1/3)
+        assert!(!SinrParams::new(3.0, 1.0, 1.0, 100.0, 0.5).chain_lower_bound_applies());
+    }
+
+    #[test]
+    fn knowledge_conservative_underestimates_range() {
+        let p = SinrParams::default();
+        let k = NodeKnowledge::with_slack(&p, 1000, 1.2);
+        let cons = k.conservative();
+        assert!(cons.transmission_range() <= p.transmission_range() + 1e-9);
+        assert!(k.alpha.contains(p.alpha));
+        assert!(k.beta.contains(p.beta));
+        assert!(k.noise.contains(p.noise));
+    }
+
+    #[test]
+    fn knowledge_log_helpers() {
+        let p = SinrParams::default();
+        let k = NodeKnowledge::exact(&p, 1024);
+        assert_eq!(k.log2_n(), 10);
+        assert!((k.ln_n() - (1024f64).ln()).abs() < 1e-12);
+        let k1 = NodeKnowledge::exact(&p, 1);
+        assert!(k1.ln_n() > 0.0);
+        assert!(k1.log2_n() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval min")]
+    fn inverted_interval_rejected() {
+        ParamInterval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", SinrParams::default()).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn sinr_monotone_in_interference(
+            sig in 0.01..1e6f64,
+            i1 in 0.0..1e6f64,
+            extra in 0.0..1e6f64,
+        ) {
+            let p = SinrParams::default();
+            // More interference never helps: decoding is monotone.
+            prop_assert!(p.sinr(sig, i1) >= p.sinr(sig, i1 + extra));
+            if p.decodes(sig, i1 + extra) {
+                prop_assert!(p.decodes(sig, i1));
+            }
+        }
+
+        #[test]
+        fn received_power_monotone_in_distance(d1 in 0.01..100.0f64, d2 in 0.01..100.0f64) {
+            let p = SinrParams::default();
+            if d1 <= d2 {
+                prop_assert!(p.received_power(d1) >= p.received_power(d2));
+            }
+        }
+
+        #[test]
+        fn range_solves_threshold(alpha in 2.1..6.0f64, beta in 1.0..4.0f64, noise in 0.1..10.0f64, rt in 0.5..50.0f64) {
+            let p = SinrParams::with_range(alpha, beta, noise, rt, 0.5);
+            let sig = p.received_power(rt);
+            // At exactly R_T, SINR against noise alone equals beta.
+            prop_assert!((p.sinr(sig, 0.0) - beta).abs() < 1e-6 * beta);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Per-slot, per-channel reception resolution.
+//!
+//! Given the set of transmitters on a channel and a listener, decide what
+//! the listener decodes (Eq. 1) and what its carrier-sense hardware reports
+//! (total received power; SINR and signal strength on success). Since
+//! `β ≥ 1`, at most one transmitter can decode per listener per slot — the
+//! strongest-signal candidate is the only one that can pass the threshold.
+
+use crate::params::SinrParams;
+use mca_geom::Point;
+
+/// What one listener experienced in one slot on one channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ListenOutcome {
+    /// Index (into the transmitter slice passed to the resolver) of the
+    /// decoded transmitter, if any.
+    pub decoded: Option<usize>,
+    /// Received power of the decoded signal (0 if none decoded).
+    pub signal: f64,
+    /// SINR of the decoded signal (0 if none decoded).
+    pub sinr: f64,
+    /// Total received power summed over *all* transmitters on the channel
+    /// (excluding ambient noise) — the carrier-sense reading.
+    pub total_power: f64,
+}
+
+impl ListenOutcome {
+    /// Outcome of a slot with no transmitter on the channel.
+    pub const SILENT: ListenOutcome = ListenOutcome {
+        decoded: None,
+        signal: 0.0,
+        sinr: 0.0,
+        total_power: 0.0,
+    };
+
+    /// Interference sensed alongside the decoded signal: total power minus
+    /// the decoded signal (the quantity Definition 4 compares against `T_s`).
+    /// Equals `total_power` when nothing decoded.
+    pub fn sensed_interference(&self) -> f64 {
+        (self.total_power - self.signal).max(0.0)
+    }
+}
+
+/// Resolves one listener against the transmitters on its channel.
+///
+/// `tx_positions` are the positions of the transmitters currently on the
+/// channel; `listener` is the listener's position. The listener must not be
+/// transmitting (half-duplex — enforced by the engine).
+pub fn resolve_listener(
+    params: &SinrParams,
+    tx_positions: &[Point],
+    listener: Point,
+) -> ListenOutcome {
+    if tx_positions.is_empty() {
+        return ListenOutcome::SILENT;
+    }
+    let mut total = 0.0f64;
+    let mut best = 0usize;
+    let mut best_pow = f64::NEG_INFINITY;
+    for (i, &t) in tx_positions.iter().enumerate() {
+        let p = params.received_power(t.dist(listener));
+        total += p;
+        if p > best_pow {
+            best_pow = p;
+            best = i;
+        }
+    }
+    let interference = total - best_pow;
+    let sinr = params.sinr(best_pow, interference);
+    if sinr >= params.beta {
+        ListenOutcome {
+            decoded: Some(best),
+            signal: best_pow,
+            sinr,
+            total_power: total,
+        }
+    } else {
+        ListenOutcome {
+            decoded: None,
+            signal: 0.0,
+            sinr: 0.0,
+            total_power: total,
+        }
+    }
+}
+
+/// Batch resolution of many listeners against the same transmitter set.
+pub fn resolve_channel(
+    params: &SinrParams,
+    tx_positions: &[Point],
+    listeners: &[Point],
+) -> Vec<ListenOutcome> {
+    listeners
+        .iter()
+        .map(|&l| resolve_listener(params, tx_positions, l))
+        .collect()
+}
+
+/// Whether `outcome` is a *clear reception* for radius `r` (Definition 4):
+/// the decoded sender is within `r` (judged by signal strength, i.e. the
+/// RSSI distance estimate) and the sensed interference is at most the
+/// radius-dependent threshold `T_s(r)`
+/// (see [`SinrParams::clear_threshold_for`]).
+pub fn is_clear_reception(params: &SinrParams, outcome: &ListenOutcome, r: f64) -> bool {
+    match outcome.decoded {
+        None => false,
+        Some(_) => {
+            outcome.signal >= params.received_power(r)
+                && outcome.sensed_interference() <= params.clear_threshold_for(r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p() -> SinrParams {
+        SinrParams::default() // R_T = 8
+    }
+
+    #[test]
+    fn silence_when_no_transmitters() {
+        let out = resolve_listener(&p(), &[], Point::ORIGIN);
+        assert_eq!(out, ListenOutcome::SILENT);
+        assert_eq!(out.sensed_interference(), 0.0);
+    }
+
+    #[test]
+    fn lone_transmitter_in_range_decodes() {
+        let params = p();
+        let out = resolve_listener(&params, &[Point::new(3.0, 0.0)], Point::ORIGIN);
+        assert_eq!(out.decoded, Some(0));
+        assert!(out.sinr >= params.beta);
+        assert!((out.signal - params.received_power(3.0)).abs() < 1e-12);
+        assert!((out.total_power - out.signal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lone_transmitter_out_of_range_fails() {
+        let params = p();
+        let out = resolve_listener(&params, &[Point::new(9.0, 0.0)], Point::ORIGIN);
+        assert_eq!(out.decoded, None);
+        assert!(out.total_power > 0.0, "carrier sense still reads power");
+    }
+
+    #[test]
+    fn symmetric_colliders_jam_each_other() {
+        // Two equally strong transmitters: SINR = sig/(N + sig) < 1 <= beta.
+        let params = p();
+        let txs = [Point::new(-2.0, 0.0), Point::new(2.0, 0.0)];
+        let out = resolve_listener(&params, &txs, Point::ORIGIN);
+        assert_eq!(out.decoded, None);
+    }
+
+    #[test]
+    fn capture_effect_near_transmitter_wins() {
+        // A very close transmitter is decoded despite a distant concurrent one.
+        let params = p();
+        let txs = [Point::new(0.5, 0.0), Point::new(7.9, 0.0)];
+        let out = resolve_listener(&params, &txs, Point::ORIGIN);
+        assert_eq!(out.decoded, Some(0));
+        // And the far transmitter is *not* decodable at a midpoint-ish
+        // listener that hears the near one loudly.
+        let out2 = resolve_listener(&params, &txs, Point::new(6.0, 0.0));
+        // near tx at distance 5.5, far tx at distance 1.9: far one wins there
+        assert_eq!(out2.decoded, Some(1));
+    }
+
+    #[test]
+    fn total_power_counts_everyone() {
+        let params = p();
+        let txs = [
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(-3.0, 0.0),
+        ];
+        let out = resolve_listener(&params, &txs, Point::ORIGIN);
+        let expect: f64 = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&d| params.received_power(d))
+            .sum();
+        assert!((out.total_power - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let params = p();
+        let txs = [Point::new(1.0, 1.0), Point::new(4.0, 4.0)];
+        let listeners = [Point::ORIGIN, Point::new(5.0, 5.0), Point::new(100.0, 0.0)];
+        let batch = resolve_channel(&params, &txs, &listeners);
+        for (i, &l) in listeners.iter().enumerate() {
+            assert_eq!(batch[i], resolve_listener(&params, &txs, l));
+        }
+    }
+
+    #[test]
+    fn clear_reception_requires_proximity_and_quiet() {
+        let params = p();
+        let r = 1.0;
+        // Close sender, no interference: clear.
+        let close = resolve_listener(&params, &[Point::new(0.8, 0.0)], Point::ORIGIN);
+        assert!(is_clear_reception(&params, &close, r));
+        // Decodable but beyond r: not clear.
+        let far = resolve_listener(&params, &[Point::new(2.0, 0.0)], Point::ORIGIN);
+        assert_eq!(far.decoded, Some(0));
+        assert!(!is_clear_reception(&params, &far, r));
+        // Close sender but a loud 4r-neighborhood interferer: not clear.
+        let jammed = resolve_listener(
+            &params,
+            &[Point::new(0.8, 0.0), Point::new(0.0, 3.0)],
+            Point::ORIGIN,
+        );
+        if jammed.decoded.is_some() {
+            assert!(!is_clear_reception(&params, &jammed, r));
+        }
+        // Silence is never a clear reception.
+        assert!(!is_clear_reception(&params, &ListenOutcome::SILENT, r));
+    }
+
+    #[test]
+    fn clear_reception_threshold_excludes_4r_neighbors() {
+        // Definition 4's claim: interference <= T_s implies no transmitter
+        // within 4r. Verify the contrapositive numerically: a single
+        // transmitter at distance exactly 4r produces interference > T_s.
+        let params = p();
+        let r = params.transmission_range() / 8.0;
+        let interferer_power = params.received_power(4.0 * r);
+        assert!(
+            interferer_power > params.clear_threshold(),
+            "a 4r-neighbor must be detectable: {} vs {}",
+            interferer_power,
+            params.clear_threshold()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn at_most_one_decode_and_it_is_strongest(
+            raw in proptest::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 1..12),
+            lx in -20.0..20.0f64,
+            ly in -20.0..20.0f64,
+        ) {
+            let params = p();
+            let txs: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let l = Point::new(lx, ly);
+            let out = resolve_listener(&params, &txs, l);
+            if let Some(i) = out.decoded {
+                // Decoded transmitter has the (weakly) strongest signal.
+                let pi = params.received_power(txs[i].dist(l));
+                for t in &txs {
+                    prop_assert!(params.received_power(t.dist(l)) <= pi + 1e-12);
+                }
+                // And its SINR clears the threshold.
+                prop_assert!(out.sinr >= params.beta);
+            }
+            // Total power is the sum of individual powers.
+            let sum: f64 = txs.iter().map(|t| params.received_power(t.dist(l))).sum();
+            prop_assert!((out.total_power - sum).abs() < 1e-6 * (1.0 + sum));
+        }
+
+        #[test]
+        fn adding_interferer_never_creates_decode(
+            d in 0.5..7.5f64,
+            ix in -20.0..20.0f64,
+            iy in -20.0..20.0f64,
+        ) {
+            let params = p();
+            let sender = Point::new(d, 0.0);
+            let jam = Point::new(ix, iy);
+            let alone = resolve_listener(&params, &[sender], Point::ORIGIN);
+            let jammed = resolve_listener(&params, &[sender, jam], Point::ORIGIN);
+            // If the pair decodes the original sender, it surely decoded alone.
+            if jammed.decoded == Some(0) {
+                prop_assert_eq!(alone.decoded, Some(0));
+                prop_assert!(jammed.sinr <= alone.sinr + 1e-9);
+            }
+        }
+    }
+}

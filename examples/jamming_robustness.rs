@@ -1,0 +1,102 @@
+//! Robustness extension: aggregation under a t-disrupted jammer and node
+//! crashes (cf. the channel-disruption model of Dolev et al., the paper's
+//! reference [9]), plus the channel-hopping fix.
+//!
+//! This drives the raw engine with fault injection to show how the
+//! flood-combine inter-cluster phase degrades gracefully while `F − t`
+//! channels remain clean — and how a shared slot-keyed hop sequence
+//! (`FloodCfg::hop_channels`) defeats even a *sustained* fixed-channel
+//! jammer, the failure mode a single-channel backbone cannot survive.
+//!
+//! Run with: `cargo run --release --example jamming_robustness`
+
+use multichannel_adhoc::core::aggregate::intercluster::{FloodCfg, FloodCombine};
+use multichannel_adhoc::core::{MaxAgg, Tdma};
+use multichannel_adhoc::prelude::*;
+use multichannel_adhoc::radio::{FaultPlan, JamSpec};
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn run_flood(jam: Option<JamSpec>, crashes: usize, hop: u16, seed: u64) -> (usize, u64) {
+    let params = SinrParams::default();
+    let k = 24; // two dozen dominators on a multi-hop backbone
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let deploy = Deployment::uniform(k, 25.0, &mut rng);
+
+    let cfg = FloodCfg {
+        q: 0.2,
+        flood_rounds: 600,
+        tail_rounds: 100,
+        tdma: Tdma::new(1, 1),
+        hop_channels: hop,
+    };
+    let protocols: Vec<FloodCombine<MaxAgg>> = (0..k)
+        .map(|i| FloodCombine::dominator(MaxAgg, cfg, 0, i as i64))
+        .collect();
+
+    let mut faults = FaultPlan::none();
+    if let Some(spec) = jam {
+        faults.jam(spec);
+    }
+    for c in 0..crashes {
+        faults.crash_at(c as u32, 150);
+    }
+
+    let mut engine =
+        Engine::new(params, deploy.points().to_vec(), protocols, seed).with_faults(faults);
+    engine.run_until_done(cfg.flood_rounds + cfg.tail_rounds + 1);
+    let survivors_expect = (crashes as i64..k as i64).max().unwrap_or(0);
+    let holders = engine
+        .protocols()
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| *i >= crashes && *p.value() == survivors_expect)
+        .count();
+    (holders, engine.slot())
+}
+
+fn main() {
+    println!("flood-combine max over a 24-dominator backbone:\n");
+    let intermittent = |power: f64, seed: u64| JamSpec::Random {
+        t: 1,
+        total: 4,
+        power,
+        seed,
+    };
+    // A sustained jammer parked on channel 0 for the whole run.
+    let constant_ch0 = |power: f64| JamSpec::Fixed {
+        channel: 0,
+        from: 0,
+        to: u64::MAX,
+        power,
+    };
+    let mut table = Table::new(
+        "graceful degradation under faults",
+        ["scenario", "nodes with global max", "slots"],
+    );
+    for (name, jam, crashes, hop) in [
+        ("fault-free", None, 0usize, 0u16),
+        ("25%-duty jammer (10x noise)", Some(intermittent(10.0, 0xBAD)), 0, 0),
+        ("25%-duty jammer (1000x noise)", Some(intermittent(1000.0, 0xBAD)), 0, 0),
+        ("3 crashed dominators", None, 3, 0),
+        ("jammer + crashes", Some(intermittent(100.0, 0xBAD)), 3, 0),
+        ("CONSTANT ch-0 jammer, no hopping", Some(constant_ch0(1000.0)), 0, 0),
+        ("constant ch-0 jammer + 4-ch hopping", Some(constant_ch0(1000.0)), 0, 4),
+    ] {
+        let (holders, slots) = run_flood(jam, crashes, hop, 31);
+        table.row([
+            name.to_string(),
+            format!("{holders}/{}", 24 - crashes),
+            slots.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "the flood tolerates duty-cycled jamming (retransmissions are \
+         continuous) and crash faults (the max of survivors still spreads).\n\
+         a CONSTANT jammer on the flood channel is fatal to the single-channel \
+         backbone — and harmless once the backbone hops over 4 channels on a \
+         shared slot-keyed sequence: the adversary's fixed channel only \
+         intersects the hop 1 slot in 4 (the paper's reference [9] theme, \
+         implemented)."
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build the aggregation structure and compute a network-wide
+//! maximum over multiple channels.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use multichannel_adhoc::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn main() {
+    // A 300-node uniform deployment in a 15x15 field; R_T = 8 units.
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let deploy = Deployment::uniform(300, 15.0, &mut rng);
+    let env = NetworkEnv::new(params, &deploy);
+    let graph = env.comm_graph();
+    println!(
+        "network: n = {}, Δ = {}, D ≈ {}, connected = {}",
+        env.len(),
+        graph.max_degree(),
+        graph.diameter_approx(),
+        graph.is_connected()
+    );
+
+    // 8 channels, practical constants, fully distributed substrate.
+    let algo = AlgoConfig::practical(8, &params, 300);
+    let cfg = StructureConfig::new(algo, 2024);
+    let structure = build_structure(&env, &cfg);
+    println!(
+        "structure: {} clusters, φ = {}, built in {} slots",
+        structure.report.clusters,
+        structure.phi,
+        structure.report.total_slots()
+    );
+
+    // Audit the paper's invariants (domination, density, separation, …).
+    let audit = audit_structure(&env, &structure, cfg.cluster_radius);
+    audit.assert_sound();
+    println!(
+        "audit: density = {}, estimate ratio = {:.2}..{:.2}, channel fill = {:.0}%",
+        audit.density,
+        audit.est_ratio.0,
+        audit.est_ratio.1,
+        audit.channel_fill * 100.0
+    );
+
+    // Aggregate the max of per-node sensor readings (Theorem 22).
+    let readings: Vec<i64> = (0..300).map(|i| (i * 7919 % 10_000) as i64).collect();
+    let expect = *readings.iter().max().unwrap();
+    let d_hat = graph.diameter_approx() + 2;
+    let out = aggregate(
+        &env,
+        &structure,
+        &algo,
+        MaxAgg,
+        &readings,
+        InterclusterMode::Flood,
+        d_hat,
+        99,
+    );
+    let holders = out
+        .values
+        .iter()
+        .filter(|v| **v == Some(expect))
+        .count();
+    println!(
+        "aggregation: max = {expect}, known by {holders}/300 nodes, \
+         {} slots (followers {}, tree {}, inter-cluster {})",
+        out.total_slots(),
+        out.follower_slots,
+        out.tree_slots,
+        out.inter_slots
+    );
+    assert_eq!(out.values[0], Some(expect), "sink must know the max");
+}

@@ -1,0 +1,74 @@
+//! # `multichannel-adhoc`
+//!
+//! A full reproduction of **"Leveraging Multiple Channels in Ad Hoc
+//! Networks"** (Halldórsson, Wang, Yu — PODC 2015 / arXiv:1604.07182):
+//! distributed data aggregation and node coloring with *linear channel
+//! speedup* in the SINR interference model, implemented as executable
+//! distributed protocols over a faithful multi-channel physical-layer
+//! simulator.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`geom`] — planar geometry, deployments, communication graphs;
+//! * [`sinr`] — the SINR physical layer (Eq. 1, clear receptions, radii);
+//! * [`radio`] — the synchronous multi-channel simulation engine;
+//! * [`core`] — the paper's algorithms: ruling sets, the aggregation
+//!   structure, data aggregation (Theorem 22) and coloring (Theorem 24);
+//! * [`baselines`] — single-channel / naive / graph-model comparators and
+//!   the exponential-chain lower-bound instance;
+//! * [`analysis`] — statistics and table rendering for experiments.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use multichannel_adhoc::prelude::*;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // A 150-node sensor field, 8 channels.
+//! let params = SinrParams::default();
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let deploy = Deployment::uniform(150, 12.0, &mut rng);
+//! let env = NetworkEnv::new(params, &deploy);
+//!
+//! // Build the aggregation structure (paper §5)…
+//! let algo = AlgoConfig::practical(8, &params, 150);
+//! let mut cfg = StructureConfig::new(algo, 7);
+//! cfg.substrate = SubstrateMode::Oracle; // ablation mode; default is Distributed
+//! let structure = build_structure(&env, &cfg);
+//!
+//! // …then aggregate the maximum of per-node readings (paper §6).
+//! let readings: Vec<i64> = (0..150).map(|i| (i * 37 % 1000) as i64).collect();
+//! let d_hat = env.comm_graph().diameter_approx() + 2;
+//! let out = aggregate(
+//!     &env, &structure, &algo, MaxAgg, &readings,
+//!     InterclusterMode::Flood, d_hat, 42,
+//! );
+//! let expect = readings.iter().max().copied();
+//! assert_eq!(out.values[0], expect);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mca_analysis as analysis;
+pub use mca_baselines as baselines;
+pub use mca_core as core;
+pub use mca_geom as geom;
+pub use mca_radio as radio;
+pub use mca_sinr as sinr;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use mca_analysis::{run_trials, Summary, Table};
+    pub use mca_core::{
+        aggregate, audit_structure, broadcast, broadcast_many, build_structure, color_nodes,
+        elect_leader, maximal_independent_set, AggregateOutcome, AggregationStructure,
+        AlgoConfig, AvgAgg, AvgValue, BroadcastOutcome, Candidate, ColoringOutcome, Constants,
+        CsaVariant, FmSketch, FmValue, GossipOutcome, InterclusterMode, LeaderOutcome, MaxAgg,
+        MinAgg, MisConfig, MisOutcome, NetworkEnv, OrAgg, Sourced, StructureConfig,
+        SubstrateMode, SumAgg,
+    };
+    pub use mca_geom::{CommGraph, Deployment, Point};
+    pub use mca_radio::{Channel, Engine, NodeId};
+    pub use mca_sinr::SinrParams;
+}

@@ -1,0 +1,311 @@
+//! Integration tests for the application layer built on the aggregation
+//! structure: leader election, broadcast (single and multi-message), and
+//! ruling-set/MIS computations — exercised across crates with the fully
+//! distributed substrate where it matters.
+
+use multichannel_adhoc::baselines::{run_info_exchange, ExchangeConfig};
+use multichannel_adhoc::core::mis::{maximal_independent_set, ruling_set, MisConfig};
+use multichannel_adhoc::core::{broadcast, broadcast_many, elect_leader, Candidate, LeaderAgg};
+use multichannel_adhoc::core::{Aggregate, BcastAgg, Sourced};
+use multichannel_adhoc::prelude::*;
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn setup(
+    n: usize,
+    side: f64,
+    channels: u16,
+    seed: u64,
+    substrate: SubstrateMode,
+) -> (NetworkEnv, AggregationStructure, AlgoConfig, u32) {
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let deploy = Deployment::uniform(n, side, &mut rng);
+    let env = NetworkEnv::new(params, &deploy);
+    let algo = AlgoConfig::practical(channels, &params, n);
+    let mut cfg = StructureConfig::new(algo, seed);
+    cfg.substrate = substrate;
+    cfg.cluster_radius = 2.0;
+    let s = build_structure(&env, &cfg);
+    let d_hat = env.comm_graph().diameter_approx() + 2;
+    (env, s, algo, d_hat)
+}
+
+#[test]
+fn leader_election_with_distributed_substrate() {
+    let (env, s, algo, d_hat) = setup(200, 10.0, 4, 31, SubstrateMode::Distributed);
+    let out = elect_leader(&env, &s, &algo, d_hat, 5);
+    assert!(out.leader_knows);
+    assert!(
+        out.agreement * 10 >= 200 * 9,
+        "agreement {}/200",
+        out.agreement
+    );
+}
+
+#[test]
+fn broadcast_reaches_everyone_from_any_source() {
+    let (env, s, algo, d_hat) = setup(120, 9.0, 4, 33, SubstrateMode::Oracle);
+    for (i, src) in [0u32, 59, 119].into_iter().enumerate() {
+        let out = broadcast(&env, &s, &algo, NodeId(src), 1000 + src as u64, d_hat, 7 + i as u64);
+        assert!(
+            out.coverage * 10 >= 120 * 9,
+            "source {src}: coverage {}/120",
+            out.coverage
+        );
+    }
+}
+
+#[test]
+fn multimessage_broadcast_beats_sequential_floods() {
+    // k messages in one gossip phase should be cheaper than k separate
+    // single-source broadcasts (the backbone pipelines them).
+    let (env, s, algo, d_hat) = setup(100, 9.0, 4, 35, SubstrateMode::Oracle);
+    let k = 6;
+    let messages: Vec<(NodeId, u64)> = (0..k).map(|i| (NodeId(i as u32 * 15), i as u64)).collect();
+    let many = broadcast_many(&env, &s, &algo, &messages, d_hat, 17);
+    assert_eq!(many.unhoisted, 0);
+    assert!(
+        many.full_coverage * 10 >= 100 * 9,
+        "full coverage {}/100",
+        many.full_coverage
+    );
+    let single = broadcast(&env, &s, &algo, NodeId(0), 0, d_hat, 19);
+    assert!(
+        many.total_slots() < single.total_slots() * k as u64,
+        "gossip ({}) should beat {k} sequential broadcasts ({} each)",
+        many.total_slots(),
+        single.total_slots()
+    );
+}
+
+#[test]
+fn ruling_set_sound_on_clustered_hotspots() {
+    // Skewed density (hotspots) is where phase one earns its keep.
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(71);
+    let deploy = Deployment::clustered(5, 80, 12.0, 1.0, &mut rng);
+    let env = NetworkEnv::new(params, &deploy);
+    let algo = AlgoConfig::practical(4, &params, 400);
+    let r = params.transmission_range() / 4.0;
+    let out = ruling_set(&env, &algo, MisConfig::new(r), 3);
+    assert_eq!(out.independence_violations(&env.positions), 0);
+    assert_eq!(out.domination_holes(&env.positions), 0);
+}
+
+#[test]
+fn mis_is_deterministic_per_seed() {
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(73);
+    let deploy = Deployment::uniform(150, 12.0, &mut rng);
+    let env = NetworkEnv::new(params, &deploy);
+    let algo = AlgoConfig::practical(2, &params, 150);
+    let r = params.transmission_range() / 4.0;
+    let a = maximal_independent_set(&env, &algo, MisConfig::new(r), 11);
+    let b = maximal_independent_set(&env, &algo, MisConfig::new(r), 11);
+    assert_eq!(a.members(), b.members(), "same seed, same set");
+    let c = maximal_independent_set(&env, &algo, MisConfig::new(r), 12);
+    // Different seed *may* give the same set on small instances, but the
+    // halt dynamics should differ somewhere.
+    assert!(
+        c.halt_round != a.halt_round || c.members() != a.members(),
+        "different seeds should not replay identical executions"
+    );
+}
+
+#[test]
+fn exchange_and_aggregation_disagree_on_channel_value() {
+    // The E14 contrast at test scale: aggregation gains from channels,
+    // exchange does not.
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(75);
+    let deploy = Deployment::disk(50, params.r_eps() / 4.0, &mut rng);
+    let ex1 = run_info_exchange(&params, deploy.points(), ExchangeConfig::new(1, 50), 5)
+        .median_completion()
+        .expect("F=1 exchange completes");
+    let ex8 = run_info_exchange(&params, deploy.points(), ExchangeConfig::new(8, 50), 5)
+        .median_completion()
+        .expect("F=8 exchange completes");
+    // Flat: within 2x either way, and both above the receive floor.
+    assert!(ex1 >= 49 && ex8 >= 49);
+    let ratio = ex1 as f64 / ex8 as f64;
+    assert!((0.5..2.0).contains(&ratio), "ex1={ex1} ex8={ex8}");
+}
+
+proptest! {
+    /// LeaderAgg is a commutative idempotent monoid over arbitrary
+    /// candidates (the flood path relies on all three laws).
+    #[test]
+    fn leader_agg_laws_hold_for_arbitrary_candidates(
+        ranks in prop::collection::vec(0u64..u64::MAX, 3),
+        ids in prop::collection::vec(0u32..10_000, 3),
+    ) {
+        let agg = LeaderAgg;
+        let v: Vec<Candidate> = ranks
+            .iter()
+            .zip(ids.iter())
+            .map(|(&rank, &id)| Candidate { rank, id: NodeId(id) })
+            .collect();
+        prop_assert_eq!(agg.combine(&v[0], &agg.identity()), v[0]);
+        prop_assert_eq!(agg.combine(&v[0], &v[0]), v[0]);
+        prop_assert_eq!(agg.combine(&v[0], &v[1]), agg.combine(&v[1], &v[0]));
+        prop_assert_eq!(
+            agg.combine(&v[0], &agg.combine(&v[1], &v[2])),
+            agg.combine(&agg.combine(&v[0], &v[1]), &v[2])
+        );
+    }
+
+    /// BcastAgg laws over arbitrary optional sourced messages.
+    #[test]
+    fn bcast_agg_laws_hold_for_arbitrary_messages(
+        vals in prop::collection::vec(
+            prop::option::of((0u32..1000, 0u64..u64::MAX)), 3),
+    ) {
+        let agg = BcastAgg;
+        let v: Vec<Option<Sourced>> = vals
+            .into_iter()
+            .map(|o| o.map(|(src, payload)| Sourced { src: NodeId(src), payload }))
+            .collect();
+        prop_assert_eq!(agg.combine(&v[0], &agg.identity()), v[0]);
+        prop_assert_eq!(agg.combine(&v[0], &v[0]), v[0]);
+        prop_assert_eq!(agg.combine(&v[0], &v[1]), agg.combine(&v[1], &v[0]));
+        prop_assert_eq!(
+            agg.combine(&v[0], &agg.combine(&v[1], &v[2])),
+            agg.combine(&agg.combine(&v[0], &v[1]), &v[2])
+        );
+    }
+
+    /// Candidate draws are deterministic in (seed, id) and never collide
+    /// with the identity element.
+    #[test]
+    fn candidate_draws_are_deterministic(seed in 0u64..u64::MAX, id in 0u32..u32::MAX) {
+        let a = Candidate::draw(seed, NodeId(id));
+        let b = Candidate::draw(seed, NodeId(id));
+        prop_assert_eq!(a, b);
+        prop_assert!(a.rank >= 1);
+        prop_assert!(a.is_some());
+    }
+
+    /// Disk deployments stay inside their radius.
+    #[test]
+    fn disk_deployment_is_within_radius(
+        n in 1usize..100,
+        radius in 0.1f64..50.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = Deployment::disk(n, radius, &mut rng);
+        for p in d.points() {
+            prop_assert!(p.dist(Point::new(0.0, 0.0)) <= radius + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn hoist_survives_same_cluster_source_contention() {
+    // All sources crowded into one cluster: the decay sweep must resolve
+    // them one at a time without losing any.
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(91);
+    let deploy = Deployment::disk(80, 1.8, &mut rng); // single cluster scale
+    let env = NetworkEnv::new(params, &deploy);
+    let algo = AlgoConfig::practical(4, &params, 80);
+    let mut cfg = StructureConfig::new(algo, 91);
+    cfg.substrate = SubstrateMode::Oracle;
+    cfg.cluster_radius = 2.0;
+    let s = build_structure(&env, &cfg);
+    let d_hat = env.comm_graph().diameter_approx() + 2;
+    // 10 sources, all inevitably in the same (or very few) clusters.
+    let messages: Vec<(NodeId, u64)> = (0..10).map(|i| (NodeId(i * 7), i as u64)).collect();
+    let out = broadcast_many(&env, &s, &algo, &messages, d_hat, 23);
+    assert_eq!(out.unhoisted, 0, "decay hoist lost a source");
+    assert!(
+        out.full_coverage * 10 >= 80 * 9,
+        "coverage {}/80",
+        out.full_coverage
+    );
+}
+
+#[test]
+fn leader_election_across_many_hops() {
+    // A corridor topology: D is large, so the flood term dominates; the
+    // election must still be near-unanimous.
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(93);
+    let deploy = Deployment::corridor(220, 60.0, 4.0, &mut rng);
+    let env = NetworkEnv::new(params, &deploy);
+    let graph = env.comm_graph();
+    assert!(graph.diameter_approx() >= 8, "corridor should be multi-hop");
+    let algo = AlgoConfig::practical(4, &params, 220);
+    let mut cfg = StructureConfig::new(algo, 93);
+    cfg.substrate = SubstrateMode::Oracle;
+    let s = build_structure(&env, &cfg);
+    let d_hat = graph.diameter_approx() + 2;
+    let out = elect_leader(&env, &s, &algo, d_hat, 29);
+    assert!(out.leader_knows);
+    assert!(
+        out.agreement * 10 >= 220 * 9,
+        "agreement {}/220 across {} hops",
+        out.agreement,
+        graph.diameter_approx()
+    );
+}
+
+#[test]
+fn mis_sound_on_jittered_grids() {
+    // Grids are the adversarial-regularity case for geometric protocols
+    // (synchronized distances, maximal packing).
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(95);
+    let deploy = Deployment::grid(18, 18, 0.8, 0.1, &mut rng);
+    let env = NetworkEnv::new(params, &deploy);
+    let algo = AlgoConfig::practical(2, &params, 324);
+    let r = params.transmission_range() / 4.0;
+    let out = maximal_independent_set(&env, &algo, MisConfig::new(r), 31);
+    assert_eq!(out.independence_violations(&env.positions), 0);
+    assert_eq!(out.domination_holes(&env.positions), 0);
+}
+
+#[test]
+fn leader_election_on_tiny_networks() {
+    // n = 1 and n = 2: the degenerate cases every distributed pipeline
+    // must survive (single dominator, empty reporter sets).
+    let params = SinrParams::default();
+    for n in [1usize, 2] {
+        let deploy = Deployment::from_points(
+            "tiny",
+            (0..n).map(|i| Point::new(i as f64 * 0.5, 0.0)).collect(),
+        );
+        let env = NetworkEnv::new(params, &deploy);
+        let algo = AlgoConfig::practical(2, &params, n);
+        let mut cfg = StructureConfig::new(algo, 1);
+        cfg.substrate = SubstrateMode::Oracle;
+        let s = build_structure(&env, &cfg);
+        let out = elect_leader(&env, &s, &algo, 2, 5);
+        assert!(
+            out.leader.index() < n,
+            "n={n}: leader {} out of range",
+            out.leader
+        );
+        assert!(out.leader_knows, "n={n}: leader must know");
+        assert_eq!(out.agreement, n, "n={n}: all must agree");
+    }
+}
+
+#[test]
+fn gossip_stress_half_the_network_are_sources() {
+    // k = 30 messages among n = 60 nodes: the hoist must drain deep
+    // per-cluster queues and the gossip must push 30 distinct packets
+    // into every node.
+    let (env, s, algo, d_hat) = setup(60, 7.0, 4, 41, SubstrateMode::Oracle);
+    let messages: Vec<(NodeId, u64)> =
+        (0..30).map(|i| (NodeId(i * 2), 1000 + i as u64)).collect();
+    let out = broadcast_many(&env, &s, &algo, &messages, d_hat, 43);
+    assert_eq!(out.unhoisted, 0, "hoist lost sources under load");
+    assert!(
+        out.full_coverage * 10 >= 60 * 9,
+        "coverage {}/60 under k=30 load (delivery {:.2})",
+        out.full_coverage,
+        out.delivery_fraction(30)
+    );
+}

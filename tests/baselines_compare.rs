@@ -1,0 +1,150 @@
+//! Cross-checks between the paper's algorithm and the baselines: everyone
+//! must agree on the answer; the round counts must order the way the
+//! complexity bounds say.
+
+use multichannel_adhoc::baselines;
+use multichannel_adhoc::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn workload(n: usize, side: f64, seed: u64) -> (Deployment, Vec<i64>, i64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let deploy = Deployment::uniform(n, side, &mut rng);
+    let inputs: Vec<i64> = (0..n).map(|i| (i as i64 * 271) % 9973).collect();
+    let expect = *inputs.iter().max().unwrap();
+    (deploy, inputs, expect)
+}
+
+#[test]
+fn all_algorithms_agree_on_the_max() {
+    let params = SinrParams::default();
+    let (deploy, inputs, expect) = workload(200, 8.0, 5);
+    let graph = CommGraph::build(deploy.points(), params.r_eps());
+    let d_hat = graph.diameter_approx() + 2;
+
+    // Ours.
+    let env = NetworkEnv::new(params, &deploy);
+    let algo = AlgoConfig::practical(8, &params, 200);
+    let mut cfg = StructureConfig::new(algo, 5);
+    cfg.substrate = SubstrateMode::Oracle;
+    let s = build_structure(&env, &cfg);
+    let ours = aggregate(
+        &env,
+        &s,
+        &algo,
+        MaxAgg,
+        &inputs,
+        InterclusterMode::Flood,
+        d_hat,
+        7,
+    );
+    assert_eq!(ours.values[0], Some(expect), "structure aggregation");
+
+    // Single-channel decay tree.
+    let b = baselines::run_single_channel(
+        &params,
+        deploy.points(),
+        &inputs,
+        NodeId(0),
+        d_hat,
+        graph.max_degree() as u64,
+        200,
+        7,
+    );
+    assert_eq!(b.results[0], Some(expect), "single-channel baseline");
+
+    // Naive TDMA.
+    let (values, _) = baselines::run_naive_tdma(&params, deploy.points(), &inputs, d_hat, 7);
+    assert!(values.iter().all(|&v| v == expect), "naive TDMA");
+
+    // Graph-model flood.
+    let g = baselines::run_graph_flood(
+        deploy.points(),
+        params.r_eps(),
+        &inputs,
+        8,
+        0.2,
+        500_000,
+        7,
+    );
+    assert!(g.values.iter().all(|&v| v == expect), "graph-model flood");
+}
+
+#[test]
+fn multichannel_beats_single_channel_baseline_when_dense() {
+    let params = SinrParams::default();
+    let (deploy, inputs, expect) = workload(300, 6.0, 9);
+    let graph = CommGraph::build(deploy.points(), params.r_eps());
+    let d_hat = graph.diameter_approx() + 2;
+
+    let env = NetworkEnv::new(params, &deploy);
+    let algo = AlgoConfig::practical(8, &params, 300);
+    let mut cfg = StructureConfig::new(algo, 9);
+    cfg.substrate = SubstrateMode::Oracle;
+    cfg.cluster_radius = 2.0;
+    let s = build_structure(&env, &cfg);
+    let ours = aggregate(
+        &env,
+        &s,
+        &algo,
+        MaxAgg,
+        &inputs,
+        InterclusterMode::Flood,
+        d_hat,
+        11,
+    );
+    assert_eq!(ours.values[0], Some(expect));
+
+    let b = baselines::run_single_channel(
+        &params,
+        deploy.points(),
+        &inputs,
+        NodeId(0),
+        d_hat,
+        graph.max_degree() as u64,
+        300,
+        11,
+    );
+    let ours_total = s.report.total_slots() + ours.total_slots();
+    assert!(
+        ours_total < b.slots,
+        "structure ({ours_total}) should beat the Θ(Δ log n) baseline ({})",
+        b.slots
+    );
+}
+
+#[test]
+fn chain_lower_bound_binds_all_algorithms() {
+    // On the exponential chain every descending schedule is serialized; the
+    // relay bound n-1 is what any aggregation pays toward the origin.
+    let params = SinrParams::default();
+    assert!(params.chain_lower_bound_applies());
+    for n in [8usize, 12] {
+        assert_eq!(
+            baselines::max_concurrent_successes_exhaustive(&params, n),
+            1
+        );
+        assert_eq!(baselines::greedy_relay_slots(n), (n - 1) as u64);
+    }
+}
+
+#[test]
+fn coloring_baseline_and_structure_both_proper() {
+    let params = SinrParams::default();
+    let (deploy, _, _) = workload(150, 10.0, 13);
+    let algo1 = AlgoConfig::practical(1, &params, 150);
+    let b = baselines::run_single_coloring(&params, deploy.points(), &algo1, 512, 13);
+    let r = params.r_eps().min(params.transmission_range() / 2.0);
+    let g = CommGraph::build(deploy.points(), r);
+    let colors: Vec<u32> = b.colors.iter().map(|c| c.unwrap()).collect();
+    assert_eq!(g.coloring_violation(&colors), None);
+
+    let env = NetworkEnv::new(params, &deploy);
+    let algo8 = AlgoConfig::practical(8, &params, 150);
+    let mut cfg = StructureConfig::new(algo8, 13);
+    cfg.substrate = SubstrateMode::Oracle;
+    let s = build_structure(&env, &cfg);
+    let out = color_nodes(&env, &s, &algo8, 13);
+    assert_eq!(out.uncolored, 0);
+    let colors: Vec<u32> = out.colors.iter().map(|c| c.unwrap()).collect();
+    assert_eq!(env.comm_graph().coloring_violation(&colors), None);
+}

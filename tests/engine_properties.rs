@@ -1,0 +1,151 @@
+//! Engine-level properties exercised through the public API: physical-layer
+//! invariants that must hold for any protocol.
+
+use multichannel_adhoc::prelude::*;
+use multichannel_adhoc::radio::{Action, Observation, Protocol};
+use multichannel_adhoc::sinr::resolve_listener;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random chatter: every node picks a random channel and transmits or
+/// listens at random; listeners record every decode.
+struct Chatter {
+    channels: u16,
+    p: f64,
+    decodes: Vec<(u64, NodeId)>,
+    tx_count: u64,
+}
+
+impl Protocol for Chatter {
+    type Msg = u64;
+    fn act(&mut self, slot: u64, rng: &mut SmallRng) -> Action<u64> {
+        let ch = Channel(rng.gen_range(0..self.channels));
+        if rng.gen_bool(self.p) {
+            self.tx_count += 1;
+            Action::Transmit {
+                channel: ch,
+                msg: slot,
+            }
+        } else {
+            Action::Listen { channel: ch }
+        }
+    }
+    fn observe(&mut self, slot: u64, obs: Observation<u64>, _rng: &mut SmallRng) {
+        if let Observation::Received(r) = obs {
+            self.decodes.push((slot, r.from));
+        }
+    }
+}
+
+fn chatter_net(n: usize, side: f64, channels: u16, p: f64, seed: u64) -> Engine<Chatter> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let deploy = Deployment::uniform(n, side, &mut rng);
+    let protocols = (0..n)
+        .map(|_| Chatter {
+            channels,
+            p,
+            decodes: Vec::new(),
+            tx_count: 0,
+        })
+        .collect();
+    Engine::new(SinrParams::default(), deploy.into_points(), protocols, seed)
+}
+
+#[test]
+fn at_most_one_decode_per_listener_per_slot() {
+    let mut engine = chatter_net(60, 10.0, 4, 0.3, 3);
+    engine.run(200);
+    for p in engine.protocols() {
+        let mut slots: Vec<u64> = p.decodes.iter().map(|&(s, _)| s).collect();
+        let before = slots.len();
+        slots.dedup();
+        assert_eq!(before, slots.len(), "a listener decoded twice in one slot");
+    }
+}
+
+#[test]
+fn metrics_are_consistent() {
+    let mut engine = chatter_net(80, 12.0, 4, 0.25, 5);
+    engine.run(300);
+    let m = engine.metrics();
+    assert_eq!(m.slots, 300);
+    let tx_from_protocols: u64 = engine.protocols().iter().map(|p| p.tx_count).sum();
+    assert_eq!(m.transmissions, tx_from_protocols);
+    let rx_from_protocols: u64 = engine
+        .protocols()
+        .iter()
+        .map(|p| p.decodes.len() as u64)
+        .sum();
+    assert_eq!(m.receptions, rx_from_protocols);
+    let per_channel: u64 = m.tx_per_channel.iter().sum();
+    assert_eq!(per_channel, m.transmissions);
+}
+
+#[test]
+fn decodes_match_offline_sinr_resolution() {
+    // Replay a slot by hand: whatever the engine delivered must equal the
+    // direct physical-layer computation.
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let deploy = Deployment::uniform(40, 9.0, &mut rng);
+    let positions = deploy.points().to_vec();
+    // A fixed transmitter set: even indices transmit on channel 0.
+    let txs: Vec<usize> = (0..40).step_by(2).collect();
+    let tx_pos: Vec<Point> = txs.iter().map(|&i| positions[i]).collect();
+    for &listener in &[1usize, 3, 17, 39] {
+        let out = resolve_listener(&params, &tx_pos, positions[listener]);
+        if let Some(k) = out.decoded {
+            // Decoded index must be the strongest transmitter.
+            let best = tx_pos
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    let da = a.1.dist(positions[listener]);
+                    let db = b.1.dist(positions[listener]);
+                    db.partial_cmp(&da).unwrap()
+                })
+                .unwrap()
+                .0;
+            assert_eq!(k, best);
+            assert!(out.sinr >= params.beta);
+        }
+    }
+}
+
+#[test]
+fn determinism_with_faults() {
+    use multichannel_adhoc::radio::{FaultPlan, JamSpec};
+    let run = || {
+        let mut faults = FaultPlan::none();
+        faults.crash_at(3, 50);
+        faults.jam(JamSpec::Random {
+            t: 1,
+            total: 4,
+            power: 20.0,
+            seed: 99,
+        });
+        let mut engine = chatter_net(50, 10.0, 4, 0.3, 7).with_faults(faults);
+        engine.run(150);
+        (
+            engine.metrics().transmissions,
+            engine.metrics().receptions,
+            engine.metrics().busy_failures,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn more_channels_mean_fewer_collisions_at_fixed_traffic() {
+    let busy = |channels: u16| {
+        let mut engine = chatter_net(120, 6.0, channels, 0.3, 13);
+        engine.run(300);
+        engine.metrics().busy_failures
+    };
+    let one = busy(1);
+    let eight = busy(8);
+    assert!(
+        eight < one,
+        "8 channels ({eight} busy failures) vs 1 ({one})"
+    );
+}

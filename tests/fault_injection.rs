@@ -1,0 +1,254 @@
+//! Fault-injection integration tests: the t-disrupted adversary (cf. the
+//! paper's reference [9]) and crash-stop nodes.
+
+use multichannel_adhoc::core::aggregate::intercluster::{FloodCfg, FloodCombine};
+use multichannel_adhoc::core::{MaxAgg, Tdma};
+use multichannel_adhoc::prelude::*;
+use multichannel_adhoc::radio::{FaultPlan, JamSpec};
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn backbone(k: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Deployment::uniform(k, 22.0, &mut rng).into_points()
+}
+
+fn flood_cfg() -> FloodCfg {
+    FloodCfg {
+        q: 0.2,
+        flood_rounds: 500,
+        tail_rounds: 80,
+        tdma: Tdma::new(1, 1),
+        hop_channels: 0,
+    }
+}
+
+#[test]
+fn duty_cycled_jammer_degrades_gracefully() {
+    let cfg = flood_cfg();
+    let k = 20;
+    let positions = backbone(k, 3);
+    let protocols: Vec<FloodCombine<MaxAgg>> = (0..k)
+        .map(|i| FloodCombine::dominator(MaxAgg, cfg, 0, i as i64))
+        .collect();
+    let mut faults = FaultPlan::none();
+    faults.jam(JamSpec::Random {
+        t: 1,
+        total: 4, // channel 0 hit one slot in four
+        power: 100.0,
+        seed: 0xBAD,
+    });
+    let mut engine =
+        Engine::new(SinrParams::default(), positions, protocols, 3).with_faults(faults);
+    engine.run_until_done(cfg.flood_rounds + cfg.tail_rounds + 1);
+    let holders = engine
+        .protocols()
+        .iter()
+        .filter(|p| *p.value() == (k - 1) as i64)
+        .count();
+    assert!(
+        holders * 10 >= k * 8,
+        "only {holders}/{k} survived a 25%-duty jammer"
+    );
+}
+
+#[test]
+fn crashed_minority_does_not_block_survivors() {
+    let cfg = flood_cfg();
+    let k = 20;
+    let crashes = 4;
+    let positions = backbone(k, 7);
+    let protocols: Vec<FloodCombine<MaxAgg>> = (0..k)
+        .map(|i| FloodCombine::dominator(MaxAgg, cfg, 0, i as i64))
+        .collect();
+    let mut faults = FaultPlan::none();
+    for c in 0..crashes {
+        faults.crash_at(c as u32, 100);
+    }
+    let mut engine =
+        Engine::new(SinrParams::default(), positions, protocols, 7).with_faults(faults);
+    engine.run_until_done(cfg.flood_rounds + cfg.tail_rounds + 1);
+    // All survivors must still converge on the surviving max.
+    let holders = engine
+        .protocols()
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| *i >= crashes && *p.value() == (k - 1) as i64)
+        .count();
+    assert_eq!(holders, k - crashes, "survivors out of sync after crashes");
+}
+
+#[test]
+fn full_pipeline_survives_node_crashes_before_aggregation() {
+    // Crash nodes *before* the run: the structure simply never includes
+    // them (they are silent), and the aggregate covers the survivors.
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(21);
+    let deploy = Deployment::uniform(150, 10.0, &mut rng);
+    let env = NetworkEnv::new(params, &deploy);
+    let algo = AlgoConfig::practical(4, &params, 150);
+    let mut cfg = StructureConfig::new(algo, 21);
+    cfg.substrate = SubstrateMode::Oracle;
+    let s = build_structure(&env, &cfg);
+    let inputs: Vec<i64> = (0..150).map(|i| i as i64).collect();
+    let d_hat = env.comm_graph().diameter_approx() + 2;
+    let out = aggregate(
+        &env,
+        &s,
+        &algo,
+        MaxAgg,
+        &inputs,
+        InterclusterMode::Flood,
+        d_hat,
+        23,
+    );
+    // Sanity: fault-free baseline of the same scenario is exact.
+    assert_eq!(out.values[0], Some(149));
+}
+
+// ---------------------------------------------------------------------------
+// Faults against the info-exchange protocol (receive-bottleneck workload).
+// ---------------------------------------------------------------------------
+
+use multichannel_adhoc::baselines::{ExchangeConfig, ExchangeNode};
+
+fn exchange_clique(n: usize, seed: u64) -> Vec<Point> {
+    let params = SinrParams::default();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Deployment::disk(n, params.r_eps() / 4.0, &mut rng).into_points()
+}
+
+#[test]
+fn t_disrupted_adversary_slows_but_does_not_stop_exchange() {
+    let n = 40;
+    let positions = exchange_clique(n, 11);
+    let cfg = ExchangeConfig::new(4, n);
+    let run = |jam: bool| {
+        let protocols: Vec<ExchangeNode> = (0..n)
+            .map(|i| ExchangeNode::new(NodeId(i as u32), n, cfg))
+            .collect();
+        let mut faults = FaultPlan::none();
+        if jam {
+            // 1 of the 4 channels disrupted each slot.
+            faults.jam(JamSpec::Random {
+                t: 1,
+                total: 4,
+                power: 100.0,
+                seed: 0xBAD,
+            });
+        }
+        let mut engine = Engine::new(SinrParams::default(), positions.clone(), protocols, 5)
+            .with_faults(faults);
+        engine.run_until(cfg.max_slots, |ps: &[ExchangeNode]| {
+            ps.iter().all(|p| p.complete_at().is_some())
+        });
+        let done = engine
+            .protocols()
+            .iter()
+            .filter(|p| p.complete_at().is_some())
+            .count();
+        (done, engine.slot())
+    };
+    let (done_clean, t_clean) = run(false);
+    let (done_jammed, t_jammed) = run(true);
+    assert_eq!(done_clean, n);
+    assert_eq!(
+        done_jammed, n,
+        "a 1-of-4 disruptor must not stop the exchange (channel hopping routes around it)"
+    );
+    assert!(
+        t_jammed >= t_clean,
+        "jamming should not make the exchange faster ({t_jammed} < {t_clean})"
+    );
+}
+
+#[test]
+fn crashed_nodes_leave_exactly_their_tokens_missing() {
+    let n = 30;
+    let crashes = 5;
+    let positions = exchange_clique(n, 13);
+    let cfg = ExchangeConfig::new(2, n);
+    let protocols: Vec<ExchangeNode> = (0..n)
+        .map(|i| ExchangeNode::new(NodeId(i as u32), n, cfg))
+        .collect();
+    let mut faults = FaultPlan::none();
+    for c in 0..crashes {
+        faults.crash_at(c as u32, 0); // dead from the start
+    }
+    let mut engine =
+        Engine::new(SinrParams::default(), positions, protocols, 7).with_faults(faults);
+    engine.run_until_done(cfg.max_slots);
+    for (i, p) in engine.protocols().iter().enumerate().skip(crashes) {
+        assert!(
+            p.complete_at().is_none(),
+            "node {i} cannot have completed: {crashes} senders are dead"
+        );
+        assert_eq!(
+            p.heard_count(),
+            n - 1 - crashes,
+            "node {i} should hold every living token and nothing else"
+        );
+    }
+}
+
+#[test]
+fn channel_hopping_defeats_constant_fixed_jammer() {
+    // A sustained jammer on channel 0 kills the single-channel flood;
+    // a shared slot-keyed hop over 4 channels shrugs it off (the [9]
+    // extension).
+    let k = 20;
+    let positions = backbone(k, 17);
+    let run = |hop: u16| {
+        let mut cfg = flood_cfg();
+        cfg.hop_channels = hop;
+        let protocols: Vec<FloodCombine<MaxAgg>> = (0..k)
+            .map(|i| FloodCombine::dominator(MaxAgg, cfg, 0, i as i64))
+            .collect();
+        let mut faults = FaultPlan::none();
+        faults.jam(JamSpec::Fixed {
+            channel: 0,
+            from: 0,
+            to: u64::MAX,
+            power: 1000.0,
+        });
+        let mut engine =
+            Engine::new(SinrParams::default(), positions.clone(), protocols, 9).with_faults(faults);
+        engine.run_until_done(cfg.flood_rounds + cfg.tail_rounds + 1);
+        engine
+            .protocols()
+            .iter()
+            .filter(|p| *p.value() == (k - 1) as i64)
+            .count()
+    };
+    let pinned = run(0);
+    let hopping = run(4);
+    assert!(
+        pinned <= k / 4,
+        "a constant jammer should cripple the pinned flood (got {pinned}/{k})"
+    );
+    assert!(
+        hopping * 10 >= k * 9,
+        "hopping should route around the fixed jammer (got {hopping}/{k})"
+    );
+}
+
+#[test]
+fn hop_sequence_is_shared_and_in_range() {
+    let mut cfg = flood_cfg();
+    cfg.hop_channels = 4;
+    for slot in 0..1000u64 {
+        let c = cfg.channel_for(slot);
+        assert!(c.0 < 4, "hop landed outside the width at slot {slot}");
+        assert_eq!(c, cfg.channel_for(slot), "sequence must be deterministic");
+    }
+    // The hop must actually *use* all channels (roughly uniformly).
+    let mut counts = [0usize; 4];
+    for slot in 0..4000u64 {
+        counts[cfg.channel_for(slot).index()] += 1;
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(
+            c > 4000 / 8,
+            "channel {i} underused in the hop sequence: {c}/4000"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Structure-level invariants across deployments, channel counts, and
+//! substrate modes (the guarantees of Lemmas 7, 8, 14, 15).
+
+use multichannel_adhoc::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn build(
+    deploy: &Deployment,
+    channels: u16,
+    substrate: SubstrateMode,
+    seed: u64,
+) -> (NetworkEnv, AggregationStructure, StructureConfig) {
+    let params = SinrParams::default();
+    let env = NetworkEnv::new(params, deploy);
+    let algo = AlgoConfig::practical(channels, &params, deploy.len());
+    let mut cfg = StructureConfig::new(algo, seed);
+    cfg.substrate = substrate;
+    let s = build_structure(&env, &cfg);
+    (env, s, cfg)
+}
+
+#[test]
+fn audits_hold_across_densities() {
+    for (n, side) in [(100usize, 20.0), (250, 12.0), (350, 8.0)] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let deploy = Deployment::uniform(n, side, &mut rng);
+        let (env, s, cfg) = build(&deploy, 8, SubstrateMode::Oracle, n as u64);
+        let audit = audit_structure(&env, &s, cfg.cluster_radius);
+        audit.assert_sound();
+        assert_eq!(audit.n, n);
+    }
+}
+
+#[test]
+fn audits_hold_on_clustered_hotspots() {
+    let mut rng = SmallRng::seed_from_u64(41);
+    let deploy = Deployment::clustered(8, 30, 25.0, 1.2, &mut rng);
+    let (env, s, cfg) = build(&deploy, 8, SubstrateMode::Oracle, 41);
+    audit_structure(&env, &s, cfg.cluster_radius).assert_sound();
+}
+
+#[test]
+fn audits_hold_on_grid_deployments() {
+    let mut rng = SmallRng::seed_from_u64(43);
+    let deploy = Deployment::grid(15, 15, 0.8, 0.2, &mut rng);
+    let (env, s, cfg) = build(&deploy, 4, SubstrateMode::Distributed, 43);
+    audit_structure(&env, &s, cfg.cluster_radius).assert_sound();
+}
+
+#[test]
+fn line_topology_builds() {
+    let deploy = Deployment::line(60, 0.9);
+    let (env, s, cfg) = build(&deploy, 4, SubstrateMode::Oracle, 47);
+    let audit = audit_structure(&env, &s, cfg.cluster_radius);
+    audit.assert_sound();
+    // Clusters on a line are chains of ~2·r_c/0.9 nodes.
+    assert!(s.report.clusters >= 10, "{} clusters", s.report.clusters);
+}
+
+#[test]
+fn every_cluster_member_shares_estimate_and_channels() {
+    let mut rng = SmallRng::seed_from_u64(53);
+    let deploy = Deployment::uniform(200, 10.0, &mut rng);
+    let (_, s, _) = build(&deploy, 8, SubstrateMode::Oracle, 53);
+    for d in s.dominators() {
+        let members = s.members_of(d);
+        let est = s.records[d.index()].cluster_size_est;
+        let fv = s.records[d.index()].cluster_channels;
+        assert!(est.is_some() && fv.is_some());
+        for m in members {
+            assert_eq!(
+                s.records[m.index()].cluster_channels,
+                fv,
+                "member {m} disagrees with dominator {d} on f_v"
+            );
+        }
+    }
+}
+
+#[test]
+fn reporters_have_valid_heap_positions() {
+    let mut rng = SmallRng::seed_from_u64(59);
+    let deploy = Deployment::uniform(250, 9.0, &mut rng);
+    let (_, s, _) = build(&deploy, 8, SubstrateMode::Oracle, 59);
+    for r in &s.records {
+        if let multichannel_adhoc::core::Role::Reporter { heap_pos } = r.role {
+            let fv = r.cluster_channels.unwrap_or(1);
+            assert!(
+                heap_pos >= 1 && heap_pos <= fv,
+                "reporter {} at position {heap_pos} with f_v = {fv}",
+                r.id
+            );
+            assert_eq!(r.channel.map(|c| c.0 + 1), Some(heap_pos));
+        }
+    }
+}
+
+#[test]
+fn tiny_networks_build() {
+    for n in [1usize, 2, 5] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let deploy = Deployment::uniform(n, 3.0, &mut rng);
+        let (_, s, _) = build(&deploy, 4, SubstrateMode::Oracle, 61 + n as u64);
+        assert!(s.report.clusters >= 1);
+        assert_eq!(s.records.len(), n);
+    }
+}
