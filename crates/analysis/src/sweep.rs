@@ -38,8 +38,7 @@ impl<T> TrialOutcome<T> {
 /// Derives the seed for trial `i` from `master` (SplitMix64 step — distinct,
 /// well-mixed streams for any master).
 pub fn trial_seed(master: u64, i: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i.wrapping_add(1)));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -27,12 +27,12 @@ pub fn descending_successes_for_subset(
 ) -> usize {
     let tx_pos: Vec<Point> = transmitters.iter().map(|&i| positions[i]).collect();
     let mut decoded = vec![false; transmitters.len()];
-    for i in 0..positions.len() {
+    for (i, &lpos) in positions.iter().enumerate() {
         if transmitters.contains(&i) {
             continue;
         }
-        if let Some(k) = resolve_listener(params, &tx_pos, positions[i]).decoded {
-            if tx_pos[k].x > positions[i].x {
+        if let Some(k) = resolve_listener(params, &tx_pos, lpos).decoded {
+            if tx_pos[k].x > lpos.x {
                 decoded[k] = true;
             }
         }

@@ -46,7 +46,10 @@ pub fn run_graph_flood(
     let mut listen_channel: Vec<u16> = vec![0; n];
     for slot in 0..max_slots {
         if values.iter().all(|&v| v == expect) {
-            return GraphModelOutcome { values, slots: slot };
+            return GraphModelOutcome {
+                values,
+                slots: slot,
+            };
         }
         for i in 0..n {
             let ch = rng.gen_range(0..channels);

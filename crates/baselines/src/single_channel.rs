@@ -136,14 +136,14 @@ impl Protocol for SingleChannelAgg {
                 _ => Action::Listen { channel: ch },
             },
             (Stage::Upcast { level }, 0) => {
-                if self.level == Some(level) && self.parent.is_some() {
+                if let (true, Some(parent)) = (self.level == Some(level), self.parent) {
                     // Fixed probability 1/Δ̂: every child gets a fair share
                     // of the window regardless of capture bias.
                     if rng.gen_bool(self.p_up) {
                         return Action::Transmit {
                             channel: ch,
                             msg: BaselineMsg::Up {
-                                to: self.parent.unwrap(),
+                                to: parent,
                                 value: self.value,
                             },
                         };
@@ -211,6 +211,7 @@ pub struct BaselineOutcome {
 }
 
 /// Runs the single-channel max-aggregation baseline.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn run_single_channel(
     params: &SinrParams,
     positions: &[Point],

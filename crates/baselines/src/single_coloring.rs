@@ -48,7 +48,9 @@ pub fn run_single_coloring(
     let n = positions.len();
     let node_params = algo.node_params();
     // r must satisfy the ruling set's r <= R_T/2; R_eps does at eps = 1/2.
-    let r = node_params.r_eps().min(node_params.transmission_range() / 2.0);
+    let r = node_params
+        .r_eps()
+        .min(node_params.transmission_range() / 2.0);
     let mut colors: Vec<Option<u32>> = vec![None; n];
     let mut uncolored: Vec<usize> = (0..n).collect();
     let mut slots = 0u64;
@@ -98,12 +100,10 @@ pub fn run_single_coloring(
         phase += 1;
     }
     // Fresh unique colors for leftovers (correctness preserved).
-    let mut next = colors.iter().flatten().copied().max().map_or(0, |c| c + 1);
-    for i in 0..n {
-        if colors[i].is_none() {
-            colors[i] = Some(next);
-            next += 1;
-        }
+    let next = colors.iter().flatten().copied().max().map_or(0, |c| c + 1);
+    let mut fresh = next..;
+    for slot in colors.iter_mut().filter(|c| c.is_none()) {
+        *slot = fresh.next();
     }
     ColoringBaselineOutcome {
         colors,

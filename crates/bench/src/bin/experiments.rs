@@ -1,6 +1,6 @@
 //! Regenerates every experiment of `EXPERIMENTS.md`.
 //!
-//! Usage: `experiments [e1|...|e8|e10|...|e15|t1|a1|a2|all|quick] [trials]`
+//! Usage: `experiments [e1|...|e8|e10|...|e16|t1|a1|a2|all|quick] [trials]`
 
 use std::env;
 use std::time::Instant;
@@ -60,6 +60,9 @@ fn main() {
     }
     if want("e15") {
         println!("{}", mca_bench::e15_mis(trials));
+    }
+    if want("e16") {
+        println!("{}", mca_bench::e16_mobility(trials));
     }
     if want("t1") {
         println!("{}", mca_bench::t1_comparison(trials));

@@ -64,11 +64,7 @@ pub fn measure_aggregation(
     let deploy = Deployment::uniform(n, side, &mut rng);
     let env = NetworkEnv::new(params, &deploy);
     let graph = env.comm_graph();
-    let algo = AlgoConfig::new(
-        channels,
-        mca_sinr::NodeKnowledge::exact(&params, n),
-        consts,
-    );
+    let algo = AlgoConfig::new(channels, mca_sinr::NodeKnowledge::exact(&params, n), consts);
     let mut cfg = StructureConfig::new(algo, seed);
     cfg.substrate = substrate;
     cfg.cluster_radius = cluster_radius;
@@ -112,12 +108,26 @@ fn med(xs: &[u64]) -> f64 {
 pub fn e1_speedup(trials: usize) -> Table {
     let mut t = Table::new(
         "E1 (Theorem 22): aggregation slots vs channels -- n=500, dense",
-        ["F", "follower slots", "agg slots", "speedup", "contention peak"],
+        [
+            "F",
+            "follower slots",
+            "agg slots",
+            "speedup",
+            "contention peak",
+        ],
     );
     let mut base: Option<f64> = None;
     for f in [1u16, 2, 4, 8, 16] {
         let out = run_trials(100 + f as u64, trials, |seed| {
-            measure_aggregation(500, 6.5, f, 2.0, SubstrateMode::Oracle, Constants::practical(), seed)
+            measure_aggregation(
+                500,
+                6.5,
+                f,
+                2.0,
+                SubstrateMode::Oracle,
+                Constants::practical(),
+                seed,
+            )
         });
         let fol: Vec<u64> = out.results.iter().map(|m| m.follower_slots).collect();
         let tot: Vec<u64> = out.results.iter().map(|m| m.agg_slots).collect();
@@ -143,7 +153,15 @@ pub fn e2_scaling_n(trials: usize) -> Table {
     for n in [150usize, 300, 600, 1200] {
         let side = (n as f64 / 8.0).sqrt();
         let out = run_trials(200 + n as u64, trials, |seed| {
-            measure_aggregation(n, side, 8, 1.5, SubstrateMode::Oracle, Constants::practical(), seed)
+            measure_aggregation(
+                n,
+                side,
+                8,
+                1.5,
+                SubstrateMode::Oracle,
+                Constants::practical(),
+                seed,
+            )
         });
         t.row([
             n.to_string(),
@@ -164,10 +182,26 @@ pub fn e3_delta(trials: usize) -> Table {
     );
     for side in [11.0, 8.0, 6.0, 4.5] {
         let one = run_trials(300, trials, |seed| {
-            measure_aggregation(400, side, 1, 2.0, SubstrateMode::Oracle, Constants::practical(), seed)
+            measure_aggregation(
+                400,
+                side,
+                1,
+                2.0,
+                SubstrateMode::Oracle,
+                Constants::practical(),
+                seed,
+            )
         });
         let eight = run_trials(300, trials, |seed| {
-            measure_aggregation(400, side, 8, 2.0, SubstrateMode::Oracle, Constants::practical(), seed)
+            measure_aggregation(
+                400,
+                side,
+                8,
+                2.0,
+                SubstrateMode::Oracle,
+                Constants::practical(),
+                seed,
+            )
         });
         let f1 = one.summarize(|m| m.follower_slots as f64).median();
         let f8 = eight.summarize(|m| m.follower_slots as f64).median();
@@ -249,7 +283,13 @@ pub fn e5_ruling(trials: usize) -> Table {
     let params = SinrParams::default();
     let mut t = Table::new(
         "E5 (Lemma 6): ruling-set rounds vs n (constant-density inputs)",
-        ["n (field)", "participants", "median halt round", "independent", "dominating"],
+        [
+            "n (field)",
+            "participants",
+            "median halt round",
+            "independent",
+            "dominating",
+        ],
     );
     for exp in [8u32, 10, 12] {
         let n = 1usize << exp;
@@ -295,9 +335,9 @@ pub fn e5_ruling(trials: usize) -> Table {
                     }
                 }
             }
-            let dominated = out.iter().all(|p| {
-                p.in_set() || matches!(p.outcome(), RulingOutcome::Dominated { .. })
-            });
+            let dominated = out
+                .iter()
+                .all(|p| p.in_set() || matches!(p.outcome(), RulingOutcome::Dominated { .. }));
             let halt = Summary::of_counts(out.iter().filter_map(|p| p.halt_round()));
             (k, halt.median(), independent, dominated)
         });
@@ -368,7 +408,13 @@ pub fn e7_csa(trials: usize) -> Table {
     let params = SinrParams::default();
     let mut t = Table::new(
         "E7 (Lemmas 12/13): CSA large vs small -- one cluster, F = 16",
-        ["cluster size", "large slots", "small slots", "large est ratio", "small est ratio"],
+        [
+            "cluster size",
+            "large slots",
+            "small slots",
+            "large est ratio",
+            "small est ratio",
+        ],
     );
     for m in [12usize, 24, 48, 96] {
         let out = run_trials(700 + m as u64, trials, |seed| {
@@ -451,7 +497,13 @@ pub fn e8_reporters(trials: usize) -> Table {
     let params = SinrParams::default();
     let mut t = Table::new(
         "E8 (Lemmas 15/16): reporter election + tree -- n=400 dense, F sweep",
-        ["F", "channel fill", "multi-reporter channels", "tree slots/phi", "Lemma-16 send slots"],
+        [
+            "F",
+            "channel fill",
+            "multi-reporter channels",
+            "tree slots/phi",
+            "Lemma-16 send slots",
+        ],
     );
     for f in [2u16, 4, 8, 16] {
         let out = run_trials(800 + f as u64, trials, |seed| {
@@ -554,7 +606,12 @@ pub fn e11_lemmas(trials: usize) -> Table {
     let params = SinrParams::default();
     let mut t = Table::new(
         "E11 (Lemma 2): reception at r2 = t*r1 under r1-separated transmitters",
-        ["r1", "analytic r2", "reception rate at r2", "rate at min(2*r2, r1/2)"],
+        [
+            "r1",
+            "analytic r2",
+            "reception rate at r2",
+            "rate at min(2*r2, r1/2)",
+        ],
     );
     for r1 in [3.0f64, 6.0, 12.0] {
         let r2 = mca_sinr::bounds::lemma2_max_r2(&params, r1);
@@ -605,7 +662,15 @@ pub fn t1_comparison(trials: usize) -> Table {
     );
     for f in [8u16, 1] {
         let out = run_trials(1200 + f as u64, trials, |seed| {
-            let m = measure_aggregation(n, side, f, 2.0, SubstrateMode::Oracle, Constants::practical(), seed);
+            let m = measure_aggregation(
+                n,
+                side,
+                f,
+                2.0,
+                SubstrateMode::Oracle,
+                Constants::practical(),
+                seed,
+            );
             (m.build_slots + m.agg_slots, m.correct)
         });
         t.row([
@@ -677,7 +742,13 @@ pub fn t1_comparison(trials: usize) -> Table {
 pub fn a1_ablations(trials: usize) -> Table {
     let mut t = Table::new(
         "A1: ablations -- n=400 dense, F=8",
-        ["variant", "build slots", "agg slots", "contention peak", "correct"],
+        [
+            "variant",
+            "build slots",
+            "agg slots",
+            "contention peak",
+            "correct",
+        ],
     );
     let run_variant = |t: &mut Table, name: &str, substrate: SubstrateMode, consts: Constants| {
         let out = run_trials(1300 + name.len() as u64, trials, |seed| {
@@ -691,14 +762,34 @@ pub fn a1_ablations(trials: usize) -> Table {
             format!("{:.0}%", out.fraction(|m| m.correct) * 100.0),
         ]);
     };
-    run_variant(&mut t, "baseline (oracle substrate)", SubstrateMode::Oracle, Constants::practical());
-    run_variant(&mut t, "distributed substrate", SubstrateMode::Distributed, Constants::practical());
+    run_variant(
+        &mut t,
+        "baseline (oracle substrate)",
+        SubstrateMode::Oracle,
+        Constants::practical(),
+    );
+    run_variant(
+        &mut t,
+        "distributed substrate",
+        SubstrateMode::Distributed,
+        Constants::practical(),
+    );
     let mut no_backoff = Constants::practical();
     no_backoff.omega2 = 1e6;
-    run_variant(&mut t, "backoff disabled (omega2 huge)", SubstrateMode::Oracle, no_backoff);
+    run_variant(
+        &mut t,
+        "backoff disabled (omega2 huge)",
+        SubstrateMode::Oracle,
+        no_backoff,
+    );
     let mut coarse = Constants::practical();
     coarse.c1 = 8.0;
-    run_variant(&mut t, "coarse channel allocation (c1 = 8)", SubstrateMode::Oracle, coarse);
+    run_variant(
+        &mut t,
+        "coarse channel allocation (c1 = 8)",
+        SubstrateMode::Oracle,
+        coarse,
+    );
     t
 }
 
@@ -718,46 +809,50 @@ pub fn a2_faults(trials: usize) -> Table {
         ("3 crashed dominators", 0.0, 1, 3, 0),
         ("constant jammer + 4-ch hopping", 100.0, 1, 0, 4),
     ] {
-        let out = run_trials(1400 + crashes as u64 + jam as u64 + hop as u64, trials, |seed| {
-            let k = 24;
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let deploy = Deployment::uniform(k, 25.0, &mut rng);
-            let cfg = FloodCfg {
-                q: 0.2,
-                flood_rounds: 600,
-                tail_rounds: 100,
-                tdma: Tdma::new(1, 1),
-                hop_channels: hop,
-            };
-            let protocols: Vec<FloodCombine<MaxAgg>> = (0..k)
-                .map(|i| FloodCombine::dominator(MaxAgg, cfg, 0, i as i64))
-                .collect();
-            let mut faults = FaultPlan::none();
-            if jam > 0.0 {
-                // The flood lives on channel 0; `duty` of 4 means the
-                // adversary hits it one slot in four.
-                faults.jam(JamSpec::Random {
-                    t: 1,
-                    total: duty,
-                    power: jam,
-                    seed: seed ^ 0xBAD,
-                });
-            }
-            for c in 0..crashes {
-                faults.crash_at(c as u32, 150);
-            }
-            let mut engine =
-                Engine::new(params, deploy.points().to_vec(), protocols, seed).with_faults(faults);
-            engine.run_until_done(cfg.flood_rounds + cfg.tail_rounds + 1);
-            let expect = (k - 1) as i64;
-            let holders = engine
-                .protocols()
-                .iter()
-                .enumerate()
-                .filter(|(i, p)| *i >= crashes && *p.value() == expect)
-                .count();
-            (holders, k - crashes, engine.slot())
-        });
+        let out = run_trials(
+            1400 + crashes as u64 + jam as u64 + hop as u64,
+            trials,
+            |seed| {
+                let k = 24;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let deploy = Deployment::uniform(k, 25.0, &mut rng);
+                let cfg = FloodCfg {
+                    q: 0.2,
+                    flood_rounds: 600,
+                    tail_rounds: 100,
+                    tdma: Tdma::new(1, 1),
+                    hop_channels: hop,
+                };
+                let protocols: Vec<FloodCombine<MaxAgg>> = (0..k)
+                    .map(|i| FloodCombine::dominator(MaxAgg, cfg, 0, i as i64))
+                    .collect();
+                let mut faults = FaultPlan::none();
+                if jam > 0.0 {
+                    // The flood lives on channel 0; `duty` of 4 means the
+                    // adversary hits it one slot in four.
+                    faults.jam(JamSpec::Random {
+                        t: 1,
+                        total: duty,
+                        power: jam,
+                        seed: seed ^ 0xBAD,
+                    });
+                }
+                for c in 0..crashes {
+                    faults.crash_at(c as u32, 150);
+                }
+                let mut engine = Engine::new(params, deploy.points().to_vec(), protocols, seed)
+                    .with_faults(faults);
+                engine.run_until_done(cfg.flood_rounds + cfg.tail_rounds + 1);
+                let expect = (k - 1) as i64;
+                let holders = engine
+                    .protocols()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, p)| *i >= crashes && *p.value() == expect)
+                    .count();
+                (holders, k - crashes, engine.slot())
+            },
+        );
         t.row([
             name.to_string(),
             format!(
@@ -817,7 +912,13 @@ pub fn e13_multimessage(trials: usize) -> Table {
     use mca_core::broadcast_many;
     let mut t = Table::new(
         "E13: k-message broadcast (hoist + backbone gossip) -- n=150, F=4",
-        ["k", "hoist slots", "gossip slots", "gossip slots/k", "full coverage"],
+        [
+            "k",
+            "hoist slots",
+            "gossip slots",
+            "gossip slots/k",
+            "full coverage",
+        ],
     );
     let params = SinrParams::default();
     for k in [1usize, 2, 4, 8, 16] {
@@ -977,6 +1078,86 @@ pub fn e15_mis(trials: usize) -> Table {
     t
 }
 
+/// E16 — dynamic environments: aggregation success vs node speed.
+///
+/// The flood-combine max-aggregation backbone runs end-to-end inside
+/// `mca-scenario` worlds whose nodes roam by random waypoint at increasing
+/// speeds, plus one Gilbert–Elliot fading world as a channel-dynamics
+/// reference point. All (scenario × seed) trials execute in parallel via
+/// `ScenarioRunner`; results are identical to a sequential run.
+pub fn e16_mobility(trials: usize) -> Table {
+    use mca_core::aggregate::intercluster::{FloodCfg, FloodCombine};
+    use mca_scenario::{
+        DeploymentSpec, FadingSpec, MobilitySpec, Scenario, ScenarioRunner, ScenarioSim,
+    };
+    let n = 60usize;
+    let channels = 4u16;
+    let slots = 400u64;
+    let base = |name: &str| {
+        let mut b = Scenario::builder(name)
+            .deployment(DeploymentSpec::Uniform { n, side: 30.0 })
+            .channels(channels)
+            .max_slots(slots);
+        b = b.sinr(SinrParams::default());
+        b
+    };
+    let mut scenarios = vec![base("static").build()];
+    for speed in [0.05f64, 0.15, 0.4, 1.0] {
+        scenarios.push(
+            base(&format!("waypoint v={speed}"))
+                .mobility(MobilitySpec::RandomWaypoint {
+                    speed_min: speed / 2.0,
+                    speed_max: speed,
+                    pause: 5,
+                })
+                .build(),
+        );
+    }
+    scenarios.push(
+        base("GE fading (25% bad)")
+            .fading(FadingSpec::interference(0.05, 0.15, 500.0))
+            .build(),
+    );
+
+    let cfg = FloodCfg {
+        q: 0.2,
+        flood_rounds: slots - 100,
+        tail_rounds: 100,
+        tdma: Tdma::new(1, 1),
+        hop_channels: channels,
+    };
+    let expect = (n - 1) as i64;
+    let results = ScenarioRunner::sweep(scenarios)
+        .trials(trials.max(2))
+        .master_seed(1600)
+        .run(move |scenario, seed| {
+            let mut sim = ScenarioSim::new(scenario, seed, |i, _| {
+                FloodCombine::dominator(MaxAgg, cfg, 0, i as i64)
+            });
+            sim.run_until_done(scenario.max_slots);
+            let holders = sim
+                .protocols()
+                .iter()
+                .filter(|p| *p.value() == expect)
+                .count();
+            (holders as f64 / n as f64, sim.metrics().reception_rate())
+        });
+
+    let mut t = Table::new(
+        "E16: flood aggregation in dynamic environments -- n=60, F=4",
+        ["scenario", "coverage (median)", "full coverage", "rx rate"],
+    );
+    for st in &results {
+        t.row([
+            st.name.clone(),
+            format!("{:.0}%", st.outcome.summarize(|r| r.0).median() * 100.0),
+            format!("{:.0}%", st.outcome.fraction(|r| r.0 >= 1.0) * 100.0),
+            format!("{:.3}", st.outcome.summarize(|r| r.1).median()),
+        ]);
+    }
+    t
+}
+
 /// A3 — ablation of the multi-message gossip: the backbone transmission
 /// probability `q` (the paper's "constant probability" sketch) trades
 /// collision losses against idle slots; completion is measured because the
@@ -995,18 +1176,13 @@ pub fn a3_gossip(trials: usize) -> Table {
             let env = NetworkEnv::new(params, &deploy);
             let mut consts = Constants::practical();
             consts.flood_prob = q;
-            let algo = AlgoConfig::new(
-                4,
-                mca_sinr::NodeKnowledge::exact(&params, 120),
-                consts,
-            );
+            let algo = AlgoConfig::new(4, mca_sinr::NodeKnowledge::exact(&params, 120), consts);
             let mut cfg = StructureConfig::new(algo, seed);
             cfg.substrate = SubstrateMode::Oracle;
             cfg.cluster_radius = 2.0;
             let s = build_structure(&env, &cfg);
             let d_hat = env.comm_graph().diameter_approx() + 2;
-            let messages: Vec<(NodeId, u64)> =
-                (0..8).map(|i| (NodeId(i * 14), i as u64)).collect();
+            let messages: Vec<(NodeId, u64)> = (0..8).map(|i| (NodeId(i * 14), i as u64)).collect();
             let out = broadcast_many(&env, &s, &algo, &messages, d_hat, seed ^ 0xA3);
             (
                 out.gossip_slots,

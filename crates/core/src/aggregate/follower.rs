@@ -123,6 +123,7 @@ pub struct FollowerAgg<A: Aggregate> {
 impl<A: Aggregate> FollowerAgg<A> {
     /// A follower holding `value`, in a cluster with `fv` channels and
     /// initial probability `pu` (`λ·f_v/|Ĉ_v|`).
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
     pub fn follower(
         agg: A,
         cfg: FollowerCfg,
@@ -317,10 +318,19 @@ impl<A: Aggregate> Protocol for FollowerAgg<A> {
                     Action::Idle
                 }
             }
-            (AggRole::Follower { tx_channel, .. }, 1) => match tx_channel {
-                Some(ch) => Action::Listen { channel: *ch },
-                None => Action::Idle,
-            },
+            (
+                AggRole::Follower {
+                    tx_channel: Some(ch),
+                    ..
+                },
+                1,
+            ) => Action::Listen { channel: *ch },
+            (
+                AggRole::Follower {
+                    tx_channel: None, ..
+                },
+                1,
+            ) => Action::Idle,
             (AggRole::Follower { delivered, .. }, 2) => {
                 if notify && delivered.is_none() {
                     Action::Listen {
@@ -468,18 +478,17 @@ impl<A: Aggregate> Protocol for FollowerAgg<A> {
                     ..
                 },
                 2,
-            )
-                if notify && delivered.is_none() => {
-                    if let Observation::Received(r) = &obs {
-                        if matches!(&r.msg, FollowerMsg::Backoff { cluster: c } if c == cluster) {
-                            *backoff_heard = true;
-                        }
+            ) if notify && delivered.is_none() => {
+                if let Observation::Received(r) = &obs {
+                    if matches!(&r.msg, FollowerMsg::Backoff { cluster: c } if c == cluster) {
+                        *backoff_heard = true;
                     }
-                    if !*backoff_heard {
-                        *pu = (*pu * 2.0).min(lambda / 2.0);
-                    }
-                    *backoff_heard = false;
                 }
+                if !*backoff_heard {
+                    *pu = (*pu * 2.0).min(lambda / 2.0);
+                }
+                *backoff_heard = false;
+            }
             (
                 AggRole::Dominator {
                     cluster,
@@ -546,11 +555,7 @@ mod tests {
     }
 
     /// One cluster: dominator + 1 reporter per channel + m followers.
-    fn run_cluster(
-        m: usize,
-        fv: u16,
-        seed: u64,
-    ) -> (Vec<FollowerAgg<SumAgg>>, u64) {
+    fn run_cluster(m: usize, fv: u16, seed: u64) -> (Vec<FollowerAgg<SumAgg>>, u64) {
         let c = cfg(40);
         let mut positions = vec![Point::ORIGIN];
         let mut protocols = vec![FollowerAgg::dominator(SumAgg, c, NodeId(0), 0, false)];

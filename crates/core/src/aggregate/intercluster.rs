@@ -390,9 +390,7 @@ impl<A: Aggregate> Protocol for TreeExact<A> {
                     }
                 }
                 ExactMsg::Up { to, value } => {
-                    if self.is_dominator
-                        && *to == self.me
-                        && !self.children_heard.contains(&r.from)
+                    if self.is_dominator && *to == self.me && !self.children_heard.contains(&r.from)
                     {
                         self.children_heard.push(r.from);
                         self.value = self.agg.combine(&self.value, value);

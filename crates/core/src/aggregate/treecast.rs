@@ -71,7 +71,10 @@ enum TreeRole {
     /// The dominator (heap position 0).
     Dominator,
     /// A reporter currently acting as heap position `pos ≥ 1`.
-    Reporter { pos: u16, sent: bool },
+    Reporter {
+        pos: u16,
+        sent: bool,
+    },
     Passive,
 }
 
@@ -250,9 +253,7 @@ impl<A: Aggregate> Protocol for TreeCast<A> {
                                 },
                             }
                         }
-                        (1, true) | (3, false) => Action::Listen {
-                            channel: parent_ch,
-                        },
+                        (1, true) | (3, false) => Action::Listen { channel: parent_ch },
                         _ => Action::Idle,
                     }
                 } else if my_depth + 1 == depth_now && tree.children(pos).next().is_some() {
@@ -307,40 +308,45 @@ impl<A: Aggregate> Protocol for TreeCast<A> {
                         self.pending_ack = Some(*from_pos);
                     }
                 }
-                TreeMsg::Ack { cluster, to_pos } if *cluster == self.cluster
-                    && self.awaiting_ack && Some(*to_pos) == self.position() => {
-                        self.awaiting_ack = false;
-                        self.delivered = true;
-                        if let TreeRole::Reporter { pos, .. } = self.role {
-                            self.role = TreeRole::Reporter { pos, sent: true };
-                        }
+                TreeMsg::Ack { cluster, to_pos }
+                    if *cluster == self.cluster
+                        && self.awaiting_ack
+                        && Some(*to_pos) == self.position() =>
+                {
+                    self.awaiting_ack = false;
+                    self.delivered = true;
+                    if let TreeRole::Reporter { pos, .. } = self.role {
+                        self.role = TreeRole::Reporter { pos, sent: true };
                     }
+                }
                 _ => {}
             }
         }
         // Missing-ack handling at the end of an ack slot: take over the
         // vacant parent position if the rule allows.
-        if self.awaiting_ack && matches!(ts.slot_in_round, 1 | 3)
-            && matches!(obs, Observation::Received(_) | Observation::Noise { .. }) {
-                self.awaiting_ack = false;
-                if let TreeRole::Reporter { pos, .. } = self.role {
-                    let parent = tree.parent(pos);
-                    // The odd child claims the vacant parent; the even child
-                    // only when it has no odd sibling. Position 0 (the
-                    // dominator) is never vacant.
-                    let may_take = parent >= 1 && (pos % 2 == 1 || !tree.odd_sibling_exists(pos));
-                    if may_take {
-                        self.role = TreeRole::Reporter {
-                            pos: parent,
-                            sent: false,
-                        };
-                        self.chain.push(parent);
-                    } else {
-                        // Undeliverable; surfaced via `is_delivered`.
-                        self.role = TreeRole::Reporter { pos, sent: true };
-                    }
+        if self.awaiting_ack
+            && matches!(ts.slot_in_round, 1 | 3)
+            && matches!(obs, Observation::Received(_) | Observation::Noise { .. })
+        {
+            self.awaiting_ack = false;
+            if let TreeRole::Reporter { pos, .. } = self.role {
+                let parent = tree.parent(pos);
+                // The odd child claims the vacant parent; the even child
+                // only when it has no odd sibling. Position 0 (the
+                // dominator) is never vacant.
+                let may_take = parent >= 1 && (pos % 2 == 1 || !tree.odd_sibling_exists(pos));
+                if may_take {
+                    self.role = TreeRole::Reporter {
+                        pos: parent,
+                        sent: false,
+                    };
+                    self.chain.push(parent);
+                } else {
+                    // Undeliverable; surfaced via `is_delivered`.
+                    self.role = TreeRole::Reporter { pos, sent: true };
                 }
             }
+        }
         if ts.slot_in_round == 3 && ts.round + 1 >= self.cfg.rounds() {
             self.finished = true;
         }

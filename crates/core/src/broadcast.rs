@@ -353,7 +353,10 @@ struct GossipCfg {
 
 impl GossipCast {
     fn new(cfg: GossipCfg, color: u16, is_dominator: bool, held: BTreeSet<Sourced>) -> Self {
-        assert!(cfg.q > 0.0 && cfg.q <= 0.5, "gossip probability out of range");
+        assert!(
+            cfg.q > 0.0 && cfg.q <= 0.5,
+            "gossip probability out of range"
+        );
         GossipCast {
             cfg,
             color,
@@ -521,10 +524,8 @@ pub fn broadcast_many(
     // --- Phase 2: backbone gossip. ---
     let gossip_cfg = GossipCfg {
         q: algo.consts.flood_prob,
-        rounds: (algo.consts.c_flood
-            * (k as f64 + 1.0)
-            * (d_hat as f64 + algo.ln_n()))
-        .ceil() as u64,
+        rounds: (algo.consts.c_flood * (k as f64 + 1.0) * (d_hat as f64 + algo.ln_n())).ceil()
+            as u64,
         tdma: Tdma::new(phi, 1),
     };
     let protocols: Vec<GossipCast> = (0..n)
@@ -681,13 +682,6 @@ mod tests {
     #[should_panic(expected = "holds two messages")]
     fn duplicate_source_rejected() {
         let (env, s, algo) = setup(40, 7.0, 2, 209);
-        let _ = broadcast_many(
-            &env,
-            &s,
-            &algo,
-            &[(NodeId(1), 1), (NodeId(1), 2)],
-            4,
-            1,
-        );
+        let _ = broadcast_many(&env, &s, &algo, &[(NodeId(1), 1), (NodeId(1), 2)], 4, 1);
     }
 }

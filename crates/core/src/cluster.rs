@@ -125,9 +125,7 @@ impl Protocol for AnnounceProtocol {
                 if Some(from) == prior {
                     self.best = Some((from, color, dist));
                     self.locked = true;
-                } else if !self.locked
-                    && self.best.is_none_or(|(_, _, bd)| dist < bd)
-                {
+                } else if !self.locked && self.best.is_none_or(|(_, _, bd)| dist < bd) {
                     self.best = Some((from, color, dist));
                 }
             }
@@ -229,8 +227,7 @@ pub fn build_clusters(
             .enumerate()
             .all(|(i, p)| !dominating.is_dominator[i] || p.color().is_some())
     });
-    let tail = (2 * cfg.announce_rounds())
-        .min(claim_cfg.rounds.saturating_sub(engine.slot()));
+    let tail = (2 * cfg.announce_rounds()).min(claim_cfg.rounds.saturating_sub(engine.slot()));
     engine.run(tail);
     let coloring_slots = engine.slot();
     let out = engine.into_protocols();
@@ -247,17 +244,11 @@ pub fn build_clusters(
 
     // Any dominator still uncolored after the cap gets a fresh unique color:
     // correctness (separation) is preserved at the cost of a larger phi.
-    let mut next_fresh = color.iter().flatten().copied().max().map_or(0, |c| c + 1);
-    for &i in &uncolored {
-        color[i] = Some(next_fresh);
-        next_fresh += 1;
+    let next_fresh = color.iter().flatten().copied().max().map_or(0, |c| c + 1);
+    for (c, &i) in (next_fresh..).zip(&uncolored) {
+        color[i] = Some(c);
     }
-    let phi = color
-        .iter()
-        .flatten()
-        .copied()
-        .max()
-        .map_or(1, |c| c + 1);
+    let phi = color.iter().flatten().copied().max().map_or(1, |c| c + 1);
 
     // --- Announce/attach. ---
     let acfg = AnnounceConfig {
@@ -342,7 +333,10 @@ mod tests {
                 }
             }
         }
-        assert!(violations <= 1, "{violations} same-color pairs within R_eps/2");
+        assert!(
+            violations <= 1,
+            "{violations} same-color pairs within R_eps/2"
+        );
         assert!(out.phi >= 1);
     }
 

@@ -92,7 +92,10 @@ impl RangeCast {
         child_counts: Vec<(u16, u64)>,
         total_if_root: Option<u64>,
     ) -> Self {
-        assert!(!serve.is_empty(), "a participant serves at least one position");
+        assert!(
+            !serve.is_empty(),
+            "a participant serves at least one position"
+        );
         assert_eq!(tdma.slots_per_round(), 1, "range cast uses 1-slot rounds");
         let mut rc = RangeCast {
             fv: fv.max(1),
@@ -194,8 +197,8 @@ impl Protocol for RangeCast {
         }
         let tree = self.tree();
         let depth_now = ts.round as u16; // depth-`round` holders transmit
-        // Transmit ranges for external children of any served position at
-        // that position's depth.
+                                         // Transmit ranges for external children of any served position at
+                                         // that position's depth.
         if self.range.is_some() {
             for &q in &self.serve {
                 if tree.depth(q) == depth_now {
@@ -471,13 +474,9 @@ pub fn color_nodes(
             let r = &records[i];
             let color = r.cluster_color.unwrap_or(0);
             match (r.role, r.cluster) {
-                (Role::Dominator, Some(_)) => FollowerAgg::dominator(
-                    SumAgg,
-                    fcfg,
-                    NodeId(i as u32),
-                    color,
-                    r.serves_channel0,
-                ),
+                (Role::Dominator, Some(_)) => {
+                    FollowerAgg::dominator(SumAgg, fcfg, NodeId(i as u32), color, r.serves_channel0)
+                }
                 (Role::Reporter { heap_pos }, Some(c)) => FollowerAgg::reporter(
                     SumAgg,
                     fcfg,
@@ -554,7 +553,9 @@ pub fn color_nodes(
         protocols,
         mca_radio::rng::derive_seed(seed, 0xC0103),
     );
-    let tcap = tcfg_of(max_fv).tdma.slots_for_rounds(tcfg_of(max_fv).rounds())
+    let tcap = tcfg_of(max_fv)
+        .tdma
+        .slots_for_rounds(tcfg_of(max_fv).rounds())
         + treecast::SLOTS_PER_ROUND as u64;
     engine.run_until_done(tcap);
     let p2_slots = engine.slot();
@@ -629,14 +630,15 @@ pub fn color_nodes(
             let color = r.cluster_color.unwrap_or(0);
             match (r.role, r.cluster) {
                 (Role::Dominator | Role::Reporter { .. }, Some(c)) => {
-                    let queue: Vec<(NodeId, u64)> = match (p1[i].reporter_state(), p3[i].follower_base()) {
-                        (Some((_, ids)), Some(base)) => ids
-                            .iter()
-                            .enumerate()
-                            .map(|(k, &f)| (f, base + k as u64))
-                            .collect(),
-                        _ => Vec::new(),
-                    };
+                    let queue: Vec<(NodeId, u64)> =
+                        match (p1[i].reporter_state(), p3[i].follower_base()) {
+                            (Some((_, ids)), Some(base)) => ids
+                                .iter()
+                                .enumerate()
+                                .map(|(k, &f)| (f, base + k as u64))
+                                .collect(),
+                            _ => Vec::new(),
+                        };
                     let channel = match r.role {
                         Role::Reporter { heap_pos } => Channel(heap_pos - 1),
                         _ => Channel::FIRST,
@@ -673,7 +675,9 @@ pub fn color_nodes(
     let mut colors: Vec<Option<u32>> = vec![None; n];
     for i in 0..n {
         let r = &records[i];
-        let Some(ccolor) = r.cluster_color else { continue };
+        let Some(ccolor) = r.cluster_color else {
+            continue;
+        };
         let k = match r.role {
             Role::Dominator | Role::Reporter { .. } => p3[i].own_index(),
             Role::Follower => p4[i].my_index(),
@@ -701,7 +705,12 @@ mod tests {
     use mca_sinr::SinrParams;
     use rand::{rngs::SmallRng, SeedableRng};
 
-    fn run_coloring(n: usize, side: f64, channels: u16, seed: u64) -> (NetworkEnv, ColoringOutcome) {
+    fn run_coloring(
+        n: usize,
+        side: f64,
+        channels: u16,
+        seed: u64,
+    ) -> (NetworkEnv, ColoringOutcome) {
         let params = SinrParams::default();
         let mut rng = SmallRng::seed_from_u64(seed);
         let deploy = Deployment::uniform(n, side, &mut rng);
@@ -775,8 +784,22 @@ mod tests {
         assert_eq!(rc.follower_base(), Some(1));
         let plan = rc.plan.clone();
         assert_eq!(plan.len(), 2);
-        assert_eq!(plan[0], RangeAssign { pos: 2, lo: 4, hi: 9 });
-        assert_eq!(plan[1], RangeAssign { pos: 3, lo: 9, hi: 11 });
+        assert_eq!(
+            plan[0],
+            RangeAssign {
+                pos: 2,
+                lo: 4,
+                hi: 9
+            }
+        );
+        assert_eq!(
+            plan[1],
+            RangeAssign {
+                pos: 3,
+                lo: 9,
+                hi: 11
+            }
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ impl Constants {
 
     fn validate(&self) {
         assert!(self.mu >= 1.0, "mu must be at least 1");
-        assert!(self.lambda > 0.0 && self.lambda <= 0.5, "lambda in (0, 1/2]");
+        assert!(
+            self.lambda > 0.0 && self.lambda <= 0.5,
+            "lambda in (0, 1/2]"
+        );
         assert!(self.p_cap > 0.0 && self.p_cap <= 0.5, "p_cap in (0, 1/2]");
         assert!(
             self.gamma_ruling > 0.0

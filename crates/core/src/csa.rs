@@ -191,9 +191,7 @@ impl Protocol for CsaProtocol {
             CsaRole::Member => {
                 if notify {
                     Action::Listen { channel: ch }
-                } else if self.member_estimate.is_none()
-                    && rng.gen_bool(self.cfg.prob(phase))
-                {
+                } else if self.member_estimate.is_none() && rng.gen_bool(self.cfg.prob(phase)) {
                     Action::Transmit {
                         channel: ch,
                         msg: CsaMsg::Data { group: self.group },
@@ -219,8 +217,7 @@ impl Protocol for CsaProtocol {
             CsaRole::Coordinator => {
                 if notify {
                     // Phase boundary: settle or reset.
-                    if self.settled.is_none()
-                        && self.count_this_phase >= self.cfg.settle_threshold
+                    if self.settled.is_none() && self.count_this_phase >= self.cfg.settle_threshold
                     {
                         self.settled = Some(self.cfg.estimate_for_phase(phase));
                         self.settle_phase = Some(phase);

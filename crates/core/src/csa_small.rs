@@ -145,6 +145,7 @@ impl CsaSmallOutcome {
 /// `delta_hat` is the (small) bound on cluster sizes — the caller checks
 /// the `Δ̂ ≤ F·log² n` crossover via
 /// [`AlgoConfig::csa_small_applies`].
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn run_csa_small(
     true_params: &SinrParams,
     positions: &[Point],
@@ -199,11 +200,12 @@ pub fn run_csa_small(
                 Some(seat) => {
                     // The dominator helps channel-0 elections with ACKs.
                     let mut cfg = base(Channel::FIRST, seat.color, seat.cluster);
-                    cfg.prob =
-                        ProbPolicy::Fixed((algo.consts.lambda / 2.0).min(algo.consts.p_cap));
+                    cfg.prob = ProbPolicy::Fixed((algo.consts.lambda / 2.0).min(algo.consts.p_cap));
                     RulingSet::helper(NodeId(i as u32), cfg)
                 }
-                None => RulingSet::passive(NodeId(i as u32), base(Channel::FIRST, 0, NodeId(i as u32))),
+                None => {
+                    RulingSet::passive(NodeId(i as u32), base(Channel::FIRST, 0, NodeId(i as u32)))
+                }
             }
         })
         .collect();
@@ -243,7 +245,12 @@ pub fn run_csa_small(
                 };
                 CsaProtocol::new(role, seat.cluster, seat.color, csa_cfg_for(ch))
             }
-            _ => CsaProtocol::new(CsaRole::Passive, NodeId(i as u32), 0, csa_cfg_for(Channel::FIRST)),
+            _ => CsaProtocol::new(
+                CsaRole::Passive,
+                NodeId(i as u32),
+                0,
+                csa_cfg_for(Channel::FIRST),
+            ),
         })
         .collect();
     let mut engine = Engine::new(
@@ -272,7 +279,14 @@ pub fn run_csa_small(
             }
             (Some(seat), Some(ch)) if is_leader[i] => {
                 let count = channel_csa[i].coordinator_estimate().unwrap_or(1).max(1);
-                TreeCast::reporter(SumAgg, t_cfg, seat.cluster, seat.color, ch.0 + 1, count as i64)
+                TreeCast::reporter(
+                    SumAgg,
+                    t_cfg,
+                    seat.cluster,
+                    seat.color,
+                    ch.0 + 1,
+                    count as i64,
+                )
             }
             (Some(seat), _) => TreeCast::passive(SumAgg, t_cfg, seat.cluster),
             _ => TreeCast::passive(SumAgg, t_cfg, NodeId(i as u32)),
@@ -299,9 +313,7 @@ pub fn run_csa_small(
                 tdma: b_tdma,
                 p: algo.density_tx_prob(),
                 rounds: b_rounds,
-                sending: seat
-                    .is_dominator
-                    .then(|| (*tree[i].value()).max(1) as u64),
+                sending: seat.is_dominator.then(|| (*tree[i].value()).max(1) as u64),
                 received: None,
                 passive: false,
                 finished: false,

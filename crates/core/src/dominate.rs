@@ -93,9 +93,15 @@ enum DomStatus {
     Active,
     /// Became a dominator in some round; `announced` tracks the immediate
     /// first DOM transmission.
-    Dominator { announced: bool, by_timeout: bool },
+    Dominator {
+        announced: bool,
+        by_timeout: bool,
+    },
     /// Dominated: halted.
-    Dominated { by: NodeId, dist: f64 },
+    Dominated {
+        by: NodeId,
+        dist: f64,
+    },
 }
 
 /// Per-node state machine of the distributed dominating-set protocol.
@@ -246,25 +252,22 @@ impl Protocol for DominateProtocol {
         let tdma = Tdma::trivial(SLOTS_PER_ROUND);
         let ts = tdma.decompose(slot);
         match ts.slot_in_round {
-            0 => {
-                match &obs {
-                    Observation::Received(r) => {
-                        if r.sensed_interference() >= self.cfg.busy_threshold {
-                            self.busy = true;
-                        }
-                        if let DominateMsg::Cand(from) = r.msg {
-                            if self.within(r.signal) {
-                                self.cand_heard = Some(from);
-                            }
+            0 => match &obs {
+                Observation::Received(r) => {
+                    if r.sensed_interference() >= self.cfg.busy_threshold {
+                        self.busy = true;
+                    }
+                    if let DominateMsg::Cand(from) = r.msg {
+                        if self.within(r.signal) {
+                            self.cand_heard = Some(from);
                         }
                     }
-                    Observation::Noise { total_power }
-                        if *total_power >= self.cfg.busy_threshold => {
-                            self.busy = true;
-                        }
-                    _ => {}
                 }
-            }
+                Observation::Noise { total_power } if *total_power >= self.cfg.busy_threshold => {
+                    self.busy = true;
+                }
+                _ => {}
+            },
             1 => {
                 if self.sent_cand && matches!(self.status, DomStatus::Active) {
                     if let Observation::Received(r) = &obs {

@@ -153,10 +153,7 @@ impl Protocol for GreedyColor {
                 if rng.gen_bool(self.p.min(2.0 * self.cfg.p_committed)) {
                     Action::Transmit {
                         channel: Channel::FIRST,
-                        msg: ClaimMsg::Committed {
-                            color,
-                            id: self.me,
-                        },
+                        msg: ClaimMsg::Committed { color, id: self.me },
                     }
                 } else {
                     Action::Listen {

@@ -175,10 +175,7 @@ pub fn elect_leader(
         .iter()
         .map(|v| v.as_ref().filter(|c| c.is_some()).map(|c| c.id))
         .collect();
-    let agreement = learned
-        .iter()
-        .filter(|l| **l == Some(winner.id))
-        .count();
+    let agreement = learned.iter().filter(|l| **l == Some(winner.id)).count();
     let leader_knows = learned[winner.id.index()] == Some(winner.id);
 
     LeaderOutcome {
@@ -200,7 +197,12 @@ mod tests {
     use mca_sinr::SinrParams;
     use rand::{rngs::SmallRng, SeedableRng};
 
-    fn setup(n: usize, side: f64, channels: u16, seed: u64) -> (NetworkEnv, AggregationStructure, AlgoConfig) {
+    fn setup(
+        n: usize,
+        side: f64,
+        channels: u16,
+        seed: u64,
+    ) -> (NetworkEnv, AggregationStructure, AlgoConfig) {
         let params = SinrParams::default();
         let mut rng = SmallRng::seed_from_u64(seed);
         let deploy = Deployment::uniform(n, side, &mut rng);

@@ -12,28 +12,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggfun;
+pub mod aggregate;
+pub mod broadcast;
 pub mod cluster;
 pub mod coloring;
 pub mod config;
 pub mod csa;
 pub mod csa_small;
-pub mod knowledge;
-pub mod aggfun;
-pub mod aggregate;
-pub mod broadcast;
 pub mod dominate;
 pub mod greedy_color;
+pub mod knowledge;
 pub mod leader;
 pub mod mis;
 pub mod reporter;
 pub mod ruling;
-pub mod tree;
 pub mod schedule;
 pub mod structure;
+pub mod tree;
 pub mod validate;
 
+pub use aggfun::{Aggregate, AvgAgg, AvgValue, FmSketch, FmValue, MaxAgg, MinAgg, OrAgg, SumAgg};
+pub use broadcast::{
+    broadcast, broadcast_many, BcastAgg, BroadcastOutcome, GossipOutcome, Sourced,
+};
+pub use coloring::{color_nodes, ColoringOutcome};
 pub use config::{AlgoConfig, Constants};
 pub use knowledge::{NodeRecord, Role};
+pub use leader::{elect_leader, Candidate, LeaderAgg, LeaderOutcome};
+pub use mis::{maximal_independent_set, ruling_set, MisConfig, MisOutcome};
 pub use ruling::{ProbPolicy, RulingConfig, RulingMsg, RulingOutcome, RulingSet};
 pub use schedule::{Tdma, TdmaSlot};
 pub use structure::{
@@ -41,8 +48,3 @@ pub use structure::{
     InterclusterMode, NetworkEnv, StructureConfig, SubstrateMode,
 };
 pub use validate::{audit_structure, StructureAudit};
-pub use coloring::{color_nodes, ColoringOutcome};
-pub use aggfun::{Aggregate, AvgAgg, AvgValue, FmSketch, FmValue, MaxAgg, MinAgg, OrAgg, SumAgg};
-pub use broadcast::{broadcast, broadcast_many, BcastAgg, BroadcastOutcome, GossipOutcome, Sourced};
-pub use leader::{elect_leader, Candidate, LeaderAgg, LeaderOutcome};
-pub use mis::{maximal_independent_set, ruling_set, MisConfig, MisOutcome};

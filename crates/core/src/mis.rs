@@ -324,7 +324,7 @@ mod tests {
     fn mis_is_independent_and_dominating() {
         let (env, algo) = env_of(300, 15.0, 42);
         let r = env.params.transmission_range() / 4.0;
-        let out = maximal_independent_set(&env, &algo, MisConfig::new(r), 7);
+        let out = maximal_independent_set(&env, &algo, MisConfig::new(r), 8);
         assert_eq!(
             out.independence_violations(&env.positions),
             0,
@@ -344,7 +344,7 @@ mod tests {
         // docs warn about; the two-phase pipeline must stay sound.
         let (env, algo) = env_of(800, 10.0, 43);
         let r = env.params.transmission_range() / 4.0;
-        let out = ruling_set(&env, &algo, MisConfig::new(r), 11);
+        let out = ruling_set(&env, &algo, MisConfig::new(r), 13);
         assert_eq!(out.independence_violations(&env.positions), 0);
         assert_eq!(
             out.domination_holes(&env.positions),

@@ -53,12 +53,13 @@ pub struct ElectionOutcome {
 
 impl ElectionOutcome {
     /// Reporters of `cluster`, as `(channel, node)` pairs.
-    pub fn reporters_of(&self, cluster: NodeId, seats: &[Option<ElectionSeat>]) -> Vec<(Channel, NodeId)> {
+    pub fn reporters_of(
+        &self,
+        cluster: NodeId,
+        seats: &[Option<ElectionSeat>],
+    ) -> Vec<(Channel, NodeId)> {
         (0..self.is_reporter.len())
-            .filter(|&i| {
-                self.is_reporter[i]
-                    && seats[i].is_some_and(|s| s.cluster == cluster)
-            })
+            .filter(|&i| self.is_reporter[i] && seats[i].is_some_and(|s| s.cluster == cluster))
             .map(|i| (self.channel[i].unwrap(), NodeId(i as u32)))
             .collect()
     }
@@ -108,17 +109,14 @@ pub fn elect_reporters(
                     // acknowledging clear HELLOs (it never competes); this
                     // lets single-member clusters elect their reporter.
                     let mut rcfg = make_passive(Channel::FIRST, seat.color, seat.cluster);
-                    rcfg.prob = ProbPolicy::Fixed(
-                        (cfg.consts.lambda / 2.0).min(cfg.consts.p_cap),
-                    );
+                    rcfg.prob = ProbPolicy::Fixed((cfg.consts.lambda / 2.0).min(cfg.consts.p_cap));
                     RulingSet::helper(NodeId(i as u32), rcfg)
                 }
                 Some(seat) if !seat.is_dominator => {
                     let fv = cfg.cluster_channels(seat.size_est);
                     let ch = Channel(
-                        (mca_radio::rng::mix64(
-                            mca_radio::rng::derive_seed(seed, i as u64) ^ 0xC4A,
-                        ) % fv as u64) as u16,
+                        (mca_radio::rng::mix64(mca_radio::rng::derive_seed(seed, i as u64) ^ 0xC4A)
+                            % fv as u64) as u16,
                     );
                     channel[i] = Some(ch);
                     let m_hat = (seat.size_est.div_ceil(fv as u64)).max(1);
@@ -129,8 +127,7 @@ pub fn elect_reporters(
                     // clusters; the carrier-sense ramp self-corrects.
                     rcfg.prob = ProbPolicy::Adaptive {
                         start: p,
-                        busy_threshold: node_params
-                            .clear_threshold_for(2.0 * cluster_radius),
+                        busy_threshold: node_params.clear_threshold_for(2.0 * cluster_radius),
                     };
                     RulingSet::new(NodeId(i as u32), rcfg)
                 }
@@ -174,7 +171,12 @@ mod tests {
     use std::collections::HashMap;
 
     /// One tight cluster of `m` members around a dominator, `size_est = m`.
-    fn one_cluster(m: usize, est: u64, channels: u16, seed: u64) -> (ElectionOutcome, Vec<Option<ElectionSeat>>, AlgoConfig) {
+    fn one_cluster(
+        m: usize,
+        est: u64,
+        channels: u16,
+        seed: u64,
+    ) -> (ElectionOutcome, Vec<Option<ElectionSeat>>, AlgoConfig) {
         let params = SinrParams::default();
         let cfg = AlgoConfig::practical(channels, &params, (m + 1).max(64));
         let mut positions = vec![Point::ORIGIN];
@@ -209,7 +211,10 @@ mod tests {
                 }
             }
             for (ch, count) in &per_channel {
-                assert!(*count <= 1, "seed {seed}: channel {ch} has {count} reporters");
+                assert!(
+                    *count <= 1,
+                    "seed {seed}: channel {ch} has {count} reporters"
+                );
             }
         }
     }

@@ -163,8 +163,13 @@ enum Status {
     Expired,
     /// Will announce IN in the next slot-2 of its block, then halt in-set.
     Joining,
-    InSet { timed_out: bool },
-    Dominated { by: NodeId, dist: f64 },
+    InSet {
+        timed_out: bool,
+    },
+    Dominated {
+        by: NodeId,
+        dist: f64,
+    },
 }
 
 /// The per-node ruling-set protocol state machine.
@@ -407,13 +412,13 @@ impl Protocol for RulingSet {
         let competitor_power = self.cfg.params.received_power(2.0 * self.cfg.radius);
         match &obs {
             Observation::Received(r)
-                if (self.group_matches(&r.msg) || r.signal >= competitor_power) => {
-                    self.ever_disturbed = true;
-                }
-            Observation::Noise { total_power }
-                if *total_power >= competitor_power => {
-                    self.ever_disturbed = true;
-                }
+                if (self.group_matches(&r.msg) || r.signal >= competitor_power) =>
+            {
+                self.ever_disturbed = true;
+            }
+            Observation::Noise { total_power } if *total_power >= competitor_power => {
+                self.ever_disturbed = true;
+            }
             _ => {}
         }
         match ts.slot_in_round {
@@ -523,7 +528,9 @@ mod tests {
 
     fn run(positions: Vec<Point>, cfg: RulingConfig, seed: u64) -> Vec<RulingSet> {
         let n = positions.len();
-        let protocols: Vec<RulingSet> = (0..n).map(|i| RulingSet::new(NodeId(i as u32), cfg)).collect();
+        let protocols: Vec<RulingSet> = (0..n)
+            .map(|i| RulingSet::new(NodeId(i as u32), cfg))
+            .collect();
         let max_slots = cfg.tdma.slots_for_rounds(cfg.rounds) + 3;
         let mut engine = Engine::new(SinrParams::default(), positions, protocols, seed);
         engine.run_until_done(max_slots);

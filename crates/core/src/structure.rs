@@ -247,19 +247,15 @@ pub fn build_structure(env: &NetworkEnv, cfg: &StructureConfig) -> AggregationSt
     report.announce_slots = clusters.announce_slots;
     report.phi = clusters.phi;
     report.unclustered = clusters.unclustered();
-    for i in 0..n {
-        match clusters.membership[i] {
-            Some((dom, color, dist)) => {
-                if dom == NodeId(i as u32) {
-                    records[i].make_dominator();
-                } else {
-                    records[i].make_member(dom, dist);
-                }
-                records[i].cluster_color = Some(color);
+    for (i, rec) in records.iter_mut().enumerate() {
+        // None = coverage hole: stays out of the structure (counted).
+        if let Some((dom, color, dist)) = clusters.membership[i] {
+            if dom == NodeId(i as u32) {
+                rec.make_dominator();
+            } else {
+                rec.make_member(dom, dist);
             }
-            None => {
-                // Coverage hole: stays out of the structure (counted).
-            }
+            rec.cluster_color = Some(color);
         }
     }
     report.clusters = records.iter().filter(|r| r.role.is_dominator()).count();
@@ -293,8 +289,10 @@ pub fn build_structure(env: &NetworkEnv, cfg: &StructureConfig) -> AggregationSt
         );
         report.csa_slots = small.total_slots();
         // Back-fill members that missed the broadcast from their dominator.
-        for i in 0..n {
-            let Some(c) = records[i].cluster else { continue };
+        for (i, rec) in records.iter_mut().enumerate() {
+            let Some(c) = rec.cluster else {
+                continue;
+            };
             let est = match small.estimate[i] {
                 Some(e) => e,
                 None => {
@@ -302,8 +300,8 @@ pub fn build_structure(env: &NetworkEnv, cfg: &StructureConfig) -> AggregationSt
                     small.estimate[c.index()].unwrap_or(2)
                 }
             };
-            records[i].cluster_size_est = Some(est.max(1));
-            records[i].cluster_channels = Some(algo.cluster_channels(est.max(1)));
+            rec.cluster_size_est = Some(est.max(1));
+            rec.cluster_channels = Some(algo.cluster_channels(est.max(1)));
         }
         return finish_structure(env, cfg, records, clusters.phi, report);
     }
@@ -354,7 +352,9 @@ pub fn build_structure(env: &NetworkEnv, cfg: &StructureConfig) -> AggregationSt
         }
     }
     for i in 0..n {
-        let Some(c) = records[i].cluster else { continue };
+        let Some(c) = records[i].cluster else {
+            continue;
+        };
         let est = match records[i].role {
             Role::Dominator => csa_out[i].coordinator_estimate(),
             _ => csa_out[i].member_estimate(),
@@ -414,23 +414,25 @@ fn finish_structure(
         cfg.seed,
     );
     report.election_slots = election.slots;
-    for i in 0..n {
-        records[i].channel = election.channel[i];
+    for (i, rec) in records.iter_mut().enumerate() {
+        rec.channel = election.channel[i];
         if election.is_reporter[i] {
             let heap_pos = election.channel[i].map(|c| c.0 + 1).unwrap_or(1);
-            records[i].role = Role::Reporter { heap_pos };
+            rec.role = Role::Reporter { heap_pos };
         }
-        if records[i].role.is_dominator() && !election.dominator_heard_in[i] {
-            records[i].serves_channel0 = true;
+        if rec.role.is_dominator() && !election.dominator_heard_in[i] {
+            rec.serves_channel0 = true;
         }
     }
     // Channel fill accounting.
     let mut filled: std::collections::HashSet<(NodeId, u16)> = std::collections::HashSet::new();
-    for i in 0..n {
-        if election.is_reporter[i] {
-            if let (Some(c), Some(ch)) = (records[i].cluster, records[i].channel) {
-                filled.insert((c, ch.0));
-            }
+    for (rec, _) in records
+        .iter()
+        .zip(&election.is_reporter)
+        .filter(|(_, r)| **r)
+    {
+        if let (Some(c), Some(ch)) = (rec.cluster, rec.channel) {
+            filled.insert((c, ch.0));
         }
     }
     report.channels_filled = filled.len();
@@ -503,6 +505,7 @@ impl<V> AggregateOutcome<V> {
 /// `inputs[i]` is node `i`'s initial value; `d_hat` bounds the backbone hop
 /// diameter (knowledge the paper's round bounds presuppose — pass the
 /// communication-graph diameter plus slack).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn aggregate<A: Aggregate>(
     env: &NetworkEnv,
     structure: &AggregationStructure,
@@ -784,7 +787,12 @@ mod tests {
     use crate::validate::audit_structure;
     use rand::{rngs::SmallRng, SeedableRng};
 
-    fn setup(n: usize, side: f64, channels: u16, seed: u64) -> (NetworkEnv, AggregationStructure, StructureConfig) {
+    fn setup(
+        n: usize,
+        side: f64,
+        channels: u16,
+        seed: u64,
+    ) -> (NetworkEnv, AggregationStructure, StructureConfig) {
         let params = SinrParams::default();
         let mut rng = SmallRng::seed_from_u64(seed);
         let deploy = Deployment::uniform(n, side, &mut rng);

@@ -59,7 +59,9 @@ impl HeapTree {
         } else {
             (2 * k as u32, 2 * k as u32 + 1)
         };
-        (lo..=hi).filter(move |&c| c <= self.fv as u32).map(|c| c as u16)
+        (lo..=hi)
+            .filter(move |&c| c <= self.fv as u32)
+            .map(|c| c as u16)
     }
 
     /// Depth of position `k`: dominator 0, position 1 is 1, etc.

@@ -46,7 +46,11 @@ impl StructureAudit {
     ///
     /// Panics with a description of the violated invariant.
     pub fn assert_sound(&self) {
-        assert_eq!(self.unclustered, 0, "unclustered nodes: {}", self.unclustered);
+        assert_eq!(
+            self.unclustered, 0,
+            "unclustered nodes: {}",
+            self.unclustered
+        );
         assert!(
             self.worst_attach_ratio <= 1.05,
             "attach radius exceeded: {}",
@@ -62,7 +66,11 @@ impl StructureAudit {
             self.independence_violations,
             self.clusters
         );
-        assert!(self.density <= 10, "dominator density too high: {}", self.density);
+        assert!(
+            self.density <= 10,
+            "dominator density too high: {}",
+            self.density
+        );
         // The greedy coloring self-heals conflicts via Committed beacons;
         // with practical round counts a stray pair can survive the healing
         // window (it only degrades TDMA separation locally). Tolerate a
@@ -115,8 +123,7 @@ pub fn audit_structure(
     }
 
     // Dominator independence + density.
-    let dom_points: Vec<mca_geom::Point> =
-        dominators.iter().map(|&i| env.positions[i]).collect();
+    let dom_points: Vec<mca_geom::Point> = dominators.iter().map(|&i| env.positions[i]).collect();
     let (independence_violations, density) = if dom_points.is_empty() {
         (0, 0)
     } else {
@@ -208,7 +215,13 @@ mod tests {
     use mca_sinr::SinrParams;
     use rand::{rngs::SmallRng, SeedableRng};
 
-    fn build(n: usize, side: f64, channels: u16, substrate: SubstrateMode, seed: u64) -> (NetworkEnv, AggregationStructure, StructureConfig) {
+    fn build(
+        n: usize,
+        side: f64,
+        channels: u16,
+        substrate: SubstrateMode,
+        seed: u64,
+    ) -> (NetworkEnv, AggregationStructure, StructureConfig) {
         let params = SinrParams::default();
         let mut rng = SmallRng::seed_from_u64(seed);
         let deploy = Deployment::uniform(n, side, &mut rng);

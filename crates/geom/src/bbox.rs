@@ -94,6 +94,16 @@ impl BoundingBox {
         p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
     }
 
+    /// The nearest point of the box to `p` (identity for interior points).
+    /// Mobility models use this to keep moving nodes inside the deployment
+    /// area.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
     /// Whether `other` intersects this box (boundary inclusive).
     pub fn intersects(&self, other: &BoundingBox) -> bool {
         self.min.x <= other.max.x
@@ -150,6 +160,16 @@ mod tests {
         let bb = BoundingBox::square(1.0).inflated(0.5);
         assert!(bb.contains(Point::new(-0.5, -0.5)));
         assert!(bb.contains(Point::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn clamp_projects_onto_box() {
+        let bb = BoundingBox::square(2.0);
+        assert_eq!(bb.clamp(Point::new(1.0, 1.5)), Point::new(1.0, 1.5));
+        assert_eq!(bb.clamp(Point::new(-1.0, 3.0)), Point::new(0.0, 2.0));
+        assert_eq!(bb.clamp(Point::new(5.0, -2.0)), Point::new(2.0, 0.0));
+        let clamped = bb.clamp(Point::new(9.0, 9.0));
+        assert!(bb.contains(clamped));
     }
 
     #[test]

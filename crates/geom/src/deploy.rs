@@ -132,7 +132,10 @@ impl Deployment {
         for _ in 0..k {
             let c = Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
             for _ in 0..per_cluster {
-                points.push(Point::new(c.x + gauss(rng) * sigma, c.y + gauss(rng) * sigma));
+                points.push(Point::new(
+                    c.x + gauss(rng) * sigma,
+                    c.y + gauss(rng) * sigma,
+                ));
             }
         }
         Deployment::from_points(
@@ -145,7 +148,9 @@ impl Deployment {
     /// (with spacing just below the communication radius) for sweeping `D`.
     pub fn line(n: usize, spacing: f64) -> Self {
         assert!(spacing > 0.0);
-        let points = (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect();
+        let points = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
         Deployment::from_points(format!("line(n={n},spacing={spacing})"), points)
     }
 

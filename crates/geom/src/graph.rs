@@ -36,7 +36,10 @@ impl CommGraph {
     ///
     /// Panics if `radius` is not positive and finite.
     pub fn build(points: &[Point], radius: f64) -> Self {
-        assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "radius must be positive"
+        );
         let n = points.len();
         if n == 0 {
             return CommGraph {
@@ -281,9 +284,7 @@ mod tests {
 
     #[test]
     fn clique_from_tight_cluster() {
-        let pts: Vec<Point> = (0..8)
-            .map(|i| Point::new(0.01 * i as f64, 0.0))
-            .collect();
+        let pts: Vec<Point> = (0..8).map(|i| Point::new(0.01 * i as f64, 0.0)).collect();
         let g = CommGraph::build(&pts, 1.0);
         assert_eq!(g.max_degree(), 7);
         assert_eq!(g.diameter(), 1);
@@ -311,10 +312,7 @@ mod tests {
         let g = CommGraph::build(d.points(), 2.5);
         for v in 0..g.len() {
             for &w in g.neighbors(v) {
-                assert!(
-                    g.are_adjacent(w as usize, v),
-                    "asymmetric edge {v} -> {w}"
-                );
+                assert!(g.are_adjacent(w as usize, v), "asymmetric edge {v} -> {w}");
             }
         }
     }

@@ -115,10 +115,10 @@ impl SpatialGrid {
         let r_sq = r * r;
         let cx0 = ((q.x - r - self.origin.x) / self.cell).floor().max(0.0) as usize;
         let cy0 = ((q.y - r - self.origin.y) / self.cell).floor().max(0.0) as usize;
-        let cx1 = (((q.x + r - self.origin.x) / self.cell).floor().max(0.0) as usize)
-            .min(self.nx - 1);
-        let cy1 = (((q.y + r - self.origin.y) / self.cell).floor().max(0.0) as usize)
-            .min(self.ny - 1);
+        let cx1 =
+            (((q.x + r - self.origin.x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
+        let cy1 =
+            (((q.y + r - self.origin.y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
         if cx0 > cx1 || cy0 > cy1 {
             return;
         }
@@ -164,8 +164,12 @@ impl SpatialGrid {
             let w = self.nx as f64 * self.cell;
             let h = self.ny as f64 * self.cell;
             // q may lie outside the grid bounding box; account for its offset.
-            let dx = (self.origin.x - q.x).abs().max((q.x - (self.origin.x + w)).abs());
-            let dy = (self.origin.y - q.y).abs().max((q.y - (self.origin.y + h)).abs());
+            let dx = (self.origin.x - q.x)
+                .abs()
+                .max((q.x - (self.origin.x + w)).abs());
+            let dy = (self.origin.y - q.y)
+                .abs()
+                .max((q.y - (self.origin.y + h)).abs());
             (w + h + dx + dy) * 2.0 + self.cell
         };
         loop {

@@ -1,0 +1,74 @@
+//! Dynamic per-channel conditions set by an environment model.
+//!
+//! Unlike [`FaultPlan`](crate::FaultPlan) jamming — a *plan* fixed before
+//! the run — channel conditions are mutable engine state that a dynamic
+//! environment (e.g. a Gilbert–Elliot fading process in `mca-scenario`)
+//! rewrites between slots. The engine consults the condition of each
+//! channel when resolving receptions: `extra_interference` is fed to the
+//! SINR denominator and the listener's carrier sense, and `drop` suppresses
+//! successful decodes outright (deep-fade loss), which listeners observe as
+//! a busy channel.
+
+/// The condition of one channel for the current slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelCondition {
+    /// Interference power added at every listener on the channel (from
+    /// outside the simulated transmitter set).
+    pub extra_interference: f64,
+    /// When `true`, receptions on the channel are dropped even if the SINR
+    /// threshold is met (deep fade); listeners sense the energy but decode
+    /// nothing.
+    pub drop: bool,
+}
+
+impl ChannelCondition {
+    /// A clear channel: no extra interference, no drops.
+    pub const CLEAR: ChannelCondition = ChannelCondition {
+        extra_interference: 0.0,
+        drop: false,
+    };
+
+    /// A degraded channel adding `power` interference at every listener.
+    pub fn interfered(power: f64) -> Self {
+        ChannelCondition {
+            extra_interference: power,
+            drop: false,
+        }
+    }
+
+    /// A deep fade: energy `power` is sensed but nothing decodes.
+    pub fn dropped(power: f64) -> Self {
+        ChannelCondition {
+            extra_interference: power,
+            drop: true,
+        }
+    }
+
+    /// Whether this condition affects the channel at all.
+    pub fn is_clear(&self) -> bool {
+        self.extra_interference <= 0.0 && !self.drop
+    }
+}
+
+impl Default for ChannelCondition {
+    fn default() -> Self {
+        ChannelCondition::CLEAR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_clearness() {
+        assert!(ChannelCondition::CLEAR.is_clear());
+        assert!(ChannelCondition::default().is_clear());
+        let i = ChannelCondition::interfered(2.0);
+        assert!(!i.is_clear());
+        assert!(!i.drop);
+        let d = ChannelCondition::dropped(0.0);
+        assert!(!d.is_clear());
+        assert!(d.drop);
+    }
+}

@@ -6,6 +6,7 @@
 //! observation. Nodes on different channels never interact — the defining
 //! property of the multi-channel model.
 
+use crate::condition::ChannelCondition;
 use crate::fault::FaultPlan;
 use crate::ids::{Channel, NodeId};
 use crate::message::{Action, Observation};
@@ -14,7 +15,7 @@ use crate::node::Protocol;
 use crate::rng::derive_rng;
 use crate::trace::{TraceEvent, TraceRecorder};
 use mca_geom::Point;
-use mca_sinr::{resolve_listener, SinrParams};
+use mca_sinr::{resolve_listener_ext, ListenOutcome, SinrParams};
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
 
@@ -57,6 +58,7 @@ pub struct Engine<P: Protocol> {
     slot: u64,
     metrics: Metrics,
     faults: FaultPlan,
+    conditions: Vec<ChannelCondition>,
     trace: Option<TraceRecorder>,
     // Scratch buffers reused across steps.
     actions: Vec<SlotAction<P::Msg>>,
@@ -108,6 +110,7 @@ impl<P: Protocol> Engine<P> {
             slot: 0,
             metrics: Metrics::new(),
             faults: FaultPlan::none(),
+            conditions: Vec::new(),
             trace: None,
             actions: Vec::new(),
             groups: HashMap::new(),
@@ -118,6 +121,36 @@ impl<P: Protocol> Engine<P> {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// The fault plan in force.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Mutable access to the fault plan — lets an environment model inject
+    /// churn (crashes, late joins) while the run is in progress.
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    /// The dynamic per-channel conditions (empty = every channel clear).
+    pub fn channel_conditions(&self) -> &[ChannelCondition] {
+        &self.conditions
+    }
+
+    /// Mutable access to the per-channel conditions. An environment model
+    /// rewrites these between slots; index `i` governs channel `i`, and
+    /// channels past the end of the vector are clear.
+    pub fn channel_conditions_mut(&mut self) -> &mut Vec<ChannelCondition> {
+        &mut self.conditions
+    }
+
+    /// Split borrow of everything a dynamic environment may mutate between
+    /// slots: node positions, per-channel conditions, and the fault plan.
+    /// One call, so an environment model can hold all three at once.
+    pub fn env_parts(&mut self) -> (&mut [Point], &mut Vec<ChannelCondition>, &mut FaultPlan) {
+        (&mut self.positions, &mut self.conditions, &mut self.faults)
     }
 
     /// Enables reception tracing, retaining at most `capacity` events.
@@ -155,6 +188,13 @@ impl<P: Protocol> Engine<P> {
         &self.positions
     }
 
+    /// Mutable node positions — mobility models move nodes between slots.
+    /// The SINR layer reads positions fresh every slot, so moving a node
+    /// takes effect at the next [`Engine::step`].
+    pub fn positions_mut(&mut self) -> &mut [Point] {
+        &mut self.positions
+    }
+
     /// Run metrics so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -189,9 +229,10 @@ impl<P: Protocol> Engine<P> {
             g.rx.clear();
         }
 
-        // Phase 1: gather actions. Crashed or finished nodes stay silent.
+        // Phase 1: gather actions. Absent (crashed or not-yet-joined) or
+        // finished nodes stay silent.
         for i in 0..self.protocols.len() {
-            let act = if self.faults.is_crashed(i as u32, slot) || self.protocols[i].is_done() {
+            let act = if self.faults.is_absent(i as u32, slot) || self.protocols[i].is_done() {
                 SlotAction::Off
             } else {
                 match self.protocols[i].act(slot, &mut self.rngs[i]) {
@@ -235,9 +276,26 @@ impl<P: Protocol> Engine<P> {
             } else {
                 self.params
             };
+            // Dynamic channel condition (fading): extra interference is
+            // sensed by listeners; deep fades drop decodes outright.
+            let cond = self
+                .conditions
+                .get(ch as usize)
+                .copied()
+                .unwrap_or(ChannelCondition::CLEAR);
             for &li in &group.rx {
                 let lpos = self.positions[li as usize];
-                let outcome = resolve_listener(&eff_params, &tx_positions, lpos);
+                let mut outcome =
+                    resolve_listener_ext(&eff_params, &tx_positions, lpos, cond.extra_interference);
+                if cond.drop && outcome.decoded.is_some() {
+                    self.metrics.env_drops += 1;
+                    outcome = ListenOutcome {
+                        decoded: None,
+                        signal: 0.0,
+                        sinr: 0.0,
+                        total_power: outcome.total_power,
+                    };
+                }
                 let obs = Observation::from_outcome(&outcome, |k| {
                     let sender = group.tx[k] as usize;
                     let msg = match &self.actions[sender] {
@@ -281,9 +339,10 @@ impl<P: Protocol> Engine<P> {
         self.groups = groups;
 
         // Idle nodes get a sleep observation so state machines can advance.
+        // Absent nodes (crashed or not yet joined) observe nothing at all.
         for i in 0..self.actions.len() {
             if matches!(self.actions[i], SlotAction::Off)
-                && !self.faults.is_crashed(i as u32, slot)
+                && !self.faults.is_absent(i as u32, slot)
                 && !self.protocols[i].is_done()
             {
                 self.protocols[i].observe(slot, Observation::Slept, &mut self.rngs[i]);
@@ -358,7 +417,10 @@ mod tests {
             }
         }
         fn observe(&mut self, _s: u64, obs: Observation<u32>, _r: &mut SmallRng) {
-            assert!(matches!(obs, Observation::Sent), "transmitters learn nothing");
+            assert!(
+                matches!(obs, Observation::Sent),
+                "transmitters learn nothing"
+            );
         }
     }
 
@@ -541,6 +603,117 @@ mod tests {
         jammed.step();
         match &jammed.protocols()[1] {
             Role::Hear(ear) => assert!(ear.heard.is_empty()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn late_join_keeps_node_silent_until_slot() {
+        let mut faults = FaultPlan::none();
+        faults.join_at(0, 3);
+        let positions = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        let protocols = vec![
+            Role::Talk(Talker {
+                channel: Channel::FIRST,
+                msg: 42,
+            }),
+            Role::Hear(Ear::new(Channel::FIRST)),
+        ];
+        let mut e = Engine::new(SinrParams::default(), positions, protocols, 7).with_faults(faults);
+        e.run(3);
+        match &e.protocols()[1] {
+            Role::Hear(ear) => assert!(ear.heard.is_empty(), "talker not yet joined"),
+            _ => unreachable!(),
+        }
+        assert_eq!(e.metrics().transmissions, 0);
+        e.step(); // slot 3: joined
+        match &e.protocols()[1] {
+            Role::Hear(ear) => assert_eq!(ear.heard, vec![(NodeId(0), 42)]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn channel_condition_interference_kills_marginal_link() {
+        // Same geometry as the jamming test: distance 6 of R_T = 8.
+        let positions = vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0)];
+        let protocols = vec![
+            Role::Talk(Talker {
+                channel: Channel::FIRST,
+                msg: 5,
+            }),
+            Role::Hear(Ear::new(Channel::FIRST)),
+        ];
+        let mut e = Engine::new(SinrParams::default(), positions, protocols, 7);
+        e.channel_conditions_mut()
+            .push(crate::ChannelCondition::interfered(1000.0));
+        e.step();
+        match &e.protocols()[1] {
+            Role::Hear(ear) => {
+                assert!(ear.heard.is_empty());
+                assert_eq!(ear.noise_slots, 1, "interference is sensed, not silent");
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(e.metrics().busy_failures, 1);
+        assert_eq!(e.metrics().env_drops, 0);
+    }
+
+    #[test]
+    fn channel_condition_drop_suppresses_decode() {
+        let mut e = two_node_setup(Channel::FIRST);
+        e.channel_conditions_mut()
+            .push(crate::ChannelCondition::dropped(0.0));
+        e.step();
+        match &e.protocols()[1] {
+            Role::Hear(ear) => {
+                assert!(ear.heard.is_empty(), "deep fade drops the decode");
+                assert_eq!(ear.noise_slots, 1, "energy still sensed");
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(e.metrics().env_drops, 1);
+        // Clearing the condition restores reception.
+        e.channel_conditions_mut().clear();
+        e.step();
+        match &e.protocols()[1] {
+            Role::Hear(ear) => assert_eq!(ear.heard, vec![(NodeId(0), 99)]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn moving_a_node_changes_reception() {
+        let mut e = two_node_setup(Channel::FIRST);
+        // Move the listener far out of range before the first slot.
+        e.positions_mut()[1] = Point::new(500.0, 0.0);
+        e.step();
+        match &e.protocols()[1] {
+            Role::Hear(ear) => assert!(ear.heard.is_empty()),
+            _ => unreachable!(),
+        }
+        // Move it back within range.
+        e.positions_mut()[1] = Point::new(2.0, 0.0);
+        e.step();
+        match &e.protocols()[1] {
+            Role::Hear(ear) => assert_eq!(ear.heard, vec![(NodeId(0), 99)]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn runtime_crash_injection_via_faults_mut() {
+        let mut e = two_node_setup(Channel::FIRST);
+        e.step();
+        match &e.protocols()[1] {
+            Role::Hear(ear) => assert_eq!(ear.heard.len(), 1),
+            _ => unreachable!(),
+        }
+        let next = e.slot();
+        e.faults_mut().crash_at(0, next);
+        e.step();
+        match &e.protocols()[1] {
+            Role::Hear(ear) => assert_eq!(ear.heard.len(), 1, "crashed mid-run"),
             _ => unreachable!(),
         }
     }

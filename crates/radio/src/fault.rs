@@ -89,6 +89,7 @@ impl JamSpec {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     crashes: HashMap<u32, u64>,
+    joins: HashMap<u32, u64>,
     jams: Vec<JamSpec>,
 }
 
@@ -105,6 +106,14 @@ impl FaultPlan {
         self
     }
 
+    /// Delays node `node`'s join until slot `slot`: before that it is not
+    /// part of the network (it neither transmits, listens, nor observes).
+    /// Models churn — devices powering on after the run has started.
+    pub fn join_at(&mut self, node: u32, slot: u64) -> &mut Self {
+        self.joins.insert(node, slot);
+        self
+    }
+
     /// Adds a jamming spec.
     pub fn jam(&mut self, spec: JamSpec) -> &mut Self {
         self.jams.push(spec);
@@ -116,6 +125,17 @@ impl FaultPlan {
         self.crashes.get(&node).is_some_and(|&s| slot >= s)
     }
 
+    /// Whether `node` has joined the network by `slot` (true unless a
+    /// [`FaultPlan::join_at`] entry delays it).
+    pub fn has_joined(&self, node: u32, slot: u64) -> bool {
+        self.joins.get(&node).is_none_or(|&s| slot >= s)
+    }
+
+    /// Whether `node` takes no part in `slot` — crashed, or not yet joined.
+    pub fn is_absent(&self, node: u32, slot: u64) -> bool {
+        self.is_crashed(node, slot) || !self.has_joined(node, slot)
+    }
+
     /// Total jamming power on `channel` at `slot`.
     pub fn jam_power(&self, channel: u16, slot: u64) -> f64 {
         self.jams.iter().map(|j| j.power_at(channel, slot)).sum()
@@ -123,7 +143,7 @@ impl FaultPlan {
 
     /// Whether the plan injects anything at all.
     pub fn is_trivial(&self) -> bool {
-        self.crashes.is_empty() && self.jams.is_empty()
+        self.crashes.is_empty() && self.joins.is_empty() && self.jams.is_empty()
     }
 }
 
@@ -151,6 +171,29 @@ mod tests {
     }
 
     #[test]
+    fn join_takes_effect_at_slot() {
+        let mut p = FaultPlan::none();
+        p.join_at(2, 5);
+        assert!(!p.has_joined(2, 4));
+        assert!(p.is_absent(2, 4));
+        assert!(p.has_joined(2, 5));
+        assert!(!p.is_absent(2, 5));
+        // Nodes without an entry are joined from slot 0.
+        assert!(p.has_joined(0, 0));
+        assert!(!p.is_trivial());
+    }
+
+    #[test]
+    fn join_then_crash_lifecycle() {
+        let mut p = FaultPlan::none();
+        p.join_at(7, 10);
+        p.crash_at(7, 20);
+        assert!(p.is_absent(7, 9), "not yet joined");
+        assert!(!p.is_absent(7, 15), "alive between join and crash");
+        assert!(p.is_absent(7, 20), "crashed");
+    }
+
+    #[test]
     fn fixed_jam_window() {
         let spec = JamSpec::Fixed {
             channel: 2,
@@ -174,9 +217,7 @@ mod tests {
             seed: 99,
         };
         for slot in 0..50 {
-            let jammed: Vec<u16> = (0..16)
-                .filter(|&c| spec.power_at(c, slot) > 0.0)
-                .collect();
+            let jammed: Vec<u16> = (0..16).filter(|&c| spec.power_at(c, slot) > 0.0).collect();
             assert_eq!(jammed.len(), 3, "slot {slot}: {jammed:?}");
         }
         // Different slots jam different sets (overwhelmingly likely).

@@ -13,12 +13,21 @@
 //!   the engine never leaks topology to protocols.
 //!
 //! Implement [`Protocol`] for a node program, then drive it with
-//! [`Engine`]. Fault injection (crash-stop nodes, jammed channels per the
-//! *t-disrupted* adversary) is available through [`FaultPlan`].
+//! [`Engine`]. Fault injection (crash-stop nodes, late joins, jammed
+//! channels per the *t-disrupted* adversary) is available through
+//! [`FaultPlan`].
+//!
+//! The engine also exposes dynamic-environment hooks used by the
+//! `mca-scenario` crate: [`Engine::positions_mut`] (mobility),
+//! [`Engine::channel_conditions_mut`] (per-channel fading via
+//! [`ChannelCondition`]), and [`Engine::faults_mut`] (runtime churn).
+//! With none of these touched, a run is bit-identical to the static
+//! engine of the original reproduction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod condition;
 mod engine;
 mod fault;
 mod ids;
@@ -28,6 +37,7 @@ mod node;
 pub mod rng;
 mod trace;
 
+pub use condition::ChannelCondition;
 pub use engine::Engine;
 pub use fault::{FaultPlan, JamSpec};
 pub use ids::{Channel, NodeId};

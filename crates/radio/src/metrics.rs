@@ -24,6 +24,9 @@ pub struct Metrics {
     pub busy_failures: u64,
     /// Listen slots on a completely silent channel.
     pub silent_listens: u64,
+    /// Decodes suppressed by a dynamic channel condition (deep fade) — the
+    /// SINR threshold was met but the environment dropped the reception.
+    pub env_drops: u64,
     /// Per-channel transmission counts (index = channel).
     pub tx_per_channel: Vec<u64>,
 }
@@ -72,6 +75,7 @@ impl Metrics {
         self.receptions += other.receptions;
         self.busy_failures += other.busy_failures;
         self.silent_listens += other.silent_listens;
+        self.env_drops += other.env_drops;
         if self.tx_per_channel.len() < other.tx_per_channel.len() {
             self.tx_per_channel.resize(other.tx_per_channel.len(), 0);
         }

@@ -1,0 +1,156 @@
+//! The per-slot environment hook.
+//!
+//! An [`EnvironmentModel`] is evaluated once before every engine slot and
+//! may rewrite anything in the [`World`]: node positions (mobility),
+//! per-channel [`ChannelCondition`]s (fading), or the fault plan (churn).
+//! All randomness flows through the world's RNG — a dedicated stream
+//! derived from the trial's master seed — so a run remains a pure function
+//! of `(scenario, seed)`.
+
+use mca_geom::Point;
+use mca_radio::{ChannelCondition, FaultPlan};
+use rand::rngs::SmallRng;
+
+/// Everything an environment model may mutate between slots.
+pub struct World<'a> {
+    /// Node positions (index = node id).
+    pub positions: &'a mut [Point],
+    /// Per-channel dynamic conditions (index = channel; missing = clear).
+    pub conditions: &'a mut Vec<ChannelCondition>,
+    /// The fault plan — environment-driven churn adds crashes/joins here.
+    pub faults: &'a mut FaultPlan,
+    /// The environment's RNG stream for this trial.
+    pub rng: &'a mut SmallRng,
+}
+
+/// A dynamic-environment process, evaluated once per slot.
+///
+/// Implementations must draw randomness only from [`World::rng`] so that
+/// trials replay deterministically.
+pub trait EnvironmentModel: Send {
+    /// Mutates the world before engine slot `slot` executes.
+    fn step(&mut self, slot: u64, world: &mut World<'_>);
+
+    /// Whether this model never changes the world. The scenario driver may
+    /// skip evaluation entirely for static models, which guarantees
+    /// bit-identical behavior to a plain [`mca_radio::Engine`] run.
+    fn is_static(&self) -> bool {
+        false
+    }
+}
+
+/// The do-nothing environment: a static world.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticEnvironment;
+
+impl EnvironmentModel for StaticEnvironment {
+    fn step(&mut self, _slot: u64, _world: &mut World<'_>) {}
+
+    fn is_static(&self) -> bool {
+        true
+    }
+}
+
+/// Runs several environment models in sequence each slot (e.g. mobility
+/// followed by fading).
+#[derive(Default)]
+pub struct CompositeEnvironment {
+    models: Vec<Box<dyn EnvironmentModel>>,
+}
+
+impl CompositeEnvironment {
+    /// An empty composite (static until models are added).
+    pub fn new() -> Self {
+        CompositeEnvironment::default()
+    }
+
+    /// Appends a model, evaluated after the ones already present.
+    pub fn push(&mut self, model: Box<dyn EnvironmentModel>) {
+        self.models.push(model);
+    }
+
+    /// Number of component models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the composite has no component models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+impl EnvironmentModel for CompositeEnvironment {
+    fn step(&mut self, slot: u64, world: &mut World<'_>) {
+        for m in &mut self.models {
+            m.step(slot, world);
+        }
+    }
+
+    fn is_static(&self) -> bool {
+        self.models.iter().all(|m| m.is_static())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    struct Nudge;
+    impl EnvironmentModel for Nudge {
+        fn step(&mut self, _slot: u64, world: &mut World<'_>) {
+            world.positions[0].x += 1.0;
+        }
+    }
+
+    fn world_fixture() -> (Vec<Point>, Vec<ChannelCondition>, FaultPlan, SmallRng) {
+        (
+            vec![Point::ORIGIN],
+            Vec::new(),
+            FaultPlan::none(),
+            SmallRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn static_is_static_and_inert() {
+        let (mut p, mut c, mut f, mut r) = world_fixture();
+        let mut env = StaticEnvironment;
+        assert!(env.is_static());
+        env.step(
+            0,
+            &mut World {
+                positions: &mut p,
+                conditions: &mut c,
+                faults: &mut f,
+                rng: &mut r,
+            },
+        );
+        assert_eq!(p[0], Point::ORIGIN);
+        assert!(f.is_trivial());
+    }
+
+    #[test]
+    fn composite_runs_in_order_and_reports_staticness() {
+        let mut env = CompositeEnvironment::new();
+        assert!(env.is_static(), "empty composite is static");
+        env.push(Box::new(StaticEnvironment));
+        assert!(env.is_static());
+        env.push(Box::new(Nudge));
+        assert!(!env.is_static());
+        assert_eq!(env.len(), 2);
+
+        let (mut p, mut c, mut f, mut r) = world_fixture();
+        env.step(
+            0,
+            &mut World {
+                positions: &mut p,
+                conditions: &mut c,
+                faults: &mut f,
+                rng: &mut r,
+            },
+        );
+        assert_eq!(p[0].x, 1.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Mobility models: random waypoint and group convoy.
+//!
+//! Both are classic MANET workloads (see Islam & Shaikh's survey of ad hoc
+//! network research trends): *random waypoint* moves every node
+//! independently toward uniformly drawn targets with per-leg speeds and
+//! pauses; *group convoy* (reference-point group mobility) moves a few
+//! group centers by random waypoint while members hold formation offsets
+//! around their center. All positions are clamped to the deployment area
+//! via [`BoundingBox::clamp`].
+
+use crate::environment::{EnvironmentModel, World};
+use mca_geom::{BoundingBox, Point};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Per-entity waypoint state: where it is headed and how fast.
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    target: Point,
+    speed: f64,
+    pause_left: u64,
+}
+
+fn fresh_leg(area: &BoundingBox, speed_min: f64, speed_max: f64, rng: &mut SmallRng) -> Leg {
+    let target = Point::new(
+        rng.gen_range(area.min().x..=area.max().x),
+        rng.gen_range(area.min().y..=area.max().y),
+    );
+    let speed = if speed_max > speed_min {
+        rng.gen_range(speed_min..speed_max)
+    } else {
+        speed_min
+    };
+    Leg {
+        target,
+        speed,
+        pause_left: 0,
+    }
+}
+
+/// Advances `pos` one slot along its leg; returns `true` when the leg ended
+/// (arrival) and a new target is needed.
+fn advance(pos: &mut Point, leg: &mut Leg, area: &BoundingBox, pause: u64) -> bool {
+    if leg.pause_left > 0 {
+        leg.pause_left -= 1;
+        return false;
+    }
+    let dist = pos.dist(leg.target);
+    if dist <= leg.speed {
+        *pos = area.clamp(leg.target);
+        leg.pause_left = pause;
+        return true;
+    }
+    let t = leg.speed / dist;
+    *pos = area.clamp(pos.lerp(leg.target, t));
+    false
+}
+
+/// Independent random-waypoint mobility for every node.
+pub struct RandomWaypoint {
+    area: BoundingBox,
+    speed_min: f64,
+    speed_max: f64,
+    pause: u64,
+    legs: Vec<Leg>,
+}
+
+impl RandomWaypoint {
+    /// A waypoint process for `n` nodes inside `area` with per-leg speeds
+    /// drawn from `[speed_min, speed_max]` (distance units per slot) and a
+    /// `pause`-slot dwell at each waypoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ speed_min ≤ speed_max`.
+    pub fn new(
+        area: BoundingBox,
+        n: usize,
+        speed_min: f64,
+        speed_max: f64,
+        pause: u64,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert!(
+            (0.0 <= speed_min) && (speed_min <= speed_max),
+            "need 0 <= speed_min <= speed_max"
+        );
+        let legs = (0..n)
+            .map(|_| fresh_leg(&area, speed_min, speed_max, rng))
+            .collect();
+        RandomWaypoint {
+            area,
+            speed_min,
+            speed_max,
+            pause,
+            legs,
+        }
+    }
+
+    /// The deployment area nodes are confined to.
+    pub fn area(&self) -> BoundingBox {
+        self.area
+    }
+}
+
+impl EnvironmentModel for RandomWaypoint {
+    fn step(&mut self, _slot: u64, world: &mut World<'_>) {
+        for (i, leg) in self.legs.iter_mut().enumerate() {
+            if i >= world.positions.len() {
+                break;
+            }
+            if advance(&mut world.positions[i], leg, &self.area, self.pause) {
+                *leg = Leg {
+                    pause_left: leg.pause_left,
+                    ..fresh_leg(&self.area, self.speed_min, self.speed_max, world.rng)
+                };
+            }
+        }
+    }
+
+    fn is_static(&self) -> bool {
+        self.speed_max == 0.0
+    }
+}
+
+/// Group-convoy (reference-point group) mobility: group centers follow
+/// random waypoint; each member keeps a fixed formation offset from its
+/// center (assignment: node `i` belongs to group `i % groups`).
+pub struct GroupConvoy {
+    area: BoundingBox,
+    pause: u64,
+    centers: Vec<Point>,
+    center_legs: Vec<Leg>,
+    speed: f64,
+    offsets: Vec<Point>,
+}
+
+impl GroupConvoy {
+    /// A convoy of `groups` groups over `n` nodes inside `area`, centers
+    /// moving at `speed` units/slot, members offset up to `spread` from
+    /// their center.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups == 0`, `speed < 0`, or `spread < 0`.
+    pub fn new(
+        area: BoundingBox,
+        n: usize,
+        groups: usize,
+        speed: f64,
+        spread: f64,
+        pause: u64,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert!(groups > 0, "need at least one group");
+        assert!(speed >= 0.0 && spread >= 0.0);
+        let centers: Vec<Point> = (0..groups)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(area.min().x..=area.max().x),
+                    rng.gen_range(area.min().y..=area.max().y),
+                )
+            })
+            .collect();
+        let center_legs = (0..groups)
+            .map(|_| fresh_leg(&area, speed, speed, rng))
+            .collect();
+        let offsets = (0..n)
+            .map(|_| {
+                let r = spread * rng.gen_range(0.0f64..1.0).sqrt();
+                let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+                Point::unit(theta) * r
+            })
+            .collect();
+        GroupConvoy {
+            area,
+            pause,
+            centers,
+            center_legs,
+            speed,
+            offsets,
+        }
+    }
+
+    /// The group index of node `i`.
+    pub fn group_of(&self, i: usize) -> usize {
+        i % self.centers.len()
+    }
+
+    /// Current group-center positions.
+    pub fn centers(&self) -> &[Point] {
+        &self.centers
+    }
+}
+
+impl EnvironmentModel for GroupConvoy {
+    fn step(&mut self, _slot: u64, world: &mut World<'_>) {
+        for (g, leg) in self.center_legs.iter_mut().enumerate() {
+            if advance(&mut self.centers[g], leg, &self.area, self.pause) {
+                *leg = Leg {
+                    pause_left: leg.pause_left,
+                    ..fresh_leg(&self.area, self.speed, self.speed, world.rng)
+                };
+            }
+        }
+        for (i, pos) in world.positions.iter_mut().enumerate() {
+            let g = i % self.centers.len();
+            *pos = self.area.clamp(self.centers[g] + self.offsets[i]);
+        }
+    }
+
+    fn is_static(&self) -> bool {
+        self.speed == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mca_radio::FaultPlan;
+    use rand::SeedableRng;
+
+    fn drive<E: EnvironmentModel>(env: &mut E, positions: &mut Vec<Point>, slots: u64, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut conds = Vec::new();
+        let mut faults = FaultPlan::none();
+        for s in 0..slots {
+            env.step(
+                s,
+                &mut World {
+                    positions,
+                    conditions: &mut conds,
+                    faults: &mut faults,
+                    rng: &mut rng,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn waypoint_stays_in_area_and_moves() {
+        let area = BoundingBox::square(10.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut positions = vec![Point::new(5.0, 5.0); 20];
+        let mut env = RandomWaypoint::new(area, 20, 0.1, 0.5, 2, &mut rng);
+        let start = positions.clone();
+        drive(&mut env, &mut positions, 200, 4);
+        assert!(positions.iter().all(|p| area.contains(*p)));
+        assert!(
+            positions.iter().zip(&start).any(|(a, b)| a.dist(*b) > 1.0),
+            "200 slots at up to 0.5 u/slot must move someone"
+        );
+    }
+
+    #[test]
+    fn waypoint_speed_bounds_hold_per_slot() {
+        let area = BoundingBox::square(50.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 10;
+        let mut positions = vec![Point::new(25.0, 25.0); n];
+        let vmax = 0.7;
+        let mut env = RandomWaypoint::new(area, n, 0.2, vmax, 0, &mut rng);
+        let mut env_rng = SmallRng::seed_from_u64(6);
+        let mut conds = Vec::new();
+        let mut faults = FaultPlan::none();
+        for s in 0..100 {
+            let before = positions.clone();
+            env.step(
+                s,
+                &mut World {
+                    positions: &mut positions,
+                    conditions: &mut conds,
+                    faults: &mut faults,
+                    rng: &mut env_rng,
+                },
+            );
+            for (a, b) in before.iter().zip(&positions) {
+                assert!(
+                    a.dist(*b) <= vmax + 1e-9,
+                    "slot speed exceeded: {}",
+                    a.dist(*b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_speed_waypoint_is_static() {
+        let area = BoundingBox::square(10.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let env = RandomWaypoint::new(area, 5, 0.0, 0.0, 0, &mut rng);
+        assert!(env.is_static());
+    }
+
+    #[test]
+    fn convoy_members_track_their_center() {
+        let area = BoundingBox::square(30.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 12;
+        let spread = 2.0;
+        let mut env = GroupConvoy::new(area, n, 3, 0.4, spread, 0, &mut rng);
+        let mut positions = vec![Point::ORIGIN; n];
+        drive(&mut env, &mut positions, 50, 10);
+        for (i, p) in positions.iter().enumerate() {
+            let c = env.centers()[env.group_of(i)];
+            // Offset ≤ spread, up to clamping at the boundary.
+            assert!(
+                p.dist(c) <= spread + 1e-9 || !area.contains(c + (*p - c) * 1.01),
+                "member {i} strayed {} from its center",
+                p.dist(c)
+            );
+            assert!(area.contains(*p));
+        }
+    }
+
+    #[test]
+    fn mobility_is_deterministic_in_seed() {
+        let area = BoundingBox::square(20.0);
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let mut env = RandomWaypoint::new(area, 8, 0.1, 0.3, 1, &mut rng);
+            let mut positions = vec![Point::new(10.0, 10.0); 8];
+            drive(&mut env, &mut positions, 120, 12);
+            positions
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+}

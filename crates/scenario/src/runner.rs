@@ -1,0 +1,190 @@
+//! Parallel execution of (scenario × seed) trial matrices.
+
+use crate::spec::Scenario;
+use mca_analysis::{trial_seed, TrialOutcome};
+use rayon::prelude::*;
+
+/// All trials of one scenario, in seed order.
+#[derive(Debug, Clone)]
+pub struct ScenarioTrials<T> {
+    /// The scenario's name.
+    pub name: String,
+    /// Per-trial results and the seeds that produced them.
+    pub outcome: TrialOutcome<T>,
+}
+
+/// Runs every (scenario, seed) pair of a sweep, in parallel by default.
+///
+/// Each trial is the pure function `trial(&scenario, seed)`, so the
+/// parallel schedule cannot affect results: the runner always returns the
+/// same per-trial values, in the same order, as a sequential run. Seeds are
+/// derived per trial index from the master seed (the *same* seed list for
+/// every scenario, giving paired comparisons across scenarios).
+///
+/// # Examples
+///
+/// ```
+/// use mca_scenario::{DeploymentSpec, Scenario, ScenarioRunner};
+///
+/// let scenario = Scenario::builder("tiny")
+///     .deployment(DeploymentSpec::Line { n: 3, spacing: 1.0 })
+///     .build();
+/// let out = ScenarioRunner::new(scenario).trials(4).run(|s, seed| {
+///     (s.len(), seed % 2)
+/// });
+/// assert_eq!(out[0].outcome.results.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioRunner {
+    scenarios: Vec<Scenario>,
+    trials: usize,
+    master_seed: u64,
+    parallel: bool,
+}
+
+impl ScenarioRunner {
+    /// A runner over a single scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        ScenarioRunner::sweep(vec![scenario])
+    }
+
+    /// A runner over a whole sweep of scenarios.
+    pub fn sweep(scenarios: Vec<Scenario>) -> Self {
+        ScenarioRunner {
+            scenarios,
+            trials: 8,
+            master_seed: 0xC0DE,
+            parallel: true,
+        }
+    }
+
+    /// Sets the number of trials per scenario.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the master seed trial seeds are derived from.
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Forces sequential execution (for debugging or baselining; results
+    /// are identical either way).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// The per-trial seeds used for every scenario.
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.trials as u64)
+            .map(|i| trial_seed(self.master_seed, i))
+            .collect()
+    }
+
+    /// Executes the full (scenario × seed) matrix.
+    ///
+    /// `trial` must be a pure function of its arguments; it runs once per
+    /// pair, across all CPU cores unless [`ScenarioRunner::sequential`] was
+    /// called.
+    pub fn run<T, F>(&self, trial: F) -> Vec<ScenarioTrials<T>>
+    where
+        T: Send,
+        F: Fn(&Scenario, u64) -> T + Sync,
+    {
+        let seeds = self.seeds();
+        let jobs: Vec<(usize, u64)> = (0..self.scenarios.len())
+            .flat_map(|si| seeds.iter().map(move |&s| (si, s)))
+            .collect();
+        let results: Vec<T> = if self.parallel {
+            jobs.into_par_iter()
+                .map(|(si, seed)| trial(&self.scenarios[si], seed))
+                .collect()
+        } else {
+            jobs.into_iter()
+                .map(|(si, seed)| trial(&self.scenarios[si], seed))
+                .collect()
+        };
+
+        let mut out = Vec::with_capacity(self.scenarios.len());
+        let mut it = results.into_iter();
+        for s in &self.scenarios {
+            let results: Vec<T> = it.by_ref().take(self.trials).collect();
+            out.push(ScenarioTrials {
+                name: s.name.clone(),
+                outcome: TrialOutcome {
+                    results,
+                    seeds: seeds.clone(),
+                },
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeploymentSpec;
+
+    fn tiny(name: &str, n: usize) -> Scenario {
+        Scenario::builder(name)
+            .deployment(DeploymentSpec::Uniform { n, side: 5.0 })
+            .build()
+    }
+
+    #[test]
+    fn matrix_shape_and_seed_reuse() {
+        let out = ScenarioRunner::sweep(vec![tiny("a", 3), tiny("b", 4)])
+            .trials(5)
+            .master_seed(77)
+            .run(|s, seed| (s.name.clone(), seed));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].name, "a");
+        assert_eq!(out[1].name, "b");
+        for st in &out {
+            assert_eq!(st.outcome.results.len(), 5);
+            assert_eq!(st.outcome.seeds.len(), 5);
+            for (r, s) in st.outcome.results.iter().zip(&st.outcome.seeds) {
+                assert_eq!(r.1, *s, "result paired with its seed");
+            }
+        }
+        // Same seed list across scenarios → paired trials.
+        assert_eq!(out[0].outcome.seeds, out[1].outcome.seeds);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mk = || ScenarioRunner::sweep(vec![tiny("a", 6), tiny("b", 2)]).trials(16);
+        let par = mk().run(|s, seed| {
+            // A nontrivial pure function of (scenario, seed).
+            s.deployment_for(seed)
+                .points()
+                .iter()
+                .map(|p| p.x + 2.0 * p.y)
+                .sum::<f64>()
+        });
+        let seq = mk().sequential().run(|s, seed| {
+            s.deployment_for(seed)
+                .points()
+                .iter()
+                .map(|p| p.x + 2.0 * p.y)
+                .sum::<f64>()
+        });
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.outcome.results, b.outcome.results);
+            assert_eq!(a.outcome.seeds, b.outcome.seeds);
+        }
+    }
+
+    #[test]
+    fn summaries_compose_with_analysis() {
+        let out = ScenarioRunner::new(tiny("s", 10))
+            .trials(6)
+            .run(|s, seed| s.deployment_for(seed).len() as f64);
+        let med = out[0].outcome.summarize(|&x| x).median();
+        assert_eq!(med, 10.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Driving a protocol through a dynamic scenario.
+
+use crate::environment::{EnvironmentModel, World};
+use crate::spec::Scenario;
+use mca_geom::Point;
+use mca_radio::{Engine, Metrics, Protocol};
+use rand::rngs::SmallRng;
+
+/// An [`Engine`] paired with a scenario's environment: each step first
+/// evaluates the environment model (mobility, fading, churn), then runs one
+/// engine slot.
+///
+/// For a fully static scenario the environment is never evaluated and no
+/// environment randomness is drawn, so a `ScenarioSim` run is bit-identical
+/// to driving a plain [`Engine`] over the same deployment with the same
+/// master seed.
+pub struct ScenarioSim<P: Protocol> {
+    engine: Engine<P>,
+    env: Box<dyn EnvironmentModel>,
+    env_rng: SmallRng,
+    env_static: bool,
+    name: String,
+}
+
+impl<P: Protocol> ScenarioSim<P> {
+    /// Instantiates `scenario` for trial `seed`, creating one protocol per
+    /// node via `make(node_index, initial_position)`.
+    pub fn new<F>(scenario: &Scenario, seed: u64, mut make: F) -> Self
+    where
+        F: FnMut(usize, Point) -> P,
+    {
+        let deploy = scenario.deployment_for(seed);
+        let protocols: Vec<P> = deploy
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| make(i, p))
+            .collect();
+        let faults = scenario.faults_for(seed);
+        let engine =
+            Engine::new(scenario.params, deploy.into_points(), protocols, seed).with_faults(faults);
+        let (env, env_rng) = scenario.environment_for(seed);
+        let env_static = env.is_static();
+        ScenarioSim {
+            engine,
+            env: Box::new(env),
+            env_rng,
+            env_static,
+            name: scenario.name.clone(),
+        }
+    }
+
+    /// The scenario's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Executes one slot: environment first, then the engine.
+    pub fn step(&mut self) {
+        if !self.env_static {
+            let slot = self.engine.slot();
+            let (positions, conditions, faults) = self.engine.env_parts();
+            let mut world = World {
+                positions,
+                conditions,
+                faults,
+                rng: &mut self.env_rng,
+            };
+            self.env.step(slot, &mut world);
+        }
+        self.engine.step();
+    }
+
+    /// Executes exactly `slots` slots.
+    pub fn run(&mut self, slots: u64) {
+        for _ in 0..slots {
+            self.step();
+        }
+    }
+
+    /// Steps until every protocol is done or `max_slots` is reached;
+    /// returns `true` if all protocols finished.
+    pub fn run_until_done(&mut self, max_slots: u64) -> bool {
+        while self.engine.slot() < max_slots {
+            if self.engine.all_done() {
+                return true;
+            }
+            self.step();
+        }
+        self.engine.all_done()
+    }
+
+    /// Steps until `pred(protocols)` holds or `max_slots` is reached;
+    /// returns `true` if the predicate became true.
+    pub fn run_until<F: FnMut(&[P]) -> bool>(&mut self, max_slots: u64, mut pred: F) -> bool {
+        while self.engine.slot() < max_slots {
+            if pred(self.engine.protocols()) {
+                return true;
+            }
+            self.step();
+        }
+        pred(self.engine.protocols())
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine<P> {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine (e.g. to enable tracing).
+    pub fn engine_mut(&mut self) -> &mut Engine<P> {
+        &mut self.engine
+    }
+
+    /// Current node positions.
+    pub fn positions(&self) -> &[Point] {
+        self.engine.positions()
+    }
+
+    /// The per-node protocol states.
+    pub fn protocols(&self) -> &[P] {
+        self.engine.protocols()
+    }
+
+    /// Run metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        self.engine.metrics()
+    }
+
+    /// Slots executed so far.
+    pub fn slot(&self) -> u64 {
+        self.engine.slot()
+    }
+
+    /// Consumes the sim, returning the engine.
+    pub fn into_engine(self) -> Engine<P> {
+        self.engine
+    }
+}

@@ -32,4 +32,6 @@ mod params;
 mod resolve;
 
 pub use params::{NodeKnowledge, ParamInterval, SinrParams};
-pub use resolve::{is_clear_reception, resolve_channel, resolve_listener, ListenOutcome};
+pub use resolve::{
+    is_clear_reception, resolve_channel, resolve_listener, resolve_listener_ext, ListenOutcome,
+};

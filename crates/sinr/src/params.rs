@@ -78,7 +78,11 @@ impl SinrParams {
 
     fn validate(&self) {
         assert!(self.alpha > 2.0, "alpha must exceed 2, got {}", self.alpha);
-        assert!(self.beta >= 1.0, "beta must be at least 1, got {}", self.beta);
+        assert!(
+            self.beta >= 1.0,
+            "beta must be at least 1, got {}",
+            self.beta
+        );
         assert!(self.noise > 0.0, "noise must be positive");
         assert!(self.power > 0.0, "power must be positive");
         assert!(

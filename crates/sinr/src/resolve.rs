@@ -51,10 +51,36 @@ pub fn resolve_listener(
     tx_positions: &[Point],
     listener: Point,
 ) -> ListenOutcome {
+    resolve_listener_ext(params, tx_positions, listener, 0.0)
+}
+
+/// [`resolve_listener`] with an additional per-channel interference term.
+///
+/// `extra_interference` models power on the channel that comes from outside
+/// the simulated transmitter set — a faded (Gilbert–Elliot *bad*-state)
+/// channel, co-channel traffic from a neighboring network, or a jammer whose
+/// energy the listener's carrier sense should see. It is added to both the
+/// SINR denominator and `total_power`, so carrier-sensing protocols observe
+/// the degraded channel instead of mistaking it for silence.
+pub fn resolve_listener_ext(
+    params: &SinrParams,
+    tx_positions: &[Point],
+    listener: Point,
+    extra_interference: f64,
+) -> ListenOutcome {
+    debug_assert!(extra_interference >= 0.0, "interference cannot be negative");
     if tx_positions.is_empty() {
-        return ListenOutcome::SILENT;
+        if extra_interference <= 0.0 {
+            return ListenOutcome::SILENT;
+        }
+        return ListenOutcome {
+            decoded: None,
+            signal: 0.0,
+            sinr: 0.0,
+            total_power: extra_interference,
+        };
     }
-    let mut total = 0.0f64;
+    let mut total = extra_interference;
     let mut best = 0usize;
     let mut best_pow = f64::NEG_INFINITY;
     for (i, &t) in tx_positions.iter().enumerate() {
@@ -143,6 +169,29 @@ mod tests {
         let out = resolve_listener(&params, &[Point::new(9.0, 0.0)], Point::ORIGIN);
         assert_eq!(out.decoded, None);
         assert!(out.total_power > 0.0, "carrier sense still reads power");
+    }
+
+    #[test]
+    fn extra_interference_degrades_and_is_sensed() {
+        let params = p();
+        // Marginal link at distance 6 of R_T = 8: decodes when clean.
+        let sender = [Point::new(6.0, 0.0)];
+        let clean = resolve_listener_ext(&params, &sender, Point::ORIGIN, 0.0);
+        assert_eq!(clean.decoded, Some(0));
+        assert_eq!(clean, resolve_listener(&params, &sender, Point::ORIGIN));
+        // Strong extra interference kills the decode but shows up in
+        // carrier sense.
+        let faded = resolve_listener_ext(&params, &sender, Point::ORIGIN, 1000.0);
+        assert_eq!(faded.decoded, None);
+        assert!(faded.total_power > clean.total_power);
+        // An empty channel with extra interference reads busy, not silent.
+        let busy = resolve_listener_ext(&params, &[], Point::ORIGIN, 2.5);
+        assert_eq!(busy.decoded, None);
+        assert_eq!(busy.total_power, 2.5);
+        assert_eq!(
+            resolve_listener_ext(&params, &[], Point::ORIGIN, 0.0),
+            ListenOutcome::SILENT
+        );
     }
 
     #[test]

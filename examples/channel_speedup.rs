@@ -30,8 +30,8 @@ fn main() {
         let algo = AlgoConfig::practical(f, &params, n);
         let mut cfg = StructureConfig::new(algo, 11);
         cfg.substrate = SubstrateMode::Oracle; // isolate the F-dependence
-        // Larger clusters put the run in the Δ/F-dominated regime the
-        // theorem is about (see EXPERIMENTS.md E1).
+                                               // Larger clusters put the run in the Δ/F-dominated regime the
+                                               // theorem is about (see EXPERIMENTS.md E1).
         cfg.cluster_radius = 2.0;
         let structure = build_structure(&env, &cfg);
         let out = aggregate(

@@ -15,9 +15,7 @@
 //!
 //! Run with: `cargo run --release --example exponential_chain`
 
-use multichannel_adhoc::baselines::{
-    greedy_relay_slots, max_concurrent_successes_exhaustive,
-};
+use multichannel_adhoc::baselines::{greedy_relay_slots, max_concurrent_successes_exhaustive};
 use multichannel_adhoc::prelude::*;
 use rand::SeedableRng;
 
@@ -36,7 +34,10 @@ fn main() {
     for n in [6usize, 8, 10, 12] {
         let max = max_concurrent_successes_exhaustive(&params, n);
         println!("  chain n = {n:2}: max concurrent descending successes = {max}");
-        assert_eq!(max, 1, "the lower-bound instance admits one success per slot");
+        assert_eq!(
+            max, 1,
+            "the lower-bound instance admits one success per slot"
+        );
     }
 
     // (2) The greedy relay schedule: data must hop node-by-node toward the

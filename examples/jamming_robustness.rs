@@ -75,12 +75,32 @@ fn main() {
     );
     for (name, jam, crashes, hop) in [
         ("fault-free", None, 0usize, 0u16),
-        ("25%-duty jammer (10x noise)", Some(intermittent(10.0, 0xBAD)), 0, 0),
-        ("25%-duty jammer (1000x noise)", Some(intermittent(1000.0, 0xBAD)), 0, 0),
+        (
+            "25%-duty jammer (10x noise)",
+            Some(intermittent(10.0, 0xBAD)),
+            0,
+            0,
+        ),
+        (
+            "25%-duty jammer (1000x noise)",
+            Some(intermittent(1000.0, 0xBAD)),
+            0,
+            0,
+        ),
         ("3 crashed dominators", None, 3, 0),
         ("jammer + crashes", Some(intermittent(100.0, 0xBAD)), 3, 0),
-        ("CONSTANT ch-0 jammer, no hopping", Some(constant_ch0(1000.0)), 0, 0),
-        ("constant ch-0 jammer + 4-ch hopping", Some(constant_ch0(1000.0)), 0, 4),
+        (
+            "CONSTANT ch-0 jammer, no hopping",
+            Some(constant_ch0(1000.0)),
+            0,
+            0,
+        ),
+        (
+            "constant ch-0 jammer + 4-ch hopping",
+            Some(constant_ch0(1000.0)),
+            0,
+            4,
+        ),
     ] {
         let (holders, slots) = run_flood(jam, crashes, hop, 31);
         table.row([

@@ -1,0 +1,146 @@
+//! Dynamic scenarios: the same aggregation workload in a living network.
+//!
+//! The paper's experiments (and the rest of the examples) run over static
+//! placements. This example declares four worlds with the `mca-scenario`
+//! builder — static, random-waypoint mobility, a group convoy, and
+//! Gilbert–Elliot channel fading — and runs the flood-combine
+//! max-aggregation backbone end-to-end in each, multi-trial and in
+//! parallel across all cores via `ScenarioRunner`.
+//!
+//! Run with: `cargo run --release --example mobility_field`
+
+use multichannel_adhoc::core::aggregate::intercluster::{FloodCfg, FloodCombine};
+use multichannel_adhoc::core::{MaxAgg, Tdma};
+use multichannel_adhoc::prelude::*;
+
+const N: usize = 60;
+const SIDE: f64 = 18.0;
+const CHANNELS: u16 = 4;
+const SLOTS: u64 = 900;
+
+fn scenarios() -> Vec<Scenario> {
+    let base = || {
+        Scenario::builder("")
+            .deployment(DeploymentSpec::Uniform { n: N, side: SIDE })
+            .channels(CHANNELS)
+            .max_slots(SLOTS)
+    };
+    vec![
+        {
+            let mut s = base().build();
+            s.name = "static".into();
+            s
+        },
+        {
+            let mut s = base()
+                .mobility(MobilitySpec::RandomWaypoint {
+                    speed_min: 0.02,
+                    speed_max: 0.15,
+                    pause: 10,
+                })
+                .build();
+            s.name = "random waypoint (≤0.15 u/slot)".into();
+            s
+        },
+        {
+            let mut s = base()
+                .mobility(MobilitySpec::Convoy {
+                    groups: 4,
+                    speed: 0.1,
+                    spread: 2.5,
+                    pause: 5,
+                })
+                .build();
+            s.name = "4-group convoy".into();
+            s
+        },
+        {
+            let mut s = base()
+                .fading(FadingSpec::interference(0.02, 0.1, 500.0))
+                .build();
+            s.name = "Gilbert–Elliot fading (17% bad)".into();
+            s
+        },
+        {
+            let mut s = base()
+                .fading(FadingSpec::dropping(0.05, 0.1, 1.0))
+                .mobility(MobilitySpec::RandomWaypoint {
+                    speed_min: 0.02,
+                    speed_max: 0.15,
+                    pause: 10,
+                })
+                .churn(ChurnSpec::Random {
+                    join_fraction: 0.15,
+                    join_window: (1, 200),
+                    crash_fraction: 0.1,
+                    crash_window: (400, 800),
+                })
+                .build();
+            s.name = "deep fades + mobility + churn".into();
+            s
+        },
+    ]
+}
+
+fn main() {
+    let cfg = FloodCfg {
+        q: 0.2,
+        flood_rounds: SLOTS - 100,
+        tail_rounds: 100,
+        tdma: Tdma::new(1, 1),
+        hop_channels: CHANNELS,
+    };
+    let expect = (N - 1) as i64;
+
+    let results = ScenarioRunner::sweep(scenarios())
+        .trials(8)
+        .master_seed(2026)
+        .run(move |scenario, seed| {
+            let mut sim = ScenarioSim::new(scenario, seed, |i, _| {
+                FloodCombine::dominator(MaxAgg, cfg, 0, i as i64)
+            });
+            sim.run_until_done(scenario.max_slots);
+            let holders = sim
+                .protocols()
+                .iter()
+                .filter(|p| *p.value() == expect)
+                .count();
+            let m = sim.metrics();
+            (
+                holders as f64 / N as f64,
+                m.reception_rate(),
+                m.env_drops,
+                sim.slot(),
+            )
+        });
+
+    let mut table = Table::new(
+        "flood-combine max-aggregation, 60 nodes, 4 channels, 8 trials/scenario",
+        [
+            "scenario",
+            "coverage (median)",
+            "rx rate",
+            "env drops",
+            "slots",
+        ],
+    );
+    for st in &results {
+        let o = &st.outcome;
+        table.row([
+            st.name.clone(),
+            format!("{:.0}%", o.summarize(|r| r.0).median() * 100.0),
+            format!("{:.3}", o.summarize(|r| r.1).median()),
+            format!("{:.0}", o.summarize(|r| r.2 as f64).median()),
+            format!("{:.0}", o.summarize(|r| r.3 as f64).median()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "every world is declared as data (Scenario::builder) and every trial \
+         is a pure function of (scenario, seed): rerunning this binary \
+         reproduces the table bit-for-bit, on any number of cores.\n\
+         mobility reshapes the backbone mid-flood (coverage holds while the \
+         network stays connected), and Gilbert–Elliot bad channels both \
+         raise the interference floor and drop decodes (see `env drops`)."
+    );
+}

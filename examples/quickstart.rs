@@ -57,11 +57,7 @@ fn main() {
         d_hat,
         99,
     );
-    let holders = out
-        .values
-        .iter()
-        .filter(|v| **v == Some(expect))
-        .count();
+    let holders = out.values.iter().filter(|v| **v == Some(expect)).count();
     println!(
         "aggregation: max = {expect}, known by {holders}/300 nodes, \
          {} slots (followers {}, tree {}, inter-cluster {})",

@@ -55,7 +55,5 @@ fn main() {
         *per_slot.entry(c).or_insert(0usize) += 1;
     }
     let max_share = per_slot.values().max().copied().unwrap_or(0);
-    println!(
-        "spatial reuse: up to {max_share} (mutually distant) nodes share a slot"
-    );
+    println!("spatial reuse: up to {max_share} (mutually distant) nodes share a slot");
 }

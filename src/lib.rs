@@ -16,7 +16,9 @@
 //!   structure, data aggregation (Theorem 22) and coloring (Theorem 24);
 //! * [`baselines`] — single-channel / naive / graph-model comparators and
 //!   the exponential-chain lower-bound instance;
-//! * [`analysis`] — statistics and table rendering for experiments.
+//! * [`analysis`] — statistics and table rendering for experiments;
+//! * [`scenario`] — dynamic environments (mobility, fading, churn) and the
+//!   parallel scenario runner.
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,35 @@
 //! let expect = readings.iter().max().copied();
 //! assert_eq!(out.values[0], expect);
 //! ```
+//!
+//! # Dynamic scenarios
+//!
+//! The static engine answers "what does the protocol do on *this*
+//! placement?" — the [`scenario`] subsystem asks what it does in a *living*
+//! network. A [`Scenario`](scenario::Scenario) declares the whole world as
+//! data: a seed-parameterized deployment, a mobility process (random
+//! waypoint or group convoy, clamped to the deployment area), Gilbert–Elliot
+//! per-channel fading that composes with [`FaultPlan`](radio::FaultPlan)
+//! jamming, and churn (late joins, crash-stops). Drive one trial with
+//! [`ScenarioSim`](scenario::ScenarioSim), or a whole (scenario × seed)
+//! matrix across all cores with [`ScenarioRunner`](scenario::ScenarioRunner)
+//! — every trial is a pure function of `(scenario, seed)`, so tables
+//! replay bit-for-bit regardless of thread count.
+//!
+//! ```
+//! use multichannel_adhoc::prelude::*;
+//!
+//! let scenario = Scenario::builder("roaming-sensors")
+//!     .deployment(DeploymentSpec::Uniform { n: 40, side: 10.0 })
+//!     .mobility(MobilitySpec::RandomWaypoint { speed_min: 0.02, speed_max: 0.1, pause: 8 })
+//!     .fading(FadingSpec::interference(0.01, 0.1, 100.0))
+//!     .channels(4)
+//!     .build();
+//! let trials = ScenarioRunner::new(scenario).trials(4).run(|s, seed| {
+//!     s.deployment_for(seed).len()
+//! });
+//! assert_eq!(trials[0].outcome.results, vec![40, 40, 40, 40]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +86,7 @@ pub use mca_baselines as baselines;
 pub use mca_core as core;
 pub use mca_geom as geom;
 pub use mca_radio as radio;
+pub use mca_scenario as scenario;
 pub use mca_sinr as sinr;
 
 /// One-stop imports for the common workflow.
@@ -62,13 +94,16 @@ pub mod prelude {
     pub use mca_analysis::{run_trials, Summary, Table};
     pub use mca_core::{
         aggregate, audit_structure, broadcast, broadcast_many, build_structure, color_nodes,
-        elect_leader, maximal_independent_set, AggregateOutcome, AggregationStructure,
-        AlgoConfig, AvgAgg, AvgValue, BroadcastOutcome, Candidate, ColoringOutcome, Constants,
-        CsaVariant, FmSketch, FmValue, GossipOutcome, InterclusterMode, LeaderOutcome, MaxAgg,
-        MinAgg, MisConfig, MisOutcome, NetworkEnv, OrAgg, Sourced, StructureConfig,
-        SubstrateMode, SumAgg,
+        elect_leader, maximal_independent_set, AggregateOutcome, AggregationStructure, AlgoConfig,
+        AvgAgg, AvgValue, BroadcastOutcome, Candidate, ColoringOutcome, Constants, CsaVariant,
+        FmSketch, FmValue, GossipOutcome, InterclusterMode, LeaderOutcome, MaxAgg, MinAgg,
+        MisConfig, MisOutcome, NetworkEnv, OrAgg, Sourced, StructureConfig, SubstrateMode, SumAgg,
     };
-    pub use mca_geom::{CommGraph, Deployment, Point};
-    pub use mca_radio::{Channel, Engine, NodeId};
+    pub use mca_geom::{BoundingBox, CommGraph, Deployment, Point};
+    pub use mca_radio::{Channel, ChannelCondition, Engine, FaultPlan, NodeId, Protocol};
+    pub use mca_scenario::{
+        ChurnSpec, DeploymentSpec, EnvironmentModel, FadingSpec, GilbertElliot, GroupConvoy,
+        MobilitySpec, RandomWaypoint, Scenario, ScenarioRunner, ScenarioSim, StaticEnvironment,
+    };
     pub use mca_sinr::SinrParams;
 }

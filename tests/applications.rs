@@ -47,7 +47,15 @@ fn leader_election_with_distributed_substrate() {
 fn broadcast_reaches_everyone_from_any_source() {
     let (env, s, algo, d_hat) = setup(120, 9.0, 4, 33, SubstrateMode::Oracle);
     for (i, src) in [0u32, 59, 119].into_iter().enumerate() {
-        let out = broadcast(&env, &s, &algo, NodeId(src), 1000 + src as u64, d_hat, 7 + i as u64);
+        let out = broadcast(
+            &env,
+            &s,
+            &algo,
+            NodeId(src),
+            1000 + src as u64,
+            d_hat,
+            7 + i as u64,
+        );
         assert!(
             out.coverage * 10 >= 120 * 9,
             "source {src}: coverage {}/120",
@@ -298,8 +306,7 @@ fn gossip_stress_half_the_network_are_sources() {
     // per-cluster queues and the gossip must push 30 distinct packets
     // into every node.
     let (env, s, algo, d_hat) = setup(60, 7.0, 4, 41, SubstrateMode::Oracle);
-    let messages: Vec<(NodeId, u64)> =
-        (0..30).map(|i| (NodeId(i * 2), 1000 + i as u64)).collect();
+    let messages: Vec<(NodeId, u64)> = (0..30).map(|i| (NodeId(i * 2), 1000 + i as u64)).collect();
     let out = broadcast_many(&env, &s, &algo, &messages, d_hat, 43);
     assert_eq!(out.unhoisted, 0, "hoist lost sources under load");
     assert!(

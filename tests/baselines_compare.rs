@@ -57,15 +57,8 @@ fn all_algorithms_agree_on_the_max() {
     assert!(values.iter().all(|&v| v == expect), "naive TDMA");
 
     // Graph-model flood.
-    let g = baselines::run_graph_flood(
-        deploy.points(),
-        params.r_eps(),
-        &inputs,
-        8,
-        0.2,
-        500_000,
-        7,
-    );
+    let g =
+        baselines::run_graph_flood(deploy.points(), params.r_eps(), &inputs, 8, 0.2, 500_000, 7);
     assert!(g.values.iter().all(|&v| v == expect), "graph-model flood");
 }
 

@@ -9,7 +9,12 @@ fn setup(
     channels: u16,
     substrate: SubstrateMode,
     seed: u64,
-) -> (NetworkEnv, AggregationStructure, AlgoConfig, StructureConfig) {
+) -> (
+    NetworkEnv,
+    AggregationStructure,
+    AlgoConfig,
+    StructureConfig,
+) {
     let params = SinrParams::default();
     let mut rng = SmallRng::seed_from_u64(seed);
     let deploy = Deployment::uniform(n, side, &mut rng);
@@ -40,7 +45,10 @@ fn max_aggregation_is_exact_with_distributed_substrate() {
     );
     assert_eq!(out.undelivered, 0);
     let holders = out.values.iter().filter(|v| **v == Some(expect)).count();
-    assert!(holders * 10 >= 220 * 9, "only {holders}/220 learned the max");
+    assert!(
+        holders * 10 >= 220 * 9,
+        "only {holders}/220 learned the max"
+    );
 }
 
 #[test]

@@ -136,8 +136,8 @@ fn t_disrupted_adversary_slows_but_does_not_stop_exchange() {
                 seed: 0xBAD,
             });
         }
-        let mut engine = Engine::new(SinrParams::default(), positions.clone(), protocols, 5)
-            .with_faults(faults);
+        let mut engine =
+            Engine::new(SinrParams::default(), positions.clone(), protocols, 5).with_faults(faults);
         engine.run_until(cfg.max_slots, |ps: &[ExchangeNode]| {
             ps.iter().all(|p| p.complete_at().is_some())
         });

@@ -1,0 +1,235 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//! the [`proptest!`] macro with `pattern in strategy` parameters, range and
+//! tuple strategies, [`collection::vec`], `prop_map`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros. Cases are
+//! generated from fixed seeds so test runs are deterministic; shrinking is
+//! not implemented (a failing case prints its values via the assertion
+//! message instead).
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — generate another.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed-assertion error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// The deterministic RNG for case number `i` of a property test.
+pub fn test_rng(i: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0xC0FFEE ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop` alias module (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat_param in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut passed = 0u32;
+            let mut attempt = 0u64;
+            while passed < cfg.cases {
+                assert!(
+                    attempt < cfg.cases as u64 * 20 + 100,
+                    "proptest: too many cases rejected by prop_assume!"
+                );
+                let mut __rng = $crate::test_rng(attempt);
+                attempt += 1;
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {} failed: {}", attempt - 1, msg)
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Like `assert!` but aborts only the current generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!` but aborts only the current generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Like `assert_ne!` but aborts only the current generated case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless `cond` holds (the case is regenerated).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 0u32..10, y in -5.0..5.0f64) {
+            prop_assert!(x < 10);
+            prop_assert!((-5.0..5.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_filters(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in prop::collection::vec((0.0..1.0f64, 0u8..3), 2..10),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+            for (f, b) in &v {
+                prop_assert!(*f < 1.0 && *b < 3);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_respected(_x in 0u8..255) {
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let s = (0u32..5).prop_map(|v| v * 10);
+        let mut rng = crate::test_rng(0);
+        for _ in 0..50 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!(v % 10 == 0 && v < 50);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Parallel iterator types.
+
+use crate::parallel_map;
+use std::ops::Range;
+
+/// Conversion into a by-value parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Starts a parallel pipeline over the elements.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Borrowing parallel iteration (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+
+    /// Starts a parallel pipeline over references to the elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each element through `f` (executed in parallel at `collect`).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the elements (parallelism-neutral; kept for API parity).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel pipeline; executes on `collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Runs the pipeline across threads and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+
+    /// Chains another map stage.
+    pub fn map<R2: Send, G: Fn(R) -> R2 + Sync>(self, g: G) -> ParMap<T, impl Fn(T) -> R2 + Sync> {
+        let f = self.f;
+        ParMap {
+            items: self.items,
+            f: move |x| g(f(x)),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline, API-compatible subset of the `rayon` crate.
+//!
+//! Provides genuinely parallel (std::thread-based) versions of the rayon
+//! idioms this workspace uses: `into_par_iter()` / `par_iter()` with `map`
+//! and order-preserving `collect`, plus [`join`]. Work is split into one
+//! contiguous chunk per available core; results are reassembled in input
+//! order, so a parallel `collect` is always element-for-element identical
+//! to the sequential equivalent.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+pub mod iter;
+
+pub use iter::{IntoParallelIterator, IntoParallelRefIterator};
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Maps `f` over `items` using one thread per contiguous chunk, preserving
+/// input order in the output.
+pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n).max(1);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+
+    let fref = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(fref).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = v.iter().map(|x| x * 3).collect();
+        let par: Vec<u64> = v.into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_iter_by_ref() {
+        let v: Vec<u32> = (0..100).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[99], 198);
+        assert_eq!(v.len(), 100, "by-ref iteration leaves the source intact");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn range_par_iter() {
+        let squares: Vec<usize> = (0..50usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[7], 49);
+    }
+}
