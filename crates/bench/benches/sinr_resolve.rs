@@ -1,0 +1,43 @@
+//! Batched SINR resolution vs the seed per-listener scan.
+//!
+//! One iteration = one slot: every listener of every channel resolved
+//! against that channel's transmitter set. `seed_scan` is a frozen copy of
+//! the pre-batching engine hot path (`dist → powf(α)` per pair);
+//! `batch_exact` is the `ChannelResolver` in its default bit-exact mode;
+//! `batch_fast` adds the spatial-grid near/far split.
+//!
+//! Set `SINR_BENCH_SMOKE=1` for a reduced-sample CI smoke run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mca_bench::sinr_bench::{batch_slot, build_world, seed_scan_slot, SINR_BENCH_CASES};
+use mca_sinr::{ResolveMode, SinrParams};
+
+fn sinr_resolve(c: &mut Criterion) {
+    let smoke = std::env::var_os("SINR_BENCH_SMOKE").is_some();
+    let exact = SinrParams::default();
+    let fast = SinrParams::default().with_resolve(ResolveMode::fast());
+    let mut group = c.benchmark_group("sinr_resolve");
+    group.sample_size(if smoke { 2 } else { 10 });
+    for &(n, channels) in &SINR_BENCH_CASES {
+        for dense in [true, false] {
+            let label = format!(
+                "{n}x{channels}ch/{}",
+                if dense { "dense" } else { "sparse" }
+            );
+            let world = build_world(n, channels, dense, 7);
+            group.bench_with_input(BenchmarkId::new("seed_scan", &label), &world, |b, w| {
+                b.iter(|| seed_scan_slot(&exact, w))
+            });
+            group.bench_with_input(BenchmarkId::new("batch_exact", &label), &world, |b, w| {
+                b.iter(|| batch_slot(&exact, w))
+            });
+            group.bench_with_input(BenchmarkId::new("batch_fast", &label), &world, |b, w| {
+                b.iter(|| batch_slot(&fast, w))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sinr_resolve);
+criterion_main!(benches);

@@ -1,6 +1,10 @@
 //! Regenerates every experiment of `EXPERIMENTS.md`.
 //!
 //! Usage: `experiments [e1|...|e8|e10|...|e16|t1|a1|a2|all|quick] [trials]`
+//!
+//! `experiments bench-sinr [repeats]` measures the batched SINR resolver
+//! against the seed per-listener scan and writes the `BENCH_sinr.json`
+//! baseline (explicit-only: not part of `all`/`quick`).
 
 use std::env;
 use std::time::Instant;
@@ -75,6 +79,12 @@ fn main() {
     }
     if want("a3") {
         println!("{}", mca_bench::a3_gossip(trials));
+    }
+    if which == "bench-sinr" {
+        let json = mca_bench::sinr_bench::bench_sinr_json(trials.max(3));
+        std::fs::write("BENCH_sinr.json", &json).expect("write BENCH_sinr.json");
+        print!("{json}");
+        eprintln!("[wrote BENCH_sinr.json]");
     }
     eprintln!("[experiments done in {:.1}s]", t0.elapsed().as_secs_f64());
 }

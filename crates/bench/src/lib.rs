@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sinr_bench;
+
 use mca_analysis::{run_trials, Summary, Table};
 use mca_baselines as baselines;
 use mca_core::ruling::{self, ProbPolicy, RulingConfig, RulingOutcome, RulingSet, TimeoutRule};

@@ -104,6 +104,26 @@ impl BoundingBox {
         )
     }
 
+    /// Squared distance from `p` to the nearest point of the box
+    /// (0 for interior points). The interference engine classifies grid
+    /// cells as near/far by this against a squared cutoff radius.
+    #[inline]
+    pub fn dist_sq_to(&self, p: Point) -> f64 {
+        self.clamp(p).dist_sq(p)
+    }
+
+    /// Squared distance from `p` to the farthest point of the box (one of
+    /// the four corners). Together with [`BoundingBox::dist_sq_to`] this
+    /// brackets the distance from `p` to *any* point inside the box —
+    /// the interval the batched SINR resolver's far-field error bound is
+    /// built from.
+    #[inline]
+    pub fn max_dist_sq_to(&self, p: Point) -> f64 {
+        let dx = (p.x - self.min.x).abs().max((p.x - self.max.x).abs());
+        let dy = (p.y - self.min.y).abs().max((p.y - self.max.y).abs());
+        dx * dx + dy * dy
+    }
+
     /// Whether `other` intersects this box (boundary inclusive).
     pub fn intersects(&self, other: &BoundingBox) -> bool {
         self.min.x <= other.max.x

@@ -196,6 +196,46 @@ impl SpatialGrid {
         }
     }
 
+    /// Number of occupied (non-empty) cells.
+    pub fn occupied_cells(&self) -> usize {
+        let mut n = 0;
+        for c in 0..self.nx * self.ny {
+            if self.starts[c + 1] > self.starts[c] {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Calls `f` for every *occupied* cell, in row-major (deterministic)
+    /// order. Each [`GridCell`] carries the cell's rectangle and the indices
+    /// of the points bucketed into it (in input order). Every indexed point
+    /// lies inside its cell's rectangle (boundary inclusive), so
+    /// `rect.dist_sq_to(q)` / `rect.max_dist_sq_to(q)` bracket the distance
+    /// from `q` to every point of the cell — the basis of cell-granular
+    /// far-field interference aggregation.
+    pub fn for_each_cell<F: FnMut(GridCell<'_>)>(&self, mut f: F) {
+        for cy in 0..self.ny {
+            for cx in 0..self.nx {
+                let c = cy * self.nx + cx;
+                let lo = self.starts[c] as usize;
+                let hi = self.starts[c + 1] as usize;
+                if lo == hi {
+                    continue;
+                }
+                let min = Point::new(
+                    self.origin.x + cx as f64 * self.cell,
+                    self.origin.y + cy as f64 * self.cell,
+                );
+                let rect = BoundingBox::new(min, Point::new(min.x + self.cell, min.y + self.cell));
+                f(GridCell {
+                    rect,
+                    items: &self.items[lo..hi],
+                });
+            }
+        }
+    }
+
     /// Maximum number of points in any disk of radius `r`, probing disks
     /// centered at every indexed point.
     ///
@@ -210,6 +250,18 @@ impl SpatialGrid {
             .max()
             .unwrap_or(0)
     }
+}
+
+/// One occupied cell of a [`SpatialGrid`], as visited by
+/// [`SpatialGrid::for_each_cell`].
+#[derive(Debug, Clone, Copy)]
+pub struct GridCell<'a> {
+    /// The cell's rectangle; every point of the cell lies inside it
+    /// (boundary inclusive).
+    pub rect: BoundingBox,
+    /// Indices (into the slice the grid was built from) of the points
+    /// bucketed into this cell, in input order.
+    pub items: &'a [u32],
 }
 
 #[cfg(test)]
@@ -307,6 +359,42 @@ mod tests {
         let grid = SpatialGrid::build(&pts, 1.0);
         assert_eq!(grid.max_ball_occupancy(&pts, 1.0), 3);
         assert_eq!(grid.max_ball_occupancy(&pts, 0.5), 1);
+    }
+
+    #[test]
+    fn cells_partition_points_and_contain_them() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen_range(0.0..40.0), rng.gen_range(0.0..40.0)))
+            .collect();
+        let grid = SpatialGrid::build(&pts, 3.0);
+        let mut seen = vec![false; pts.len()];
+        let mut cells = 0;
+        grid.for_each_cell(|cell| {
+            cells += 1;
+            assert!(!cell.items.is_empty(), "only occupied cells are visited");
+            for &i in cell.items {
+                assert!(!seen[i as usize], "point {i} appears in two cells");
+                seen[i as usize] = true;
+                let p = pts[i as usize];
+                assert!(cell.rect.contains(p), "point {i} outside its cell rect");
+                assert_eq!(cell.rect.dist_sq_to(p), 0.0);
+                assert!(cell.rect.max_dist_sq_to(p) >= 0.0);
+            }
+            // items are in input order within the cell
+            for w in cell.items.windows(2) {
+                assert!(w[0] < w[1], "cell items out of input order");
+            }
+        });
+        assert!(seen.iter().all(|&s| s), "every point visited exactly once");
+        assert_eq!(cells, grid.occupied_cells());
+    }
+
+    #[test]
+    fn empty_grid_has_no_cells() {
+        let grid = SpatialGrid::build(&[], 1.0);
+        assert_eq!(grid.occupied_cells(), 0);
+        grid.for_each_cell(|_| panic!("no cells expected"));
     }
 
     proptest! {

@@ -36,5 +36,5 @@ mod point;
 pub use bbox::BoundingBox;
 pub use deploy::Deployment;
 pub use graph::CommGraph;
-pub use grid::SpatialGrid;
+pub use grid::{GridCell, SpatialGrid};
 pub use point::Point;

@@ -17,6 +17,14 @@
 //! channels per the *t-disrupted* adversary) is available through
 //! [`FaultPlan`].
 //!
+//! Reception is resolved per channel by the batched
+//! [`ChannelResolver`](mca_sinr::ChannelResolver) (mode selected via
+//! [`SinrParams::resolve`](mca_sinr::SinrParams)): the engine stages each
+//! channel's transmitter/listener positions once per slot in reused dense
+//! scratch buffers and, with [`Engine::with_par_channels`], resolves the
+//! independent channel groups in parallel — bit-identical to sequential,
+//! since channels never interact within a slot.
+//!
 //! The engine also exposes dynamic-environment hooks used by the
 //! `mca-scenario` crate: [`Engine::positions_mut`] (mobility),
 //! [`Engine::channel_conditions_mut`] (per-channel fading via

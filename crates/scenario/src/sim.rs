@@ -37,8 +37,9 @@ impl<P: Protocol> ScenarioSim<P> {
             .map(|(i, &p)| make(i, p))
             .collect();
         let faults = scenario.faults_for(seed);
-        let engine =
-            Engine::new(scenario.params, deploy.into_points(), protocols, seed).with_faults(faults);
+        let engine = Engine::new(scenario.params, deploy.into_points(), protocols, seed)
+            .with_faults(faults)
+            .with_par_channels(scenario.par_channels);
         let (env, env_rng) = scenario.environment_for(seed);
         let env_static = env.is_static();
         ScenarioSim {

@@ -13,7 +13,7 @@ use crate::mobility::{GroupConvoy, RandomWaypoint};
 use mca_geom::{BoundingBox, Deployment, Point};
 use mca_radio::rng::derive_rng;
 use mca_radio::{ChannelCondition, FaultPlan};
-use mca_sinr::SinrParams;
+use mca_sinr::{ResolveMode, SinrParams};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -326,6 +326,10 @@ pub struct Scenario {
     pub channels: u16,
     /// Default slot budget for drivers that need one.
     pub max_slots: u64,
+    /// Whether the engine resolves per-slot channel groups in parallel
+    /// (bit-identical to sequential; see
+    /// [`Engine::with_par_channels`](mca_radio::Engine::with_par_channels)).
+    pub par_channels: bool,
 }
 
 impl Scenario {
@@ -343,6 +347,7 @@ impl Scenario {
                 faults: FaultPlan::none(),
                 channels: 8,
                 max_slots: 10_000,
+                par_channels: false,
             },
         }
     }
@@ -461,6 +466,20 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enables parallel per-channel resolution in the engine (bit-identical
+    /// to sequential, so replay guarantees are unaffected).
+    pub fn par_channels(mut self, par: bool) -> Self {
+        self.scenario.par_channels = par;
+        self
+    }
+
+    /// Sets the reception [`ResolveMode`] on the scenario's physical
+    /// parameters (see [`mca_sinr::ResolveMode`]).
+    pub fn resolve_mode(mut self, mode: ResolveMode) -> Self {
+        self.scenario.params = self.scenario.params.with_resolve(mode);
+        self
+    }
+
     /// Finishes the scenario.
     pub fn build(self) -> Scenario {
         self.scenario
@@ -491,6 +510,19 @@ mod tests {
         assert_eq!(s.max_slots, 500);
         assert!(s.fading.is_some());
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn resolve_and_parallel_options_plumb_through() {
+        let s = Scenario::builder("fastpar")
+            .resolve_mode(ResolveMode::fast())
+            .par_channels(true)
+            .build();
+        assert!(s.par_channels);
+        assert!(matches!(s.params.resolve, ResolveMode::Fast { .. }));
+        let d = Scenario::builder("default").build();
+        assert!(!d.par_channels);
+        assert_eq!(d.params.resolve, ResolveMode::Exact);
     }
 
     #[test]

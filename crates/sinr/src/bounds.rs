@@ -77,6 +77,42 @@ pub fn annulus_worst_case_interference(params: &SinrParams, r1: f64, t_max: u32)
         .sum()
 }
 
+/// Far-field truncation tail: for a placement of *uniform* transmitter
+/// density `density` (per unit area), the total interference arriving from
+/// beyond radius `r_c` scales as the continuum integral
+/// `∫_{r_c}^∞ 2πλr · P r^{−α} dr = 2πλP/(α−2) · r_c^{2−α}`.
+///
+/// Finite precisely because the model assumes `α > 2` (Eq. 1) — the same
+/// convergent-tail reasoning behind Definition 4 and Lemma 2. This is a
+/// *design estimate* for choosing the Fast-mode cutoff in
+/// [`crate::ChannelResolver`], not a per-placement guarantee: a placement
+/// that concentrates its transmitters just beyond `r_c` can exceed it.
+/// The rigorous per-placement quantity is the per-listener interval bound
+/// the resolver itself reports
+/// ([`ChannelResolver::resolve_with_bound`](crate::ChannelResolver::resolve_with_bound)).
+pub fn far_field_tail(params: &SinrParams, r_c: f64, density: f64) -> f64 {
+    assert!(r_c > 0.0, "cutoff radius must be positive");
+    assert!(density >= 0.0, "density cannot be negative");
+    2.0 * std::f64::consts::PI * density * params.power / (params.alpha - 2.0)
+        * r_c.powf(2.0 - params.alpha)
+}
+
+/// First-order estimate of the cell-aggregation error of Fast-mode far
+/// fields: approximating each transmitter beyond `r_c` by its cell center
+/// (cell side `cell`, half-diagonal `δ = c·√2/2`) perturbs each power term
+/// by at most `αPδ·d^{−α−1}` to first order, and integrating over density
+/// `density` beyond `r_c` gives `2πλαPδ/(α−1) · r_c^{1−α}` — one power of
+/// `r_c` smaller than the full tail of [`far_field_tail`].
+pub fn far_cell_error(params: &SinrParams, r_c: f64, cell: f64, density: f64) -> f64 {
+    assert!(r_c > 0.0, "cutoff radius must be positive");
+    assert!(cell > 0.0, "cell side must be positive");
+    assert!(density >= 0.0, "density cannot be negative");
+    let delta = cell * std::f64::consts::SQRT_2 / 2.0;
+    2.0 * std::f64::consts::PI * density * params.alpha * params.power * delta
+        / (params.alpha - 1.0)
+        * r_c.powf(1.0 - params.alpha)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +197,48 @@ mod tests {
     #[should_panic(expected = "r1 must be positive")]
     fn zero_r1_rejected() {
         lemma2_max_r2(&p(), 0.0);
+    }
+
+    #[test]
+    fn far_tail_dominates_a_uniform_ring_sum() {
+        // Place transmitters on a dense lattice beyond r_c and check the
+        // closed-form tail upper-bounds the explicit sum at the origin.
+        let params = p();
+        let r_c = 2.0 * params.transmission_range();
+        let step = 1.0;
+        let density = 1.0 / (step * step);
+        let mut exact = 0.0;
+        let half = 400;
+        for ix in -half..=half {
+            for iy in -half..=half {
+                let x = ix as f64 * step + step / 2.0;
+                let y = iy as f64 * step + step / 2.0;
+                let d_sq = x * x + y * y;
+                if d_sq >= r_c * r_c {
+                    exact += params.received_power_sq(d_sq);
+                }
+            }
+        }
+        let bound = far_field_tail(&params, r_c, density);
+        assert!(
+            exact <= bound * 1.2,
+            "lattice tail {exact} exceeds analytic tail {bound}"
+        );
+        assert!(exact > bound * 0.2, "tail bound should be the right scale");
+    }
+
+    #[test]
+    fn far_bounds_scale_as_derived() {
+        let params = p();
+        // Tail falls as r_c^{2-α} (α=3 → 1/r_c); cell error as r_c^{1-α}.
+        let t1 = far_field_tail(&params, 10.0, 0.5);
+        let t2 = far_field_tail(&params, 20.0, 0.5);
+        assert!((t1 / t2 - 2.0).abs() < 1e-9);
+        let e1 = far_cell_error(&params, 10.0, 2.0, 0.5);
+        let e2 = far_cell_error(&params, 20.0, 2.0, 0.5);
+        assert!((e1 / e2 - 4.0).abs() < 1e-9);
+        // Cell error is linear in the cell side.
+        let e_half = far_cell_error(&params, 10.0, 1.0, 0.5);
+        assert!((e1 / e_half - 2.0).abs() < 1e-9);
     }
 }

@@ -10,8 +10,14 @@
 //! * [`resolve_listener`]/[`resolve_channel`] — per-slot reception per
 //!   Eq. (1), including the receiver-side carrier-sense readings (total
 //!   received power, and SINR + signal strength on success);
+//! * [`ChannelResolver`] — the batched per-channel resolver the engine hot
+//!   path runs on, with [`ResolveMode::Exact`] (bit-for-bit the scalar
+//!   reference) and [`ResolveMode::Fast`] (spatial-grid near/far split with
+//!   an error-bounded, per-cell aggregated far field — see
+//!   [`resolve_batch`] for the `α > 2` tail-bound derivation);
 //! * [`is_clear_reception`] — Definition 4;
-//! * [`bounds`] — closed forms of Lemmas 2–3 for validation experiments.
+//! * [`bounds`] — closed forms of Lemmas 2–3 plus the far-field tail bounds
+//!   for validation experiments.
 //!
 //! # Examples
 //!
@@ -30,8 +36,10 @@
 pub mod bounds;
 mod params;
 mod resolve;
+pub mod resolve_batch;
 
-pub use params::{NodeKnowledge, ParamInterval, SinrParams};
+pub use params::{NodeKnowledge, ParamInterval, ResolveMode, SinrParams};
 pub use resolve::{
     is_clear_reception, resolve_channel, resolve_listener, resolve_listener_ext, ListenOutcome,
 };
+pub use resolve_batch::ChannelResolver;

@@ -15,6 +15,45 @@
 
 use std::fmt;
 
+/// How per-channel reception is resolved by the batched resolver
+/// (`ChannelResolver`) and everything routed through it.
+///
+/// * [`ResolveMode::Exact`] (the default) computes every
+///   transmitter–listener power term and sums in transmitter order — the
+///   outcome is bit-for-bit identical to the scalar reference
+///   `resolve_listener`, so enabling the batched path cannot change any
+///   simulation result.
+/// * [`ResolveMode::Fast`] sums the near field (every transmitter within
+///   the cutoff radius `R_c = cutoff_factor · R_T`) exactly and aggregates
+///   the far field at grid-cell granularity: one distance computation per
+///   occupied cell instead of one per transmitter. The approximation is
+///   error-bounded — the resolver reports, per listener, a rigorous bound
+///   on the interference error (see `ChannelResolver::resolve_with_bound`),
+///   and a decode decision can only differ from `Exact` when the SINR
+///   margin is smaller than that bound. The bound is finite because the
+///   path-loss exponent satisfies `α > 2` (Eq. 1), which makes the
+///   far-field tail integral converge; see `mca_sinr::resolve_batch`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ResolveMode {
+    /// Exact summation, bitwise-identical to the scalar reference.
+    #[default]
+    Exact,
+    /// Grid-batched near/far split with an error-bounded far field.
+    Fast {
+        /// Near-field cutoff radius as a multiple of the transmission
+        /// range `R_T`. Must be at least 1 so every decodable transmitter
+        /// (necessarily within `R_T` of its listener) is resolved exactly.
+        cutoff_factor: f64,
+    },
+}
+
+impl ResolveMode {
+    /// The [`ResolveMode::Fast`] mode with a default cutoff of `1.5·R_T`.
+    pub fn fast() -> Self {
+        ResolveMode::Fast { cutoff_factor: 1.5 }
+    }
+}
+
 /// Ground-truth physical parameters used by the simulation engine.
 ///
 /// # Examples
@@ -40,6 +79,8 @@ pub struct SinrParams {
     /// Near-field clamp: received power saturates below this distance
     /// (prevents singularities when two nodes are (nearly) co-located).
     pub min_dist: f64,
+    /// How the engine resolves per-channel reception (see [`ResolveMode`]).
+    pub resolve: ResolveMode,
 }
 
 impl Default for SinrParams {
@@ -64,9 +105,22 @@ impl SinrParams {
             power,
             eps,
             min_dist: 1e-6,
+            resolve: ResolveMode::Exact,
         };
         p.validate();
         p
+    }
+
+    /// Returns a copy with the given [`ResolveMode`] (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ResolveMode::Fast`] cutoff factor is not finite or is
+    /// below 1.
+    pub fn with_resolve(mut self, resolve: ResolveMode) -> Self {
+        self.resolve = resolve;
+        self.validate();
+        self
     }
 
     /// Creates parameters with `P` back-solved so the transmission range is
@@ -90,6 +144,12 @@ impl SinrParams {
             "eps must lie in (0,1), got {}",
             self.eps
         );
+        if let ResolveMode::Fast { cutoff_factor } = self.resolve {
+            assert!(
+                cutoff_factor.is_finite() && cutoff_factor >= 1.0,
+                "Fast cutoff_factor must be finite and at least 1, got {cutoff_factor}"
+            );
+        }
     }
 
     /// Transmission range `R_T = (P/(β·N))^{1/α}` — the maximum distance at
@@ -160,9 +220,42 @@ impl SinrParams {
     }
 
     /// Received power `P/d^α` at distance `d` (clamped at `min_dist`).
+    #[inline]
     pub fn received_power(&self, d: f64) -> f64 {
-        let d = d.max(self.min_dist);
-        self.power / d.powf(self.alpha)
+        self.received_power_sq(d * d)
+    }
+
+    /// Received power from the *squared* distance: `P/(d²)^{α/2}` with the
+    /// near-field clamp applied to `d²`.
+    ///
+    /// This is the canonical hot kernel: both the scalar reference
+    /// (`resolve_listener`) and the batched `ChannelResolver` call it on
+    /// `Point::dist_sq`, skipping the square root of `Point::dist` and
+    /// using multiply-only fast paths for the integer path-loss exponents
+    /// used in practice (a ~5× cheaper inner loop than `powf` for the
+    /// default `α = 3`). Because every resolution path shares this one
+    /// function, batched and scalar resolution are bit-for-bit identical.
+    #[inline]
+    pub fn received_power_sq(&self, d_sq: f64) -> f64 {
+        let d_sq = d_sq.max(self.min_dist * self.min_dist);
+        self.power / self.dist_pow_alpha(d_sq)
+    }
+
+    /// `d^α` computed from `d²`, with multiply-only fast paths for the
+    /// small integer exponents (even `α` needs no square root at all).
+    #[inline]
+    fn dist_pow_alpha(&self, d_sq: f64) -> f64 {
+        if self.alpha == 3.0 {
+            d_sq * d_sq.sqrt()
+        } else if self.alpha == 4.0 {
+            d_sq * d_sq
+        } else if self.alpha == 5.0 {
+            (d_sq * d_sq) * d_sq.sqrt()
+        } else if self.alpha == 6.0 {
+            (d_sq * d_sq) * d_sq
+        } else {
+            d_sq.powf(self.alpha / 2.0)
+        }
     }
 
     /// Inverts [`SinrParams::received_power`]: the distance at which a
@@ -418,6 +511,45 @@ mod tests {
         for d in [0.5, 1.0, 3.0, 7.9] {
             let sig = p.received_power(d);
             assert!((p.distance_from_power(sig) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resolve_mode_default_and_builder() {
+        let p = SinrParams::default();
+        assert_eq!(p.resolve, ResolveMode::Exact);
+        let f = p.with_resolve(ResolveMode::fast());
+        assert!(matches!(f.resolve, ResolveMode::Fast { cutoff_factor } if cutoff_factor == 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff_factor")]
+    fn fast_cutoff_below_one_rejected() {
+        SinrParams::default().with_resolve(ResolveMode::Fast { cutoff_factor: 0.5 });
+    }
+
+    #[test]
+    fn power_kernel_matches_powf_reference() {
+        // The multiply-only integer-α fast paths must agree with the
+        // direct P/d^α formula to rounding error.
+        for alpha in [2.5, 3.0, 4.0, 5.0, 6.0] {
+            let p = SinrParams::with_range(alpha, 1.5, 1.0, 8.0, 0.5);
+            for d in [0.3, 1.0, 2.7, 7.99, 8.0, 31.0] {
+                let got = p.received_power(d);
+                let want = p.power / d.powf(alpha);
+                assert!(
+                    (got - want).abs() <= 1e-12 * want,
+                    "α={alpha} d={d}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_sq_kernel_is_the_canonical_form() {
+        let p = SinrParams::default();
+        for d in [0.0, 0.5, 3.0, 8.0, 20.0] {
+            assert_eq!(p.received_power(d), p.received_power_sq(d * d));
         }
     }
 

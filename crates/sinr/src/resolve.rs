@@ -84,13 +84,23 @@ pub fn resolve_listener_ext(
     let mut best = 0usize;
     let mut best_pow = f64::NEG_INFINITY;
     for (i, &t) in tx_positions.iter().enumerate() {
-        let p = params.received_power(t.dist(listener));
+        let p = params.received_power_sq(t.dist_sq(listener));
         total += p;
         if p > best_pow {
             best_pow = p;
             best = i;
         }
     }
+    decide(params, best, best_pow, total)
+}
+
+/// Applies the Eq. 1 threshold to a scanned candidate: `best`/`best_pow` is
+/// the strongest transmitter (earliest index on power ties) and `total` the
+/// carrier-sense sum *including* the candidate. Shared by the scalar
+/// reference above and the batched `ChannelResolver`, so both produce
+/// identical outcomes from identical scans.
+#[inline]
+pub(crate) fn decide(params: &SinrParams, best: usize, best_pow: f64, total: f64) -> ListenOutcome {
     let interference = total - best_pow;
     let sinr = params.sinr(best_pow, interference);
     if sinr >= params.beta {
@@ -111,15 +121,20 @@ pub fn resolve_listener_ext(
 }
 
 /// Batch resolution of many listeners against the same transmitter set.
+///
+/// Routed through [`ChannelResolver`](crate::ChannelResolver), the single
+/// batched resolution code path (the engine uses the same resolver): with
+/// the default [`ResolveMode::Exact`](crate::ResolveMode::Exact) the result
+/// is bit-for-bit what per-listener [`resolve_listener`] calls produce.
 pub fn resolve_channel(
     params: &SinrParams,
     tx_positions: &[Point],
     listeners: &[Point],
 ) -> Vec<ListenOutcome> {
-    listeners
-        .iter()
-        .map(|&l| resolve_listener(params, tx_positions, l))
-        .collect()
+    let resolver = crate::ChannelResolver::new(params, tx_positions);
+    let mut out = Vec::with_capacity(listeners.len());
+    resolver.resolve_into(listeners, 0.0, &mut out);
+    out
 }
 
 /// Whether `outcome` is a *clear reception* for radius `r` (Definition 4):

@@ -1,0 +1,597 @@
+//! Batched per-channel SINR resolution over a spatial grid.
+//!
+//! [`ChannelResolver`] takes the transmitter set of one channel *once* per
+//! slot and resolves every listener of that channel against it, replacing
+//! the engine's former per-listener `resolve_listener_ext` scan (O(tx)
+//! `powf` calls per listener). Two modes, selected by
+//! [`SinrParams::resolve`](crate::SinrParams)'s [`ResolveMode`]:
+//!
+//! * **[`ResolveMode::Exact`]** (default) — every transmitter's power is
+//!   computed and summed in transmitter order through the same
+//!   [`SinrParams::received_power_sq`](crate::SinrParams::received_power_sq)
+//!   kernel the scalar reference uses, so outcomes are **bit-for-bit
+//!   identical** to [`resolve_listener`](crate::resolve_listener). The
+//!   speedup comes from the shared squared-distance kernel (no `sqrt`
+//!   before the power law, multiply-only integer-`α` fast paths instead of
+//!   `powf`) and, on multi-core hosts, from fanning listeners out across
+//!   threads (per-listener outcomes are independent, so parallel and
+//!   sequential resolution are identical).
+//!
+//! * **[`ResolveMode::Fast`]** — a near/far split over a
+//!   [`SpatialGrid`] built on the transmitter positions. Cells whose
+//!   rectangle comes within the cutoff radius `R_c = cutoff_factor · R_T`
+//!   of the listener are summed exactly, transmitter by transmitter; every
+//!   farther cell contributes one aggregated term
+//!   `n_cell · P / d(center)^α` — one distance computation per occupied
+//!   cell instead of one per transmitter.
+//!
+//! # The far-field error bound (why truncation is principled)
+//!
+//! Under the paper's physical model (Eq. 1) the received power of a
+//! transmitter at distance `d` is `P/d^α` with path-loss exponent `α > 2`.
+//! For a placement of density `λ` (transmitters per unit area), the total
+//! interference arriving from beyond a radius `R_c` is at most the tail
+//! integral
+//!
+//! ```text
+//! I_far ≤ ∫_{R_c}^∞ 2πλr · P r^{-α} dr = 2πλP/(α−2) · R_c^{2−α},
+//! ```
+//!
+//! which **converges precisely because `α > 2`** — the same
+//! bounded-far-interference reasoning behind Definition 4's clear-reception
+//! threshold (a fixed interference budget certifies that no transmitter
+//! within `4r` fired) and Lemma 2's annulus argument. Fast mode does not
+//! even discard the tail: it *aggregates* it per cell, so only the
+//! *variation of distance within a cell* is approximated. With cell side
+//! `c` (half-diagonal `δ = c·√2/2`), the per-transmitter error is at most
+//! `|∂_d(P d^{-α})|·δ = αPδ·d^{-α-1}` up to `O(δ/d)²`, and integrating over
+//! the plane beyond `R_c` gives the analytic estimate
+//!
+//! ```text
+//! ε(R_c, α, λ) ≲ ∫_{R_c}^∞ 2πλr · αPδ r^{-α-1} dr
+//!              = 2πλαPδ/(α−1) · R_c^{1−α}
+//! ```
+//!
+//! (closed forms in [`crate::bounds::far_field_tail`] and
+//! [`crate::bounds::far_cell_error`]). Beyond the analytic estimate, the
+//! resolver computes a **rigorous per-listener bound** from the actual
+//! placement: each occupied far cell's true power lies in
+//! `[n·P/d_max^α, n·P/d_min^α]` (`d_min`/`d_max` the nearest/farthest point
+//! of the cell rectangle), and the center estimate lies in the same
+//! interval, so the interference error is at most the summed interval
+//! widths — returned by [`ChannelResolver::resolve_with_bound`]. Because
+//! `cutoff_factor ≥ 1` forces `R_c ≥ R_T`, no far transmitter can ever be
+//! decodable (decoding requires `d ≤ R_T`), so Fast mode can only differ
+//! from Exact on a decode whose SINR margin is within that published bound
+//! plus floating-point rounding (the near field is summed in cell order,
+//! not transmitter order, so totals differ from the scalar scan at ulp
+//! scale even when the bound is 0) — the property the crate's tests
+//! enforce.
+
+use crate::params::{ResolveMode, SinrParams};
+use crate::resolve::{decide, resolve_listener_ext, ListenOutcome};
+use mca_geom::{BoundingBox, Point, SpatialGrid};
+use rayon::prelude::*;
+
+/// Listener count above which [`ChannelResolver::resolve_into`] may fan
+/// out across threads (no-op on single-core hosts; results are identical
+/// either way).
+const PAR_LISTENERS: usize = 256;
+
+/// Minimum per-batch work volume (listeners × estimated power evaluations
+/// per listener, mode-aware) before the fan-out engages: the vendored
+/// rayon spawns scoped threads per call (no pool), so the spawn cost
+/// (~tens of µs per worker) must be dwarfed by the resolve work.
+const PAR_MIN_PAIRS: usize = 4_000_000;
+
+/// Transmitter count below which Fast mode falls back to the exact scan —
+/// the grid build would cost more than it saves.
+const FAST_MIN_TX: usize = 16;
+
+/// Cells along the longer axis are capped so a very spread-out transmitter
+/// set cannot blow up the grid's memory.
+const MAX_CELLS_PER_AXIS: f64 = 192.0;
+
+/// One occupied transmitter cell of the Fast-mode index.
+struct CellSpan {
+    rect: BoundingBox,
+    /// Range into [`FastIndex::items`].
+    start: u32,
+    end: u32,
+}
+
+/// Fast-mode spatial index: occupied cells in deterministic (row-major)
+/// order, with transmitter indices stored contiguously per cell.
+struct FastIndex {
+    cells: Vec<CellSpan>,
+    items: Vec<u32>,
+}
+
+/// Batched reception resolution for one channel's transmitter set.
+///
+/// Build once per (channel, slot) with [`ChannelResolver::new`], then
+/// resolve any number of listeners. The engine holds per-channel scratch
+/// buffers and calls [`ChannelResolver::resolve_into`]; ad-hoc callers can
+/// use [`resolve_channel`](crate::resolve_channel) or
+/// [`ChannelResolver::resolve`].
+///
+/// # Examples
+///
+/// ```
+/// use mca_sinr::{resolve_listener, ChannelResolver, SinrParams};
+/// use mca_geom::Point;
+///
+/// let params = SinrParams::default();
+/// let txs = [Point::new(3.0, 0.0), Point::new(40.0, 40.0)];
+/// let resolver = ChannelResolver::new(&params, &txs);
+/// let out = resolver.resolve(Point::ORIGIN, 0.0);
+/// // Default mode is bit-for-bit the scalar reference.
+/// assert_eq!(out, resolve_listener(&params, &txs, Point::ORIGIN));
+/// assert_eq!(out.decoded, Some(0));
+/// ```
+pub struct ChannelResolver<'a> {
+    params: &'a SinrParams,
+    tx: &'a [Point],
+    /// Present only in Fast mode with enough transmitters.
+    fast: Option<FastIndex>,
+    cutoff_sq: f64,
+    /// Estimated power-evaluation count per resolved listener (exact scan:
+    /// all transmitters; Fast: occupied cells + expected near field) —
+    /// the quantity the listener fan-out threshold is measured in.
+    work_per_listener: usize,
+}
+
+impl<'a> ChannelResolver<'a> {
+    /// Indexes `tx_positions` for batched resolution under
+    /// `params.resolve`.
+    pub fn new(params: &'a SinrParams, tx_positions: &'a [Point]) -> Self {
+        let mut cutoff_sq = f64::INFINITY;
+        let mut work_per_listener = tx_positions.len();
+        let fast = match params.resolve {
+            ResolveMode::Fast { cutoff_factor } if tx_positions.len() >= FAST_MIN_TX => {
+                let rt = params.transmission_range();
+                let cutoff = cutoff_factor * rt;
+                cutoff_sq = cutoff * cutoff;
+                let bb = BoundingBox::from_points(tx_positions.iter().copied())
+                    .expect("non-empty transmitter set");
+                let extent = bb.width().max(bb.height());
+                // Adaptive cell side: aim for a handful of transmitters per
+                // occupied cell (the aggregation win), never below R_T/4
+                // (error control) and never so small the grid outgrows
+                // MAX_CELLS_PER_AXIS.
+                let occupancy_side = (bb.area() * 4.0 / tx_positions.len() as f64).sqrt();
+                let side = (rt / 4.0)
+                    .max(occupancy_side)
+                    .max(extent / MAX_CELLS_PER_AXIS);
+                // Decide *before* building anything whether the grid can
+                // pay for itself: a transmitter set whose diagonal fits
+                // inside the cutoff has no far field to aggregate, and a
+                // grid with as many cells as transmitters saves nothing
+                // (per listener, Fast touches every occupied cell). Both
+                // checks are O(1) on top of the bbox pass.
+                let diag_sq = bb.min().dist_sq(bb.max());
+                let ncells =
+                    ((bb.width() / side) as usize + 1) * ((bb.height() / side) as usize + 1);
+                if diag_sq <= cutoff_sq || ncells * 2 > tx_positions.len() {
+                    None
+                } else {
+                    let grid = SpatialGrid::build(tx_positions, side);
+                    // No occupied_cells() pre-pass (it would rescan the
+                    // whole grid); occupied cells are bounded by ncells.
+                    let mut cells = Vec::new();
+                    let mut items = Vec::with_capacity(tx_positions.len());
+                    grid.for_each_cell(|cell| {
+                        let start = items.len() as u32;
+                        items.extend_from_slice(cell.items);
+                        cells.push(CellSpan {
+                            rect: cell.rect,
+                            start,
+                            end: items.len() as u32,
+                        });
+                    });
+                    // Per-listener cost on the Fast path: one term per
+                    // occupied cell plus the expected near field (average
+                    // transmitter density over the cutoff disk).
+                    let near_frac =
+                        (std::f64::consts::PI * cutoff_sq / bb.area().max(side * side)).min(1.0);
+                    work_per_listener =
+                        cells.len() + (tx_positions.len() as f64 * near_frac).ceil() as usize;
+                    Some(FastIndex { cells, items })
+                }
+            }
+            _ => None,
+        };
+        ChannelResolver {
+            params,
+            tx: tx_positions,
+            fast,
+            cutoff_sq,
+            work_per_listener,
+        }
+    }
+
+    /// Whether this resolver is using the grid-accelerated Fast path —
+    /// false for [`ResolveMode::Exact`], and false in Fast mode when the
+    /// geometry cannot profit from a grid (too few transmitters, an
+    /// all-near world whose diagonal fits inside the cutoff, or cell
+    /// counts rivaling the transmitter count), in which case the resolver
+    /// transparently runs the exact scan.
+    pub fn is_fast(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// Number of transmitters indexed.
+    pub fn len(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Whether the channel has no transmitters.
+    pub fn is_empty(&self) -> bool {
+        self.tx.is_empty()
+    }
+
+    /// Resolves one listener. `extra_interference` is the per-channel
+    /// environmental term (fading, out-of-network traffic), exactly as in
+    /// [`resolve_listener_ext`](crate::resolve_listener_ext).
+    #[inline]
+    pub fn resolve(&self, listener: Point, extra_interference: f64) -> ListenOutcome {
+        match &self.fast {
+            None => resolve_listener_ext(self.params, self.tx, listener, extra_interference),
+            Some(index) => {
+                self.resolve_fast::<false>(index, listener, extra_interference)
+                    .0
+            }
+        }
+    }
+
+    /// Like [`ChannelResolver::resolve`], additionally returning the
+    /// rigorous bound on the absolute interference error of this outcome
+    /// (always 0 on the exact path). A decode decision can differ from
+    /// [`ResolveMode::Exact`] only if moving the interference by the bound
+    /// — plus ulp-scale rounding slack from the cell-order near-field sum —
+    /// crosses the `β` threshold.
+    pub fn resolve_with_bound(
+        &self,
+        listener: Point,
+        extra_interference: f64,
+    ) -> (ListenOutcome, f64) {
+        match &self.fast {
+            None => (
+                resolve_listener_ext(self.params, self.tx, listener, extra_interference),
+                0.0,
+            ),
+            Some(index) => self.resolve_fast::<true>(index, listener, extra_interference),
+        }
+    }
+
+    /// Fast-mode core. `BOUND` selects whether the per-cell error interval
+    /// is accumulated (needs two extra rect distances per far cell); the
+    /// hot path resolves with `BOUND = false` and reports 0.
+    fn resolve_fast<const BOUND: bool>(
+        &self,
+        index: &FastIndex,
+        listener: Point,
+        extra_interference: f64,
+    ) -> (ListenOutcome, f64) {
+        debug_assert!(extra_interference >= 0.0, "interference cannot be negative");
+        let params = self.params;
+        let mut total = extra_interference;
+        let mut best = 0usize;
+        let mut best_pow = f64::NEG_INFINITY;
+        let mut far_lo = 0.0;
+        let mut far_hi = 0.0;
+        let mut far_est = 0.0;
+        for cell in &index.cells {
+            let d_min_sq = cell.rect.dist_sq_to(listener);
+            if d_min_sq <= self.cutoff_sq {
+                // Near cell: exact per-transmitter summation. Ties on power
+                // go to the smallest transmitter index, matching the scalar
+                // reference's first-strongest-wins scan.
+                for &i in &index.items[cell.start as usize..cell.end as usize] {
+                    let p = params.received_power_sq(self.tx[i as usize].dist_sq(listener));
+                    total += p;
+                    if p > best_pow || (p == best_pow && (i as usize) < best) {
+                        best_pow = p;
+                        best = i as usize;
+                    }
+                }
+            } else {
+                // Far cell: one aggregated term; the true cell power lies in
+                // [n·P/d_max^α, n·P/d_min^α] and so does the center estimate.
+                let n = f64::from(cell.end - cell.start);
+                far_est += n * params.received_power_sq(cell.rect.center().dist_sq(listener));
+                if BOUND {
+                    far_hi += n * params.received_power_sq(d_min_sq);
+                    far_lo += n * params.received_power_sq(cell.rect.max_dist_sq_to(listener));
+                }
+            }
+        }
+        total += far_est;
+        let bound = (far_hi - far_lo).max(0.0);
+        if best_pow == f64::NEG_INFINITY {
+            // No near-field candidate. Far transmitters are all beyond
+            // R_c ≥ R_T and therefore undecodable, matching Exact's
+            // no-decode outcome (carrier sense still reads the estimate).
+            return (
+                ListenOutcome {
+                    decoded: None,
+                    signal: 0.0,
+                    sinr: 0.0,
+                    total_power: total,
+                },
+                bound,
+            );
+        }
+        (decide(params, best, best_pow, total), bound)
+    }
+
+    /// Resolves a batch of listeners into `out` (cleared first), in
+    /// listener order. Batches whose work volume dwarfs the thread-spawn
+    /// cost are resolved in parallel on multi-core hosts; per-listener
+    /// outcomes are independent, so the result is identical to the
+    /// sequential loop on any thread count. When the fan-out engages, the
+    /// caller's buffer is replaced by the collected one (one allocation,
+    /// amortized against ≥[`PAR_MIN_PAIRS`] pair resolutions).
+    pub fn resolve_into(
+        &self,
+        listeners: &[Point],
+        extra_interference: f64,
+        out: &mut Vec<ListenOutcome>,
+    ) {
+        let work = listeners
+            .len()
+            .saturating_mul(self.work_per_listener.max(1));
+        if listeners.len() >= PAR_LISTENERS
+            && work >= PAR_MIN_PAIRS
+            && rayon::current_num_threads() > 1
+        {
+            // The vendored rayon has no collect_into_vec; hand the collected
+            // buffer to the caller instead of copying it into `out`.
+            *out = listeners
+                .par_iter()
+                .map(|&l| self.resolve(l, extra_interference))
+                .collect();
+        } else {
+            self.resolve_into_sequential(listeners, extra_interference, out);
+        }
+    }
+
+    /// [`ChannelResolver::resolve_into`] without the listener fan-out —
+    /// for callers that already parallelize at a coarser grain (the
+    /// engine's `par_channels` channel groups use this to avoid nested
+    /// thread spawning) or that rely on `out`'s buffer being reused.
+    pub fn resolve_into_sequential(
+        &self,
+        listeners: &[Point],
+        extra_interference: f64,
+        out: &mut Vec<ListenOutcome>,
+    ) {
+        out.clear();
+        out.extend(
+            listeners
+                .iter()
+                .map(|&l| self.resolve(l, extra_interference)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::resolve_listener;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact() -> SinrParams {
+        SinrParams::default()
+    }
+
+    fn fast(cutoff_factor: f64) -> SinrParams {
+        SinrParams::default().with_resolve(ResolveMode::Fast { cutoff_factor })
+    }
+
+    fn random_world(seed: u64, n_tx: usize, side: f64) -> (Vec<Point>, Vec<Point>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pt = |side: f64| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+        let txs = (0..n_tx).map(|_| pt(side)).collect();
+        let mut rng2 = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        let listeners = (0..50)
+            .map(|_| {
+                Point::new(
+                    rng2.gen_range(-5.0..side + 5.0),
+                    rng2.gen_range(-5.0..side + 5.0),
+                )
+            })
+            .collect();
+        (txs, listeners)
+    }
+
+    #[test]
+    fn exact_mode_never_builds_grid_and_fast_does() {
+        let (txs, _) = random_world(1, 100, 60.0);
+        let pe = exact();
+        let pf = fast(1.0);
+        assert!(!ChannelResolver::new(&pe, &txs).is_fast());
+        let rf = ChannelResolver::new(&pf, &txs);
+        assert!(rf.is_fast());
+        assert_eq!(rf.len(), 100);
+        assert!(!rf.is_empty());
+        // Tiny transmitter sets fall back to the exact scan.
+        assert!(!ChannelResolver::new(&pf, &txs[..4]).is_fast());
+    }
+
+    #[test]
+    fn exact_batch_is_bitwise_scalar_on_large_worlds() {
+        for seed in 0..4u64 {
+            let (txs, listeners) = random_world(seed, 400, 50.0);
+            let params = exact();
+            let resolver = ChannelResolver::new(&params, &txs);
+            let mut out = Vec::new();
+            resolver.resolve_into(&listeners, 0.3, &mut out);
+            for (i, &l) in listeners.iter().enumerate() {
+                assert_eq!(out[i], resolve_listener_ext(&params, &txs, l, 0.3));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_extra_interference_edge_cases() {
+        let params = exact();
+        let resolver = ChannelResolver::new(&params, &[]);
+        assert!(resolver.is_empty());
+        assert_eq!(resolver.resolve(Point::ORIGIN, 0.0), ListenOutcome::SILENT);
+        assert_eq!(resolver.resolve(Point::ORIGIN, 2.0).total_power, 2.0);
+        let (out, bound) = resolver.resolve_with_bound(Point::ORIGIN, 0.0);
+        assert_eq!(out, ListenOutcome::SILENT);
+        assert_eq!(bound, 0.0);
+    }
+
+    #[test]
+    fn fast_falls_back_to_exact_on_all_near_worlds() {
+        // A world whose diagonal fits inside the cutoff has no far field to
+        // aggregate: Fast must skip the grid entirely and be bit-for-bit
+        // the exact scan.
+        let (txs, listeners) = random_world(7, 60, 6.0);
+        let pe = exact();
+        let pf = fast(2.0);
+        let re = ChannelResolver::new(&pe, &txs);
+        let rf = ChannelResolver::new(&pf, &txs);
+        assert!(
+            !rf.is_fast(),
+            "no grid should be built for an all-near world"
+        );
+        for &l in &listeners {
+            let (out_f, bound) = rf.resolve_with_bound(l, 0.0);
+            assert_eq!(bound, 0.0);
+            assert_eq!(out_f, re.resolve(l, 0.0));
+        }
+    }
+
+    #[test]
+    fn fast_grid_engages_and_rarely_disagrees_on_dense_worlds() {
+        let (txs, listeners) = random_world(5, 400, 60.0);
+        let pe = exact();
+        let pf = fast(1.5);
+        let re = ChannelResolver::new(&pe, &txs);
+        let rf = ChannelResolver::new(&pf, &txs);
+        assert!(rf.is_fast(), "a dense spread-out world must use the grid");
+        let mut flips = 0usize;
+        for &l in &listeners {
+            let out_f = rf.resolve(l, 0.0);
+            let out_e = re.resolve(l, 0.0);
+            if out_f.decoded == out_e.decoded {
+                if out_f.decoded.is_some() {
+                    assert_eq!(out_f.signal, out_e.signal, "same decoded power term");
+                }
+            } else {
+                flips += 1;
+            }
+        }
+        assert!(
+            flips * 10 <= listeners.len(),
+            "far-field aggregation flipped {flips}/{} decisions",
+            listeners.len()
+        );
+    }
+
+    #[test]
+    fn fast_bound_shrinks_with_cutoff() {
+        let (txs, listeners) = random_world(3, 500, 200.0);
+        let tight = fast(1.0);
+        let wide = fast(3.0);
+        let rt = ChannelResolver::new(&tight, &txs);
+        let rw = ChannelResolver::new(&wide, &txs);
+        let mut sum_tight = 0.0;
+        let mut sum_wide = 0.0;
+        for &l in &listeners {
+            sum_tight += rt.resolve_with_bound(l, 0.0).1;
+            sum_wide += rw.resolve_with_bound(l, 0.0).1;
+        }
+        assert!(
+            sum_wide < sum_tight,
+            "wider cutoff must tighten the far-field bound: {sum_wide} vs {sum_tight}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        /// Tentpole property: batched Exact resolution is outcome-for-outcome
+        /// (bitwise) the scalar reference, for any placement and extra
+        /// interference.
+        #[test]
+        fn exact_equals_scalar_bitwise(
+            raw in proptest::collection::vec((-30.0..30.0f64, -30.0..30.0f64), 0..60),
+            lx in -30.0..30.0f64,
+            ly in -30.0..30.0f64,
+            extra in 0.0..5.0f64,
+        ) {
+            let params = exact();
+            let txs: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let l = Point::new(lx, ly);
+            let resolver = ChannelResolver::new(&params, &txs);
+            prop_assert_eq!(
+                resolver.resolve(l, extra),
+                resolve_listener_ext(&params, &txs, l, extra)
+            );
+        }
+
+        /// Fast mode never flips a decode whose SINR margin exceeds the
+        /// published per-listener error bound.
+        #[test]
+        fn fast_flips_only_within_bound(
+            raw in proptest::collection::vec((0.0..120.0f64, 0.0..120.0f64), 16..80),
+            lx in 0.0..120.0f64,
+            ly in 0.0..120.0f64,
+            cutoff in 1.0..2.5f64,
+        ) {
+            let params = fast(cutoff);
+            let txs: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let l = Point::new(lx, ly);
+            let resolver = ChannelResolver::new(&params, &txs);
+            let (fast_out, bound) = resolver.resolve_with_bound(l, 0.0);
+            let scalar = resolve_listener(&params, &txs, l);
+            if fast_out.decoded == scalar.decoded {
+                // Same decision; if decoded, it is the same transmitter and
+                // the numeric fields differ by at most the bound's effect.
+                if fast_out.decoded.is_some() {
+                    prop_assert_eq!(fast_out.signal, scalar.signal);
+                    prop_assert!(
+                        (fast_out.total_power - scalar.total_power).abs()
+                            <= bound + 1e-9 * scalar.total_power.max(1.0)
+                    );
+                }
+            } else {
+                // Decisions differ: the scalar margin must be within the
+                // bound — neither robustly decodable nor robustly not.
+                let (sig, interference) = strongest_and_interference(&params, &txs, l);
+                // Ulp-scale slack: the near field is summed in cell order,
+                // so totals differ from the scalar scan by rounding even when
+                // the interval bound is 0.
+                let slack = bound + 1e-9 * (params.noise + interference);
+                let robust_yes = params.decodes(sig, interference + slack);
+                let robust_no = !params.decodes(sig, (interference - slack).max(0.0));
+                prop_assert!(
+                    !robust_yes && !robust_no,
+                    "flip outside bound {}: sig {} interference {} (fast {:?} vs scalar {:?})",
+                    bound, sig, interference, fast_out.decoded, scalar.decoded
+                );
+            }
+        }
+    }
+
+    /// The true strongest signal and the exact residual interference at `l`
+    /// (ground truth for the margin check above).
+    fn strongest_and_interference(params: &SinrParams, txs: &[Point], l: Point) -> (f64, f64) {
+        let mut total = 0.0;
+        let mut best = f64::NEG_INFINITY;
+        for &t in txs {
+            let p = params.received_power_sq(t.dist_sq(l));
+            total += p;
+            if p > best {
+                best = p;
+            }
+        }
+        (best, total - best)
+    }
+}

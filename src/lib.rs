@@ -105,5 +105,5 @@ pub mod prelude {
         ChurnSpec, DeploymentSpec, EnvironmentModel, FadingSpec, GilbertElliot, GroupConvoy,
         MobilitySpec, RandomWaypoint, Scenario, ScenarioRunner, ScenarioSim, StaticEnvironment,
     };
-    pub use mca_sinr::SinrParams;
+    pub use mca_sinr::{ChannelResolver, ResolveMode, SinrParams};
 }
