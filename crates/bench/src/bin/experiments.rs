@@ -1,21 +1,96 @@
-//! Regenerates every experiment of `EXPERIMENTS.md`.
+//! Regenerates every experiment of `EXPERIMENTS.md` and runs scenario
+//! files.
 //!
-//! Usage: `experiments [e1|...|e8|e10|...|e16|t1|a1|a2|all|quick] [trials]`
+//! Usage:
 //!
-//! `experiments bench-sinr [repeats]` measures the batched SINR resolver
-//! against the seed per-listener scan and writes the `BENCH_sinr.json`
-//! baseline (explicit-only: not part of `all`/`quick`).
+//! ```text
+//! experiments [e1|...|e16|t1|a1|a2|a3|all|quick] [trials]
+//! experiments bench-sinr [repeats]
+//! experiments --scenario <file.toml> [--seeds N]
+//! experiments export-scenarios [dir]
+//! experiments check-scenarios [dir]
+//! ```
+//!
+//! `--scenario` runs any TOML world (see `docs/SCENARIO_FORMAT.md`)
+//! through the flood max-aggregation workload; `export-scenarios` writes
+//! the built-in catalog; `check-scenarios` parse-validates a directory of
+//! scenario files (the CI gate for `scenarios/`). Unknown subcommands
+//! print usage and exit non-zero.
 
+use mca_scenario::{builtin_scenarios, Scenario};
 use std::env;
+use std::path::Path;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = env::args().collect();
-    let which = args.get(1).map(String::as_str).unwrap_or("quick");
-    let trials: usize = args
-        .get(2)
-        .and_then(|t| t.parse().ok())
-        .unwrap_or(if which == "quick" { 2 } else { 3 });
+const USAGE: &str = "\
+Usage:
+  experiments [SUBCOMMAND] [trials]   run experiment tables (default: quick)
+  experiments bench-sinr [repeats]    SINR resolver benchmark -> BENCH_sinr.json
+  experiments --scenario <file.toml> [--seeds N]
+                                      run a scenario file end-to-end
+  experiments export-scenarios [dir]  write the built-in catalog (default: scenarios)
+  experiments check-scenarios [dir]   parse-validate every .toml in a directory
+
+Subcommands:
+  e1..e8, e10..e16  individual experiment tables (see EXPERIMENTS.md)
+  t1                related-work comparison table
+  a1, a2, a3        ablation tables
+  all               every table, 3 trials by default
+  quick             every table, 2 trials by default
+";
+
+const TABLE_IDS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "t1", "a1", "a2", "a3", "all", "quick",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+
+    // Flag form: run a scenario file.
+    if args.iter().any(|a| a == "--scenario") {
+        return run_scenario_file(&args);
+    }
+    if let Some(first) = args.first() {
+        if first == "--help" || first == "-h" || first == "help" {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        if first.starts_with('-') {
+            eprintln!("error: unknown option `{first}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let which = args.first().map(String::as_str).unwrap_or("quick");
+    match which {
+        "export-scenarios" => return export_scenarios(args.get(1).map_or("scenarios", |s| s)),
+        "check-scenarios" => return check_scenarios(args.get(1).map_or("scenarios", |s| s)),
+        "bench-sinr" => {}
+        id if TABLE_IDS.contains(&id) => {}
+        other => {
+            eprintln!("error: unknown subcommand `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let trials: usize = match args.get(1) {
+        Some(t) => match t.parse() {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("error: trial count `{t}` is not a number\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            if which == "quick" {
+                2
+            } else {
+                3
+            }
+        }
+    };
 
     let all = which == "all" || which == "quick";
     let want = |id: &str| all || which == id;
@@ -87,4 +162,111 @@ fn main() {
         eprintln!("[wrote BENCH_sinr.json]");
     }
     eprintln!("[experiments done in {:.1}s]", t0.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}
+
+/// `experiments --scenario <file.toml> [--seeds N]`
+fn run_scenario_file(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut seeds: usize = 3;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenario" => match it.next() {
+                Some(p) => path = Some(p),
+                None => {
+                    eprintln!("error: --scenario needs a file path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seeds" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => seeds = n,
+                _ => {
+                    eprintln!("error: --seeds needs a positive number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let path = path.expect("--scenario presence checked by caller");
+    let scenario = match Scenario::load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    println!("{}", mca_bench::run_scenario(&scenario, seeds));
+    eprintln!(
+        "[scenario `{}` x {seeds} seeds in {:.1}s]",
+        scenario.name,
+        t0.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `experiments export-scenarios [dir]`
+fn export_scenarios(dir: &str) -> ExitCode {
+    let dir = Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for entry in builtin_scenarios() {
+        let path = dir.join(entry.file_name());
+        if let Err(e) = std::fs::write(&path, entry.file_contents()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `experiments check-scenarios [dir]`
+fn check_scenarios(dir: &str) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut files: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("error: no .toml files under {dir}");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    for path in &files {
+        match Scenario::load(path) {
+            Ok(s) => println!(
+                "ok   {} (n={}, F={}, {} slots)",
+                path.display(),
+                s.len(),
+                s.channels,
+                s.max_slots
+            ),
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAIL {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures}/{} scenario files failed to parse", files.len());
+        ExitCode::FAILURE
+    } else {
+        println!("{} scenario files parsed cleanly", files.len());
+        ExitCode::SUCCESS
+    }
 }

@@ -9,7 +9,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenario_run;
 pub mod sinr_bench;
+
+pub use scenario_run::{run_scenario, scenario_flood_trial, ScenarioTrial};
 
 use mca_analysis::{run_trials, Summary, Table};
 use mca_baselines as baselines;

@@ -1,0 +1,141 @@
+//! End-to-end acceptance for scenario files: a world that went through
+//! TOML drives the simulator to *bit-identical* results, and every
+//! committed catalog file runs.
+
+use mca_bench::scenario_flood_trial;
+use mca_scenario::{builtin_scenarios, Scenario};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+/// Runs the actual `experiments` binary and returns
+/// `(exit_code, stdout, stderr)`.
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn experiments binary");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_exits_2() {
+    let (code, _, stderr) = run_cli(&["frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("unknown subcommand `frobnicate`"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("Usage:"), "{stderr}");
+}
+
+#[test]
+fn unknown_option_and_bad_seeds_exit_2() {
+    let (code, _, stderr) = run_cli(&["--frobnicate"]);
+    assert_eq!(code, 2, "{stderr}");
+    let (code, _, stderr) = run_cli(&["--scenario", "x.toml", "--seeds", "zero"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--seeds"), "{stderr}");
+}
+
+#[test]
+fn missing_scenario_file_exits_1_with_the_path() {
+    let (code, _, stderr) = run_cli(&["--scenario", "/no/such/world.toml"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("world.toml"), "{stderr}");
+}
+
+#[test]
+fn malformed_scenario_file_reports_line_and_field() {
+    let dir = std::env::temp_dir().join("mca_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.toml");
+    std::fs::write(
+        &path,
+        "name = \"broken\"\n[sinr]\nalpha = 1.0\n[deployment]\nkind = \"line\"\nn = 3\nspacing = 2.0\n",
+    )
+    .unwrap();
+    let (code, _, stderr) = run_cli(&["--scenario", path.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("line 3"), "{stderr}");
+    assert!(stderr.contains("sinr.alpha"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn scenario_run_via_cli_prints_a_table_and_exits_0() {
+    let path = scenarios_dir().join("static-uniform.toml");
+    let (code, stdout, _) = run_cli(&["--scenario", path.to_str().unwrap(), "--seeds", "2"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("static-uniform"), "{stdout}");
+    assert!(stdout.contains("coverage"), "{stdout}");
+}
+
+#[test]
+fn check_scenarios_validates_the_catalog_via_cli() {
+    let dir = scenarios_dir();
+    let (code, stdout, _) = run_cli(&["check-scenarios", dir.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("parsed cleanly"), "{stdout}");
+    let (code, _, stderr) = run_cli(&["check-scenarios", "/no/such/dir"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn round_tripped_scenarios_produce_bit_identical_trials() {
+    for entry in builtin_scenarios() {
+        let original = &entry.scenario;
+        let round_tripped = Scenario::from_toml_str(&original.to_toml()).unwrap();
+        for seed in [0u64, 1, 17] {
+            let a = scenario_flood_trial(original, seed);
+            let b = scenario_flood_trial(&round_tripped, seed);
+            assert_eq!(
+                a, b,
+                "{} seed {seed}: TOML round-trip changed the simulation",
+                original.name
+            );
+        }
+    }
+}
+
+#[test]
+fn committed_scenario_files_run_end_to_end() {
+    for entry in builtin_scenarios() {
+        let path = scenarios_dir().join(entry.file_name());
+        let loaded = Scenario::load(&path).unwrap_or_else(|e| panic!("{e}"));
+        // The file-loaded world is the in-code world, down to the bit.
+        let from_file = scenario_flood_trial(&loaded, 3);
+        let from_code = scenario_flood_trial(&entry.scenario, 3);
+        assert_eq!(from_file, from_code, "{}", path.display());
+        assert!(from_file.slots > 0);
+    }
+}
+
+#[test]
+fn dynamic_scenarios_report_environment_effects() {
+    // The fading world drops receptions; the static baseline never does.
+    let entries = builtin_scenarios();
+    let fading = entries
+        .iter()
+        .find(|e| e.scenario.name == "fading-jammer")
+        .unwrap();
+    let baseline = entries
+        .iter()
+        .find(|e| e.scenario.name == "static-uniform")
+        .unwrap();
+    let faded = scenario_flood_trial(&fading.scenario, 2);
+    let clear = scenario_flood_trial(&baseline.scenario, 2);
+    assert_eq!(clear.env_drops, 0);
+    assert!(
+        faded.busy_failures + faded.env_drops > 0,
+        "fading+jamming left no trace: {faded:?}"
+    );
+}

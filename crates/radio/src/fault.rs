@@ -145,6 +145,26 @@ impl FaultPlan {
     pub fn is_trivial(&self) -> bool {
         self.crashes.is_empty() && self.joins.is_empty() && self.jams.is_empty()
     }
+
+    /// The scheduled crash-stops as `(node, slot)` pairs, sorted by node —
+    /// a deterministic view for serialization and reporting.
+    pub fn crash_events(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.crashes.iter().map(|(&n, &s)| (n, s)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The scheduled late joins as `(node, slot)` pairs, sorted by node.
+    pub fn join_events(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.joins.iter().map(|(&n, &s)| (n, s)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The jamming specs, in insertion order.
+    pub fn jams(&self) -> &[JamSpec] {
+        &self.jams
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +258,23 @@ mod tests {
             seed: 1,
         };
         assert_eq!(spec.power_at(10, 0), 0.0);
+    }
+
+    #[test]
+    fn event_views_are_sorted_and_complete() {
+        let mut p = FaultPlan::none();
+        p.crash_at(9, 30);
+        p.crash_at(2, 10);
+        p.join_at(5, 4);
+        p.jam(JamSpec::Fixed {
+            channel: 1,
+            from: 0,
+            to: 5,
+            power: 1.0,
+        });
+        assert_eq!(p.crash_events(), vec![(2, 10), (9, 30)]);
+        assert_eq!(p.join_events(), vec![(5, 4)]);
+        assert_eq!(p.jams().len(), 1);
     }
 
     #[test]

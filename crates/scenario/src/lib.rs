@@ -17,7 +17,13 @@
 //!   scenario's environment, stepped in lockstep;
 //! * [`ScenarioRunner`] — executes a whole (scenario × seed) trial matrix
 //!   across all CPU cores, feeding
-//!   [`TrialOutcome`](mca_analysis::TrialOutcome) summaries.
+//!   [`TrialOutcome`](mca_analysis::TrialOutcome) summaries;
+//! * [`toml`] — lossless TOML (de)serialization
+//!   (`Scenario::{to_toml, from_toml_str, load, save}`), so worlds live in
+//!   version-controlled data files; the schema reference is
+//!   `docs/SCENARIO_FORMAT.md`;
+//! * [`catalog`] — the built-in worlds committed under `scenarios/` and
+//!   exported by `experiments export-scenarios`.
 //!
 //! # Determinism
 //!
@@ -78,16 +84,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 mod environment;
 mod fading;
 mod mobility;
 mod runner;
 mod sim;
 mod spec;
+pub mod toml;
 
+pub use catalog::{builtin_scenarios, CatalogEntry};
 pub use environment::{CompositeEnvironment, EnvironmentModel, StaticEnvironment, World};
 pub use fading::GilbertElliot;
 pub use mobility::{GroupConvoy, RandomWaypoint};
 pub use runner::{ScenarioRunner, ScenarioTrials};
 pub use sim::ScenarioSim;
 pub use spec::{ChurnSpec, DeploymentSpec, FadingSpec, MobilitySpec, Scenario, ScenarioBuilder};
+pub use toml::{FromToml, ScenarioFileError};

@@ -304,7 +304,11 @@ impl ChurnSpec {
 }
 
 /// A fully declarative experimental world.
-#[derive(Debug, Clone)]
+///
+/// Scenarios serialize to and from TOML (see [`crate::toml`] and
+/// `docs/SCENARIO_FORMAT.md`), so worlds can live in version-controlled
+/// data files and run via `experiments --scenario path.toml`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Human-readable label (used in tables).
     pub name: String,

@@ -1,0 +1,230 @@
+//! Field-tracking decode helper.
+//!
+//! [`Fields`] wraps a parsed [`Table`] during decoding: every accessor
+//! marks its key as consumed, and [`Fields::finish`] rejects any key that
+//! was never consumed — so a typo like `alphaa = 3.0` fails loudly with
+//! the offending line and dotted path instead of being silently ignored.
+
+use crate::error::{join_path, TomlError};
+use crate::value::{Table, Value};
+
+/// A decoding view over one table, with required/optional accessors and
+/// unknown-field rejection.
+pub struct Fields<'a> {
+    table: &'a Table,
+    path: String,
+    taken: Vec<bool>,
+}
+
+impl<'a> Fields<'a> {
+    /// Wraps `value` (which must be a table) rooted at dotted `path`.
+    pub fn new(value: &'a Value, path: &str) -> Result<Self, TomlError> {
+        Ok(Fields::of_table(value.as_table(path)?, path))
+    }
+
+    /// Wraps a table directly.
+    pub fn of_table(table: &'a Table, path: &str) -> Self {
+        Fields {
+            table,
+            path: path.to_string(),
+            taken: vec![false; table.len()],
+        }
+    }
+
+    /// The dotted path of this table (empty at the document root).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The source line the table started on.
+    pub fn line(&self) -> usize {
+        self.table.line
+    }
+
+    /// Dotted path of `key` within this table.
+    pub fn key_path(&self, key: &str) -> String {
+        join_path(&self.path, key)
+    }
+
+    /// The value under `key`, marking it consumed.
+    pub fn take(&mut self, key: &str) -> Option<&'a Value> {
+        for (i, (k, v)) in self.table.entries.iter().enumerate() {
+            if k == key {
+                self.taken[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// The value under `key`, or a "missing required field" error naming
+    /// the table's line.
+    pub fn require(&mut self, key: &str) -> Result<&'a Value, TomlError> {
+        let line = self.line();
+        let path = self.key_path(key);
+        self.take(key)
+            .ok_or_else(|| TomlError::field(line, path, "missing required field"))
+    }
+
+    /// Required string field.
+    pub fn str(&mut self, key: &str) -> Result<&'a str, TomlError> {
+        let path = self.key_path(key);
+        self.require(key)?.as_str(&path)
+    }
+
+    /// Required float field (integers widen).
+    pub fn f64(&mut self, key: &str) -> Result<f64, TomlError> {
+        let path = self.key_path(key);
+        self.require(key)?.as_f64(&path)
+    }
+
+    /// Required `u64` field.
+    pub fn u64(&mut self, key: &str) -> Result<u64, TomlError> {
+        let path = self.key_path(key);
+        self.require(key)?.as_u64(&path)
+    }
+
+    /// Required `u16` field.
+    pub fn u16(&mut self, key: &str) -> Result<u16, TomlError> {
+        let path = self.key_path(key);
+        self.require(key)?.as_u16(&path)
+    }
+
+    /// Required `usize` field.
+    pub fn usize(&mut self, key: &str) -> Result<usize, TomlError> {
+        let path = self.key_path(key);
+        self.require(key)?.as_usize(&path)
+    }
+
+    /// Optional string field.
+    pub fn opt_str(&mut self, key: &str) -> Result<Option<&'a str>, TomlError> {
+        let path = self.key_path(key);
+        self.take(key).map(|v| v.as_str(&path)).transpose()
+    }
+
+    /// Optional float field (integers widen).
+    pub fn opt_f64(&mut self, key: &str) -> Result<Option<f64>, TomlError> {
+        let path = self.key_path(key);
+        self.take(key).map(|v| v.as_f64(&path)).transpose()
+    }
+
+    /// Optional boolean field.
+    pub fn opt_bool(&mut self, key: &str) -> Result<Option<bool>, TomlError> {
+        let path = self.key_path(key);
+        self.take(key).map(|v| v.as_bool(&path)).transpose()
+    }
+
+    /// Optional `u64` field.
+    pub fn opt_u64(&mut self, key: &str) -> Result<Option<u64>, TomlError> {
+        let path = self.key_path(key);
+        self.take(key).map(|v| v.as_u64(&path)).transpose()
+    }
+
+    /// Optional `u16` field.
+    pub fn opt_u16(&mut self, key: &str) -> Result<Option<u16>, TomlError> {
+        let path = self.key_path(key);
+        self.take(key).map(|v| v.as_u16(&path)).transpose()
+    }
+
+    /// Optional sub-table, as its own [`Fields`] view.
+    pub fn opt_fields(&mut self, key: &str) -> Result<Option<Fields<'a>>, TomlError> {
+        let path = self.key_path(key);
+        self.take(key).map(|v| Fields::new(v, &path)).transpose()
+    }
+
+    /// Optional array field (defaults to empty).
+    pub fn opt_array(&mut self, key: &str) -> Result<&'a [Value], TomlError> {
+        let path = self.key_path(key);
+        match self.take(key) {
+            Some(v) => v.as_array(&path),
+            None => Ok(&[]),
+        }
+    }
+
+    /// Fails decoding of field `key` with `message`, anchored to the
+    /// field's source line (or the table's if absent).
+    pub fn invalid(&self, key: &str, message: impl Into<String>) -> TomlError {
+        let line = self
+            .table
+            .get(key)
+            .map(|v| v.line)
+            .filter(|&l| l > 0)
+            .unwrap_or_else(|| self.line());
+        TomlError::field(line, self.key_path(key), message)
+    }
+
+    /// Succeeds only if every key was consumed; otherwise reports the
+    /// first unknown field with its line.
+    pub fn finish(self) -> Result<(), TomlError> {
+        for (i, (key, value)) in self.table.entries.iter().enumerate() {
+            if !self.taken[i] {
+                return Err(TomlError::field(
+                    value.line.max(self.table.line),
+                    self.key_path(key),
+                    "unknown field",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn required_and_optional_access() {
+        let t = parse("a = 1.5\nb = \"x\"\nc = 7\n").unwrap();
+        let mut f = Fields::of_table(&t, "");
+        assert_eq!(f.f64("a").unwrap(), 1.5);
+        assert_eq!(f.str("b").unwrap(), "x");
+        assert_eq!(f.opt_u64("c").unwrap(), Some(7));
+        assert_eq!(f.opt_bool("missing").unwrap(), None);
+        f.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_required_field_names_table_line() {
+        let t = parse("x = 1\n\n[sinr]\nbeta = 1.5\n").unwrap();
+        let mut root = Fields::of_table(&t, "");
+        let _ = root.take("x");
+        let mut sinr = root.opt_fields("sinr").unwrap().unwrap();
+        let e = sinr.f64("alpha").unwrap_err();
+        assert_eq!(e.path, "sinr.alpha");
+        assert_eq!(e.line, 3, "anchored to the [sinr] header line");
+        assert!(e.message.contains("missing required field"));
+    }
+
+    #[test]
+    fn unknown_field_is_rejected_with_line() {
+        let t = parse("a = 1\noops = 2\n").unwrap();
+        let mut f = Fields::of_table(&t, "");
+        let _ = f.take("a");
+        let e = f.finish().unwrap_err();
+        assert_eq!(e.path, "oops");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown field"));
+    }
+
+    #[test]
+    fn invalid_anchors_to_field_line() {
+        let t = parse("a = 1\nkind = \"bogus\"\n").unwrap();
+        let mut f = Fields::of_table(&t, "mob");
+        let _ = f.take("a");
+        let _ = f.take("kind");
+        let e = f.invalid("kind", "unknown kind `bogus`");
+        assert_eq!(e.line, 2);
+        assert_eq!(e.path, "mob.kind");
+    }
+
+    #[test]
+    fn type_mismatch_through_fields() {
+        let t = parse("n = \"ten\"\n").unwrap();
+        let mut f = Fields::of_table(&t, "deployment");
+        let e = f.usize("n").unwrap_err();
+        assert_eq!(e.path, "deployment.n");
+        assert!(e.message.contains("expected an integer"), "{e}");
+    }
+}

@@ -1,0 +1,265 @@
+//! Canonical TOML emission.
+//!
+//! The emitter produces one fixed layout so that serialization is
+//! byte-deterministic (golden tests can pin it) and diffs stay readable:
+//!
+//! * scalar and array entries of a table come first, as `key = value`
+//!   lines in insertion order;
+//! * sub-tables follow as `[dotted.header]` sections, recursively;
+//! * a non-empty array whose elements are all tables is emitted as
+//!   `[[dotted.header]]` array-of-tables sections (an *empty* such array
+//!   is simply omitted — the schema treats absent and empty alike);
+//! * floats are printed with Rust's shortest round-trip formatting
+//!   (`{:?}`), so `value -> text -> value` is bit-exact; strings are
+//!   escaped as basic strings.
+
+use crate::value::{Kind, Table, Value};
+use std::fmt::Write;
+
+/// Renders `table` as a TOML document.
+///
+/// # Panics
+///
+/// Panics on non-finite floats — this subset of TOML has no `inf`/`nan`
+/// representation, and silently writing one would produce a file the
+/// parser rejects.
+pub fn emit(table: &Table) -> String {
+    let mut out = String::new();
+    emit_table(&mut out, table, &mut Vec::new());
+    out
+}
+
+fn emit_table(out: &mut String, table: &Table, path: &mut Vec<String>) {
+    // Pass 1: inline entries.
+    for (key, value) in &table.entries {
+        if is_section(value) {
+            continue;
+        }
+        out.push_str(&key_repr(key));
+        out.push_str(" = ");
+        emit_value(out, value);
+        out.push('\n');
+    }
+    // Pass 2: sections.
+    for (key, value) in &table.entries {
+        path.push(key.clone());
+        match &value.kind {
+            Kind::Table(sub) if is_section(value) => {
+                // A pure container (only sub-sections inside) needs no
+                // header of its own — its children's headers imply it.
+                let needs_header =
+                    sub.is_empty() || sub.entries.iter().any(|(_, v)| !is_section(v));
+                if needs_header {
+                    blank_line(out);
+                    let _ = writeln!(out, "[{}]", header_repr(path));
+                }
+                emit_table(out, sub, path);
+            }
+            Kind::Array(items) if is_section(value) => {
+                for item in items {
+                    if let Kind::Table(sub) = &item.kind {
+                        blank_line(out);
+                        let _ = writeln!(out, "[[{}]]", header_repr(path));
+                        emit_table(out, sub, path);
+                    }
+                }
+            }
+            _ => {}
+        }
+        path.pop();
+    }
+}
+
+/// Whether a value is emitted as a `[section]` / `[[section]]` rather than
+/// inline on a `key = value` line.
+fn is_section(value: &Value) -> bool {
+    match &value.kind {
+        Kind::Table(_) => true,
+        Kind::Array(items) => {
+            !items.is_empty() && items.iter().all(|v| matches!(v.kind, Kind::Table(_)))
+        }
+        _ => false,
+    }
+}
+
+fn blank_line(out: &mut String) {
+    if !out.is_empty() && !out.ends_with("\n\n") {
+        out.push('\n');
+    }
+}
+
+fn emit_value(out: &mut String, value: &Value) {
+    match &value.kind {
+        Kind::Str(s) => {
+            let _ = write!(out, "{}", string_repr(s));
+        }
+        Kind::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Kind::Float(f) => {
+            // TOML (this subset) has no representation for non-finite
+            // floats; writing `inf`/`NaN` would produce a document the
+            // parser rejects, so fail loudly at the source instead.
+            assert!(
+                f.is_finite(),
+                "cannot emit non-finite float {f} as TOML (no parseable representation)"
+            );
+            let _ = write!(out, "{f:?}");
+        }
+        Kind::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Kind::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit_value(out, item);
+            }
+            out.push(']');
+        }
+        Kind::Table(t) => {
+            out.push_str("{ ");
+            for (i, (key, v)) in t.entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&key_repr(key));
+                out.push_str(" = ");
+                emit_value(out, v);
+            }
+            if t.is_empty() {
+                out.pop();
+            }
+            out.push_str(" }");
+        }
+    }
+}
+
+fn key_repr(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .bytes()
+            .all(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-');
+    if bare {
+        key.to_string()
+    } else {
+        string_repr(key)
+    }
+}
+
+fn header_repr(path: &[String]) -> String {
+    path.iter()
+        .map(|s| key_repr(s))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn string_repr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04X}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn layout_scalars_then_sections() {
+        let t = Table::new()
+            .with("name", Value::str("demo"))
+            .with("n", Value::int(3))
+            .with(
+                "sub",
+                Value::table(Table::new().with("x", Value::float(1.5))),
+            );
+        assert_eq!(emit(&t), "name = \"demo\"\nn = 3\n\n[sub]\nx = 1.5\n");
+    }
+
+    #[test]
+    fn array_of_tables_layout() {
+        let jam = |k: &str| Value::table(Table::new().with("kind", Value::str(k)));
+        let t = Table::new().with(
+            "faults",
+            Value::table(Table::new().with("jam", Value::array(vec![jam("fixed"), jam("random")]))),
+        );
+        assert_eq!(
+            emit(&t),
+            "[[faults.jam]]\nkind = \"fixed\"\n\n[[faults.jam]]\nkind = \"random\"\n"
+        );
+    }
+
+    #[test]
+    fn empty_array_stays_inline() {
+        let t = Table::new().with("xs", Value::array(vec![]));
+        assert_eq!(emit(&t), "xs = []\n");
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for f in [
+            0.1,
+            1.0,
+            1e-6,
+            0.30000000000000004,
+            f64::MIN_POSITIVE,
+            768.0,
+        ] {
+            let t = Table::new().with("f", Value::float(f));
+            let back = parse(&emit(&t)).unwrap();
+            let got = back.get("f").unwrap().as_f64("f").unwrap();
+            assert_eq!(got.to_bits(), f.to_bits(), "{f}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        for s in [
+            "plain",
+            "with \"quotes\"",
+            "tabs\tand\nnewlines",
+            "uni \u{1}",
+        ] {
+            let t = Table::new().with("s", Value::str(s));
+            let back = parse(&emit(&t)).unwrap();
+            assert_eq!(back.get("s").unwrap().as_str("s").unwrap(), s, "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite float")]
+    fn non_finite_floats_are_rejected_loudly() {
+        emit(&Table::new().with("f", Value::float(f64::INFINITY)));
+    }
+
+    #[test]
+    fn quoted_keys_round_trip() {
+        let t = Table::new().with("odd key", Value::int(1));
+        let back = parse(&emit(&t)).unwrap();
+        assert_eq!(back.get("odd key").unwrap().as_int("").unwrap(), 1);
+    }
+
+    #[test]
+    fn document_round_trip_ignoring_lines() {
+        let src = "name = \"x\"\nns = [1, 2, 3]\n\n[a]\nf = 2.5\n\n[a.b]\ng = true\n\n[[a.j]]\nk = 1\n\n[[a.j]]\nk = 2\n";
+        let t = parse(src).unwrap();
+        assert_eq!(emit(&t), src);
+    }
+}

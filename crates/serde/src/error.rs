@@ -1,0 +1,94 @@
+//! Line- and field-qualified (de)serialization errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing TOML text or decoding a parsed document
+/// into a typed value.
+///
+/// Every error carries the 1-based source `line` it refers to and, for
+/// decode errors, the dotted `path` of the offending field (e.g.
+/// `sinr.alpha` or `faults.jam[1].power`), so a scenario author can go
+/// straight from the message to the line and key that needs fixing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line in the source text (0 when the value was synthesized
+    /// in memory rather than parsed).
+    pub line: usize,
+    /// Dotted field path, empty for document-level syntax errors.
+    pub path: String,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl TomlError {
+    /// A syntax error at `line` with no associated field.
+    pub fn syntax(line: usize, message: impl Into<String>) -> Self {
+        TomlError {
+            line,
+            path: String::new(),
+            message: message.into(),
+        }
+    }
+
+    /// A decode error for the field at `path`, anchored to `line`.
+    pub fn field(line: usize, path: impl Into<String>, message: impl Into<String>) -> Self {
+        TomlError {
+            line,
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        if !self.path.is_empty() {
+            write!(f, "`{}`: ", self.path)?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for TomlError {}
+
+/// Joins a parent path and a key into a dotted path (`""` + `"sinr"` →
+/// `"sinr"`, `"faults"` + `"jam"` → `"faults.jam"`).
+pub fn join_path(parent: &str, key: &str) -> String {
+    if parent.is_empty() {
+        key.to_string()
+    } else {
+        format!("{parent}.{key}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_path() {
+        let e = TomlError::field(12, "sinr.alpha", "expected a float, found a string");
+        let s = e.to_string();
+        assert!(s.contains("line 12"), "{s}");
+        assert!(s.contains("`sinr.alpha`"), "{s}");
+        assert!(s.contains("expected a float"), "{s}");
+    }
+
+    #[test]
+    fn display_omits_empty_parts() {
+        let e = TomlError::syntax(3, "unterminated string");
+        assert_eq!(e.to_string(), "line 3: unterminated string");
+        let e = TomlError::field(0, "name", "missing");
+        assert_eq!(e.to_string(), "`name`: missing");
+    }
+
+    #[test]
+    fn join_path_handles_root() {
+        assert_eq!(join_path("", "a"), "a");
+        assert_eq!(join_path("a", "b"), "a.b");
+    }
+}

@@ -1,0 +1,780 @@
+//! A recursive-descent TOML parser with line-qualified errors.
+//!
+//! Supports the subset of TOML 1.0 the scenario schema uses (and a little
+//! more, so hand-written files are forgiving to author):
+//!
+//! * `key = value` pairs with bare or quoted keys;
+//! * `[table]` and dotted `[table.sub]` headers, `[[array.of.tables]]`;
+//! * basic `"…"` strings (with the standard escapes incl. `\uXXXX`) and
+//!   literal `'…'` strings;
+//! * integers (with `_` separators, full `i64` plus `u64` range via
+//!   `i128`), floats (fraction/exponent forms), booleans;
+//! * arrays (nested, multi-line, trailing comma allowed) and single-line
+//!   inline tables `{ k = v, … }`;
+//! * `#` comments and blank lines anywhere between statements.
+//!
+//! Not supported (rejected with a clear error rather than misparsed):
+//! datetimes, multi-line strings, dotted keys on the left of `=`, hex /
+//! octal / binary integers, and `inf`/`nan`.
+
+use crate::error::TomlError;
+use crate::value::{Kind, Table, Value};
+
+/// Parses a TOML document into its root [`Table`].
+pub fn parse(src: &str) -> Result<Table, TomlError> {
+    Parser::new(src).parse_document()
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+/// Path of explicitly declared `[headers]`, used for duplicate detection.
+type DeclaredSet = std::collections::HashSet<String>;
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Table, TomlError> {
+        let mut root = Table::new();
+        root.line = 1;
+        let mut declared = DeclaredSet::new();
+        // Dotted path of the table subsequent `key = value` lines land in.
+        let mut current: Vec<String> = Vec::new();
+
+        loop {
+            self.skip_trivia();
+            let Some(c) = self.peek() else { break };
+            if c == b'[' {
+                let header_line = self.line;
+                self.bump();
+                let array_of_tables = self.peek() == Some(b'[');
+                if array_of_tables {
+                    self.bump();
+                }
+                let path = self.parse_key_path(b']')?;
+                self.expect(b']', "expected `]` to close the table header")?;
+                if array_of_tables {
+                    self.expect(b']', "expected `]]` to close the array-of-tables header")?;
+                }
+                self.expect_end_of_line("after a table header")?;
+                if array_of_tables {
+                    Self::open_array_of_tables(&mut root, &path, header_line)?;
+                    // A fresh element starts a fresh namespace: sub-tables
+                    // declared under the previous `[[…]]` element may be
+                    // declared again (TOML 1.0 `[[fruit]]`/`[fruit.physical]`).
+                    let prefix = format!("{}.", path.join("."));
+                    declared.retain(|d| !d.starts_with(&prefix));
+                } else {
+                    Self::open_table(&mut root, &path, header_line, &mut declared)?;
+                }
+                current = path;
+            } else {
+                let key_line = self.line;
+                let key = self.parse_key()?;
+                self.skip_spaces();
+                self.expect(b'=', "expected `=` after the key")?;
+                self.skip_spaces();
+                let value = self.parse_value()?;
+                self.expect_end_of_line("after the value")?;
+                let table = Self::table_at(&mut root, &current, key_line)?;
+                if table.contains(&key) {
+                    return Err(TomlError::field(
+                        key_line,
+                        join(&current, &key),
+                        "duplicate key".to_string(),
+                    ));
+                }
+                table.entries.push((key, value));
+            }
+        }
+        Ok(root)
+    }
+
+    // ---- table navigation ---------------------------------------------
+
+    /// Descends `root` along `path`, entering the last element of any
+    /// array-of-tables on the way.
+    fn table_at<'t>(
+        root: &'t mut Table,
+        path: &[String],
+        line: usize,
+    ) -> Result<&'t mut Table, TomlError> {
+        let mut table = root;
+        for (i, seg) in path.iter().enumerate() {
+            if !table.contains(seg) {
+                let mut sub = Table::new();
+                sub.line = line;
+                table.insert(seg.clone(), Value::table(sub));
+            }
+            let joined = path[..=i].join(".");
+            let value = table.get_mut(seg).expect("just inserted");
+            table = match &mut value.kind {
+                Kind::Table(t) => t,
+                Kind::Array(items) => match items.last_mut().map(|v| &mut v.kind) {
+                    Some(Kind::Table(t)) => t,
+                    _ => {
+                        return Err(TomlError::field(
+                            line,
+                            joined,
+                            "cannot extend a plain array as a table",
+                        ))
+                    }
+                },
+                _ => {
+                    return Err(TomlError::field(
+                        line,
+                        joined,
+                        "key already holds a non-table value",
+                    ))
+                }
+            };
+        }
+        Ok(table)
+    }
+
+    fn open_table(
+        root: &mut Table,
+        path: &[String],
+        line: usize,
+        declared: &mut DeclaredSet,
+    ) -> Result<(), TomlError> {
+        let joined = path.join(".");
+        if !declared.insert(joined.clone()) {
+            return Err(TomlError::field(line, joined, "table defined twice"));
+        }
+        let (parents, last) = path.split_at(path.len() - 1);
+        let parent = Self::table_at(root, parents, line)?;
+        let last = &last[0];
+        match parent.get(last).map(|v| &v.kind) {
+            None => {
+                let mut sub = Table::new();
+                sub.line = line;
+                parent.insert(last.clone(), Value::table(sub));
+                Ok(())
+            }
+            // Implicitly created by a deeper header earlier; adopt it.
+            Some(Kind::Table(_)) => Ok(()),
+            Some(Kind::Array(_)) => Err(TomlError::field(
+                line,
+                joined,
+                "already defined as an array of tables (use `[[…]]`)",
+            )),
+            Some(_) => Err(TomlError::field(
+                line,
+                joined,
+                "key already holds a non-table value",
+            )),
+        }
+    }
+
+    fn open_array_of_tables(
+        root: &mut Table,
+        path: &[String],
+        line: usize,
+    ) -> Result<(), TomlError> {
+        let joined = path.join(".");
+        let (parents, last) = path.split_at(path.len() - 1);
+        let parent = Self::table_at(root, parents, line)?;
+        let last = &last[0];
+        let mut element = Table::new();
+        element.line = line;
+        match parent.get_mut(last).map(|v| &mut v.kind) {
+            None => {
+                let mut v = Value::array(vec![Value::table(element)]);
+                v.line = line;
+                parent.insert(last.clone(), v);
+                Ok(())
+            }
+            Some(Kind::Array(items)) => {
+                if !items.iter().all(|v| matches!(v.kind, Kind::Table(_))) {
+                    return Err(TomlError::field(
+                        line,
+                        joined,
+                        "cannot append a table to a plain array",
+                    ));
+                }
+                items.push(Value::table(element));
+                Ok(())
+            }
+            Some(_) => Err(TomlError::field(
+                line,
+                joined,
+                "key already holds a non-array value",
+            )),
+        }
+    }
+
+    // ---- keys ----------------------------------------------------------
+
+    fn parse_key_path(&mut self, terminator: u8) -> Result<Vec<String>, TomlError> {
+        let mut path = Vec::new();
+        loop {
+            self.skip_spaces();
+            path.push(self.parse_key()?);
+            self.skip_spaces();
+            match self.peek() {
+                Some(b'.') => {
+                    self.bump();
+                }
+                Some(c) if c == terminator => return Ok(path),
+                _ => {
+                    return Err(self.syntax(format!(
+                        "expected `.` or `{}` in the table header",
+                        terminator as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_key(&mut self) -> Result<String, TomlError> {
+        match self.peek() {
+            Some(b'"') => self.parse_basic_string(),
+            Some(b'\'') => self.parse_literal_string(),
+            Some(c) if is_bare_key_byte(c) => {
+                let start = self.pos;
+                while self.peek().is_some_and(is_bare_key_byte) {
+                    self.bump();
+                }
+                Ok(self.src[start..self.pos].to_string())
+            }
+            Some(c) => Err(self.syntax(format!("expected a key, found `{}`", c as char))),
+            None => Err(self.syntax("expected a key, found end of input")),
+        }
+    }
+
+    // ---- values --------------------------------------------------------
+
+    fn parse_value(&mut self) -> Result<Value, TomlError> {
+        let line = self.line;
+        let mut value = match self.peek() {
+            Some(b'"') => {
+                if self.bytes[self.pos..].starts_with(b"\"\"\"") {
+                    return Err(self.syntax("multi-line strings are not supported"));
+                }
+                Value::from(Kind::Str(self.parse_basic_string()?))
+            }
+            Some(b'\'') => Value::from(Kind::Str(self.parse_literal_string()?)),
+            Some(b'[') => self.parse_array()?,
+            Some(b'{') => self.parse_inline_table()?,
+            Some(b't') | Some(b'f') if self.at_word("true") || self.at_word("false") => {
+                let b = self.at_word("true");
+                self.pos += if b { 4 } else { 5 };
+                Value::bool(b)
+            }
+            Some(c) if c == b'+' || c == b'-' || c.is_ascii_digit() => self.parse_number()?,
+            Some(c) => {
+                return Err(self.syntax(format!(
+                    "expected a value, found `{}` (datetimes, `inf` and `nan` are not supported)",
+                    c as char
+                )))
+            }
+            None => return Err(self.syntax("expected a value, found end of input")),
+        };
+        value.line = line;
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, TomlError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || matches!(c, b'+' | b'-' | b'.' | b'_'))
+        {
+            // Signs are only valid at the start or right after an exponent
+            // marker; stop otherwise so `1-2` isn't swallowed whole.
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) && self.pos != start {
+                let prev = self.bytes[self.pos - 1];
+                if prev != b'e' && prev != b'E' {
+                    break;
+                }
+            }
+            self.bump();
+        }
+        let raw = &self.src[start..self.pos];
+        if raw.starts_with("0x") || raw.starts_with("0o") || raw.starts_with("0b") {
+            return Err(self.syntax(format!(
+                "non-decimal integer `{raw}` is not supported (use decimal)"
+            )));
+        }
+        if raw.contains("__") || raw.starts_with('_') || raw.ends_with('_') {
+            return Err(self.syntax(format!("malformed number `{raw}`")));
+        }
+        let clean: String = raw.chars().filter(|&c| c != '_').collect();
+        let is_float = clean.contains(['.', 'e', 'E']);
+        if is_float {
+            match clean.parse::<f64>() {
+                Ok(f) if f.is_finite() => Ok(Value::float(f)),
+                _ => Err(self.syntax(format!("malformed float `{raw}`"))),
+            }
+        } else {
+            clean
+                .parse::<i128>()
+                .map(Value::int)
+                .map_err(|_| self.syntax(format!("malformed integer `{raw}`")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, TomlError> {
+        self.expect(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                Some(b']') => {
+                    self.bump();
+                    return Ok(Value::array(items));
+                }
+                None => return Err(self.syntax("unterminated array")),
+                _ => {}
+            }
+            items.push(self.parse_value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {}
+                _ => return Err(self.syntax("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, TomlError> {
+        let line = self.line;
+        self.expect(b'{', "expected `{`")?;
+        let mut table = Table::new();
+        table.line = line;
+        loop {
+            self.skip_spaces();
+            match self.peek() {
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(Value::table(table));
+                }
+                Some(b'\n') => {
+                    return Err(TomlError::syntax(
+                        line,
+                        "inline tables must stay on one line",
+                    ))
+                }
+                None => return Err(self.syntax("unterminated inline table")),
+                _ => {}
+            }
+            let key = self.parse_key()?;
+            self.skip_spaces();
+            self.expect(b'=', "expected `=` in inline table")?;
+            self.skip_spaces();
+            let value = self.parse_value()?;
+            if table.contains(&key) {
+                return Err(TomlError::field(line, key, "duplicate key in inline table"));
+            }
+            table.entries.push((key, value));
+            self.skip_spaces();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'}') => {}
+                _ => return Err(self.syntax("expected `,` or `}` in inline table")),
+            }
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, TomlError> {
+        self.expect(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.src[self.pos..];
+            let Some(c) = rest.chars().next() else {
+                return Err(self.syntax("unterminated string"));
+            };
+            match c {
+                '"' => {
+                    self.bump();
+                    return Ok(out);
+                }
+                '\n' => return Err(self.syntax("unterminated string (newline in string)")),
+                '\\' => {
+                    self.bump();
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.syntax("unterminated escape"))?;
+                    self.bump();
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' | b'U' => {
+                            let len = if esc == b'u' { 4 } else { 8 };
+                            let hex = self
+                                .src
+                                .get(self.pos..self.pos + len)
+                                .ok_or_else(|| self.syntax("truncated unicode escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.syntax("malformed unicode escape"))?;
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| self.syntax("invalid unicode scalar in escape"))?;
+                            out.push(ch);
+                            self.pos += len;
+                        }
+                        _ => return Err(self.syntax(format!("unknown escape `\\{}`", esc as char))),
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_literal_string(&mut self) -> Result<String, TomlError> {
+        self.expect(b'\'', "expected `'`")?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'\'') => {
+                    let s = self.src[start..self.pos].to_string();
+                    self.bump();
+                    return Ok(s);
+                }
+                Some(b'\n') | None => return Err(self.syntax("unterminated literal string")),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ---- low-level cursor ---------------------------------------------
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.peek() == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn at_word(&self, word: &str) -> bool {
+        self.bytes[self.pos..].starts_with(word.as_bytes())
+            && !self
+                .bytes
+                .get(self.pos + word.len())
+                .copied()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+    }
+
+    fn expect(&mut self, c: u8, msg: &str) -> Result<(), TomlError> {
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.syntax(match self.peek() {
+                Some(found) => format!("{msg}, found `{}`", found as char),
+                None => format!("{msg}, found end of input"),
+            }))
+        }
+    }
+
+    /// Consumes spaces and an optional comment, then requires a newline or
+    /// end of input.
+    fn expect_end_of_line(&mut self, context: &str) -> Result<(), TomlError> {
+        self.skip_spaces();
+        if self.peek() == Some(b'#') {
+            self.skip_comment();
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some(b'\n') => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.syntax(format!(
+                "expected end of line {context}, found `{}`",
+                c as char
+            ))),
+        }
+    }
+
+    /// Skips spaces and tabs (not newlines).
+    fn skip_spaces(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\r')) {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace (including newlines) and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => self.bump(),
+                Some(b'#') => self.skip_comment(),
+                _ => return,
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) {
+        while self.peek().is_some_and(|c| c != b'\n') {
+            self.bump();
+        }
+    }
+
+    fn syntax(&self, msg: impl Into<String>) -> TomlError {
+        TomlError::syntax(self.line, msg)
+    }
+}
+
+fn is_bare_key_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
+}
+
+fn join(path: &[String], key: &str) -> String {
+    crate::error::join_path(&path.join("."), key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'t>(t: &'t Table, key: &str) -> &'t Value {
+        t.get(key).unwrap_or_else(|| panic!("missing key {key}"))
+    }
+
+    #[test]
+    fn scalars_and_comments() {
+        let t = parse(
+            "# header comment\n\
+             name = \"demo\" # trailing\n\
+             count = 42\n\
+             rate = -1.5e-3\n\
+             on = true\n\
+             off = false\n",
+        )
+        .unwrap();
+        assert_eq!(get(&t, "name").as_str("").unwrap(), "demo");
+        assert_eq!(get(&t, "count").as_int("").unwrap(), 42);
+        assert_eq!(get(&t, "rate").as_f64("").unwrap(), -1.5e-3);
+        assert!(get(&t, "on").as_bool("").unwrap());
+        assert!(!get(&t, "off").as_bool("").unwrap());
+    }
+
+    #[test]
+    fn line_numbers_are_recorded() {
+        let t = parse("a = 1\n\nb = 2\n[sec]\nc = 3\n").unwrap();
+        assert_eq!(get(&t, "a").line, 1);
+        assert_eq!(get(&t, "b").line, 3);
+        let sec = get(&t, "sec").as_table("sec").unwrap();
+        assert_eq!(sec.line, 4);
+        assert_eq!(get(sec, "c").line, 5);
+    }
+
+    #[test]
+    fn nested_tables_and_dotted_headers() {
+        let t = parse("[a.b]\nx = 1\n[a.c]\ny = 2\n[a]\nz = 3\n").unwrap();
+        let a = get(&t, "a").as_table("a").unwrap();
+        assert_eq!(
+            get(get(a, "b").as_table("").unwrap(), "x")
+                .as_int("")
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            get(get(a, "c").as_table("").unwrap(), "y")
+                .as_int("")
+                .unwrap(),
+            2
+        );
+        assert_eq!(get(a, "z").as_int("").unwrap(), 3);
+    }
+
+    #[test]
+    fn arrays_nested_and_multiline() {
+        let t = parse("pts = [\n  [0.0, 1.0], # one\n  [2.0, 3.0],\n]\nempty = []\n").unwrap();
+        let pts = get(&t, "pts").as_array("pts").unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].as_f64_pair("pts").unwrap(), (2.0, 3.0));
+        assert!(get(&t, "empty").as_array("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn array_of_tables() {
+        let t = parse("[[jam]]\nkind = \"fixed\"\n[[jam]]\nkind = \"random\"\n").unwrap();
+        let jams = get(&t, "jam").as_array("jam").unwrap();
+        assert_eq!(jams.len(), 2);
+        assert_eq!(
+            get(jams[1].as_table("jam").unwrap(), "kind")
+                .as_str("")
+                .unwrap(),
+            "random"
+        );
+    }
+
+    #[test]
+    fn sub_tables_redeclare_per_array_element() {
+        // The TOML 1.0 spec's own array-of-tables example.
+        let t = parse(
+            "[[fruit]]\nname = \"apple\"\n[fruit.physical]\ncolor = \"red\"\n\
+             [[fruit]]\nname = \"banana\"\n[fruit.physical]\ncolor = \"yellow\"\n",
+        )
+        .unwrap();
+        let fruit = get(&t, "fruit").as_array("fruit").unwrap();
+        assert_eq!(fruit.len(), 2);
+        for (i, color) in ["red", "yellow"].iter().enumerate() {
+            let phys = get(fruit[i].as_table("").unwrap(), "physical");
+            assert_eq!(
+                get(phys.as_table("").unwrap(), "color").as_str("").unwrap(),
+                *color
+            );
+        }
+        // Re-opening within the SAME element is still a duplicate.
+        let e = err("[[fruit]]\n[fruit.physical]\nx = 1\n[fruit.physical]\ny = 2\n");
+        assert!(e.message.contains("twice"), "{e}");
+    }
+
+    #[test]
+    fn inline_tables() {
+        let t = parse("p = { x = 1.5, y = -2.0 }\n").unwrap();
+        let p = get(&t, "p").as_table("p").unwrap();
+        assert_eq!(get(p, "x").as_f64("").unwrap(), 1.5);
+        assert_eq!(get(p, "y").as_f64("").unwrap(), -2.0);
+    }
+
+    #[test]
+    fn string_escapes_and_literals() {
+        let t = parse("a = \"tab\\tnl\\nq\\\"u\\u0041\"\nb = 'c:\\raw'\n").unwrap();
+        assert_eq!(get(&t, "a").as_str("").unwrap(), "tab\tnl\nq\"uA");
+        assert_eq!(get(&t, "b").as_str("").unwrap(), "c:\\raw");
+    }
+
+    #[test]
+    fn quoted_keys() {
+        let t = parse("\"odd key\" = 1\n").unwrap();
+        assert_eq!(get(&t, "odd key").as_int("").unwrap(), 1);
+    }
+
+    #[test]
+    fn underscored_numbers() {
+        let t = parse("big = 1_000_000\nf = 1_0.5\n").unwrap();
+        assert_eq!(get(&t, "big").as_int("").unwrap(), 1_000_000);
+        assert_eq!(get(&t, "f").as_f64("").unwrap(), 10.5);
+    }
+
+    #[test]
+    fn u64_range_integers() {
+        let t = parse(&format!("seed = {}\n", u64::MAX)).unwrap();
+        assert_eq!(get(&t, "seed").as_u64("seed").unwrap(), u64::MAX);
+    }
+
+    // ---- error cases: every message carries the right line -------------
+
+    fn err(src: &str) -> TomlError {
+        parse(src).expect_err("expected parse failure")
+    }
+
+    #[test]
+    fn duplicate_key_reports_line_and_path() {
+        let e = err("[s]\na = 1\na = 2\n");
+        assert_eq!(e.line, 3);
+        assert_eq!(e.path, "s.a");
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_table_reports_line() {
+        let e = err("[s]\na = 1\n[s]\n");
+        assert_eq!(e.line, 3);
+        assert_eq!(e.path, "s");
+        assert!(e.message.contains("twice"), "{e}");
+    }
+
+    #[test]
+    fn garbage_after_value() {
+        let e = err("a = 1 2\n");
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("end of line"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_string_line() {
+        let e = err("a = 1\nb = \"oops\n");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_array() {
+        let e = err("a = [1, 2\n");
+        assert!(e.message.contains("array"), "{e}");
+    }
+
+    #[test]
+    fn missing_equals() {
+        let e = err("a 1\n");
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains('='), "{e}");
+    }
+
+    #[test]
+    fn malformed_number() {
+        let e = err("a = 1.2.3\n");
+        assert!(e.message.contains("malformed"), "{e}");
+        let e = err("a = _1\n");
+        assert!(e.message.contains("expected a value"), "{e}");
+        let e = err("a = 1_\n");
+        assert!(e.message.contains("malformed"), "{e}");
+    }
+
+    #[test]
+    fn hex_and_inf_rejected() {
+        assert!(err("a = 0xff\n").message.contains("not supported"));
+        assert!(err("a = inf\n").message.contains("expected a value"));
+    }
+
+    #[test]
+    fn multiline_string_rejected() {
+        let e = err("a = \"\"\"x\"\"\"\n");
+        assert!(e.message.contains("multi-line"), "{e}");
+    }
+
+    #[test]
+    fn inline_table_must_stay_on_one_line() {
+        let e = err("a = { x = 1,\n y = 2 }\n");
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("one line"), "{e}");
+    }
+
+    #[test]
+    fn header_conflicts_with_value() {
+        let e = err("a = 1\n[a]\n");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("non-table"), "{e}");
+    }
+
+    #[test]
+    fn aot_conflicts_with_table() {
+        let e = err("[a]\nx = 1\n[[a]]\n");
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("non-array"), "{e}");
+    }
+}

@@ -1,0 +1,310 @@
+//! The TOML document model: [`Value`] and insertion-ordered [`Table`].
+
+use crate::error::TomlError;
+
+/// A TOML value together with the 1-based source line it was parsed from
+/// (0 for values built in memory).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value {
+    /// The value itself.
+    pub kind: Kind,
+    /// 1-based source line, or 0 for synthesized values.
+    pub line: usize,
+}
+
+/// The kinds of TOML value this subset supports.
+///
+/// Integers are held as `i128` so both the full `i64` range of standard
+/// TOML and the `u64` seeds/slot counts the simulator uses round-trip
+/// without loss; datetimes are not supported (nothing in the scenario
+/// schema needs them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Kind {
+    /// A (basic) string.
+    Str(String),
+    /// An integer.
+    Int(i128),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// A (sub)table.
+    Table(Table),
+}
+
+impl Value {
+    /// A string value with no source position.
+    pub fn str(s: impl Into<String>) -> Self {
+        Kind::Str(s.into()).into()
+    }
+
+    /// An integer value with no source position.
+    pub fn int(i: impl Into<i128>) -> Self {
+        Kind::Int(i.into()).into()
+    }
+
+    /// A float value with no source position.
+    pub fn float(f: f64) -> Self {
+        Kind::Float(f).into()
+    }
+
+    /// A boolean value with no source position.
+    pub fn bool(b: bool) -> Self {
+        Kind::Bool(b).into()
+    }
+
+    /// An array value with no source position.
+    pub fn array(items: Vec<Value>) -> Self {
+        Kind::Array(items).into()
+    }
+
+    /// A table value with no source position.
+    pub fn table(table: Table) -> Self {
+        Kind::Table(table).into()
+    }
+
+    /// An array of `[a, b]` pairs — the encoding used for `(node, slot)`
+    /// event lists and windows.
+    pub fn pair_array<A: Into<i128> + Copy, B: Into<i128> + Copy>(pairs: &[(A, B)]) -> Self {
+        Value::array(
+            pairs
+                .iter()
+                .map(|&(a, b)| Value::array(vec![Value::int(a), Value::int(b)]))
+                .collect(),
+        )
+    }
+
+    /// A short noun for error messages ("a string", "an integer", …).
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            Kind::Str(_) => "a string",
+            Kind::Int(_) => "an integer",
+            Kind::Float(_) => "a float",
+            Kind::Bool(_) => "a boolean",
+            Kind::Array(_) => "an array",
+            Kind::Table(_) => "a table",
+        }
+    }
+
+    /// The table inside, or a type error naming `path`.
+    pub fn as_table(&self, path: &str) -> Result<&Table, TomlError> {
+        match &self.kind {
+            Kind::Table(t) => Ok(t),
+            _ => Err(self.type_error(path, "a table")),
+        }
+    }
+
+    /// The array inside, or a type error naming `path`.
+    pub fn as_array(&self, path: &str) -> Result<&[Value], TomlError> {
+        match &self.kind {
+            Kind::Array(items) => Ok(items),
+            _ => Err(self.type_error(path, "an array")),
+        }
+    }
+
+    /// The string inside, or a type error naming `path`.
+    pub fn as_str(&self, path: &str) -> Result<&str, TomlError> {
+        match &self.kind {
+            Kind::Str(s) => Ok(s),
+            _ => Err(self.type_error(path, "a string")),
+        }
+    }
+
+    /// The boolean inside, or a type error naming `path`.
+    pub fn as_bool(&self, path: &str) -> Result<bool, TomlError> {
+        match self.kind {
+            Kind::Bool(b) => Ok(b),
+            _ => Err(self.type_error(path, "a boolean")),
+        }
+    }
+
+    /// The value as a float; integers are accepted and widened (so
+    /// `side = 30` works where `30.0` is meant).
+    pub fn as_f64(&self, path: &str) -> Result<f64, TomlError> {
+        match self.kind {
+            Kind::Float(f) => Ok(f),
+            Kind::Int(i) => Ok(i as f64),
+            _ => Err(self.type_error(path, "a number")),
+        }
+    }
+
+    /// The value as an `i128` integer.
+    pub fn as_int(&self, path: &str) -> Result<i128, TomlError> {
+        match self.kind {
+            Kind::Int(i) => Ok(i),
+            _ => Err(self.type_error(path, "an integer")),
+        }
+    }
+
+    /// The value as a `u64`, range-checked.
+    pub fn as_u64(&self, path: &str) -> Result<u64, TomlError> {
+        let i = self.as_int(path)?;
+        u64::try_from(i)
+            .map_err(|_| TomlError::field(self.line, path, format!("{i} is out of range for u64")))
+    }
+
+    /// The value as a `u32`, range-checked.
+    pub fn as_u32(&self, path: &str) -> Result<u32, TomlError> {
+        let i = self.as_int(path)?;
+        u32::try_from(i)
+            .map_err(|_| TomlError::field(self.line, path, format!("{i} is out of range for u32")))
+    }
+
+    /// The value as a `u16`, range-checked.
+    pub fn as_u16(&self, path: &str) -> Result<u16, TomlError> {
+        let i = self.as_int(path)?;
+        u16::try_from(i)
+            .map_err(|_| TomlError::field(self.line, path, format!("{i} is out of range for u16")))
+    }
+
+    /// The value as a `usize`, range-checked.
+    pub fn as_usize(&self, path: &str) -> Result<usize, TomlError> {
+        let i = self.as_int(path)?;
+        usize::try_from(i).map_err(|_| {
+            TomlError::field(self.line, path, format!("{i} is out of range for usize"))
+        })
+    }
+
+    /// An `[a, b]` two-element numeric array, as used for points and
+    /// windows.
+    pub fn as_f64_pair(&self, path: &str) -> Result<(f64, f64), TomlError> {
+        let items = self.as_array(path)?;
+        if items.len() != 2 {
+            return Err(TomlError::field(
+                self.line,
+                path,
+                format!("expected a 2-element array, found {} elements", items.len()),
+            ));
+        }
+        Ok((items[0].as_f64(path)?, items[1].as_f64(path)?))
+    }
+
+    fn type_error(&self, path: &str, expected: &str) -> TomlError {
+        TomlError::field(
+            self.line,
+            path,
+            format!("expected {expected}, found {}", self.kind_name()),
+        )
+    }
+}
+
+impl From<Kind> for Value {
+    fn from(kind: Kind) -> Self {
+        Value { kind, line: 0 }
+    }
+}
+
+/// An insertion-ordered TOML table.
+///
+/// Order is preserved so the emitter produces stable, human-diffable
+/// output and round-trips are byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// `(key, value)` entries in insertion order. Keys are unique.
+    pub entries: Vec<(String, Value)>,
+    /// 1-based line of the `[header]` (or first key) that opened this
+    /// table; 0 for synthesized tables.
+    pub line: usize,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// The value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable access to the value under `key`, if present.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Appends `key = value`, replacing any existing entry with the key.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.get_mut(&key) {
+            *slot = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Builder-style [`Table::insert`].
+    pub fn with(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.insert(key, value);
+        self
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_insert_get_replace() {
+        let mut t = Table::new();
+        t.insert("a", Value::int(1));
+        t.insert("b", Value::str("x"));
+        t.insert("a", Value::int(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get("a").unwrap().as_int("a").unwrap(), 2);
+        assert!(t.contains("b"));
+        assert!(!t.contains("c"));
+    }
+
+    #[test]
+    fn numeric_coercions_and_ranges() {
+        assert_eq!(Value::int(30).as_f64("x").unwrap(), 30.0);
+        assert_eq!(Value::float(1.5).as_f64("x").unwrap(), 1.5);
+        assert!(Value::str("no").as_f64("x").is_err());
+        assert!(Value::int(-1).as_u64("x").is_err());
+        assert!(Value::int(70000).as_u16("x").is_err());
+        assert_eq!(Value::int(u64::MAX as i128).as_u64("x").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn type_errors_name_the_path_and_kind() {
+        let e = Value::bool(true).as_table("faults").unwrap_err();
+        assert!(e.to_string().contains("`faults`"), "{e}");
+        assert!(e.to_string().contains("a boolean"), "{e}");
+    }
+
+    #[test]
+    fn pair_array_shape() {
+        let v = Value::pair_array(&[(1u32, 5u64), (2, 6)]);
+        let items = v.as_array("p").unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].as_f64_pair("p").unwrap(), (1.0, 5.0));
+    }
+
+    #[test]
+    fn f64_pair_rejects_wrong_arity() {
+        let v = Value::array(vec![Value::int(1)]);
+        let e = v.as_f64_pair("w").unwrap_err();
+        assert!(e.message.contains("2-element"), "{e}");
+    }
+}

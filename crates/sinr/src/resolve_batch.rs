@@ -232,7 +232,7 @@ impl<'a> ChannelResolver<'a> {
 
     /// Resolves one listener. `extra_interference` is the per-channel
     /// environmental term (fading, out-of-network traffic), exactly as in
-    /// [`resolve_listener_ext`](crate::resolve_listener_ext).
+    /// [`crate::resolve_listener_ext`].
     #[inline]
     pub fn resolve(&self, listener: Point, extra_interference: f64) -> ListenOutcome {
         match &self.fast {
@@ -331,7 +331,7 @@ impl<'a> ChannelResolver<'a> {
     /// outcomes are independent, so the result is identical to the
     /// sequential loop on any thread count. When the fan-out engages, the
     /// caller's buffer is replaced by the collected one (one allocation,
-    /// amortized against ≥[`PAR_MIN_PAIRS`] pair resolutions).
+    /// amortized against `PAR_MIN_PAIRS` (4M) pair resolutions).
     pub fn resolve_into(
         &self,
         listeners: &[Point],

@@ -1,0 +1,39 @@
+//! Tier-1 gate for the committed scenario catalog: every `.toml` under
+//! `scenarios/` must parse through the strict loader.
+
+use mca_scenario::Scenario;
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+#[test]
+fn every_committed_scenario_file_parses() {
+    let mut count = 0;
+    for entry in std::fs::read_dir(scenarios_dir()).expect("scenarios/ directory") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "toml") {
+            continue;
+        }
+        let scenario = Scenario::load(&path).unwrap_or_else(|e| panic!("{e}"));
+        assert!(!scenario.name.is_empty(), "{}", path.display());
+        assert!(!scenario.is_empty(), "{}: deploys no nodes", path.display());
+        assert!(scenario.channels >= 1, "{}", path.display());
+        count += 1;
+    }
+    assert!(count >= 6, "catalog shrank: only {count} scenario files");
+}
+
+#[test]
+fn catalog_files_reject_tampering() {
+    // The strict loader catches a representative corruption of a real
+    // committed file: an extra unknown key (appended text lands in the
+    // file's last open table, `[deployment]`).
+    let path = scenarios_dir().join("static-uniform.toml");
+    let mut text = std::fs::read_to_string(path).unwrap();
+    text.push_str("unknown_knob = 3\n");
+    let e = Scenario::from_toml_str(&text).unwrap_err();
+    assert_eq!(e.path, "deployment.unknown_knob");
+    assert!(e.line > 0);
+}
