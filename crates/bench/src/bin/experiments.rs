@@ -6,6 +6,7 @@
 //! ```text
 //! experiments [e1|...|e16|t1|a1|a2|a3|all|quick] [trials]
 //! experiments bench-sinr [repeats]
+//! experiments repair-bench [seeds]
 //! experiments --scenario <file.toml> [--seeds N]
 //! experiments export-scenarios [dir]
 //! experiments check-scenarios [dir]
@@ -27,6 +28,9 @@ const USAGE: &str = "\
 Usage:
   experiments [SUBCOMMAND] [trials]   run experiment tables (default: quick)
   experiments bench-sinr [repeats]    SINR resolver benchmark -> BENCH_sinr.json
+  experiments repair-bench [seeds]    incremental repair vs rebuild -> BENCH_repair.json
+                                      (REPAIR_BENCH_SMOKE=1 for the reduced CI gate;
+                                       exits non-zero if any world fails its gate)
   experiments --scenario <file.toml> [--seeds N]
                                       run a scenario file end-to-end
   experiments export-scenarios [dir]  write the built-in catalog (default: scenarios)
@@ -67,7 +71,7 @@ fn main() -> ExitCode {
     match which {
         "export-scenarios" => return export_scenarios(args.get(1).map_or("scenarios", |s| s)),
         "check-scenarios" => return check_scenarios(args.get(1).map_or("scenarios", |s| s)),
-        "bench-sinr" => {}
+        "bench-sinr" | "repair-bench" => {}
         id if TABLE_IDS.contains(&id) => {}
         other => {
             eprintln!("error: unknown subcommand `{other}`\n{USAGE}");
@@ -160,6 +164,28 @@ fn main() -> ExitCode {
         std::fs::write("BENCH_sinr.json", &json).expect("write BENCH_sinr.json");
         print!("{json}");
         eprintln!("[wrote BENCH_sinr.json]");
+    }
+    if which == "repair-bench" {
+        // Smoke mode (CI): one seed still runs every world and enforces the
+        // acceptance gate — audits clean at every maintenance epoch and
+        // repair strictly cheaper than rebuild.
+        let smoke = env::var("REPAIR_BENCH_SMOKE").is_ok_and(|v| v == "1");
+        let seeds = if smoke { 1 } else { trials.max(3) };
+        let (json, ok) = mca_bench::repair_bench_json(seeds);
+        print!("{json}");
+        if smoke {
+            eprintln!(
+                "[repair-bench smoke: gate {}]",
+                if ok { "held" } else { "FAILED" }
+            );
+        } else {
+            std::fs::write("BENCH_repair.json", &json).expect("write BENCH_repair.json");
+            eprintln!("[wrote BENCH_repair.json]");
+        }
+        if !ok {
+            eprintln!("error: a repair-bench world failed its acceptance gate (see JSON above)");
+            return ExitCode::FAILURE;
+        }
     }
     eprintln!("[experiments done in {:.1}s]", t0.elapsed().as_secs_f64());
     ExitCode::SUCCESS

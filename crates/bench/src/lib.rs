@@ -9,9 +9,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod repair_bench;
 pub mod scenario_run;
 pub mod sinr_bench;
 
+pub use repair_bench::{repair_bench_json, repair_trial, run_repair_bench, RepairBenchCase};
 pub use scenario_run::{run_scenario, scenario_flood_trial, ScenarioTrial};
 
 use mca_analysis::{run_trials, Summary, Table};

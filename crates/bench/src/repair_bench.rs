@@ -1,0 +1,396 @@
+//! Incremental structure repair vs full rebuild, across the churn/mobility
+//! catalog worlds — the `experiments repair-bench` harness behind
+//! `BENCH_repair.json`.
+//!
+//! For each (scenario, seed) the harness builds the §5 aggregation
+//! structure over the initial live set, then drives the scenario in
+//! maintenance epochs ([`ScenarioSim::run_epochs`]) twice over the same
+//! bit-identical world evolution:
+//!
+//! * **maintained arm** — a [`StructureMaintainer`] subscribes to the
+//!   engine's crash/join/motion events and repairs incrementally each
+//!   epoch; the structure must pass the masked audit (attachment certified
+//!   against the handover hysteresis) at *every* epoch;
+//! * **rebuild arm** — the structure is rebuilt from scratch over the
+//!   current live set each epoch, the cost any maintenance-free driver
+//!   would pay to stay fresh.
+//!
+//! Both costs are simulated protocol slots — the same currency as
+//! [`BuildReport`](mca_core::BuildReport) — so the headline number,
+//! `repair_fraction = repair_slots / rebuild_slots`, is
+//! implementation-independent. [`repair_bench_json`] renders the JSON and
+//! reports whether every world held its acceptance gate (audits clean,
+//! repair strictly cheaper than rebuild); `experiments repair-bench` exits
+//! non-zero otherwise, which is what the CI smoke mode enforces.
+
+use mca_core::{
+    AlgoConfig, MaintainConfig, NetworkEnv, RepairKind, StructureConfig, StructureMaintainer,
+};
+use mca_radio::rng::derive_seed;
+use mca_radio::{Action, NodeEvent, Observation, Protocol};
+use mca_scenario::{builtin_scenarios, MaintenanceSpec, Scenario, ScenarioSim};
+use rand::rngs::SmallRng;
+
+/// The catalog worlds the bench runs, in order. `churn` and
+/// `waypoint-mobility` have no committed `[maintenance]` table, so the
+/// bench applies [`DEFAULT_MAINTENANCE`]; the maintenance-enabled worlds
+/// (`churn-maintained`, `mobile-churn`) run under their committed policy.
+pub const REPAIR_BENCH_WORLDS: [&str; 4] = [
+    "churn",
+    "churn-maintained",
+    "waypoint-mobility",
+    "mobile-churn",
+];
+
+/// Policy applied to worlds without a committed `[maintenance]` table.
+pub const DEFAULT_MAINTENANCE: MaintenanceSpec = MaintenanceSpec::every(100);
+
+/// A protocol that does nothing: the world-clock payload for maintenance
+/// runs, where the interesting traffic happens inside the repair phases.
+struct Idle;
+
+impl Protocol for Idle {
+    type Msg = ();
+    fn act(&mut self, _slot: u64, _rng: &mut SmallRng) -> Action<()> {
+        Action::Idle
+    }
+    fn observe(&mut self, _slot: u64, _obs: Observation<()>, _rng: &mut SmallRng) {}
+}
+
+/// One (scenario, seed) trial of both arms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairTrial {
+    /// Maintenance epochs executed.
+    pub epochs: u64,
+    /// Slots of the shared initial build (identical in both arms).
+    pub initial_build_slots: u64,
+    /// Total repair slots across epochs (maintained arm).
+    pub repair_slots: u64,
+    /// Total rebuild slots across epochs (rebuild arm).
+    pub rebuild_slots: u64,
+    /// Epochs whose post-repair masked audit was clean / total epochs.
+    pub clean_epochs: u64,
+    /// Epochs where the maintainer fell back to a full rebuild.
+    pub fallback_rebuilds: u64,
+    /// Seekers re-homed onto surviving dominators, across epochs.
+    pub rehomed: usize,
+    /// Hysteresis handovers, across epochs.
+    pub handovers: usize,
+    /// Fresh dominators from MIS patches, across epochs.
+    pub new_dominators: usize,
+    /// Clusters retired by dominator crashes, across epochs.
+    pub retired_clusters: usize,
+    /// First audit violation, if any epoch was not clean.
+    pub first_violation: Option<String>,
+}
+
+/// The per-epoch cadence the bench uses for `scenario` (committed policy,
+/// or the default).
+pub fn maintenance_for(scenario: &Scenario) -> MaintenanceSpec {
+    scenario.maintenance.unwrap_or(DEFAULT_MAINTENANCE)
+}
+
+fn structure_config(scenario: &Scenario, seed: u64) -> StructureConfig {
+    let algo = AlgoConfig::practical(scenario.channels, &scenario.params, scenario.len().max(2));
+    StructureConfig::new(algo, derive_seed(seed, 0xB01D))
+}
+
+/// Runs one (scenario, seed) trial: both arms over the same world.
+pub fn repair_trial(scenario: &Scenario, seed: u64) -> RepairTrial {
+    let mut scenario = scenario.clone();
+    let maintenance = maintenance_for(&scenario);
+    scenario.maintenance = Some(maintenance);
+    let n = scenario.len();
+    let cfg = structure_config(&scenario, seed);
+    let mcfg = MaintainConfig {
+        handover_hysteresis: maintenance.handover_hysteresis,
+        rebuild_threshold: maintenance.rebuild_threshold,
+        ..MaintainConfig::default()
+    };
+    let faults = scenario.faults_for(seed);
+    let alive0: Vec<bool> = (0..n as u32).map(|i| !faults.is_absent(i, 0)).collect();
+    let deploy = scenario.deployment_for(seed);
+    let env0 = NetworkEnv {
+        params: scenario.params,
+        positions: deploy.points().to_vec(),
+    };
+    // --- Maintained arm. ---
+    let mut maintainer = StructureMaintainer::build(&env0, cfg, mcfg, Some(&alive0));
+    let move_threshold = maintainer.move_threshold();
+    let initial_build_slots = maintainer.structure().report.total_slots();
+    let tolerances = maintainer.tolerances();
+    let mut trial = RepairTrial {
+        epochs: 0,
+        initial_build_slots,
+        repair_slots: 0,
+        rebuild_slots: 0,
+        clean_epochs: 0,
+        fallback_rebuilds: 0,
+        rehomed: 0,
+        handovers: 0,
+        new_dominators: 0,
+        retired_clusters: 0,
+        first_violation: None,
+    };
+    let mut sim = ScenarioSim::new(&scenario, seed, |_, _| Idle);
+    sim.engine_mut().watch_events(move_threshold);
+    let max_slots = scenario.max_slots;
+    trial.epochs = sim.run_epochs(max_slots, |sim, epoch| {
+        for event in sim.engine_mut().drain_events() {
+            maintainer.observe(&event);
+        }
+        let env_now = NetworkEnv {
+            params: scenario.params,
+            positions: sim.positions().to_vec(),
+        };
+        let report = maintainer.repair(&env_now, derive_seed(seed, 0xE70C ^ epoch));
+        trial.repair_slots += report.total_slots();
+        trial.rehomed += report.rehomed;
+        trial.handovers += report.handovers;
+        trial.new_dominators += report.new_dominators;
+        trial.retired_clusters += report.retired_clusters;
+        if report.kind == RepairKind::Rebuilt {
+            trial.fallback_rebuilds += 1;
+        }
+        match maintainer.audit(&env_now).check(&tolerances) {
+            Ok(()) => trial.clean_epochs += 1,
+            Err(msg) => {
+                if trial.first_violation.is_none() {
+                    trial.first_violation = Some(format!("epoch {epoch}: {msg}"));
+                }
+            }
+        }
+    });
+
+    // --- Rebuild arm: the same world, rebuilt from scratch each epoch. ---
+    let mut sim = ScenarioSim::new(&scenario, seed, |_, _| Idle);
+    sim.engine_mut().watch_events(move_threshold);
+    let mut alive = alive0.clone();
+    sim.run_epochs(max_slots, |sim, epoch| {
+        for event in sim.engine_mut().drain_events() {
+            match event {
+                NodeEvent::Joined { node, .. } => alive[node.index()] = true,
+                NodeEvent::Crashed { node, .. } => alive[node.index()] = false,
+                NodeEvent::Moved { .. } => {}
+            }
+        }
+        if alive.iter().any(|&a| a) {
+            let env_now = NetworkEnv {
+                params: scenario.params,
+                positions: sim.positions().to_vec(),
+            };
+            let mut cfg_epoch = cfg;
+            cfg_epoch.seed = derive_seed(seed, 0x4EB0 ^ epoch);
+            let rebuilt = mca_core::build_structure_masked(&env_now, &cfg_epoch, Some(&alive));
+            trial.rebuild_slots += rebuilt.report.total_slots();
+        }
+    });
+    trial
+}
+
+/// One scenario's aggregate over all seeds.
+#[derive(Debug, Clone)]
+pub struct RepairBenchCase {
+    /// The scenario name.
+    pub scenario: String,
+    /// Seeds run.
+    pub seeds: usize,
+    /// Epochs across all seeds.
+    pub epochs: u64,
+    /// Summed slot costs across seeds.
+    pub initial_build_slots: u64,
+    /// Repair slots across seeds (maintained arm).
+    pub repair_slots: u64,
+    /// Rebuild slots across seeds (rebuild arm).
+    pub rebuild_slots: u64,
+    /// `repair_slots / rebuild_slots`.
+    pub repair_fraction: f64,
+    /// Whether every epoch of every seed audited clean after repair.
+    pub audits_clean: bool,
+    /// Repair-op counters across seeds.
+    pub rehomed: usize,
+    /// Hysteresis handovers across seeds.
+    pub handovers: usize,
+    /// Fresh dominators across seeds.
+    pub new_dominators: usize,
+    /// Retired clusters across seeds.
+    pub retired_clusters: usize,
+    /// Threshold fallbacks across seeds.
+    pub fallback_rebuilds: u64,
+    /// First audit violation seen, if any.
+    pub first_violation: Option<String>,
+}
+
+impl RepairBenchCase {
+    /// Whether this world holds the acceptance gate: audit-clean at every
+    /// epoch and repair strictly cheaper than rebuild.
+    pub fn holds_gate(&self) -> bool {
+        self.audits_clean && self.repair_slots < self.rebuild_slots
+    }
+}
+
+/// Runs `seeds` seeded trials of every bench world.
+pub fn run_repair_bench(seeds: usize) -> Vec<RepairBenchCase> {
+    let catalog = builtin_scenarios();
+    REPAIR_BENCH_WORLDS
+        .iter()
+        .map(|&name| {
+            let scenario = &catalog
+                .iter()
+                .find(|e| e.scenario.name == name)
+                .unwrap_or_else(|| panic!("catalog world `{name}` missing"))
+                .scenario;
+            let mut case = RepairBenchCase {
+                scenario: name.to_string(),
+                seeds,
+                epochs: 0,
+                initial_build_slots: 0,
+                repair_slots: 0,
+                rebuild_slots: 0,
+                repair_fraction: 0.0,
+                audits_clean: true,
+                rehomed: 0,
+                handovers: 0,
+                new_dominators: 0,
+                retired_clusters: 0,
+                fallback_rebuilds: 0,
+                first_violation: None,
+            };
+            for seed in 1..=seeds as u64 {
+                let t = repair_trial(scenario, seed);
+                case.epochs += t.epochs;
+                case.initial_build_slots += t.initial_build_slots;
+                case.repair_slots += t.repair_slots;
+                case.rebuild_slots += t.rebuild_slots;
+                case.rehomed += t.rehomed;
+                case.handovers += t.handovers;
+                case.new_dominators += t.new_dominators;
+                case.retired_clusters += t.retired_clusters;
+                case.fallback_rebuilds += t.fallback_rebuilds;
+                if t.clean_epochs != t.epochs {
+                    case.audits_clean = false;
+                    if case.first_violation.is_none() {
+                        case.first_violation =
+                            t.first_violation.map(|v| format!("seed {seed}, {v}"));
+                    }
+                }
+            }
+            case.repair_fraction = case.repair_slots as f64 / case.rebuild_slots.max(1) as f64;
+            case
+        })
+        .collect()
+}
+
+/// Renders `BENCH_repair.json` and returns `(json, all_gates_hold)`.
+pub fn repair_bench_json(seeds: usize) -> (String, bool) {
+    let cases = run_repair_bench(seeds);
+    let ok = cases.iter().all(RepairBenchCase::holds_gate);
+    let rows: Vec<String> = cases
+        .iter()
+        .map(|c| {
+            format!(
+                concat!(
+                    "    {{\"scenario\": \"{}\", \"seeds\": {}, \"epochs\": {}, ",
+                    "\"initial_build_slots\": {}, \"repair_slots\": {}, ",
+                    "\"rebuild_slots\": {}, \"repair_fraction\": {:.3}, ",
+                    "\"audits_clean\": {}, \"rehomed\": {}, \"handovers\": {}, ",
+                    "\"new_dominators\": {}, \"retired_clusters\": {}, ",
+                    "\"fallback_rebuilds\": {}}}"
+                ),
+                c.scenario,
+                c.seeds,
+                c.epochs,
+                c.initial_build_slots,
+                c.repair_slots,
+                c.rebuild_slots,
+                c.repair_fraction,
+                c.audits_clean,
+                c.rehomed,
+                c.handovers,
+                c.new_dominators,
+                c.retired_clusters,
+                c.fallback_rebuilds,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"structure_repair\",\n",
+            "  \"baseline\": \"full rebuild over the live set each maintenance epoch\",\n",
+            "  \"unit\": \"simulated protocol slots\",\n",
+            "  \"seeds\": {},\n  \"cases\": [\n{}\n  ]\n}}\n"
+        ),
+        seeds,
+        rows.join(",\n")
+    );
+    (json, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(name: &str) -> Scenario {
+        builtin_scenarios()
+            .into_iter()
+            .find(|e| e.scenario.name == name)
+            .unwrap()
+            .scenario
+    }
+
+    #[test]
+    fn churn_world_repairs_cheaper_than_rebuild_and_audit_clean() {
+        let t = repair_trial(&world("churn"), 1);
+        assert!(t.epochs >= 4, "expected 4 epochs of 100 slots: {t:?}");
+        assert_eq!(
+            t.clean_epochs, t.epochs,
+            "audit violation: {:?}",
+            t.first_violation
+        );
+        assert!(
+            t.repair_slots < t.rebuild_slots,
+            "repair ({}) must undercut rebuild ({})",
+            t.repair_slots,
+            t.rebuild_slots
+        );
+        assert!(t.retired_clusters > 0, "node 0 crashes at slot 200: {t:?}");
+    }
+
+    #[test]
+    fn mobile_churn_world_holds_the_gate() {
+        let t = repair_trial(&world("mobile-churn"), 1);
+        assert_eq!(
+            t.clean_epochs, t.epochs,
+            "audit violation: {:?}",
+            t.first_violation
+        );
+        assert!(t.repair_slots < t.rebuild_slots, "{t:?}");
+        assert!(t.handovers > 0, "mobility must force handovers: {t:?}");
+    }
+
+    #[test]
+    fn policy_defaults_agree_across_layers() {
+        // mca-core and mca-scenario cannot reference each other, so their
+        // copies of the default maintenance policy are pinned here, where
+        // both are visible.
+        let core = MaintainConfig::default();
+        let spec = MaintenanceSpec::every(1);
+        assert_eq!(core.handover_hysteresis, spec.handover_hysteresis);
+        assert_eq!(core.rebuild_threshold, spec.rebuild_threshold);
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let s = world("churn");
+        assert_eq!(repair_trial(&s, 3), repair_trial(&s, 3));
+    }
+
+    #[test]
+    fn json_shape_smoke() {
+        // One seed over the full matrix is the CI smoke path.
+        let (json, ok) = repair_bench_json(1);
+        assert!(json.contains("\"bench\": \"structure_repair\""), "{json}");
+        assert!(json.contains("mobile-churn"), "{json}");
+        assert!(ok, "acceptance gate failed:\n{json}");
+    }
+}

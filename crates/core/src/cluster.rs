@@ -169,7 +169,10 @@ impl ClusterOutcome {
 /// Runs dominator coloring followed by announce/attach.
 ///
 /// `max_phases` caps the adaptive phase loop (the paper's `φ` is a constant
-/// given the density bound; we measure it).
+/// given the density bound; we measure it). `alive` masks out nodes that are
+/// not part of the network (crashed, or not yet joined): they are absent
+/// from both phase engines and end the phase unclustered.
+#[allow(clippy::too_many_arguments)] // the stage layer wraps this (stages::cluster_stage)
 pub fn build_clusters(
     true_params: &SinrParams,
     positions: &[Point],
@@ -178,11 +181,13 @@ pub fn build_clusters(
     seed: u64,
     max_phases: u16,
     attach_radius: f64,
+    alive: Option<&[bool]>,
 ) -> ClusterOutcome {
     assert!(attach_radius > 0.0, "attach radius must be positive");
     let _ = max_phases; // retained for API stability; the greedy coloring is single-pass
     let n = positions.len();
     assert_eq!(dominating.is_dominator.len(), n);
+    let absence = crate::stages::absence_plan(alive);
     let node_params = cfg.node_params();
     // Separation that makes the final coloring proper across clusters:
     // adjacent nodes' dominators are within 2·r_c + R_ε (the paper's
@@ -219,7 +224,8 @@ pub fn build_clusters(
         positions.to_vec(),
         protocols,
         mca_radio::rng::derive_seed(seed, 0xC0100),
-    );
+    )
+    .with_faults(absence.clone());
     // Run until every dominator committed, then a healing tail in which
     // residual same-color conflicts resolve via the Committed beacons.
     engine.run_until(claim_cfg.rounds, |ps: &[GreedyColor]| {
@@ -273,7 +279,8 @@ pub fn build_clusters(
         positions.to_vec(),
         protocols,
         mca_radio::rng::derive_seed(seed, 0xA110),
-    );
+    )
+    .with_faults(absence);
     engine.run_until_done(acfg.rounds + 1);
     let announce_slots = engine.slot();
     let out = engine.into_protocols();
@@ -314,7 +321,7 @@ mod tests {
     fn coloring_separates_nearby_dominators() {
         let (params, positions, dom) = setup(150, 12.0, 4);
         let cfg = AlgoConfig::practical(4, &params, 150);
-        let out = build_clusters(&params, &positions, &dom, &cfg, 9, 64, 1.0);
+        let out = build_clusters(&params, &positions, &dom, &cfg, 9, 64, 1.0, None);
         let r_sep = params.r_eps_half();
         // All dominators colored.
         for (i, &is_dom) in dom.is_dominator.iter().enumerate() {
@@ -344,7 +351,7 @@ mod tests {
     fn attach_finds_nearby_cluster() {
         let (params, positions, dom) = setup(200, 15.0, 5);
         let cfg = AlgoConfig::practical(4, &params, 200);
-        let out = build_clusters(&params, &positions, &dom, &cfg, 11, 64, 1.0);
+        let out = build_clusters(&params, &positions, &dom, &cfg, 11, 64, 1.0, None);
         assert_eq!(out.unclustered(), 0, "every node should attach");
         for (i, m) in out.membership.iter().enumerate() {
             let (dm, color, _) = m.unwrap();
@@ -366,7 +373,7 @@ mod tests {
         let positions = vec![Point::ORIGIN, Point::new(0.5, 0.0), Point::new(0.0, 0.5)];
         let dom = dominate::oracle(&positions, 1.0, 1);
         let cfg = AlgoConfig::practical(2, &params, 4);
-        let out = build_clusters(&params, &positions, &dom, &cfg, 2, 8, 1.0);
+        let out = build_clusters(&params, &positions, &dom, &cfg, 2, 8, 1.0, None);
         assert_eq!(out.phi, 1);
         assert_eq!(out.unclustered(), 0);
         let cluster_ids: Vec<NodeId> = out.membership.iter().map(|m| m.unwrap().0).collect();

@@ -349,8 +349,24 @@ impl DominatingOutcome {
 /// density by a packing constant — the exact guarantee the paper takes from
 /// \[28\].
 pub fn oracle(positions: &[Point], radius: f64, seed: u64) -> DominatingOutcome {
+    oracle_masked(positions, radius, seed, None)
+}
+
+/// [`oracle`] restricted to a participation mask: inactive nodes neither
+/// dominate nor attach (their outcome entries stay `None`/`false`). With
+/// `active = None` this is exactly [`oracle`].
+pub fn oracle_masked(
+    positions: &[Point],
+    radius: f64,
+    seed: u64,
+    active: Option<&[bool]>,
+) -> DominatingOutcome {
     assert!(radius > 0.0);
     let n = positions.len();
+    if let Some(a) = active {
+        assert_eq!(a.len(), n, "one mask entry per node required");
+    }
+    let act = |i: usize| active.is_none_or(|a| a[i]);
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = mca_radio::rng::derive_rng(seed, 0xD0D0);
     order.shuffle(&mut rng);
@@ -358,6 +374,9 @@ pub fn oracle(positions: &[Point], radius: f64, seed: u64) -> DominatingOutcome 
     let grid = SpatialGrid::build(positions, radius.max(1e-9));
     let mut is_dominator = vec![false; n];
     for &i in &order {
+        if !act(i) {
+            continue;
+        }
         let mut blocked = false;
         grid.for_each_within(positions, positions[i], radius, |j| {
             if is_dominator[j] {
@@ -370,6 +389,9 @@ pub fn oracle(positions: &[Point], radius: f64, seed: u64) -> DominatingOutcome 
     }
     let mut dominator_of: Vec<Option<(NodeId, f64)>> = vec![None; n];
     for i in 0..n {
+        if !act(i) {
+            continue;
+        }
         if is_dominator[i] {
             dominator_of[i] = Some((NodeId(i as u32), 0.0));
             continue;

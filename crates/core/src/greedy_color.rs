@@ -110,6 +110,15 @@ impl GreedyColor {
         g
     }
 
+    /// An already-committed dominator: it only beacons its color so fresh
+    /// claimants keep clear of the palette in force — the anchor role of a
+    /// local recoloring patch during structure repair.
+    pub fn committed(me: NodeId, cfg: ClaimCfg, color: u16) -> Self {
+        let mut g = GreedyColor::new(me, cfg);
+        g.committed = Some(color);
+        g
+    }
+
     /// The committed color, if any.
     pub fn color(&self) -> Option<u16> {
         self.committed

@@ -24,10 +24,12 @@ pub mod dominate;
 pub mod greedy_color;
 pub mod knowledge;
 pub mod leader;
+pub mod maintain;
 pub mod mis;
 pub mod reporter;
 pub mod ruling;
 pub mod schedule;
+pub mod stages;
 pub mod structure;
 pub mod tree;
 pub mod validate;
@@ -40,11 +42,12 @@ pub use coloring::{color_nodes, ColoringOutcome};
 pub use config::{AlgoConfig, Constants};
 pub use knowledge::{NodeRecord, Role};
 pub use leader::{elect_leader, Candidate, LeaderAgg, LeaderOutcome};
+pub use maintain::{MaintainConfig, RepairKind, RepairReport, StructureMaintainer};
 pub use mis::{maximal_independent_set, ruling_set, MisConfig, MisOutcome};
 pub use ruling::{ProbPolicy, RulingConfig, RulingMsg, RulingOutcome, RulingSet};
 pub use schedule::{Tdma, TdmaSlot};
 pub use structure::{
-    aggregate, build_structure, AggregateOutcome, AggregationStructure, BuildReport, CsaVariant,
-    InterclusterMode, NetworkEnv, StructureConfig, SubstrateMode,
+    aggregate, build_structure, build_structure_masked, AggregateOutcome, AggregationStructure,
+    BuildReport, CsaVariant, InterclusterMode, NetworkEnv, StructureConfig, SubstrateMode,
 };
-pub use validate::{audit_structure, StructureAudit};
+pub use validate::{audit_structure, audit_structure_masked, AuditTolerances, StructureAudit};

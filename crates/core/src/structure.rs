@@ -15,14 +15,11 @@ use crate::aggfun::Aggregate;
 use crate::aggregate::follower::{self, FollowerAgg, FollowerCfg};
 use crate::aggregate::intercluster::{ExactCfg, FloodCfg, FloodCombine, TreeExact};
 use crate::aggregate::treecast::{self, TreeCast, TreeCfg};
-use crate::cluster::{self, ClusterOutcome};
+use crate::cluster::ClusterOutcome;
 use crate::config::AlgoConfig;
-use crate::csa::{CsaConfig, CsaProtocol, CsaRole};
-use crate::csa_small::{run_csa_small, SmallSeat};
-use crate::dominate::{self, DominateConfig, DominateProtocol, DominatingOutcome};
 use crate::knowledge::{NodeRecord, Role};
-use crate::reporter::{elect_reporters, ElectionSeat};
 use crate::schedule::Tdma;
+use crate::stages;
 use mca_geom::{CommGraph, Deployment, Point};
 use mca_radio::{Channel, Engine, NodeId};
 use mca_sinr::SinrParams;
@@ -122,7 +119,7 @@ impl StructureConfig {
         }
     }
 
-    fn delta_hat(&self) -> u64 {
+    pub(crate) fn delta_hat(&self) -> u64 {
         self.delta_hat
             .unwrap_or(self.algo.know.n_bound as u64)
             .max(2)
@@ -179,9 +176,26 @@ pub struct AggregationStructure {
     pub phi: u16,
     /// Construction accounting.
     pub report: BuildReport,
+    /// Cluster → members index (`members[d]` lists the members of the
+    /// cluster headed by node `d`, dominator included). Maintained by
+    /// [`AggregationStructure::rebuild_members_index`].
+    members: Vec<Vec<NodeId>>,
 }
 
 impl AggregationStructure {
+    /// Assembles a structure from finished records, building the members
+    /// index.
+    pub fn new(records: Vec<NodeRecord>, phi: u16, report: BuildReport) -> Self {
+        let mut s = AggregationStructure {
+            records,
+            phi,
+            report,
+            members: Vec::new(),
+        };
+        s.rebuild_members_index();
+        s
+    }
+
     /// Ids of all dominators.
     pub fn dominators(&self) -> Vec<NodeId> {
         self.records
@@ -191,62 +205,82 @@ impl AggregationStructure {
             .collect()
     }
 
-    /// Members (including the dominator) of `cluster`.
-    pub fn members_of(&self, cluster: NodeId) -> Vec<NodeId> {
-        self.records
-            .iter()
-            .filter(|r| r.cluster == Some(cluster))
-            .map(|r| r.id)
-            .collect()
+    /// Members (including the dominator) of `cluster` — `O(members)` via
+    /// the precomputed index (previously a full-record scan per call).
+    ///
+    /// The index reflects `records` as of the last
+    /// [`AggregationStructure::rebuild_members_index`]; mutating `records`
+    /// directly leaves it stale until the next rebuild. Between a
+    /// mutation and a rebuild the index is a *superset* under the
+    /// maintenance layer's detach-then-rebuild discipline (entries are
+    /// never missing, only possibly ex-members), which is why
+    /// `StructureMaintainer` re-validates each entry's `cluster` field
+    /// instead of trusting the list — do the same, or rebuild first, if
+    /// you mutate `records` yourself.
+    pub fn members_of(&self, cluster: NodeId) -> &[NodeId] {
+        self.members
+            .get(cluster.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Recomputes the cluster → members index from `records`. Call after
+    /// mutating `records` directly; [`build_structure`] and the
+    /// [`crate::maintain`] repair operations keep it fresh themselves.
+    pub fn rebuild_members_index(&mut self) {
+        let n = self.records.len();
+        self.members.iter_mut().for_each(Vec::clear);
+        self.members.resize_with(n, Vec::new);
+        for r in &self.records {
+            if let Some(c) = r.cluster {
+                self.members[c.index()].push(r.id);
+            }
+        }
     }
 }
 
-/// Builds the aggregation structure (paper §5; Theorem 10).
+/// Builds the aggregation structure (paper §5; Theorem 10) over the whole
+/// network. Equivalent to [`build_structure_masked`] with every node live.
 pub fn build_structure(env: &NetworkEnv, cfg: &StructureConfig) -> AggregationStructure {
+    build_structure_masked(env, cfg, None)
+}
+
+/// Builds the aggregation structure over the live subset of the network:
+/// nodes with `alive[i] = false` (crashed, or not yet joined) are absent
+/// from every phase engine and end up outside the structure (blank
+/// records). The construction is the stage pipeline of [`crate::stages`] —
+/// dominating set, coloring + announce/attach, cluster-size approximation,
+/// reporter election — which the [`crate::maintain`] layer re-invokes
+/// piecewise for incremental repair.
+pub fn build_structure_masked(
+    env: &NetworkEnv,
+    cfg: &StructureConfig,
+    alive: Option<&[bool]>,
+) -> AggregationStructure {
     let n = env.len();
     assert!(n > 0, "cannot build a structure over an empty network");
-    let algo = &cfg.algo;
+    if let Some(a) = alive {
+        assert_eq!(a.len(), n, "one liveness flag per node required");
+    }
     let mut report = BuildReport::default();
     let mut records: Vec<NodeRecord> = (0..n).map(|i| NodeRecord::new(NodeId(i as u32))).collect();
+    let live = |i: usize| alive.is_none_or(|a| a[i]);
 
     // --- Phase 1: dominating set / clustering. ---
-    let dominating: DominatingOutcome = match cfg.substrate {
-        SubstrateMode::Oracle => dominate::oracle(&env.positions, cfg.cluster_radius, cfg.seed),
-        SubstrateMode::Distributed => {
-            let mut dc = DominateConfig::from_algo(algo);
-            dc.radius = cfg.cluster_radius;
-            dc.busy_threshold = algo.node_params().received_power(2.0 * cfg.cluster_radius);
-            let protocols: Vec<DominateProtocol> = (0..n)
-                .map(|i| DominateProtocol::new(NodeId(i as u32), dc))
-                .collect();
-            let mut engine = Engine::new(
-                env.params,
-                env.positions.clone(),
-                protocols,
-                mca_radio::rng::derive_seed(cfg.seed, 0xD011),
-            );
-            engine.run_until_done(dc.rounds * dominate::SLOTS_PER_ROUND as u64 + 3);
-            let slots = engine.slot();
-            dominate::collect(engine.protocols(), slots)
-        }
-    };
+    let active: Vec<bool> = (0..n).map(live).collect();
+    let dominating = stages::dominating_stage(env, cfg, &active, cfg.seed);
     report.dominate_slots = dominating.slots;
     report.timeout_joins = dominating.timeout_joins;
 
     // --- Phase 2+3: dominator coloring + announce/attach. ---
-    let clusters: ClusterOutcome = cluster::build_clusters(
-        &env.params,
-        &env.positions,
-        &dominating,
-        algo,
-        cfg.seed,
-        cfg.max_phi,
-        cfg.cluster_radius,
-    );
+    let clusters: ClusterOutcome = stages::cluster_stage(env, cfg, &dominating, cfg.seed, alive);
     report.coloring_slots = clusters.coloring_slots;
     report.announce_slots = clusters.announce_slots;
     report.phi = clusters.phi;
-    report.unclustered = clusters.unclustered();
+    // Coverage holes are only meaningful among live nodes.
+    report.unclustered = (0..n)
+        .filter(|&i| live(i) && clusters.membership[i].is_none())
+        .count();
     for (i, rec) in records.iter_mut().enumerate() {
         // None = coverage hole: stays out of the structure (counted).
         if let Some((dom, color, dist)) = clusters.membership[i] {
@@ -261,205 +295,18 @@ pub fn build_structure(env: &NetworkEnv, cfg: &StructureConfig) -> AggregationSt
     report.clusters = records.iter().filter(|r| r.role.is_dominator()).count();
 
     // --- Phase 4: cluster-size approximation (Lemma 14 dispatch). ---
-    let use_small = match cfg.csa_variant {
-        CsaVariant::Large => false,
-        CsaVariant::Small => true,
-        CsaVariant::Auto => algo.channels > 1 && algo.csa_small_applies(cfg.delta_hat()),
-    };
-    if use_small {
-        let seats: Vec<Option<SmallSeat>> = (0..n)
-            .map(|i| match (records[i].cluster, records[i].cluster_color) {
-                (Some(c), Some(col)) => Some(SmallSeat {
-                    cluster: c,
-                    color: col,
-                    is_dominator: records[i].role.is_dominator(),
-                }),
-                _ => None,
-            })
-            .collect();
-        let small = run_csa_small(
-            &env.params,
-            &env.positions,
-            &seats,
-            algo,
-            clusters.phi,
-            cfg.cluster_radius,
-            cfg.delta_hat(),
-            mca_radio::rng::derive_seed(cfg.seed, 0xC5B),
-        );
-        report.csa_slots = small.total_slots();
-        // Back-fill members that missed the broadcast from their dominator.
-        for (i, rec) in records.iter_mut().enumerate() {
-            let Some(c) = rec.cluster else {
-                continue;
-            };
-            let est = match small.estimate[i] {
-                Some(e) => e,
-                None => {
-                    report.estimate_fills += 1;
-                    small.estimate[c.index()].unwrap_or(2)
-                }
-            };
-            rec.cluster_size_est = Some(est.max(1));
-            rec.cluster_channels = Some(algo.cluster_channels(est.max(1)));
-        }
-        return finish_structure(env, cfg, records, clusters.phi, report);
-    }
-    let csa_cfg = CsaConfig {
-        delta_hat: cfg.delta_hat(),
-        lambda: algo.consts.lambda,
-        rounds_per_phase: algo.csa_rounds_per_phase(),
-        settle_threshold: algo.csa_settle_threshold(),
-        channel: Channel::FIRST,
-        tdma: Tdma::new(clusters.phi.max(1), 1),
-        params: algo.node_params(),
-    };
-    let protocols: Vec<CsaProtocol> = (0..n)
-        .map(|i| match (records[i].role, records[i].cluster) {
-            (Role::Dominator, Some(c)) => CsaProtocol::new(
-                CsaRole::Coordinator,
-                c,
-                records[i].cluster_color.unwrap_or(0),
-                csa_cfg,
-            ),
-            (Role::Follower, Some(c)) => CsaProtocol::new(
-                CsaRole::Member,
-                c,
-                records[i].cluster_color.unwrap_or(0),
-                csa_cfg,
-            ),
-            _ => CsaProtocol::new(CsaRole::Passive, NodeId(i as u32), 0, csa_cfg),
-        })
-        .collect();
-    let mut engine = Engine::new(
-        env.params,
-        env.positions.clone(),
-        protocols,
-        mca_radio::rng::derive_seed(cfg.seed, 0xC5A),
-    );
-    let csa_cap = csa_cfg.tdma.slots_for_rounds(csa_cfg.total_rounds()) + 1;
-    engine.run_until(csa_cap, |ps: &[CsaProtocol]| {
-        ps.iter().all(|p| p.is_satisfied())
-    });
-    report.csa_slots = engine.slot();
-    let csa_out = engine.into_protocols();
-    // Coordinator estimates per cluster (for back-filling members that
-    // missed the notify; counted as a quality metric).
-    let mut estimates: std::collections::HashMap<NodeId, u64> = std::collections::HashMap::new();
-    for (i, p) in csa_out.iter().enumerate() {
-        if let Some(est) = p.coordinator_estimate() {
-            estimates.insert(NodeId(i as u32), est);
-        }
-    }
-    for i in 0..n {
-        let Some(c) = records[i].cluster else {
-            continue;
-        };
-        let est = match records[i].role {
-            Role::Dominator => csa_out[i].coordinator_estimate(),
-            _ => csa_out[i].member_estimate(),
-        };
-        let est = match est {
-            Some(e) => e,
-            None => {
-                report.estimate_fills += 1;
-                // A coordinator that never settled presides over a cluster
-                // too small to clear the threshold in any phase — the
-                // last-phase estimate is the right order of magnitude.
-                estimates
-                    .get(&c)
-                    .copied()
-                    .unwrap_or_else(|| csa_cfg.estimate_for_phase(csa_cfg.phases() - 1))
-            }
-        };
-        records[i].cluster_size_est = Some(est.max(1));
-        records[i].cluster_channels = Some(algo.cluster_channels(est.max(1)));
-    }
+    let csa = stages::csa_stage(env, cfg, &mut records, clusters.phi, cfg.seed, alive);
+    report.csa_slots = csa.slots;
+    report.estimate_fills = csa.estimate_fills;
 
-    finish_structure(env, cfg, records, clusters.phi, report)
-}
-
-/// Phase 5 (reporter election) and assembly, shared by both CSA variants.
-fn finish_structure(
-    env: &NetworkEnv,
-    cfg: &StructureConfig,
-    mut records: Vec<NodeRecord>,
-    phi: u16,
-    mut report: BuildReport,
-) -> AggregationStructure {
-    let n = env.len();
-    let algo = &cfg.algo;
     // --- Phase 5: reporter election + implicit tree (Lemmas 15–16). ---
-    let seats: Vec<Option<ElectionSeat>> = (0..n)
-        .map(|i| {
-            let r = &records[i];
-            match (r.cluster, r.cluster_color, r.cluster_size_est) {
-                (Some(c), Some(col), Some(est)) => Some(ElectionSeat {
-                    cluster: c,
-                    color: col,
-                    size_est: est,
-                    is_dominator: r.role.is_dominator(),
-                }),
-                _ => None,
-            }
-        })
-        .collect();
-    let election = elect_reporters(
-        &env.params,
-        &env.positions,
-        &seats,
-        algo,
-        phi.max(1),
-        cfg.cluster_radius,
-        cfg.seed,
-    );
-    report.election_slots = election.slots;
-    for (i, rec) in records.iter_mut().enumerate() {
-        rec.channel = election.channel[i];
-        if election.is_reporter[i] {
-            let heap_pos = election.channel[i].map(|c| c.0 + 1).unwrap_or(1);
-            rec.role = Role::Reporter { heap_pos };
-        }
-        if rec.role.is_dominator() && !election.dominator_heard_in[i] {
-            rec.serves_channel0 = true;
-        }
-    }
-    // Channel fill accounting.
-    let mut filled: std::collections::HashSet<(NodeId, u16)> = std::collections::HashSet::new();
-    for (rec, _) in records
-        .iter()
-        .zip(&election.is_reporter)
-        .filter(|(_, r)| **r)
-    {
-        if let (Some(c), Some(ch)) = (rec.cluster, rec.channel) {
-            filled.insert((c, ch.0));
-        }
-    }
-    report.channels_filled = filled.len();
-    // A channel can only be filled if the cluster has a member to elect:
-    // count min(f_v, members) per cluster.
-    let mut member_count: std::collections::HashMap<NodeId, usize> =
-        std::collections::HashMap::new();
-    for r in records.iter() {
-        if let (Some(c), false) = (r.cluster, r.role.is_dominator()) {
-            *member_count.entry(c).or_default() += 1;
-        }
-    }
-    report.channels_total = records
-        .iter()
-        .filter(|r| r.role.is_dominator())
-        .map(|r| {
-            let fv = r.cluster_channels.unwrap_or(1) as usize;
-            let members = member_count.get(&r.id).copied().unwrap_or(0);
-            fv.min(members)
-        })
-        .sum();
+    report.election_slots =
+        stages::election_stage(env, cfg, &mut records, clusters.phi, None, cfg.seed, alive);
+    let (filled, total) = stages::channel_accounting(&records);
+    report.channels_filled = filled;
+    report.channels_total = total;
 
-    AggregationStructure {
-        records,
-        phi,
-        report,
-    }
+    AggregationStructure::new(records, clusters.phi, report)
 }
 
 /// How the inter-cluster procedure runs.

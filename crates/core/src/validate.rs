@@ -5,6 +5,14 @@
 //! separation, one reporter per channel, constant-factor size estimates)
 //! become numeric audit fields with [`StructureAudit::assert_sound`]
 //! enforcing the tolerances of the practical preset.
+//!
+//! The maintenance layer uses the same audit as its *repair oracle*:
+//! [`audit_structure_masked`] scopes the checks to the live subset of a
+//! churning network, and [`StructureAudit::check`] evaluates them against
+//! explicit [`AuditTolerances`] (a maintainer that defers handover by a
+//! hysteresis factor certifies attachment against that factor, not the
+//! build-time bound) without panicking — so a repair harness can count
+//! clean epochs instead of dying on the first violation.
 
 use crate::knowledge::Role;
 use crate::structure::{AggregationStructure, NetworkEnv};
@@ -15,12 +23,15 @@ use std::collections::HashMap;
 /// Numeric audit of a built structure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StructureAudit {
-    /// Number of nodes.
+    /// Number of nodes audited (live nodes under a mask).
     pub n: usize,
     /// Number of clusters (dominators).
     pub clusters: usize,
     /// Nodes without a cluster.
     pub unclustered: usize,
+    /// Live members attached to a cluster whose head is not a live
+    /// dominator (stale membership; must be 0 after any repair).
+    pub dangling_members: usize,
     /// Worst `dist(node, dominator) / cluster_radius` (≤ 1 wanted).
     pub worst_attach_ratio: f64,
     /// Dominator pairs within the cluster radius (independence violations).
@@ -39,84 +50,162 @@ pub struct StructureAudit {
     pub channel_fill: f64,
 }
 
+/// Tolerances a [`StructureAudit`] is checked against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditTolerances {
+    /// Maximum `dist(node, dominator) / cluster_radius`. The build bound is
+    /// 1.05 (RSSI slack); a maintainer that re-homes only beyond a handover
+    /// hysteresis certifies against `hysteresis * 1.05`.
+    pub attach_ratio: f64,
+    /// Minimum fraction of cluster channels with an elected reporter.
+    pub channel_fill: f64,
+}
+
+impl Default for AuditTolerances {
+    fn default() -> Self {
+        AuditTolerances {
+            attach_ratio: 1.05,
+            channel_fill: 0.8,
+        }
+    }
+}
+
 impl StructureAudit {
+    /// Checks every invariant against `tol`, returning the first violation
+    /// as a description instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn check(&self, tol: &AuditTolerances) -> Result<(), String> {
+        if self.unclustered != 0 {
+            return Err(format!("unclustered nodes: {}", self.unclustered));
+        }
+        if self.dangling_members != 0 {
+            return Err(format!(
+                "members attached to dead clusters: {}",
+                self.dangling_members
+            ));
+        }
+        if self.worst_attach_ratio > tol.attach_ratio {
+            return Err(format!(
+                "attach radius exceeded: {} (tolerance {})",
+                self.worst_attach_ratio, tol.attach_ratio
+            ));
+        }
+        // The distributed substrate (like the paper's [28]) guarantees
+        // constant *density*, not independence: nearby simultaneous
+        // elections are possible. Track independence loosely; density is
+        // the binding invariant.
+        if self.independence_violations * 3 > self.clusters.max(1) {
+            return Err(format!(
+                "too many independence violations: {}/{}",
+                self.independence_violations, self.clusters
+            ));
+        }
+        if self.density > 10 {
+            return Err(format!("dominator density too high: {}", self.density));
+        }
+        // The greedy coloring self-heals conflicts via Committed beacons;
+        // with practical round counts a stray pair can survive the healing
+        // window (it only degrades TDMA separation locally). Tolerate a
+        // 2%-of-clusters residue; experiments report the exact count.
+        if self.color_violations > self.clusters.max(1).div_ceil(50) {
+            return Err(format!(
+                "same-color clusters within R_eps/2: {} of {}",
+                self.color_violations, self.clusters
+            ));
+        }
+        if !(self.est_ratio.0 >= 0.1 && self.est_ratio.1 <= 10.0) {
+            return Err(format!(
+                "size estimates out of constant-factor band: {:?}",
+                self.est_ratio
+            ));
+        }
+        if self.multi_reporter_channels != 0 {
+            return Err(format!(
+                "channels with multiple reporters: {}",
+                self.multi_reporter_channels
+            ));
+        }
+        if self.channel_fill < tol.channel_fill {
+            return Err(format!(
+                "too many reporterless channels: fill {} (tolerance {})",
+                self.channel_fill, tol.channel_fill
+            ));
+        }
+        Ok(())
+    }
+
     /// Panics if any invariant is outside the practical tolerances.
     ///
     /// # Panics
     ///
     /// Panics with a description of the violated invariant.
     pub fn assert_sound(&self) {
-        assert_eq!(
-            self.unclustered, 0,
-            "unclustered nodes: {}",
-            self.unclustered
-        );
-        assert!(
-            self.worst_attach_ratio <= 1.05,
-            "attach radius exceeded: {}",
-            self.worst_attach_ratio
-        );
-        // The distributed substrate (like the paper's [28]) guarantees
-        // constant *density*, not independence: nearby simultaneous
-        // elections are possible. Track independence loosely; density is
-        // the binding invariant.
-        assert!(
-            self.independence_violations * 3 <= self.clusters.max(1),
-            "too many independence violations: {}/{}",
-            self.independence_violations,
-            self.clusters
-        );
-        assert!(
-            self.density <= 10,
-            "dominator density too high: {}",
-            self.density
-        );
-        // The greedy coloring self-heals conflicts via Committed beacons;
-        // with practical round counts a stray pair can survive the healing
-        // window (it only degrades TDMA separation locally). Tolerate a
-        // 2%-of-clusters residue; experiments report the exact count.
-        assert!(
-            self.color_violations <= self.clusters.max(1).div_ceil(50),
-            "same-color clusters within R_eps/2: {} of {}",
-            self.color_violations,
-            self.clusters
-        );
-        assert!(
-            self.est_ratio.0 >= 0.1 && self.est_ratio.1 <= 10.0,
-            "size estimates out of constant-factor band: {:?}",
-            self.est_ratio
-        );
-        assert_eq!(
-            self.multi_reporter_channels, 0,
-            "channels with multiple reporters: {}",
-            self.multi_reporter_channels
-        );
-        assert!(
-            self.channel_fill >= 0.8,
-            "too many reporterless channels: fill {}",
-            self.channel_fill
-        );
+        self.assert_sound_with(&AuditTolerances::default());
+    }
+
+    /// Panics if any invariant is outside `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn assert_sound_with(&self, tol: &AuditTolerances) {
+        if let Err(msg) = self.check(tol) {
+            panic!("{msg}");
+        }
     }
 }
 
-/// Audits `structure` against ground truth.
+/// Audits `structure` against ground truth, every node live.
 pub fn audit_structure(
     env: &NetworkEnv,
     structure: &AggregationStructure,
     cluster_radius: f64,
 ) -> StructureAudit {
+    audit_structure_masked(env, structure, cluster_radius, None)
+}
+
+/// Audits the live subset of `structure` against ground truth: nodes with
+/// `alive[i] = false` (crashed or not yet joined) are outside the
+/// structure's responsibility and are skipped by every check, while a live
+/// member still pointing at a dead cluster head is reported as dangling.
+pub fn audit_structure_masked(
+    env: &NetworkEnv,
+    structure: &AggregationStructure,
+    cluster_radius: f64,
+    alive: Option<&[bool]>,
+) -> StructureAudit {
     let n = env.len();
     let records = &structure.records;
     assert_eq!(records.len(), n);
+    if let Some(a) = alive {
+        assert_eq!(a.len(), n, "one liveness flag per node required");
+    }
+    let live = |i: usize| alive.is_none_or(|a| a[i]);
 
-    let dominators: Vec<usize> = (0..n).filter(|&i| records[i].role.is_dominator()).collect();
+    let dominators: Vec<usize> = (0..n)
+        .filter(|&i| live(i) && records[i].role.is_dominator())
+        .collect();
     let clusters = dominators.len();
-    let unclustered = records.iter().filter(|r| r.cluster.is_none()).count();
+    let unclustered = (0..n)
+        .filter(|&i| live(i) && records[i].cluster.is_none())
+        .count();
+    let n_live = (0..n).filter(|&i| live(i)).count();
 
-    // Attachment radius.
+    // Attachment radius; membership must point at a live dominator.
     let mut worst_attach: f64 = 0.0;
+    let mut dangling_members = 0;
     for (i, r) in records.iter().enumerate() {
+        if !live(i) {
+            continue;
+        }
         if let Some(c) = r.cluster {
+            if !live(c.index()) || !records[c.index()].role.is_dominator() {
+                dangling_members += 1;
+                continue;
+            }
             let d = env.positions[i].dist(env.positions[c.index()]);
             worst_attach = worst_attach.max(d / cluster_radius);
         }
@@ -155,7 +244,10 @@ pub fn audit_structure(
 
     // Size-estimate accuracy.
     let mut true_sizes: HashMap<NodeId, u64> = HashMap::new();
-    for r in records.iter() {
+    for (i, r) in records.iter().enumerate() {
+        if !live(i) {
+            continue;
+        }
         if let Some(c) = r.cluster {
             *true_sizes.entry(c).or_default() += 1;
         }
@@ -179,7 +271,10 @@ pub fn audit_structure(
 
     // Reporters per channel.
     let mut per_channel: HashMap<(NodeId, u16), usize> = HashMap::new();
-    for r in records.iter() {
+    for (i, r) in records.iter().enumerate() {
+        if !live(i) {
+            continue;
+        }
         if let (Role::Reporter { .. }, Some(c), Some(ch)) = (r.role, r.cluster, r.channel) {
             *per_channel.entry((c, ch.0)).or_default() += 1;
         }
@@ -192,9 +287,10 @@ pub fn audit_structure(
     };
 
     StructureAudit {
-        n,
+        n: n_live,
         clusters,
         unclustered,
+        dangling_members,
         worst_attach_ratio: worst_attach,
         independence_violations,
         density,

@@ -33,6 +33,23 @@ pub struct SpatialGrid {
     /// CSR-style storage: `starts[c]..starts[c+1]` indexes into `items` for cell `c`.
     starts: Vec<u32>,
     items: Vec<u32>,
+    /// Counting-sort cursor scratch, kept so [`SpatialGrid::rebuild`] can
+    /// re-index moving points with zero steady-state allocation.
+    cursor: Vec<u32>,
+}
+
+/// Index equality: two grids are equal iff they index the same points the
+/// same way (scratch buffers excluded), so a rebuilt grid can be asserted
+/// bit-identical to a freshly built one.
+impl PartialEq for SpatialGrid {
+    fn eq(&self, other: &Self) -> bool {
+        self.cell == other.cell
+            && self.origin == other.origin
+            && self.nx == other.nx
+            && self.ny == other.ny
+            && self.starts == other.starts
+            && self.items == other.items
+    }
 }
 
 impl SpatialGrid {
@@ -43,6 +60,29 @@ impl SpatialGrid {
     /// Panics if `cell` is not strictly positive and finite, or if any point
     /// has a non-finite coordinate.
     pub fn build(points: &[Point], cell: f64) -> Self {
+        let mut grid = SpatialGrid {
+            cell,
+            origin: Point::ORIGIN,
+            nx: 1,
+            ny: 1,
+            starts: Vec::new(),
+            items: Vec::new(),
+            cursor: Vec::new(),
+        };
+        grid.rebuild(points, cell);
+        grid
+    }
+
+    /// Re-indexes the grid over `points`, reusing the existing CSR buffers —
+    /// the mobility-path counterpart of [`SpatialGrid::build`]. The result
+    /// is bit-identical to `SpatialGrid::build(points, cell)`; the only
+    /// difference is that steady-state re-indexing (same point count, same
+    /// extent class) allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SpatialGrid::build`].
+    pub fn rebuild(&mut self, points: &[Point], cell: f64) {
         assert!(
             cell.is_finite() && cell > 0.0,
             "cell side must be positive and finite, got {cell}"
@@ -56,35 +96,33 @@ impl SpatialGrid {
         let nx = (bb.width() / cell).floor() as usize + 1;
         let ny = (bb.height() / cell).floor() as usize + 1;
         let ncells = nx * ny;
+        self.cell = cell;
+        self.origin = origin;
+        self.nx = nx;
+        self.ny = ny;
 
-        // Counting sort into CSR layout.
-        let mut counts = vec![0u32; ncells + 1];
+        // Counting sort into CSR layout, in the reused buffers.
+        self.starts.clear();
+        self.starts.resize(ncells + 1, 0);
         let cell_of = |p: &Point| -> usize {
             let cx = (((p.x - origin.x) / cell) as usize).min(nx - 1);
             let cy = (((p.y - origin.y) / cell) as usize).min(ny - 1);
             cy * nx + cx
         };
         for p in points {
-            counts[cell_of(p) + 1] += 1;
+            self.starts[cell_of(p) + 1] += 1;
         }
         for i in 0..ncells {
-            counts[i + 1] += counts[i];
+            self.starts[i + 1] += self.starts[i];
         }
-        let starts = counts.clone();
-        let mut cursor = counts;
-        let mut items = vec![0u32; points.len()];
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts);
+        self.items.clear();
+        self.items.resize(points.len(), 0);
         for (i, p) in points.iter().enumerate() {
             let c = cell_of(p);
-            items[cursor[c] as usize] = i as u32;
-            cursor[c] += 1;
-        }
-        SpatialGrid {
-            cell,
-            origin,
-            nx,
-            ny,
-            starts,
-            items,
+            self.items[self.cursor[c] as usize] = i as u32;
+            self.cursor[c] += 1;
         }
     }
 
@@ -397,8 +435,78 @@ mod tests {
         grid.for_each_cell(|_| panic!("no cells expected"));
     }
 
+    #[test]
+    fn rebuild_is_bit_identical_to_fresh_build() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut pts: Vec<Point> = (0..250)
+            .map(|_| Point::new(rng.gen_range(0.0..40.0), rng.gen_range(0.0..40.0)))
+            .collect();
+        let mut reused = SpatialGrid::build(&pts, 2.5);
+        // Simulate mobility: jitter every point, re-index, compare against a
+        // from-scratch build each step.
+        for step in 0..20 {
+            for p in pts.iter_mut() {
+                *p = Point::new(
+                    p.x + rng.gen_range(-0.5..0.5),
+                    p.y + rng.gen_range(-0.5..0.5),
+                );
+            }
+            reused.rebuild(&pts, 2.5);
+            let fresh = SpatialGrid::build(&pts, 2.5);
+            assert!(
+                reused == fresh,
+                "rebuild diverged from build at step {step}"
+            );
+            // Queries agree too (belt and braces over the index equality).
+            let q = Point::new(rng.gen_range(0.0..40.0), rng.gen_range(0.0..40.0));
+            assert_eq!(
+                {
+                    let mut v = reused.within(&pts, q, 5.0);
+                    v.sort_unstable();
+                    v
+                },
+                brute_within(&pts, q, 5.0)
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_handles_size_and_cell_changes() {
+        let mut grid = SpatialGrid::build(
+            &[Point::ORIGIN, Point::new(3.0, 3.0), Point::new(9.0, 1.0)],
+            1.0,
+        );
+        // Shrink.
+        let small = [Point::new(1.0, 1.0)];
+        grid.rebuild(&small, 2.0);
+        assert_eq!(grid, SpatialGrid::build(&small, 2.0));
+        assert_eq!(grid.len(), 1);
+        // Grow with a different cell side.
+        let big: Vec<Point> = (0..40).map(|i| Point::new(i as f64 * 0.7, 2.0)).collect();
+        grid.rebuild(&big, 0.9);
+        assert_eq!(grid, SpatialGrid::build(&big, 0.9));
+        // Empty.
+        grid.rebuild(&[], 1.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid, SpatialGrid::build(&[], 1.0));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn rebuild_equals_build(
+            raw in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 0..120),
+            raw2 in proptest::collection::vec((0.0..80.0f64, 0.0..80.0f64), 0..120),
+            cell in 0.3..10.0f64,
+            cell2 in 0.3..10.0f64,
+        ) {
+            let pts: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let pts2: Vec<Point> = raw2.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let mut grid = SpatialGrid::build(&pts, cell);
+            grid.rebuild(&pts2, cell2);
+            prop_assert!(grid == SpatialGrid::build(&pts2, cell2));
+        }
+
         #[test]
         fn grid_equals_brute(
             raw in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..120),

@@ -7,6 +7,7 @@
 //! property of the multi-channel model.
 
 use crate::condition::ChannelCondition;
+use crate::events::{EventWatch, NodeEvent};
 use crate::fault::FaultPlan;
 use crate::ids::{Channel, NodeId};
 use crate::message::{Action, Observation};
@@ -60,6 +61,7 @@ pub struct Engine<P: Protocol> {
     faults: FaultPlan,
     conditions: Vec<ChannelCondition>,
     trace: Option<TraceRecorder>,
+    watch: Option<EventWatch>,
     par_channels: bool,
     // Scratch buffers reused across steps: `groups` is dense (index =
     // channel), so iteration order is the channel order — deterministic,
@@ -178,6 +180,7 @@ impl<P: Protocol> Engine<P> {
             faults: FaultPlan::none(),
             conditions: Vec::new(),
             trace: None,
+            watch: None,
             par_channels: false,
             actions: Vec::new(),
             groups: Vec::new(),
@@ -240,6 +243,45 @@ impl<P: Protocol> Engine<P> {
     /// Enables reception tracing, retaining at most `capacity` events.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(TraceRecorder::new(capacity));
+    }
+
+    /// Starts watching node lifecycle transitions: every subsequent
+    /// [`Engine::step`] detects crashes, joins, and motion beyond
+    /// `move_threshold` (Euclidean drift from the last reported anchor) and
+    /// queues them as [`NodeEvent`]s for [`Engine::drain_events`].
+    ///
+    /// Presence is anchored at the current slot, so only transitions *after*
+    /// the call are reported — a maintainer that bootstrapped its own view
+    /// of the initial world sees exactly the changes it missed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `move_threshold` is not positive and finite.
+    pub fn watch_events(&mut self, move_threshold: f64) {
+        let slot = self.slot;
+        let present: Vec<bool> = (0..self.positions.len())
+            .map(|i| !self.faults.is_absent(i as u32, slot))
+            .collect();
+        self.watch = Some(EventWatch::new(
+            present,
+            self.positions.clone(),
+            move_threshold,
+        ));
+    }
+
+    /// Takes all [`NodeEvent`]s queued since the last drain (empty unless
+    /// [`Engine::watch_events`] was enabled). Events appear in observation
+    /// order: by slot, and within a slot by node id.
+    pub fn drain_events(&mut self) -> Vec<NodeEvent> {
+        self.watch
+            .as_mut()
+            .map(EventWatch::drain)
+            .unwrap_or_default()
+    }
+
+    /// Number of queued (undrained) events.
+    pub fn pending_events(&self) -> usize {
+        self.watch.as_ref().map_or(0, EventWatch::pending)
     }
 
     /// The trace recorder, if tracing is enabled.
@@ -329,6 +371,14 @@ impl<P: Protocol> Engine<P> {
         let rx0 = self.metrics.receptions;
         let busy0 = self.metrics.busy_failures;
         let silent0 = self.metrics.silent_listens;
+
+        // Lifecycle observation first: the slot's presence verdicts and the
+        // (possibly environment-mutated) positions are what this slot runs
+        // under, so transitions are reported at the slot they take effect.
+        if let Some(watch) = self.watch.as_mut() {
+            let faults = &self.faults;
+            watch.observe(slot, &self.positions, |i| faults.is_absent(i as u32, slot));
+        }
 
         self.actions.clear();
         for ch in self.active.drain(..) {
@@ -1036,6 +1086,86 @@ mod tests {
             _ => unreachable!(),
         }
         assert_eq!(e.metrics().receptions, 3);
+    }
+
+    #[test]
+    fn watch_surfaces_crash_join_and_motion() {
+        let mut faults = FaultPlan::none();
+        faults.crash_at(0, 2);
+        faults.join_at(1, 3);
+        let positions = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        let protocols = vec![
+            Role::Talk(Talker {
+                channel: Channel::FIRST,
+                msg: 1,
+            }),
+            Role::Hear(Ear::new(Channel::FIRST)),
+        ];
+        let mut e = Engine::new(SinrParams::default(), positions, protocols, 7).with_faults(faults);
+        e.watch_events(1.0);
+        assert_eq!(e.pending_events(), 0);
+        e.run(2); // slots 0, 1: no transitions
+        assert_eq!(e.drain_events(), vec![]);
+        e.step(); // slot 2: node 0 crashes
+        assert_eq!(
+            e.drain_events(),
+            vec![NodeEvent::Crashed {
+                node: NodeId(0),
+                slot: 2
+            }]
+        );
+        // Move node 1 past the threshold before its join: the Moved event
+        // must not fire for an absent node, and the join re-anchors it.
+        e.positions_mut()[1] = Point::new(5.0, 0.0);
+        e.step(); // slot 3: node 1 joins at its new position
+        let events = e.drain_events();
+        assert_eq!(
+            events,
+            vec![NodeEvent::Joined {
+                node: NodeId(1),
+                slot: 3
+            }]
+        );
+        // Now drift it: one Moved event per threshold crossing.
+        e.positions_mut()[1] = Point::new(6.5, 0.0);
+        e.step();
+        let events = e.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0],
+            NodeEvent::Moved {
+                node: NodeId(1),
+                slot: 4,
+                from: Point::new(5.0, 0.0),
+                to: Point::new(6.5, 0.0),
+            }
+        );
+        assert_eq!(events[0].node(), NodeId(1));
+        assert_eq!(events[0].slot(), 4);
+        // Sub-threshold drift stays silent.
+        e.positions_mut()[1] = Point::new(6.9, 0.0);
+        e.step();
+        assert_eq!(e.drain_events(), vec![]);
+    }
+
+    #[test]
+    fn watch_is_opt_in_and_anchors_at_install() {
+        let mut e = two_node_setup(Channel::FIRST);
+        e.step();
+        assert_eq!(e.drain_events(), vec![], "no watch installed");
+        // Install mid-run, then inject a crash: only the post-install
+        // transition is reported.
+        e.watch_events(0.5);
+        let next = e.slot();
+        e.faults_mut().crash_at(0, next);
+        e.step();
+        assert_eq!(
+            e.drain_events(),
+            vec![NodeEvent::Crashed {
+                node: NodeId(0),
+                slot: next
+            }]
+        );
     }
 
     #[test]

@@ -31,12 +31,18 @@
 //! [`ChannelCondition`]), and [`Engine::faults_mut`] (runtime churn).
 //! With none of these touched, a run is bit-identical to the static
 //! engine of the original reproduction.
+//!
+//! For structure maintenance, [`Engine::watch_events`] surfaces lifecycle
+//! transitions — crashes, late joins, and motion beyond a drift threshold —
+//! as [`NodeEvent`]s that a maintainer drains with [`Engine::drain_events`]
+//! instead of polling the fault plan and position vector.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod condition;
 mod engine;
+mod events;
 mod fault;
 mod ids;
 mod message;
@@ -47,6 +53,7 @@ mod trace;
 
 pub use condition::ChannelCondition;
 pub use engine::Engine;
+pub use events::NodeEvent;
 pub use fault::{FaultPlan, JamSpec};
 pub use ids::{Channel, NodeId};
 pub use message::{Action, Observation, Reception};

@@ -7,7 +7,7 @@
 //! [`CatalogEntry::blurb`] as a comment block, and CI re-parses the files
 //! so the catalog can never drift from the code.
 
-use crate::spec::{ChurnSpec, DeploymentSpec, FadingSpec, MobilitySpec, Scenario};
+use crate::spec::{ChurnSpec, DeploymentSpec, FadingSpec, MaintenanceSpec, MobilitySpec, Scenario};
 use mca_radio::{FaultPlan, JamSpec};
 use mca_sinr::ResolveMode;
 
@@ -46,7 +46,7 @@ impl CatalogEntry {
     }
 }
 
-/// The six built-in worlds, in catalog order.
+/// The eight built-in worlds, in catalog order.
 pub fn builtin_scenarios() -> Vec<CatalogEntry> {
     vec![
         static_uniform(),
@@ -55,6 +55,8 @@ pub fn builtin_scenarios() -> Vec<CatalogEntry> {
         convoy(),
         fading_jammer(),
         churn(),
+        churn_maintained(),
+        mobile_churn(),
     ]
 }
 
@@ -190,18 +192,84 @@ fn churn() -> CatalogEntry {
     }
 }
 
+fn churn_maintained() -> CatalogEntry {
+    let mut faults = FaultPlan::none();
+    faults.crash_at(0, 200);
+    CatalogEntry {
+        scenario: Scenario::builder("churn-maintained")
+            .deployment(DeploymentSpec::Uniform { n: 60, side: 30.0 })
+            .churn(ChurnSpec::Random {
+                join_fraction: 0.25,
+                join_window: (1, 100),
+                crash_fraction: 0.1,
+                crash_window: (150, 350),
+            })
+            .faults(faults)
+            .channels(4)
+            .max_slots(400)
+            .maintenance(MaintenanceSpec::every(100))
+            .build(),
+        blurb: "churn-maintained: the churn world with a maintenance policy.\n\
+                Same churn process as `churn` (a quarter of the nodes join late,\n\
+                10% crash mid-run, node 0 scripted to crash at slot 200), plus a\n\
+                [maintenance] table: structure-driving harnesses repair the section-5\n\
+                overlay every 100 slots -- re-homing orphans of crashed dominators,\n\
+                admitting late joiners, re-electing reporters in dirty clusters --\n\
+                instead of letting it rot or rebuilding from scratch. The\n\
+                `experiments repair-bench` harness measures exactly that comparison\n\
+                (see BENCH_repair.json).",
+    }
+}
+
+fn mobile_churn() -> CatalogEntry {
+    CatalogEntry {
+        scenario: Scenario::builder("mobile-churn")
+            .deployment(DeploymentSpec::Uniform { n: 120, side: 12.0 })
+            .mobility(MobilitySpec::RandomWaypoint {
+                speed_min: 0.003,
+                speed_max: 0.01,
+                pause: 10,
+            })
+            .churn(ChurnSpec::Random {
+                join_fraction: 0.15,
+                join_window: (1, 150),
+                crash_fraction: 0.1,
+                crash_window: (150, 400),
+            })
+            .channels(4)
+            .max_slots(400)
+            .maintenance(MaintenanceSpec {
+                every: 50,
+                handover_hysteresis: 1.25,
+                rebuild_threshold: 0.5,
+            })
+            .build(),
+        blurb: "mobile-churn: mobility and churn composed, under maintenance.\n\
+                120 nodes packed on a 12 x 12 plane (clusters actually have members\n\
+                at r_c = 1), roaming at 0.003-0.01 units/slot -- a node drifts\n\
+                ~0.15-0.5 units per 50-slot epoch, so boundary members hand over\n\
+                every epoch but repair keeps pace with the drift (at waypoint-world\n\
+                speeds the whole membership would churn between epochs and the\n\
+                maintainer would rightly fall back to rebuilds) -- while 15% join\n\
+                late and 10% crash. The [maintenance] table repairs every 50 slots\n\
+                with a 1.25x handover hysteresis: the headline world for\n\
+                incremental structure repair vs full rebuild\n\
+                (`experiments repair-bench`).",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_six_distinct_named_entries() {
+    fn catalog_has_eight_distinct_named_entries() {
         let entries = builtin_scenarios();
-        assert_eq!(entries.len(), 6);
+        assert_eq!(entries.len(), 8);
         let mut names: Vec<&str> = entries.iter().map(|e| e.scenario.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6, "names must be unique");
+        assert_eq!(names.len(), 8, "names must be unique");
     }
 
     #[test]
@@ -239,5 +307,11 @@ mod tests {
             .any(|e| !matches!(e.scenario.churn, ChurnSpec::None)));
         assert!(entries.iter().any(|e| !e.scenario.faults.is_trivial()));
         assert!(entries.iter().any(|e| e.scenario.par_channels));
+        // Maintenance coverage: one churn-only and one mobility+churn world.
+        assert!(entries.iter().any(|e| e.scenario.maintenance.is_some()
+            && matches!(e.scenario.mobility, MobilitySpec::Static)));
+        assert!(entries.iter().any(|e| e.scenario.maintenance.is_some()
+            && !matches!(e.scenario.mobility, MobilitySpec::Static)
+            && !matches!(e.scenario.churn, ChurnSpec::None)));
     }
 }

@@ -99,5 +99,7 @@ pub use fading::GilbertElliot;
 pub use mobility::{GroupConvoy, RandomWaypoint};
 pub use runner::{ScenarioRunner, ScenarioTrials};
 pub use sim::ScenarioSim;
-pub use spec::{ChurnSpec, DeploymentSpec, FadingSpec, MobilitySpec, Scenario, ScenarioBuilder};
+pub use spec::{
+    ChurnSpec, DeploymentSpec, FadingSpec, MaintenanceSpec, MobilitySpec, Scenario, ScenarioBuilder,
+};
 pub use toml::{FromToml, ScenarioFileError};

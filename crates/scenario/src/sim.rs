@@ -1,7 +1,7 @@
 //! Driving a protocol through a dynamic scenario.
 
 use crate::environment::{EnvironmentModel, World};
-use crate::spec::Scenario;
+use crate::spec::{MaintenanceSpec, Scenario};
 use mca_geom::Point;
 use mca_radio::{Engine, Metrics, Protocol};
 use rand::rngs::SmallRng;
@@ -20,6 +20,7 @@ pub struct ScenarioSim<P: Protocol> {
     env_rng: SmallRng,
     env_static: bool,
     name: String,
+    maintenance: Option<MaintenanceSpec>,
 }
 
 impl<P: Protocol> ScenarioSim<P> {
@@ -48,12 +49,18 @@ impl<P: Protocol> ScenarioSim<P> {
             env_rng,
             env_static,
             name: scenario.name.clone(),
+            maintenance: scenario.maintenance,
         }
     }
 
     /// The scenario's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The scenario's maintenance policy, if any.
+    pub fn maintenance(&self) -> Option<&MaintenanceSpec> {
+        self.maintenance.as_ref()
     }
 
     /// Executes one slot: environment first, then the engine.
@@ -77,6 +84,29 @@ impl<P: Protocol> ScenarioSim<P> {
         for _ in 0..slots {
             self.step();
         }
+    }
+
+    /// Runs `slots` slots in maintenance epochs: after every
+    /// `maintenance.every` slots (and after the final partial epoch)
+    /// `at_epoch(self, epoch_index)` is invoked — the hook where a
+    /// structure maintainer drains engine events and repairs. Returns the
+    /// number of epochs fired; without a maintenance policy the run is a
+    /// plain [`ScenarioSim::run`] and no epochs fire.
+    pub fn run_epochs<F: FnMut(&mut Self, u64)>(&mut self, slots: u64, mut at_epoch: F) -> u64 {
+        let Some(every) = self.maintenance.map(|m| m.every.max(1)) else {
+            self.run(slots);
+            return 0;
+        };
+        let mut remaining = slots;
+        let mut epoch = 0;
+        while remaining > 0 {
+            let chunk = every.min(remaining);
+            self.run(chunk);
+            remaining -= chunk;
+            at_epoch(self, epoch);
+            epoch += 1;
+        }
+        epoch
     }
 
     /// Steps until every protocol is done or `max_slots` is reached;

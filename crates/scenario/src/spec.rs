@@ -303,6 +303,41 @@ impl ChurnSpec {
     }
 }
 
+/// Structure-maintenance policy for drivers that keep a §5 aggregation
+/// structure alive while the scenario churns (see `mca-core`'s `maintain`
+/// module and `experiments repair-bench`). Serialized as the scenario's
+/// `[maintenance]` table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaintenanceSpec {
+    /// Maintenance cadence: a repair epoch every `every` slots.
+    pub every: u64,
+    /// Handover hysteresis `h ≥ 1`: members are re-homed once beyond
+    /// `h · r_c` of their dominator.
+    pub handover_hysteresis: f64,
+    /// Fraction of live nodes that may need re-homing before the maintainer
+    /// rebuilds from scratch instead of repairing.
+    pub rebuild_threshold: f64,
+}
+
+impl MaintenanceSpec {
+    /// Default handover hysteresis. The single source of truth for the
+    /// policy defaults: the TOML decoder and the repair-bench fallback use
+    /// these, and `mca-bench` asserts `mca_core::MaintainConfig::default`
+    /// agrees (the crates cannot reference each other directly).
+    pub const DEFAULT_HYSTERESIS: f64 = 1.25;
+    /// Default rebuild threshold (see [`MaintenanceSpec::DEFAULT_HYSTERESIS`]).
+    pub const DEFAULT_REBUILD_THRESHOLD: f64 = 0.5;
+
+    /// A maintenance epoch every `every` slots with the default policy.
+    pub const fn every(every: u64) -> Self {
+        MaintenanceSpec {
+            every,
+            handover_hysteresis: Self::DEFAULT_HYSTERESIS,
+            rebuild_threshold: Self::DEFAULT_REBUILD_THRESHOLD,
+        }
+    }
+}
+
 /// A fully declarative experimental world.
 ///
 /// Scenarios serialize to and from TOML (see [`crate::toml`] and
@@ -334,6 +369,9 @@ pub struct Scenario {
     /// (bit-identical to sequential; see
     /// [`Engine::with_par_channels`](mca_radio::Engine::with_par_channels)).
     pub par_channels: bool,
+    /// Structure-maintenance policy, if structure-driving harnesses should
+    /// repair on a cadence ([`ScenarioSim::run_epochs`](crate::ScenarioSim::run_epochs)).
+    pub maintenance: Option<MaintenanceSpec>,
 }
 
 impl Scenario {
@@ -352,6 +390,7 @@ impl Scenario {
                 channels: 8,
                 max_slots: 10_000,
                 par_channels: false,
+                maintenance: None,
             },
         }
     }
@@ -474,6 +513,12 @@ impl ScenarioBuilder {
     /// to sequential, so replay guarantees are unaffected).
     pub fn par_channels(mut self, par: bool) -> Self {
         self.scenario.par_channels = par;
+        self
+    }
+
+    /// Sets the structure-maintenance policy.
+    pub fn maintenance(mut self, spec: MaintenanceSpec) -> Self {
+        self.scenario.maintenance = Some(spec);
         self
     }
 

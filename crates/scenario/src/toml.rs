@@ -19,7 +19,7 @@
 //! * **deterministic** — emission order is fixed, so goldens can pin the
 //!   exact bytes.
 
-use crate::spec::{ChurnSpec, DeploymentSpec, FadingSpec, MobilitySpec, Scenario};
+use crate::spec::{ChurnSpec, DeploymentSpec, FadingSpec, MaintenanceSpec, MobilitySpec, Scenario};
 use mca_geom::{BoundingBox, Point};
 use mca_radio::{ChannelCondition, FaultPlan, JamSpec};
 use mca_serde::{emit, Fields, Table, ToToml, TomlError, Value};
@@ -60,8 +60,18 @@ impl ToToml for Scenario {
         if !self.faults.is_trivial() {
             root.insert("faults", Value::table(faults_table(&self.faults)));
         }
+        if let Some(m) = &self.maintenance {
+            root.insert("maintenance", Value::table(maintenance_table(m)));
+        }
         root
     }
+}
+
+fn maintenance_table(m: &MaintenanceSpec) -> Table {
+    Table::new()
+        .with("every", Value::int(m.every))
+        .with("handover_hysteresis", Value::float(m.handover_hysteresis))
+        .with("rebuild_threshold", Value::float(m.rebuild_threshold))
 }
 
 fn sinr_table(p: &SinrParams) -> Table {
@@ -289,6 +299,10 @@ impl FromToml for Scenario {
             Some(f) => decode_faults(f, n, channels)?,
             None => FaultPlan::none(),
         };
+        let maintenance = match root.opt_fields("maintenance")? {
+            Some(f) => Some(decode_maintenance(f)?),
+            None => None,
+        };
         root.finish()?;
         Ok(Scenario {
             name,
@@ -302,8 +316,40 @@ impl FromToml for Scenario {
             channels,
             max_slots,
             par_channels,
+            maintenance,
         })
     }
+}
+
+fn decode_maintenance(mut f: Fields<'_>) -> Result<MaintenanceSpec, TomlError> {
+    let every = f.u64("every")?;
+    if every == 0 {
+        return Err(f.invalid("every", "maintenance cadence must be at least 1 slot"));
+    }
+    let handover_hysteresis = f
+        .opt_f64("handover_hysteresis")?
+        .unwrap_or(MaintenanceSpec::DEFAULT_HYSTERESIS);
+    if !(handover_hysteresis.is_finite() && handover_hysteresis >= 1.0) {
+        return Err(f.invalid(
+            "handover_hysteresis",
+            format!("must be finite and at least 1, got {handover_hysteresis}"),
+        ));
+    }
+    let rebuild_threshold = f
+        .opt_f64("rebuild_threshold")?
+        .unwrap_or(MaintenanceSpec::DEFAULT_REBUILD_THRESHOLD);
+    if !(0.0..=1.0).contains(&rebuild_threshold) {
+        return Err(f.invalid(
+            "rebuild_threshold",
+            format!("must lie in [0, 1], got {rebuild_threshold}"),
+        ));
+    }
+    f.finish()?;
+    Ok(MaintenanceSpec {
+        every,
+        handover_hysteresis,
+        rebuild_threshold,
+    })
 }
 
 fn decode_sinr(mut f: Fields<'_>) -> Result<SinrParams, TomlError> {
@@ -848,6 +894,11 @@ mod tests {
             .channels(4)
             .max_slots(2_000)
             .par_channels(true)
+            .maintenance(crate::spec::MaintenanceSpec {
+                every: 150,
+                handover_hysteresis: 1.4,
+                rebuild_threshold: 0.3,
+            })
             .build()
     }
 
@@ -993,6 +1044,32 @@ mod tests {
         .unwrap_err();
         assert_eq!(e.path, "faults.jam[0].kind");
         assert_eq!(e.line, 7);
+    }
+
+    #[test]
+    fn maintenance_defaults_and_validation() {
+        let base = "name = \"m\"\n[deployment]\nkind = \"line\"\nn = 4\nspacing = 2.0\n";
+        let s = Scenario::from_toml_str(&format!("{base}[maintenance]\nevery = 50\n")).unwrap();
+        let m = s.maintenance.unwrap();
+        assert_eq!(m.every, 50);
+        assert_eq!(m.handover_hysteresis, 1.25);
+        assert_eq!(m.rebuild_threshold, 0.5);
+        // A scenario without the table has no policy.
+        assert!(Scenario::from_toml_str(base).unwrap().maintenance.is_none());
+
+        let e = Scenario::from_toml_str(&format!("{base}[maintenance]\nevery = 0\n")).unwrap_err();
+        assert_eq!(e.path, "maintenance.every");
+        assert!(e.message.contains("at least 1"), "{e}");
+        let e = Scenario::from_toml_str(&format!(
+            "{base}[maintenance]\nevery = 10\nhandover_hysteresis = 0.5\n"
+        ))
+        .unwrap_err();
+        assert_eq!(e.path, "maintenance.handover_hysteresis");
+        let e = Scenario::from_toml_str(&format!(
+            "{base}[maintenance]\nevery = 10\nrebuild_threshold = 1.5\n"
+        ))
+        .unwrap_err();
+        assert_eq!(e.path, "maintenance.rebuild_threshold");
     }
 
     #[test]

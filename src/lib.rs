@@ -93,17 +93,22 @@ pub use mca_sinr as sinr;
 pub mod prelude {
     pub use mca_analysis::{run_trials, Summary, Table};
     pub use mca_core::{
-        aggregate, audit_structure, broadcast, broadcast_many, build_structure, color_nodes,
-        elect_leader, maximal_independent_set, AggregateOutcome, AggregationStructure, AlgoConfig,
-        AvgAgg, AvgValue, BroadcastOutcome, Candidate, ColoringOutcome, Constants, CsaVariant,
-        FmSketch, FmValue, GossipOutcome, InterclusterMode, LeaderOutcome, MaxAgg, MinAgg,
-        MisConfig, MisOutcome, NetworkEnv, OrAgg, Sourced, StructureConfig, SubstrateMode, SumAgg,
+        aggregate, audit_structure, audit_structure_masked, broadcast, broadcast_many,
+        build_structure, build_structure_masked, color_nodes, elect_leader,
+        maximal_independent_set, AggregateOutcome, AggregationStructure, AlgoConfig,
+        AuditTolerances, AvgAgg, AvgValue, BroadcastOutcome, Candidate, ColoringOutcome, Constants,
+        CsaVariant, FmSketch, FmValue, GossipOutcome, InterclusterMode, LeaderOutcome,
+        MaintainConfig, MaxAgg, MinAgg, MisConfig, MisOutcome, NetworkEnv, OrAgg, RepairKind,
+        RepairReport, Sourced, StructureConfig, StructureMaintainer, SubstrateMode, SumAgg,
     };
     pub use mca_geom::{BoundingBox, CommGraph, Deployment, Point};
-    pub use mca_radio::{Channel, ChannelCondition, Engine, FaultPlan, NodeId, Protocol};
+    pub use mca_radio::{
+        Channel, ChannelCondition, Engine, FaultPlan, NodeEvent, NodeId, Protocol,
+    };
     pub use mca_scenario::{
         ChurnSpec, DeploymentSpec, EnvironmentModel, FadingSpec, GilbertElliot, GroupConvoy,
-        MobilitySpec, RandomWaypoint, Scenario, ScenarioRunner, ScenarioSim, StaticEnvironment,
+        MaintenanceSpec, MobilitySpec, RandomWaypoint, Scenario, ScenarioRunner, ScenarioSim,
+        StaticEnvironment,
     };
     pub use mca_sinr::{ChannelResolver, ResolveMode, SinrParams};
 }
