@@ -6,17 +6,25 @@
 //! ```text
 //! experiments [e1|...|e16|t1|a1|a2|a3|all|quick] [trials]
 //! experiments bench-sinr [repeats]
+//! experiments bench-shards [repeats]
 //! experiments repair-bench [seeds]
+//! experiments golden-trials [--write] [path]
 //! experiments --scenario <file.toml> [--seeds N]
 //! experiments export-scenarios [dir]
 //! experiments check-scenarios [dir]
 //! ```
 //!
+//! Every form accepts a global `--threads N` flag pinning the worker
+//! count of all parallel paths (0 = one per core) — CI smoke jobs and
+//! local benchmarking use it for reproducible wall-clock numbers.
+//!
 //! `--scenario` runs any TOML world (see `docs/SCENARIO_FORMAT.md`)
 //! through the flood max-aggregation workload; `export-scenarios` writes
 //! the built-in catalog; `check-scenarios` parse-validates a directory of
-//! scenario files (the CI gate for `scenarios/`). Unknown subcommands
-//! print usage and exit non-zero.
+//! scenario files (the CI gate for `scenarios/`); `golden-trials` checks
+//! (or `--write`s) the committed golden trial metrics the CI determinism
+//! job pins `MCA_FORCE_PAR=1` runs against. Unknown subcommands print
+//! usage and exit non-zero.
 
 use mca_scenario::{builtin_scenarios, Scenario};
 use std::env;
@@ -28,13 +36,25 @@ const USAGE: &str = "\
 Usage:
   experiments [SUBCOMMAND] [trials]   run experiment tables (default: quick)
   experiments bench-sinr [repeats]    SINR resolver benchmark -> BENCH_sinr.json
+  experiments bench-shards [repeats]  sharded engine benchmark -> BENCH_shard.json
+                                      (SHARD_BENCH_SMOKE=1 for the reduced CI gate;
+                                       exits non-zero if sharded resolution regresses
+                                       below the sequential baseline or any
+                                       bit-identity audit fails)
   experiments repair-bench [seeds]    incremental repair vs rebuild -> BENCH_repair.json
                                       (REPAIR_BENCH_SMOKE=1 for the reduced CI gate;
                                        exits non-zero if any world fails its gate)
+  experiments golden-trials [--write] [path]
+                                      check (default) or rewrite the committed golden
+                                      trial metrics (default: scenarios/GOLDEN_trials.json);
+                                      check exits non-zero on any metric divergence
   experiments --scenario <file.toml> [--seeds N]
                                       run a scenario file end-to-end
   experiments export-scenarios [dir]  write the built-in catalog (default: scenarios)
   experiments check-scenarios [dir]   parse-validate every .toml in a directory
+
+Global flags:
+  --threads N       pin the parallel worker count (0 = one per core)
 
 Subcommands:
   e1..e8, e10..e16  individual experiment tables (see EXPERIMENTS.md)
@@ -50,7 +70,17 @@ const TABLE_IDS: &[&str] = &[
 ];
 
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+
+    // Global flag: pin the parallel worker count before anything runs.
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let Some(n) = args.get(i + 1).and_then(|n| n.parse::<usize>().ok()) else {
+            eprintln!("error: --threads needs a worker count (0 = one per core)\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        rayon::set_num_threads(n);
+        args.drain(i..=i + 1);
+    }
 
     // Flag form: run a scenario file.
     if args.iter().any(|a| a == "--scenario") {
@@ -71,7 +101,8 @@ fn main() -> ExitCode {
     match which {
         "export-scenarios" => return export_scenarios(args.get(1).map_or("scenarios", |s| s)),
         "check-scenarios" => return check_scenarios(args.get(1).map_or("scenarios", |s| s)),
-        "bench-sinr" | "repair-bench" => {}
+        "golden-trials" => return golden_trials(&args[1..]),
+        "bench-sinr" | "bench-shards" | "repair-bench" => {}
         id if TABLE_IDS.contains(&id) => {}
         other => {
             eprintln!("error: unknown subcommand `{other}`\n{USAGE}");
@@ -165,6 +196,29 @@ fn main() -> ExitCode {
         print!("{json}");
         eprintln!("[wrote BENCH_sinr.json]");
     }
+    if which == "bench-shards" {
+        // Smoke mode (CI): the ≤ 10k-node cases with 3 timing repeats
+        // still run every arm and enforce the full gate — bit-identity
+        // audits clean, sharded no slower than the sequential baseline,
+        // and faster than the frozen PR 2 flat-grid path.
+        let smoke = env::var("SHARD_BENCH_SMOKE").is_ok_and(|v| v == "1");
+        let repeats = if smoke { 3 } else { trials.max(3) };
+        let (json, ok) = mca_bench::shard_bench_json(repeats, smoke);
+        print!("{json}");
+        if smoke {
+            eprintln!(
+                "[bench-shards smoke: gate {}]",
+                if ok { "held" } else { "FAILED" }
+            );
+        } else {
+            std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+            eprintln!("[wrote BENCH_shard.json]");
+        }
+        if !ok {
+            eprintln!("error: a bench-shards case failed its gate (see JSON above)");
+            return ExitCode::FAILURE;
+        }
+    }
     if which == "repair-bench" {
         // Smoke mode (CI): one seed still runs every world and enforces the
         // acceptance gate — audits clean at every maintenance epoch and
@@ -234,6 +288,41 @@ fn run_scenario_file(args: &[String]) -> ExitCode {
         t0.elapsed().as_secs_f64()
     );
     ExitCode::SUCCESS
+}
+
+/// `experiments golden-trials [--write] [path]`
+fn golden_trials(args: &[String]) -> ExitCode {
+    let mut write = false;
+    let mut path = "scenarios/GOLDEN_trials.json";
+    for arg in args {
+        match arg.as_str() {
+            "--write" => write = true,
+            other if !other.starts_with('-') => path = other,
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if write {
+        let json = mca_bench::golden_trials_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        return ExitCode::SUCCESS;
+    }
+    match mca_bench::check_golden_trials(path) {
+        Ok(()) => {
+            println!("golden trial metrics match {path} (bit-identical)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `experiments export-scenarios [dir]`

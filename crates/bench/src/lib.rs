@@ -9,12 +9,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod golden;
 pub mod repair_bench;
 pub mod scenario_run;
+pub mod shard_bench;
 pub mod sinr_bench;
 
+pub use golden::{check_golden_trials, golden_trials_json};
 pub use repair_bench::{repair_bench_json, repair_trial, run_repair_bench, RepairBenchCase};
 pub use scenario_run::{run_scenario, scenario_flood_trial, ScenarioTrial};
+pub use shard_bench::shard_bench_json;
 
 use mca_analysis::{run_trials, Summary, Table};
 use mca_baselines as baselines;

@@ -124,6 +124,23 @@ impl BoundingBox {
         dx * dx + dy * dy
     }
 
+    /// Squared distance between the nearest points of this box and `other`
+    /// (0 when they intersect). For any `p` in `other`,
+    /// `self.dist_sq_to(p) >= self.dist_sq_to_box(other)` — the monotonicity
+    /// the sharded resolver's per-task halo classification relies on: a
+    /// block farther than a threshold from a whole listener bounding box is
+    /// farther than that threshold from every listener in it.
+    #[inline]
+    pub fn dist_sq_to_box(&self, other: &BoundingBox) -> f64 {
+        let dx = (other.min.x - self.max.x)
+            .max(self.min.x - other.max.x)
+            .max(0.0);
+        let dy = (other.min.y - self.max.y)
+            .max(self.min.y - other.max.y)
+            .max(0.0);
+        dx * dx + dy * dy
+    }
+
     /// Whether `other` intersects this box (boundary inclusive).
     pub fn intersects(&self, other: &BoundingBox) -> bool {
         self.min.x <= other.max.x
@@ -190,6 +207,27 @@ mod tests {
         assert_eq!(bb.clamp(Point::new(5.0, -2.0)), Point::new(2.0, 0.0));
         let clamped = bb.clamp(Point::new(9.0, 9.0));
         assert!(bb.contains(clamped));
+    }
+
+    #[test]
+    fn box_to_box_distance() {
+        let a = BoundingBox::square(1.0);
+        let b = BoundingBox::new(Point::new(4.0, 0.0), Point::new(5.0, 1.0));
+        assert_eq!(a.dist_sq_to_box(&b), 9.0);
+        assert_eq!(b.dist_sq_to_box(&a), 9.0);
+        // Overlapping and touching boxes are at distance 0.
+        let c = BoundingBox::new(Point::new(0.5, 0.5), Point::new(2.0, 2.0));
+        assert_eq!(a.dist_sq_to_box(&c), 0.0);
+        let d = BoundingBox::new(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert_eq!(a.dist_sq_to_box(&d), 0.0);
+        // Diagonal separation combines both axes.
+        let e = BoundingBox::new(Point::new(4.0, 5.0), Point::new(6.0, 7.0));
+        assert_eq!(a.dist_sq_to_box(&e), 9.0 + 16.0);
+        // Monotonicity vs point distance: points inside b are no closer
+        // than the box-to-box distance.
+        for p in [Point::new(4.0, 0.5), Point::new(5.0, 1.0)] {
+            assert!(a.dist_sq_to(p) >= a.dist_sq_to_box(&b));
+        }
     }
 
     #[test]

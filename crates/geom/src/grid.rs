@@ -141,6 +141,11 @@ impl SpatialGrid {
         self.cell
     }
 
+    /// Grid dimensions `(nx, ny)`: columns × rows of cells.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
     /// Calls `f(i)` for every point index `i` with `dist(points[i], q) <= r`.
     ///
     /// `points` must be the same slice the grid was built from (same length
@@ -269,6 +274,8 @@ impl SpatialGrid {
                 f(GridCell {
                     rect,
                     items: &self.items[lo..hi],
+                    cx,
+                    cy,
                 });
             }
         }
@@ -300,6 +307,10 @@ pub struct GridCell<'a> {
     /// Indices (into the slice the grid was built from) of the points
     /// bucketed into this cell, in input order.
     pub items: &'a [u32],
+    /// Column index of the cell in the grid (0-based).
+    pub cx: usize,
+    /// Row index of the cell in the grid (0-based).
+    pub cy: usize,
 }
 
 #[cfg(test)]

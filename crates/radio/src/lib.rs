@@ -21,9 +21,16 @@
 //! [`ChannelResolver`](mca_sinr::ChannelResolver) (mode selected via
 //! [`SinrParams::resolve`](mca_sinr::SinrParams)): the engine stages each
 //! channel's transmitter/listener positions once per slot in reused dense
-//! scratch buffers and, with [`Engine::with_par_channels`], resolves the
-//! independent channel groups in parallel — bit-identical to sequential,
-//! since channels never interact within a slot.
+//! scratch buffers, keeps the resolver's spatial index alive across slots
+//! ([`mca_sinr::ResolverCache`] — rebuilt only when the staged positions
+//! change), and resolves the resulting (channel × shard) units — the
+//! plane partitioned by [`Engine::with_shards`] into a [`ShardMap`]
+//! maintained incrementally off lifecycle events — sequentially or in
+//! parallel ([`Engine::with_par_channels`], [`Engine::with_par_shards`]).
+//! Every combination is **bit-identical**: per-listener outcomes are pure
+//! functions of the channel's transmitter set, so shard count, thread
+//! count, and fan-out flags never change a result (the `MCA_FORCE_PAR=1`
+//! override CI uses to prove it).
 //!
 //! The engine also exposes dynamic-environment hooks used by the
 //! `mca-scenario` crate: [`Engine::positions_mut`] (mobility),
@@ -49,6 +56,7 @@ mod message;
 mod metrics;
 mod node;
 pub mod rng;
+pub mod shard;
 mod trace;
 
 pub use condition::ChannelCondition;
@@ -59,4 +67,5 @@ pub use ids::{Channel, NodeId};
 pub use message::{Action, Observation, Reception};
 pub use metrics::Metrics;
 pub use node::Protocol;
+pub use shard::ShardMap;
 pub use trace::{TraceEvent, TraceRecorder};

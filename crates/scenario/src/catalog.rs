@@ -46,11 +46,12 @@ impl CatalogEntry {
     }
 }
 
-/// The eight built-in worlds, in catalog order.
+/// The nine built-in worlds, in catalog order.
 pub fn builtin_scenarios() -> Vec<CatalogEntry> {
     vec![
         static_uniform(),
         dense_cluster(),
+        sharded_dense(),
         waypoint_mobility(),
         convoy(),
         fading_jammer(),
@@ -92,6 +93,33 @@ fn dense_cluster() -> CatalogEntry {
                 mode and parallel per-channel resolution (both keep results\n\
                 bit-identical to the sequential exact path for decode outcomes within\n\
                 the published error bound; par_channels is exactly bit-identical).",
+    }
+}
+
+fn sharded_dense() -> CatalogEntry {
+    CatalogEntry {
+        scenario: Scenario::builder("sharded-dense")
+            .deployment(DeploymentSpec::Uniform {
+                n: 2000,
+                side: 22.0,
+            })
+            .channels(8)
+            .max_slots(300)
+            .resolve_mode(ResolveMode::fast())
+            .par_channels(true)
+            .shards(4)
+            .par_shards(true)
+            .build(),
+        blurb: "sharded-dense: the dense regime at engine scale, resolved in shards.\n\
+                2000 nodes at 4 nodes per unit area -- per-channel groups of hundreds\n\
+                of transmitters, the workload the sharded engine targets. The\n\
+                [engine] table partitions the plane into a 4 x 4 shard grid whose\n\
+                (channel x shard) units resolve independently (par_shards), with the\n\
+                grid-batched fast resolver underneath. Sharding is an execution\n\
+                knob, not a physics knob: trial metrics are bit-identical to the\n\
+                same world with shards = 0 under any thread count -- the contract\n\
+                the CI determinism job (MCA_FORCE_PAR=1) pins against the committed\n\
+                golden trial metrics.",
     }
 }
 
@@ -263,13 +291,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_eight_distinct_named_entries() {
+    fn catalog_has_nine_distinct_named_entries() {
         let entries = builtin_scenarios();
-        assert_eq!(entries.len(), 8);
+        assert_eq!(entries.len(), 9);
         let mut names: Vec<&str> = entries.iter().map(|e| e.scenario.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 8, "names must be unique");
+        assert_eq!(names.len(), 9, "names must be unique");
     }
 
     #[test]
@@ -307,6 +335,11 @@ mod tests {
             .any(|e| !matches!(e.scenario.churn, ChurnSpec::None)));
         assert!(entries.iter().any(|e| !e.scenario.faults.is_trivial()));
         assert!(entries.iter().any(|e| e.scenario.par_channels));
+        // Sharded-engine coverage: at least one world runs the (channel ×
+        // shard) fan-out.
+        assert!(entries
+            .iter()
+            .any(|e| e.scenario.shards >= 2 && e.scenario.par_shards));
         // Maintenance coverage: one churn-only and one mobility+churn world.
         assert!(entries.iter().any(|e| e.scenario.maintenance.is_some()
             && matches!(e.scenario.mobility, MobilitySpec::Static)));

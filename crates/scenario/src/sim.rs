@@ -40,7 +40,9 @@ impl<P: Protocol> ScenarioSim<P> {
         let faults = scenario.faults_for(seed);
         let engine = Engine::new(scenario.params, deploy.into_points(), protocols, seed)
             .with_faults(faults)
-            .with_par_channels(scenario.par_channels);
+            .with_par_channels(scenario.par_channels)
+            .with_shards(scenario.shards)
+            .with_par_shards(scenario.par_shards);
         let (env, env_rng) = scenario.environment_for(seed);
         let env_static = env.is_static();
         ScenarioSim {

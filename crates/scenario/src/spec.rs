@@ -369,6 +369,15 @@ pub struct Scenario {
     /// (bit-identical to sequential; see
     /// [`Engine::with_par_channels`](mca_radio::Engine::with_par_channels)).
     pub par_channels: bool,
+    /// Shards per axis for the engine's spatial partition (0 or 1 = off;
+    /// bit-identical for any value — see
+    /// [`Engine::with_shards`](mca_radio::Engine::with_shards)).
+    /// Serialized as the `[engine]` table's `shards` key.
+    pub shards: u16,
+    /// Whether (channel × shard) units resolve in parallel (bit-identical;
+    /// see [`Engine::with_par_shards`](mca_radio::Engine::with_par_shards)).
+    /// Serialized as the `[engine]` table's `par_shards` key.
+    pub par_shards: bool,
     /// Structure-maintenance policy, if structure-driving harnesses should
     /// repair on a cadence ([`ScenarioSim::run_epochs`](crate::ScenarioSim::run_epochs)).
     pub maintenance: Option<MaintenanceSpec>,
@@ -390,6 +399,8 @@ impl Scenario {
                 channels: 8,
                 max_slots: 10_000,
                 par_channels: false,
+                shards: 0,
+                par_shards: false,
                 maintenance: None,
             },
         }
@@ -513,6 +524,31 @@ impl ScenarioBuilder {
     /// to sequential, so replay guarantees are unaffected).
     pub fn par_channels(mut self, par: bool) -> Self {
         self.scenario.par_channels = par;
+        self
+    }
+
+    /// Shards the engine's plane into an `s × s` grid (0 or 1 = off).
+    /// Sharding is an execution knob: trial results are bit-identical for
+    /// any value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` exceeds
+    /// [`MAX_SHARDS_PER_AXIS`](mca_radio::shard::MAX_SHARDS_PER_AXIS).
+    pub fn shards(mut self, s: u16) -> Self {
+        assert!(
+            s <= mca_radio::shard::MAX_SHARDS_PER_AXIS,
+            "shard count per axis must be at most {}, got {s}",
+            mca_radio::shard::MAX_SHARDS_PER_AXIS
+        );
+        self.scenario.shards = s;
+        self
+    }
+
+    /// Enables parallel resolution of the engine's (channel × shard)
+    /// units (bit-identical to sequential).
+    pub fn par_shards(mut self, par: bool) -> Self {
+        self.scenario.par_shards = par;
         self
     }
 

@@ -45,6 +45,9 @@ impl ToToml for Scenario {
                 "deployment",
                 Value::table(deployment_table(&self.deployment)),
             );
+        if self.shards > 0 || self.par_shards {
+            root.insert("engine", Value::table(engine_table(self)));
+        }
         if let Some(area) = self.area {
             root.insert("area", Value::table(area_table(&area)));
         }
@@ -65,6 +68,14 @@ impl ToToml for Scenario {
         }
         root
     }
+}
+
+/// The `[engine]` table: execution knobs (sharding) that never change
+/// trial results, only how the engine schedules the work.
+fn engine_table(s: &Scenario) -> Table {
+    Table::new()
+        .with("shards", Value::int(s.shards))
+        .with("par_shards", Value::bool(s.par_shards))
 }
 
 fn maintenance_table(m: &MaintenanceSpec) -> Table {
@@ -271,6 +282,10 @@ impl FromToml for Scenario {
             Some(f) => decode_sinr(f)?,
             None => SinrParams::default(),
         };
+        let (shards, par_shards) = match root.opt_fields("engine")? {
+            Some(f) => decode_engine(f)?,
+            None => (0, false),
+        };
         let deployment = {
             let line = root.line();
             let f = root
@@ -316,9 +331,27 @@ impl FromToml for Scenario {
             channels,
             max_slots,
             par_channels,
+            shards,
+            par_shards,
             maintenance,
         })
     }
+}
+
+fn decode_engine(mut f: Fields<'_>) -> Result<(u16, bool), TomlError> {
+    let shards = f.opt_u16("shards")?.unwrap_or(0);
+    if shards > mca_radio::shard::MAX_SHARDS_PER_AXIS {
+        return Err(f.invalid(
+            "shards",
+            format!(
+                "shard count per axis must be at most {}, got {shards}",
+                mca_radio::shard::MAX_SHARDS_PER_AXIS
+            ),
+        ));
+    }
+    let par_shards = f.opt_bool("par_shards")?.unwrap_or(false);
+    f.finish()?;
+    Ok((shards, par_shards))
 }
 
 fn decode_maintenance(mut f: Fields<'_>) -> Result<MaintenanceSpec, TomlError> {
@@ -894,6 +927,8 @@ mod tests {
             .channels(4)
             .max_slots(2_000)
             .par_channels(true)
+            .shards(3)
+            .par_shards(true)
             .maintenance(crate::spec::MaintenanceSpec {
                 every: 150,
                 handover_hysteresis: 1.4,
@@ -933,6 +968,29 @@ mod tests {
         assert!(s.fading.is_none());
         assert_eq!(s.churn, ChurnSpec::None);
         assert!(s.faults.is_trivial());
+    }
+
+    #[test]
+    fn engine_table_defaults_round_trip_and_validation() {
+        let base = "name = \"e\"\n[deployment]\nkind = \"line\"\nn = 4\nspacing = 2.0\n";
+        // Absent table: sharding off, and the emitter omits the table.
+        let s = Scenario::from_toml_str(base).unwrap();
+        assert_eq!(s.shards, 0);
+        assert!(!s.par_shards);
+        assert!(!s.to_toml().contains("[engine]"));
+        // Present table round-trips.
+        let s = Scenario::from_toml_str(&format!("{base}[engine]\nshards = 4\n")).unwrap();
+        assert_eq!(s.shards, 4);
+        assert!(!s.par_shards);
+        let back = Scenario::from_toml_str(&s.to_toml()).unwrap();
+        assert_eq!(back, s);
+        // Out-of-range shard counts are rejected with the field path.
+        let e = Scenario::from_toml_str(&format!("{base}[engine]\nshards = 1000\n")).unwrap_err();
+        assert_eq!(e.path, "engine.shards");
+        assert!(e.message.contains("at most"), "{e}");
+        // Unknown keys are rejected.
+        let e = Scenario::from_toml_str(&format!("{base}[engine]\nthreads = 4\n")).unwrap_err();
+        assert_eq!(e.path, "engine.threads");
     }
 
     #[test]

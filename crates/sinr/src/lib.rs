@@ -12,9 +12,12 @@
 //!   received power, and SINR + signal strength on success);
 //! * [`ChannelResolver`] — the batched per-channel resolver the engine hot
 //!   path runs on, with [`ResolveMode::Exact`] (bit-for-bit the scalar
-//!   reference) and [`ResolveMode::Fast`] (spatial-grid near/far split with
-//!   an error-bounded, per-cell aggregated far field — see
-//!   [`resolve_batch`] for the `α > 2` tail-bound derivation);
+//!   reference) and [`ResolveMode::Fast`] (hierarchical near/far split:
+//!   exact near field, per-cell then per-block aggregated far field, all
+//!   error-bounded — see [`resolve_batch`] for the `α > 2` tail-bound
+//!   derivation). [`ResolverCache`] persists the spatial index across
+//!   slots; [`TaskResolver`] is the per-shard-task view the engine's
+//!   sharded fan-out resolves through (bit-identical to the resolver);
 //! * [`is_clear_reception`] — Definition 4;
 //! * [`bounds`] — closed forms of Lemmas 2–3 plus the far-field tail bounds
 //!   for validation experiments.
@@ -42,4 +45,4 @@ pub use params::{NodeKnowledge, ParamInterval, ResolveMode, SinrParams};
 pub use resolve::{
     is_clear_reception, resolve_channel, resolve_listener, resolve_listener_ext, ListenOutcome,
 };
-pub use resolve_batch::ChannelResolver;
+pub use resolve_batch::{ChannelResolver, ResolverCache, TaskResolver};

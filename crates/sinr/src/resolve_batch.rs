@@ -1,4 +1,4 @@
-//! Batched per-channel SINR resolution over a spatial grid.
+//! Batched per-channel SINR resolution over a hierarchical spatial index.
 //!
 //! [`ChannelResolver`] takes the transmitter set of one channel *once* per
 //! slot and resolves every listener of that channel against it, replacing
@@ -10,20 +10,33 @@
 //!   computed and summed in transmitter order through the same
 //!   [`SinrParams::received_power_sq`](crate::SinrParams::received_power_sq)
 //!   kernel the scalar reference uses, so outcomes are **bit-for-bit
-//!   identical** to [`resolve_listener`](crate::resolve_listener). The
-//!   speedup comes from the shared squared-distance kernel (no `sqrt`
-//!   before the power law, multiply-only integer-`α` fast paths instead of
-//!   `powf`) and, on multi-core hosts, from fanning listeners out across
-//!   threads (per-listener outcomes are independent, so parallel and
-//!   sequential resolution are identical).
+//!   identical** to [`resolve_listener`](crate::resolve_listener).
 //!
-//! * **[`ResolveMode::Fast`]** — a near/far split over a
-//!   [`SpatialGrid`] built on the transmitter positions. Cells whose
-//!   rectangle comes within the cutoff radius `R_c = cutoff_factor · R_T`
-//!   of the listener are summed exactly, transmitter by transmitter; every
-//!   farther cell contributes one aggregated term
-//!   `n_cell · P / d(center)^α` — one distance computation per occupied
-//!   cell instead of one per transmitter.
+//! * **[`ResolveMode::Fast`]** — a near/far split over a two-level spatial
+//!   index built on the transmitter positions. Grid cells whose rectangle
+//!   comes within the cutoff radius `R_c = cutoff_factor · R_T` of the
+//!   listener are summed exactly, transmitter by transmitter. Farther
+//!   cells contribute one aggregated term `n_cell · P / d(center)^α` — and,
+//!   new in the sharded-engine rework, cells are grouped into
+//!   [`BLOCK_CELLS`]×[`BLOCK_CELLS`] **blocks**: a block whose rectangle is
+//!   beyond both the cutoff and [`BLOCK_FAR_FACTOR`]× its own diagonal
+//!   contributes a *single* aggregated term for all of its cells. On a
+//!   100k-node dense world this cuts the per-listener far-field loop from
+//!   every occupied cell (thousands) to a ring of descended blocks plus
+//!   one term per far block — the single-slot speedup `experiments
+//!   bench-shards` records against the frozen PR 2 flat-grid baseline.
+//!
+//! # Determinism contract
+//!
+//! A listener's outcome is a **pure function of `(params, transmitter
+//! positions, listener, extra_interference)`** — never of how listeners are
+//! batched, partitioned into shard tasks ([`ChannelResolver::task`]), or
+//! spread across threads. The per-listener traversal is fixed (blocks in
+//! row-major order; within a descended block, cells in row-major order;
+//! within a near cell, transmitters in input order), so sharded, parallel,
+//! and sequential resolution of the same channel are bit-for-bit identical.
+//! The engine's shard fan-out and `MCA_FORCE_PAR` override lean on exactly
+//! this property.
 //!
 //! # The far-field error bound (why truncation is principled)
 //!
@@ -39,34 +52,21 @@
 //!
 //! which **converges precisely because `α > 2`** — the same
 //! bounded-far-interference reasoning behind Definition 4's clear-reception
-//! threshold (a fixed interference budget certifies that no transmitter
-//! within `4r` fired) and Lemma 2's annulus argument. Fast mode does not
-//! even discard the tail: it *aggregates* it per cell, so only the
-//! *variation of distance within a cell* is approximated. With cell side
-//! `c` (half-diagonal `δ = c·√2/2`), the per-transmitter error is at most
-//! `|∂_d(P d^{-α})|·δ = αPδ·d^{-α-1}` up to `O(δ/d)²`, and integrating over
-//! the plane beyond `R_c` gives the analytic estimate
-//!
-//! ```text
-//! ε(R_c, α, λ) ≲ ∫_{R_c}^∞ 2πλr · αPδ r^{-α-1} dr
-//!              = 2πλαPδ/(α−1) · R_c^{1−α}
-//! ```
-//!
-//! (closed forms in [`crate::bounds::far_field_tail`] and
+//! threshold and Lemma 2's annulus argument. Fast mode does not even
+//! discard the tail: it *aggregates* it per cell or per block, so only the
+//! *variation of distance within the aggregated rectangle* is approximated
+//! (closed-form estimates in [`crate::bounds::far_field_tail`] and
 //! [`crate::bounds::far_cell_error`]). Beyond the analytic estimate, the
 //! resolver computes a **rigorous per-listener bound** from the actual
-//! placement: each occupied far cell's true power lies in
+//! placement: each aggregated rectangle's true power lies in
 //! `[n·P/d_max^α, n·P/d_min^α]` (`d_min`/`d_max` the nearest/farthest point
-//! of the cell rectangle), and the center estimate lies in the same
-//! interval, so the interference error is at most the summed interval
-//! widths — returned by [`ChannelResolver::resolve_with_bound`]. Because
-//! `cutoff_factor ≥ 1` forces `R_c ≥ R_T`, no far transmitter can ever be
-//! decodable (decoding requires `d ≤ R_T`), so Fast mode can only differ
-//! from Exact on a decode whose SINR margin is within that published bound
-//! plus floating-point rounding (the near field is summed in cell order,
-//! not transmitter order, so totals differ from the scalar scan at ulp
-//! scale even when the bound is 0) — the property the crate's tests
-//! enforce.
+//! of the rectangle), and the center estimate lies in the same interval, so
+//! the interference error is at most the summed interval widths — returned
+//! by [`ChannelResolver::resolve_with_bound`]. Because `cutoff_factor ≥ 1`
+//! forces `R_c ≥ R_T`, no aggregated transmitter can ever be decodable
+//! (decoding requires `d ≤ R_T`), so Fast mode can only differ from Exact
+//! on a decode whose SINR margin is within that published bound plus
+//! floating-point rounding — the property the crate's tests enforce.
 
 use crate::params::{ResolveMode, SinrParams};
 use crate::resolve::{decide, resolve_listener_ext, ListenOutcome};
@@ -92,6 +92,18 @@ const FAST_MIN_TX: usize = 16;
 /// set cannot blow up the grid's memory.
 const MAX_CELLS_PER_AXIS: f64 = 192.0;
 
+/// Side length of a far-field block, in grid cells (blocks are
+/// `BLOCK_CELLS × BLOCK_CELLS` cells).
+pub const BLOCK_CELLS: usize = 8;
+
+/// A block is aggregated as one term only beyond `BLOCK_FAR_FACTOR` times
+/// its own (nominal) diagonal — closer blocks descend to per-cell terms.
+/// At the threshold distance the block's half-diagonal is at most 1/3 of
+/// the distance to any listener, so the center-point estimate's relative
+/// error per block stays bounded; the rigorous per-listener interval bound
+/// reports whatever error actually accrues.
+pub const BLOCK_FAR_FACTOR: f64 = 1.5;
+
 /// One occupied transmitter cell of the Fast-mode index.
 struct CellSpan {
     rect: BoundingBox,
@@ -100,20 +112,320 @@ struct CellSpan {
     end: u32,
 }
 
-/// Fast-mode spatial index: occupied cells in deterministic (row-major)
-/// order, with transmitter indices stored contiguously per cell.
+/// One block of up to [`BLOCK_CELLS`]² occupied cells: the unit of
+/// far-field aggregation (and of halo classification in shard tasks).
+struct BlockSpan {
+    /// Tight bounding box of the member cells' rectangles.
+    rect: BoundingBox,
+    /// Center of `rect` — the block's far-field evaluation point.
+    center: Point,
+    /// Range into [`FastIndex::cells`].
+    cell_start: u32,
+    cell_end: u32,
+    /// Total transmitters in the block, pre-widened for the power sum.
+    count: f64,
+}
+
+/// Fast-mode spatial index: occupied cells grouped into row-major blocks,
+/// cells row-major within each block, transmitter indices contiguous per
+/// cell — all orders deterministic.
 struct FastIndex {
+    blocks: Vec<BlockSpan>,
     cells: Vec<CellSpan>,
     items: Vec<u32>,
+    /// Squared near-field cutoff `R_c²`.
+    cutoff_sq: f64,
+    /// Squared block-descend radius `max(R_c, BLOCK_FAR_FACTOR·diag)²`:
+    /// blocks farther than this from a listener are aggregated whole.
+    descend_sq: f64,
+    /// Estimated power-evaluation count per resolved listener — the
+    /// quantity the listener fan-out threshold is measured in.
+    work_per_listener: usize,
+}
+
+/// One cell staged during the block-major regrouping pass of
+/// [`FastIndex::build`].
+#[derive(Clone, Copy, Default)]
+struct Placed {
+    rect: Option<BoundingBox>,
+    lo: u32,
+    hi: u32,
+}
+
+/// Reusable temporaries of [`FastIndex::build`]: the counting-sort
+/// layout, cursors, staged cells, and the flattened item copy. Owned by
+/// [`ResolverCache`] so steady-state rebuilds (mobile worlds re-index
+/// every slot) allocate nothing.
+#[derive(Default)]
+struct BuildScratch {
+    starts: Vec<u32>,
+    cursor: Vec<u32>,
+    placed: Vec<Placed>,
+    flat: Vec<u32>,
+}
+
+impl FastIndex {
+    /// Builds the two-level index over `tx` under `params`, or `None` when
+    /// the geometry cannot profit from one (mode is Exact, too few
+    /// transmitters, an all-near world, or cell counts rivaling the
+    /// transmitter count). `grid` and `scratch` are persistent: the
+    /// spatial grid is re-indexed in place ([`SpatialGrid::rebuild`]) and
+    /// the build temporaries reused, so steady-state rebuilds allocate
+    /// nothing; `recycle` donates a previous index's buffers for the same
+    /// reason.
+    fn build(
+        params: &SinrParams,
+        tx: &[Point],
+        grid: &mut Option<SpatialGrid>,
+        scratch: &mut BuildScratch,
+        recycle: Option<FastIndex>,
+    ) -> Option<FastIndex> {
+        let ResolveMode::Fast { cutoff_factor } = params.resolve else {
+            return None;
+        };
+        if tx.len() < FAST_MIN_TX {
+            return None;
+        }
+        let rt = params.transmission_range();
+        let cutoff = cutoff_factor * rt;
+        let cutoff_sq = cutoff * cutoff;
+        let bb = BoundingBox::from_points(tx.iter().copied()).expect("non-empty transmitter set");
+        let extent = bb.width().max(bb.height());
+        // Adaptive cell side: aim for a handful of transmitters per
+        // occupied cell (the aggregation win), never below R_T/4 (error
+        // control) and never so small the grid outgrows MAX_CELLS_PER_AXIS.
+        let occupancy_side = (bb.area() * 4.0 / tx.len() as f64).sqrt();
+        let side = (rt / 4.0)
+            .max(occupancy_side)
+            .max(extent / MAX_CELLS_PER_AXIS);
+        // Decide *before* building anything whether the grid can pay for
+        // itself: a transmitter set whose diagonal fits inside the cutoff
+        // has no far field to aggregate, and a grid with as many cells as
+        // transmitters saves nothing. Both checks are O(1) on top of the
+        // bbox pass.
+        let diag_sq = bb.min().dist_sq(bb.max());
+        let ncells = ((bb.width() / side) as usize + 1) * ((bb.height() / side) as usize + 1);
+        if diag_sq <= cutoff_sq || ncells * 2 > tx.len() {
+            return None;
+        }
+        match grid {
+            Some(g) => g.rebuild(tx, side),
+            None => *grid = Some(SpatialGrid::build(tx, side)),
+        }
+        let grid = grid.as_ref().expect("grid just ensured");
+        let (nx, ny) = grid.dims();
+        let bnx = nx.div_ceil(BLOCK_CELLS);
+        let bny = ny.div_ceil(BLOCK_CELLS);
+
+        let (mut blocks, mut cells, mut items) = match recycle {
+            Some(mut old) => {
+                old.blocks.clear();
+                old.cells.clear();
+                old.items.clear();
+                (old.blocks, old.cells, old.items)
+            }
+            None => (Vec::new(), Vec::new(), Vec::with_capacity(tx.len())),
+        };
+
+        // Pass 1: count occupied cells per block (counting-sort layout),
+        // in the reused scratch.
+        let starts = &mut scratch.starts;
+        starts.clear();
+        starts.resize(bnx * bny + 1, 0);
+        grid.for_each_cell(|cell| {
+            let b = (cell.cy / BLOCK_CELLS) * bnx + cell.cx / BLOCK_CELLS;
+            starts[b + 1] += 1;
+        });
+        for b in 0..bnx * bny {
+            starts[b + 1] += starts[b];
+        }
+        let total_cells = starts[bnx * bny] as usize;
+        // Pass 2: place cells block-major (row-major blocks; the grid's
+        // row-major cell visit order is preserved within each block, so the
+        // whole layout is deterministic). Items land contiguously per cell
+        // in a third pass once cell order is fixed.
+        let placed = &mut scratch.placed;
+        placed.clear();
+        placed.resize(total_cells, Placed::default());
+        let cursor = &mut scratch.cursor;
+        cursor.clear();
+        cursor.extend_from_slice(starts);
+        let flat = &mut scratch.flat;
+        flat.clear();
+        grid.for_each_cell(|cell| {
+            let b = (cell.cy / BLOCK_CELLS) * bnx + cell.cx / BLOCK_CELLS;
+            let lo = flat.len() as u32;
+            flat.extend_from_slice(cell.items);
+            placed[cursor[b] as usize] = Placed {
+                rect: Some(cell.rect),
+                lo,
+                hi: flat.len() as u32,
+            };
+            cursor[b] += 1;
+        });
+        // Pass 3: emit blocks, cells, and items in final order.
+        for b in 0..bnx * bny {
+            let (lo, hi) = (starts[b] as usize, starts[b + 1] as usize);
+            if lo == hi {
+                continue;
+            }
+            let cell_start = cells.len() as u32;
+            let mut rect: Option<BoundingBox> = None;
+            let mut count = 0u32;
+            for p in &placed[lo..hi] {
+                let cell_rect = p.rect.expect("placed");
+                let start = items.len() as u32;
+                items.extend_from_slice(&flat[p.lo as usize..p.hi as usize]);
+                cells.push(CellSpan {
+                    rect: cell_rect,
+                    start,
+                    end: items.len() as u32,
+                });
+                count += p.hi - p.lo;
+                rect = Some(match rect {
+                    None => cell_rect,
+                    Some(mut r) => {
+                        r.expand(cell_rect.min());
+                        r.expand(cell_rect.max());
+                        r
+                    }
+                });
+            }
+            let rect = rect.expect("non-empty block");
+            blocks.push(BlockSpan {
+                rect,
+                center: rect.center(),
+                cell_start,
+                cell_end: cells.len() as u32,
+                count: f64::from(count),
+            });
+        }
+
+        // Blocks aggregate only beyond BLOCK_FAR_FACTOR× their *nominal*
+        // diagonal (full BLOCK_CELLS×BLOCK_CELLS extent — an upper bound on
+        // any block's actual diagonal, so the error-control intent holds
+        // for partial edge blocks too), and never inside the cutoff — so
+        // an aggregated block can contain no near cell.
+        let nominal_diag = (BLOCK_CELLS as f64) * side * std::f64::consts::SQRT_2;
+        let descend = cutoff.max(BLOCK_FAR_FACTOR * nominal_diag);
+        let descend_sq = descend * descend;
+
+        // Per-listener cost estimate: one term per block, plus the cells of
+        // blocks inside the descend ring, plus the expected exact near
+        // field (average transmitter density over the cutoff disk).
+        let area = bb.area().max(side * side);
+        let cell_density = total_cells as f64 / area;
+        let descended_cells =
+            (std::f64::consts::PI * descend_sq * cell_density).min(total_cells as f64);
+        let near_frac = (std::f64::consts::PI * cutoff_sq / area).min(1.0);
+        let work_per_listener =
+            blocks.len() + descended_cells as usize + (tx.len() as f64 * near_frac).ceil() as usize;
+
+        Some(FastIndex {
+            blocks,
+            cells,
+            items,
+            cutoff_sq,
+            descend_sq,
+            work_per_listener,
+        })
+    }
+}
+
+/// Persistent per-channel resolver state: the spatial grid and two-level
+/// index survive across slots and are rebuilt **only when the transmitter
+/// positions (or physical parameters) actually change** — fixing the PR 2
+/// headroom note that the grid was rebuilt from scratch every slot even in
+/// static worlds.
+///
+/// Invalidation is by exact snapshot comparison of the staged transmitter
+/// positions (cheap, early-exit, and *sound*: the index is a pure function
+/// of those positions). Event-driven invalidation off the engine's
+/// [`NodeEvent`](../mca_radio/enum.NodeEvent.html) stream was evaluated and
+/// rejected: motion below the watch threshold changes positions without an
+/// event, which would leave a stale index and break bit-reproducibility.
+/// The shard partition, whose correctness does *not* depend on freshness,
+/// is what consumes the event stream.
+#[derive(Default)]
+pub struct ResolverCache {
+    /// Transmitter positions the current index was built from.
+    snapshot: Vec<Point>,
+    /// Parameters the current index was built under.
+    params: Option<SinrParams>,
+    /// Reused spatial-grid scratch (CSR buffers survive rebuilds).
+    grid: Option<SpatialGrid>,
+    /// Reused build temporaries (see [`BuildScratch`]).
+    scratch: BuildScratch,
+    /// The current index (`None` when Exact mode or the grid was refused).
+    index: Option<FastIndex>,
+    /// Rebuilds performed (observable, for tests and diagnostics).
+    builds: u64,
+}
+
+impl ResolverCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of index (re)builds this cache has performed — stays flat
+    /// across slots of a static world.
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// Ensures the cached index matches `(params, tx)`, rebuilding in
+    /// place (buffers reused) when it does not.
+    fn ensure(&mut self, params: &SinrParams, tx: &[Point]) {
+        if self.matches(params, tx) {
+            return;
+        }
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(tx);
+        self.params = Some(*params);
+        self.index = FastIndex::build(
+            params,
+            tx,
+            &mut self.grid,
+            &mut self.scratch,
+            self.index.take(),
+        );
+        self.builds += 1;
+    }
+
+    /// Whether the cached index was built for exactly `(params, tx)`.
+    pub fn matches(&self, params: &SinrParams, tx: &[Point]) -> bool {
+        self.params.as_ref() == Some(params) && self.snapshot == tx
+    }
+
+    /// A resolver over the cached index **without** rebuilding — `None`
+    /// unless the cache [`matches`](ResolverCache::matches) `(params, tx)`.
+    /// Lets callers that warmed their caches up front (a sequential ensure
+    /// pass, as the engine's Phase 2 does) hand shared resolver views to
+    /// parallel workers.
+    pub fn resolver_for<'a>(
+        &'a self,
+        params: &'a SinrParams,
+        tx: &'a [Point],
+    ) -> Option<ChannelResolver<'a>> {
+        if !self.matches(params, tx) {
+            return None;
+        }
+        let fast = match &self.index {
+            Some(ix) => IndexRef::Cached(ix),
+            None => IndexRef::None,
+        };
+        Some(ChannelResolver { params, tx, fast })
+    }
 }
 
 /// Batched reception resolution for one channel's transmitter set.
 ///
-/// Build once per (channel, slot) with [`ChannelResolver::new`], then
-/// resolve any number of listeners. The engine holds per-channel scratch
-/// buffers and calls [`ChannelResolver::resolve_into`]; ad-hoc callers can
-/// use [`resolve_channel`](crate::resolve_channel) or
-/// [`ChannelResolver::resolve`].
+/// Build once per (channel, slot) with [`ChannelResolver::new`] — or with
+/// [`ChannelResolver::cached`] to reuse a [`ResolverCache`] across slots —
+/// then resolve any number of listeners. Listener partitions (the engine's
+/// shard tasks) use [`ChannelResolver::task`] for a locality-optimized view
+/// that is bit-identical to resolving through the resolver directly.
 ///
 /// # Examples
 ///
@@ -132,81 +444,64 @@ struct FastIndex {
 pub struct ChannelResolver<'a> {
     params: &'a SinrParams,
     tx: &'a [Point],
-    /// Present only in Fast mode with enough transmitters.
-    fast: Option<FastIndex>,
-    cutoff_sq: f64,
-    /// Estimated power-evaluation count per resolved listener (exact scan:
-    /// all transmitters; Fast: occupied cells + expected near field) —
-    /// the quantity the listener fan-out threshold is measured in.
-    work_per_listener: usize,
+    fast: IndexRef<'a>,
+}
+
+/// Where the resolver's index lives: built fresh for this resolver, or
+/// borrowed from a [`ResolverCache`], or absent (exact scan).
+enum IndexRef<'a> {
+    None,
+    Owned(Box<FastIndex>),
+    Cached(&'a FastIndex),
+}
+
+impl IndexRef<'_> {
+    #[inline]
+    fn get(&self) -> Option<&FastIndex> {
+        match self {
+            IndexRef::None => None,
+            IndexRef::Owned(ix) => Some(ix),
+            IndexRef::Cached(ix) => Some(ix),
+        }
+    }
 }
 
 impl<'a> ChannelResolver<'a> {
     /// Indexes `tx_positions` for batched resolution under
-    /// `params.resolve`.
+    /// `params.resolve`, building a fresh index.
     pub fn new(params: &'a SinrParams, tx_positions: &'a [Point]) -> Self {
-        let mut cutoff_sq = f64::INFINITY;
-        let mut work_per_listener = tx_positions.len();
-        let fast = match params.resolve {
-            ResolveMode::Fast { cutoff_factor } if tx_positions.len() >= FAST_MIN_TX => {
-                let rt = params.transmission_range();
-                let cutoff = cutoff_factor * rt;
-                cutoff_sq = cutoff * cutoff;
-                let bb = BoundingBox::from_points(tx_positions.iter().copied())
-                    .expect("non-empty transmitter set");
-                let extent = bb.width().max(bb.height());
-                // Adaptive cell side: aim for a handful of transmitters per
-                // occupied cell (the aggregation win), never below R_T/4
-                // (error control) and never so small the grid outgrows
-                // MAX_CELLS_PER_AXIS.
-                let occupancy_side = (bb.area() * 4.0 / tx_positions.len() as f64).sqrt();
-                let side = (rt / 4.0)
-                    .max(occupancy_side)
-                    .max(extent / MAX_CELLS_PER_AXIS);
-                // Decide *before* building anything whether the grid can
-                // pay for itself: a transmitter set whose diagonal fits
-                // inside the cutoff has no far field to aggregate, and a
-                // grid with as many cells as transmitters saves nothing
-                // (per listener, Fast touches every occupied cell). Both
-                // checks are O(1) on top of the bbox pass.
-                let diag_sq = bb.min().dist_sq(bb.max());
-                let ncells =
-                    ((bb.width() / side) as usize + 1) * ((bb.height() / side) as usize + 1);
-                if diag_sq <= cutoff_sq || ncells * 2 > tx_positions.len() {
-                    None
-                } else {
-                    let grid = SpatialGrid::build(tx_positions, side);
-                    // No occupied_cells() pre-pass (it would rescan the
-                    // whole grid); occupied cells are bounded by ncells.
-                    let mut cells = Vec::new();
-                    let mut items = Vec::with_capacity(tx_positions.len());
-                    grid.for_each_cell(|cell| {
-                        let start = items.len() as u32;
-                        items.extend_from_slice(cell.items);
-                        cells.push(CellSpan {
-                            rect: cell.rect,
-                            start,
-                            end: items.len() as u32,
-                        });
-                    });
-                    // Per-listener cost on the Fast path: one term per
-                    // occupied cell plus the expected near field (average
-                    // transmitter density over the cutoff disk).
-                    let near_frac =
-                        (std::f64::consts::PI * cutoff_sq / bb.area().max(side * side)).min(1.0);
-                    work_per_listener =
-                        cells.len() + (tx_positions.len() as f64 * near_frac).ceil() as usize;
-                    Some(FastIndex { cells, items })
-                }
-            }
-            _ => None,
+        let mut grid = None;
+        let mut scratch = BuildScratch::default();
+        let fast = match FastIndex::build(params, tx_positions, &mut grid, &mut scratch, None) {
+            Some(ix) => IndexRef::Owned(Box::new(ix)),
+            None => IndexRef::None,
         };
         ChannelResolver {
             params,
             tx: tx_positions,
             fast,
-            cutoff_sq,
-            work_per_listener,
+        }
+    }
+
+    /// Like [`ChannelResolver::new`], but reusing `cache`: if the
+    /// transmitter positions and parameters match the cache's snapshot the
+    /// index is reused as-is (zero build work — the static-world steady
+    /// state), otherwise it is rebuilt in place into the cache's buffers.
+    /// Outcomes are identical to a freshly built resolver's.
+    pub fn cached(
+        params: &'a SinrParams,
+        tx_positions: &'a [Point],
+        cache: &'a mut ResolverCache,
+    ) -> Self {
+        cache.ensure(params, tx_positions);
+        let fast = match &cache.index {
+            Some(ix) => IndexRef::Cached(ix),
+            None => IndexRef::None,
+        };
+        ChannelResolver {
+            params,
+            tx: tx_positions,
+            fast,
         }
     }
 
@@ -217,7 +512,12 @@ impl<'a> ChannelResolver<'a> {
     /// counts rivaling the transmitter count), in which case the resolver
     /// transparently runs the exact scan.
     pub fn is_fast(&self) -> bool {
-        self.fast.is_some()
+        self.fast.get().is_some()
+    }
+
+    /// Number of far-field blocks in the index (0 on the exact path).
+    pub fn block_count(&self) -> usize {
+        self.fast.get().map_or(0, |ix| ix.blocks.len())
     }
 
     /// Number of transmitters indexed.
@@ -230,15 +530,23 @@ impl<'a> ChannelResolver<'a> {
         self.tx.is_empty()
     }
 
+    /// Estimated power evaluations per resolved listener (exact scan: all
+    /// transmitters).
+    fn work_per_listener(&self) -> usize {
+        self.fast
+            .get()
+            .map_or(self.tx.len(), |ix| ix.work_per_listener)
+    }
+
     /// Resolves one listener. `extra_interference` is the per-channel
     /// environmental term (fading, out-of-network traffic), exactly as in
     /// [`crate::resolve_listener_ext`].
     #[inline]
     pub fn resolve(&self, listener: Point, extra_interference: f64) -> ListenOutcome {
-        match &self.fast {
+        match self.fast.get() {
             None => resolve_listener_ext(self.params, self.tx, listener, extra_interference),
             Some(index) => {
-                self.resolve_fast::<false>(index, listener, extra_interference)
+                self.resolve_fast::<false>(index, listener, extra_interference, None)
                     .0
             }
         }
@@ -255,23 +563,55 @@ impl<'a> ChannelResolver<'a> {
         listener: Point,
         extra_interference: f64,
     ) -> (ListenOutcome, f64) {
-        match &self.fast {
+        match self.fast.get() {
             None => (
                 resolve_listener_ext(self.params, self.tx, listener, extra_interference),
                 0.0,
             ),
-            Some(index) => self.resolve_fast::<true>(index, listener, extra_interference),
+            Some(index) => self.resolve_fast::<true>(index, listener, extra_interference, None),
         }
     }
 
-    /// Fast-mode core. `BOUND` selects whether the per-cell error interval
-    /// is accumulated (needs two extra rect distances per far cell); the
-    /// hot path resolves with `BOUND = false` and reports 0.
+    /// A resolver view for one shard task: listeners known to lie inside
+    /// `listeners_bbox`. The task precomputes, once, which blocks can
+    /// possibly descend for *any* listener in the box (the shard's halo
+    /// neighborhood); every other block is aggregate-only for the whole
+    /// task and skips its per-listener distance test. Because a block
+    /// farther than the descend radius from the box is farther than it
+    /// from every listener inside ([`BoundingBox::dist_sq_to_box`]
+    /// monotonicity), every per-listener branch decision is unchanged —
+    /// [`TaskResolver::resolve`] is bit-for-bit
+    /// [`ChannelResolver::resolve`].
+    pub fn task(&self, listeners_bbox: BoundingBox) -> TaskResolver<'_, 'a> {
+        let candidates = self.fast.get().map(|ix| {
+            ix.blocks
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.rect.dist_sq_to_box(&listeners_bbox) <= ix.descend_sq)
+                .map(|(i, _)| i as u32)
+                .collect()
+        });
+        TaskResolver {
+            resolver: self,
+            bbox: listeners_bbox,
+            candidates,
+        }
+    }
+
+    /// Fast-mode core: blocks in row-major order; aggregated blocks (past
+    /// the descend radius) contribute one far term; descended blocks visit
+    /// their cells — near cells (inside the cutoff) exactly, far cells as
+    /// one term each. `BOUND` selects whether the per-rectangle error
+    /// interval is accumulated; the hot path resolves with `BOUND = false`
+    /// and reports 0. `candidates` (from [`ChannelResolver::task`]) marks
+    /// the blocks that may descend for this listener's task; `None` means
+    /// every block is tested.
     fn resolve_fast<const BOUND: bool>(
         &self,
         index: &FastIndex,
         listener: Point,
         extra_interference: f64,
+        candidates: Option<&[u32]>,
     ) -> (ListenOutcome, f64) {
         debug_assert!(extra_interference >= 0.0, "interference cannot be negative");
         let params = self.params;
@@ -281,36 +621,70 @@ impl<'a> ChannelResolver<'a> {
         let mut far_lo = 0.0;
         let mut far_hi = 0.0;
         let mut far_est = 0.0;
-        for cell in &index.cells {
-            let d_min_sq = cell.rect.dist_sq_to(listener);
-            if d_min_sq <= self.cutoff_sq {
-                // Near cell: exact per-transmitter summation. Ties on power
-                // go to the smallest transmitter index, matching the scalar
-                // reference's first-strongest-wins scan.
-                for &i in &index.items[cell.start as usize..cell.end as usize] {
-                    let p = params.received_power_sq(self.tx[i as usize].dist_sq(listener));
-                    total += p;
-                    if p > best_pow || (p == best_pow && (i as usize) < best) {
-                        best_pow = p;
-                        best = i as usize;
+        let mut cand = candidates.map(|c| c.iter().copied().peekable());
+        for (bi, block) in index.blocks.iter().enumerate() {
+            // A block not in the task's candidate list is beyond the
+            // descend radius for every listener of the task — same branch
+            // the per-listener test below would take, decided once.
+            let may_descend = match cand.as_mut() {
+                None => true,
+                Some(it) => {
+                    if it.peek() == Some(&(bi as u32)) {
+                        it.next();
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if may_descend && block.rect.dist_sq_to(listener) <= index.descend_sq {
+                for cell in &index.cells[block.cell_start as usize..block.cell_end as usize] {
+                    let d_min_sq = cell.rect.dist_sq_to(listener);
+                    if d_min_sq <= index.cutoff_sq {
+                        // Near cell: exact per-transmitter summation. Ties
+                        // on power go to the smallest transmitter index,
+                        // matching the scalar reference's
+                        // first-strongest-wins scan.
+                        for &i in &index.items[cell.start as usize..cell.end as usize] {
+                            let p = params.received_power_sq(self.tx[i as usize].dist_sq(listener));
+                            total += p;
+                            if p > best_pow || (p == best_pow && (i as usize) < best) {
+                                best_pow = p;
+                                best = i as usize;
+                            }
+                        }
+                    } else {
+                        // Far cell: one aggregated term; the true cell power
+                        // lies in [n·P/d_max^α, n·P/d_min^α] and so does the
+                        // center estimate.
+                        let n = f64::from(cell.end - cell.start);
+                        far_est +=
+                            n * params.received_power_sq(cell.rect.center().dist_sq(listener));
+                        if BOUND {
+                            far_hi += n * params.received_power_sq(d_min_sq);
+                            far_lo +=
+                                n * params.received_power_sq(cell.rect.max_dist_sq_to(listener));
+                        }
                     }
                 }
             } else {
-                // Far cell: one aggregated term; the true cell power lies in
-                // [n·P/d_max^α, n·P/d_min^α] and so does the center estimate.
-                let n = f64::from(cell.end - cell.start);
-                far_est += n * params.received_power_sq(cell.rect.center().dist_sq(listener));
+                // Far block: one aggregated term for all of its cells. The
+                // descend radius is at least the cutoff, so no cell of an
+                // aggregated block can be near.
+                far_est += block.count * params.received_power_sq(block.center.dist_sq(listener));
                 if BOUND {
-                    far_hi += n * params.received_power_sq(d_min_sq);
-                    far_lo += n * params.received_power_sq(cell.rect.max_dist_sq_to(listener));
+                    far_hi +=
+                        block.count * params.received_power_sq(block.rect.dist_sq_to(listener));
+                    far_lo +=
+                        block.count * params.received_power_sq(block.rect.max_dist_sq_to(listener));
                 }
             }
         }
         total += far_est;
         let bound = (far_hi - far_lo).max(0.0);
         if best_pow == f64::NEG_INFINITY {
-            // No near-field candidate. Far transmitters are all beyond
-            // R_c ≥ R_T and therefore undecodable, matching Exact's
+            // No near-field candidate. Aggregated transmitters are all
+            // beyond R_c ≥ R_T and therefore undecodable, matching Exact's
             // no-decode outcome (carrier sense still reads the estimate).
             return (
                 ListenOutcome {
@@ -322,7 +696,7 @@ impl<'a> ChannelResolver<'a> {
                 bound,
             );
         }
-        (decide(params, best, best_pow, total), bound)
+        (decide(self.params, best, best_pow, total), bound)
     }
 
     /// Resolves a batch of listeners into `out` (cleared first), in
@@ -340,7 +714,7 @@ impl<'a> ChannelResolver<'a> {
     ) {
         let work = listeners
             .len()
-            .saturating_mul(self.work_per_listener.max(1));
+            .saturating_mul(self.work_per_listener().max(1));
         if listeners.len() >= PAR_LISTENERS
             && work >= PAR_MIN_PAIRS
             && rayon::current_num_threads() > 1
@@ -358,8 +732,8 @@ impl<'a> ChannelResolver<'a> {
 
     /// [`ChannelResolver::resolve_into`] without the listener fan-out —
     /// for callers that already parallelize at a coarser grain (the
-    /// engine's `par_channels` channel groups use this to avoid nested
-    /// thread spawning) or that rely on `out`'s buffer being reused.
+    /// engine's shard tasks and channel groups) or that rely on `out`'s
+    /// buffer being reused.
     pub fn resolve_into_sequential(
         &self,
         listeners: &[Point],
@@ -372,6 +746,44 @@ impl<'a> ChannelResolver<'a> {
                 .iter()
                 .map(|&l| self.resolve(l, extra_interference)),
         );
+    }
+}
+
+/// One shard task's view of a [`ChannelResolver`]: see
+/// [`ChannelResolver::task`]. Resolution through a task is bit-for-bit
+/// identical to resolution through the resolver itself for any listener
+/// inside the task's bounding box (debug-asserted).
+pub struct TaskResolver<'r, 'a> {
+    resolver: &'r ChannelResolver<'a>,
+    bbox: BoundingBox,
+    /// Sorted block indices that may descend for some listener of this
+    /// task (`None` on the exact path).
+    candidates: Option<Vec<u32>>,
+}
+
+impl TaskResolver<'_, '_> {
+    /// Resolves one listener of this task — bitwise identical to
+    /// [`ChannelResolver::resolve`] on the same inputs.
+    #[inline]
+    pub fn resolve(&self, listener: Point, extra_interference: f64) -> ListenOutcome {
+        debug_assert!(
+            self.bbox.contains(listener),
+            "task listener {listener:?} outside its task bbox"
+        );
+        match (self.resolver.fast.get(), &self.candidates) {
+            (Some(index), Some(cand)) => {
+                self.resolver
+                    .resolve_fast::<false>(index, listener, extra_interference, Some(cand))
+                    .0
+            }
+            _ => self.resolver.resolve(listener, extra_interference),
+        }
+    }
+
+    /// Number of halo blocks this task may descend into (0 on the exact
+    /// path) — the size of the task's near neighborhood.
+    pub fn halo_blocks(&self) -> usize {
+        self.candidates.as_ref().map_or(0, Vec::len)
     }
 }
 
@@ -405,6 +817,14 @@ mod tests {
             })
             .collect();
         (txs, listeners)
+    }
+
+    /// A dense world large enough that whole blocks aggregate (cells are
+    /// clamped at `R_T/4`, so high density means many cells and several
+    /// blocks beyond the descend radius).
+    fn dense_blocky_world(seed: u64, n_tx: usize) -> (Vec<Point>, Vec<Point>) {
+        let side = (n_tx as f64 / 4.0).sqrt() * 2.0;
+        random_world(seed, n_tx, side)
     }
 
     #[test]
@@ -496,6 +916,107 @@ mod tests {
     }
 
     #[test]
+    fn block_aggregation_engages_on_big_dense_worlds() {
+        let (txs, listeners) = dense_blocky_world(11, 20_000);
+        let params = fast(1.5);
+        let resolver = ChannelResolver::new(&params, &txs);
+        assert!(resolver.is_fast());
+        assert!(
+            resolver.block_count() >= 9,
+            "expected several blocks, got {}",
+            resolver.block_count()
+        );
+        // A corner listener must see most blocks aggregated: its task from
+        // a tight bbox descends into only a small halo neighborhood.
+        let task = resolver.task(BoundingBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+        assert!(
+            task.halo_blocks() < resolver.block_count(),
+            "corner task should not descend into every block ({}/{})",
+            task.halo_blocks(),
+            resolver.block_count()
+        );
+        // And block aggregation stays within the published bound contract.
+        let pe = exact();
+        let re = ChannelResolver::new(&pe, &txs);
+        for &l in listeners.iter().take(10) {
+            let (out_f, bound) = resolver.resolve_with_bound(l, 0.0);
+            let out_e = re.resolve(l, 0.0);
+            assert!(
+                (out_f.total_power - out_e.total_power).abs()
+                    <= bound + 1e-9 * out_e.total_power.max(1.0),
+                "carrier-sense error {} exceeds bound {bound}",
+                (out_f.total_power - out_e.total_power).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn task_resolution_is_bitwise_resolver_resolution() {
+        let (txs, listeners) = dense_blocky_world(3, 8_000);
+        for params in [exact(), fast(1.5)] {
+            let resolver = ChannelResolver::new(&params, &txs);
+            // Partition listeners into quadrant tasks and compare bitwise.
+            let world = BoundingBox::from_points(listeners.iter().copied()).unwrap();
+            let (cx, cy) = (world.center().x, world.center().y);
+            for &l in &listeners {
+                let corner = Point::new(
+                    if l.x <= cx {
+                        world.min().x
+                    } else {
+                        world.max().x
+                    },
+                    if l.y <= cy {
+                        world.min().y
+                    } else {
+                        world.max().y
+                    },
+                );
+                let task = resolver.task(BoundingBox::new(Point::new(cx, cy), corner));
+                assert_eq!(
+                    task.resolve(l, 0.25),
+                    resolver.resolve(l, 0.25),
+                    "task outcome diverged at {l:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_reuses_index_for_static_positions_and_rebuilds_on_change() {
+        let (txs, listeners) = random_world(9, 400, 60.0);
+        let params = fast(1.5);
+        let mut cache = ResolverCache::new();
+        let fresh: Vec<ListenOutcome> = {
+            let r = ChannelResolver::new(&params, &txs);
+            listeners.iter().map(|&l| r.resolve(l, 0.0)).collect()
+        };
+        for _ in 0..5 {
+            let r = ChannelResolver::cached(&params, &txs, &mut cache);
+            assert!(r.is_fast());
+            for (k, &l) in listeners.iter().enumerate() {
+                assert_eq!(r.resolve(l, 0.0), fresh[k], "cached outcome diverged");
+            }
+        }
+        assert_eq!(cache.builds(), 1, "static positions must not rebuild");
+        // Any position change invalidates.
+        let mut moved = txs.clone();
+        moved[7] = Point::new(moved[7].x + 0.5, moved[7].y);
+        {
+            let r = ChannelResolver::cached(&params, &moved, &mut cache);
+            let direct = ChannelResolver::new(&params, &moved);
+            assert_eq!(
+                r.resolve(listeners[0], 0.0),
+                direct.resolve(listeners[0], 0.0)
+            );
+        }
+        assert_eq!(cache.builds(), 2);
+        // Parameter changes invalidate too (different cutoff → different index).
+        let wide = fast(2.5);
+        let _ = ChannelResolver::cached(&wide, &moved, &mut cache);
+        assert_eq!(cache.builds(), 3);
+    }
+
+    #[test]
     fn fast_bound_shrinks_with_cutoff() {
         let (txs, listeners) = random_world(3, 500, 200.0);
         let tight = fast(1.0);
@@ -575,6 +1096,39 @@ mod tests {
                     !robust_yes && !robust_no,
                     "flip outside bound {}: sig {} interference {} (fast {:?} vs scalar {:?})",
                     bound, sig, interference, fast_out.decoded, scalar.decoded
+                );
+            }
+        }
+
+        /// Block-level aggregation (dense worlds, several blocks) also only
+        /// flips within the published bound, and task-partitioned
+        /// resolution is bitwise the direct resolution.
+        #[test]
+        fn blocky_fast_flips_only_within_bound(
+            seed in 0u64..32,
+            lx in 0.0..140.0f64,
+            ly in 0.0..140.0f64,
+        ) {
+            let params = fast(1.5);
+            let (txs, _) = dense_blocky_world(seed, 5_000);
+            let l = Point::new(lx, ly);
+            let resolver = ChannelResolver::new(&params, &txs);
+            prop_assert!(resolver.is_fast());
+            let (fast_out, bound) = resolver.resolve_with_bound(l, 0.0);
+            let task = resolver.task(BoundingBox::new(
+                Point::new(lx - 1.0, ly - 1.0),
+                Point::new(lx + 1.0, ly + 1.0),
+            ));
+            prop_assert_eq!(task.resolve(l, 0.0), fast_out);
+            let scalar = resolve_listener(&params, &txs, l);
+            if fast_out.decoded != scalar.decoded {
+                let (sig, interference) = strongest_and_interference(&params, &txs, l);
+                let slack = bound + 1e-9 * (params.noise + interference);
+                let robust_yes = params.decodes(sig, interference + slack);
+                let robust_no = !params.decodes(sig, (interference - slack).max(0.0));
+                prop_assert!(
+                    !robust_yes && !robust_no,
+                    "flip outside bound {bound}: sig {sig} interference {interference}"
                 );
             }
         }

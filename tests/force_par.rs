@@ -1,0 +1,60 @@
+//! The `MCA_FORCE_PAR=1` override — the lever CI's determinism job pulls
+//! to re-run the whole suite under maximum fan-out.
+//!
+//! Lives in its own test binary: the override is read once per process,
+//! so it must be set before the first `Engine` is built and would leak
+//! into unrelated tests otherwise.
+
+use multichannel_adhoc::prelude::*;
+use multichannel_adhoc::radio::{Action, Observation, Protocol};
+use rand::rngs::SmallRng;
+
+struct Beacon(u32);
+impl Protocol for Beacon {
+    type Msg = u32;
+    fn act(&mut self, _s: u64, _r: &mut SmallRng) -> Action<u32> {
+        if self.0 == 0 {
+            Action::Transmit {
+                channel: Channel::FIRST,
+                msg: 7,
+            }
+        } else {
+            Action::Listen {
+                channel: Channel::FIRST,
+            }
+        }
+    }
+    fn observe(&mut self, _s: u64, _o: Observation<u32>, _r: &mut SmallRng) {}
+}
+
+#[test]
+fn mca_force_par_forces_every_fanout_axis() {
+    std::env::set_var("MCA_FORCE_PAR", "1");
+    let positions = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+    let engine = Engine::new(
+        SinrParams::default(),
+        positions.clone(),
+        vec![Beacon(0), Beacon(1)],
+        42,
+    );
+    assert!(engine.par_channels(), "par_channels must be forced on");
+    assert!(engine.par_shards(), "par_shards must be forced on");
+    assert!(engine.shards() >= 2, "a shard grid must be forced on");
+
+    // Builder calls cannot switch the forced flags back off...
+    let engine = engine
+        .with_par_channels(false)
+        .with_par_shards(false)
+        .with_shards(0);
+    assert!(engine.par_channels() && engine.par_shards() && engine.shards() >= 2);
+    // ...and an explicit larger shard grid is respected as-is.
+    let mut engine = engine.with_shards(9);
+    assert_eq!(engine.shards(), 9);
+
+    engine.step();
+    assert_eq!(
+        engine.metrics().receptions,
+        1,
+        "the forced engine still runs"
+    );
+}

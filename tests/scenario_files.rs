@@ -22,7 +22,7 @@ fn every_committed_scenario_file_parses() {
         assert!(scenario.channels >= 1, "{}", path.display());
         count += 1;
     }
-    assert!(count >= 8, "catalog shrank: only {count} scenario files");
+    assert!(count >= 9, "catalog shrank: only {count} scenario files");
 }
 
 #[test]

@@ -1,0 +1,219 @@
+//! Shard-boundary correctness of the sharded engine.
+//!
+//! The contract under test (see `docs/SHARDED_ENGINE.md`): sharding is an
+//! *execution* knob — for any shard count, parallel or sequential, under
+//! churn and motion, every observation a protocol makes is bit-for-bit
+//! what the unsharded sequential engine delivers. The proptests place
+//! transmitters at arbitrary positions (including exactly on shard edges
+//! and inside halo rings) and interleave churn; the deterministic tests
+//! pin transmitters *exactly* onto the partition lines, where any
+//! off-by-one in halo classification would first bite.
+
+use multichannel_adhoc::prelude::*;
+use multichannel_adhoc::radio::{Action, Metrics, Observation, Protocol};
+use multichannel_adhoc::sinr::ResolveMode;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random multi-channel chatter recording every observation verbatim,
+/// floats included — the payload for bit-identity comparisons.
+struct Recorder {
+    channels: u16,
+    p_tx: f64,
+    heard: Vec<(u64, u32, u64, f64, f64, f64)>,
+    noise: Vec<(u64, f64)>,
+}
+
+impl Recorder {
+    fn new(channels: u16, p_tx: f64) -> Self {
+        Recorder {
+            channels,
+            p_tx,
+            heard: Vec::new(),
+            noise: Vec::new(),
+        }
+    }
+}
+
+impl Protocol for Recorder {
+    type Msg = u64;
+    fn act(&mut self, slot: u64, rng: &mut SmallRng) -> Action<u64> {
+        let ch = Channel(rng.gen_range(0..self.channels));
+        if rng.gen_bool(self.p_tx) {
+            Action::Transmit {
+                channel: ch,
+                msg: slot,
+            }
+        } else {
+            Action::Listen { channel: ch }
+        }
+    }
+    fn observe(&mut self, slot: u64, obs: Observation<u64>, _r: &mut SmallRng) {
+        match obs {
+            Observation::Received(r) => {
+                self.heard
+                    .push((slot, r.from.0, r.msg, r.signal, r.sinr, r.total_power))
+            }
+            Observation::Noise { total_power } => self.noise.push((slot, total_power)),
+            _ => {}
+        }
+    }
+}
+
+type Logs = Vec<(Vec<(u64, u32, u64, f64, f64, f64)>, Vec<(u64, f64)>)>;
+
+/// Runs `slots` slots of chatter over `positions` with the given engine
+/// configuration, churn, and a deterministic motion schedule (node
+/// `slot % n` drifts a little each slot — enough to cross shard
+/// boundaries and fire reassignment events). Returns the full metrics and
+/// every node's verbatim observation log.
+#[allow(clippy::too_many_arguments)]
+fn run_chatter(
+    positions: &[Point],
+    channels: u16,
+    mode: ResolveMode,
+    faults: FaultPlan,
+    shards: u16,
+    par: bool,
+    slots: u64,
+    moving: bool,
+) -> (Metrics, Logs) {
+    let params = SinrParams::default().with_resolve(mode);
+    let protocols = (0..positions.len())
+        .map(|_| Recorder::new(channels, 0.4))
+        .collect();
+    let mut engine = Engine::new(params, positions.to_vec(), protocols, 9)
+        .with_faults(faults)
+        .with_shards(shards)
+        .with_par_channels(par)
+        .with_par_shards(par);
+    for slot in 0..slots {
+        if moving && !positions.is_empty() {
+            // Deterministic drift, identical across configurations: one
+            // node nudges diagonally per slot.
+            let i = (slot as usize) % positions.len();
+            let p = engine.positions()[i];
+            engine.positions_mut()[i] = Point::new(p.x + 0.9, p.y + 0.7);
+        }
+        engine.step();
+    }
+    let metrics = engine.metrics().clone();
+    let logs = engine
+        .into_protocols()
+        .into_iter()
+        .map(|r| (r.heard, r.noise))
+        .collect();
+    (metrics, logs)
+}
+
+/// A world large enough that single-channel sharding actually engages
+/// (listeners comfortably beyond the engagement threshold), with corner
+/// pins so the shard partition's bounding box — and therefore its edge
+/// coordinates — are exactly known.
+fn pinned_world(n: usize, side: f64, shards: u16) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let mut positions = vec![Point::new(0.0, 0.0), Point::new(side, side)];
+    // Transmitters exactly on every interior shard edge, and in the halo
+    // ring just inside/outside of each.
+    let step = side / f64::from(shards);
+    for k in 1..shards {
+        let x = f64::from(k) * step;
+        positions.push(Point::new(x, side * 0.25));
+        positions.push(Point::new(side * 0.75, x));
+        positions.push(Point::new(x + 1e-9, side * 0.5));
+        positions.push(Point::new(x - 1e-9, side * 0.35));
+    }
+    while positions.len() < n {
+        positions.push(Point::new(
+            rng.gen_range(0.0..side),
+            rng.gen_range(0.0..side),
+        ));
+    }
+    positions
+}
+
+#[test]
+fn shard_edge_transmitters_heard_identically_exact_and_fast() {
+    for mode in [ResolveMode::Exact, ResolveMode::fast()] {
+        let positions = pinned_world(380, 32.0, 4);
+        let (m_ref, l_ref) =
+            run_chatter(&positions, 1, mode, FaultPlan::none(), 0, false, 30, false);
+        for (shards, par) in [(4, false), (4, true), (3, true), (7, true)] {
+            let (m, l) = run_chatter(
+                &positions,
+                1,
+                mode,
+                FaultPlan::none(),
+                shards,
+                par,
+                30,
+                false,
+            );
+            assert_eq!(m_ref, m, "metrics diverged (shards={shards}, par={par})");
+            assert_eq!(
+                l_ref, l,
+                "an observation diverged (shards={shards}, par={par}, mode={mode:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_builds_and_maintains_its_partition() {
+    let positions = pinned_world(380, 32.0, 4);
+    let params = SinrParams::default();
+    let protocols = (0..positions.len())
+        .map(|_| Recorder::new(1, 0.4))
+        .collect();
+    let mut engine = Engine::new(params, positions, protocols, 3).with_shards(4);
+    assert!(engine.shard_map().is_none(), "map is built lazily");
+    engine.step();
+    let map = engine.shard_map().expect("built at first sharded slot");
+    assert_eq!(map.shards(), 4);
+    let before = map.shard_of(0);
+    // Drag node 0 across the whole plane: the partition must follow via
+    // the event stream (node 0 is pinned at the bbox corner, so this
+    // crosses every column).
+    engine.positions_mut()[0] = Point::new(31.9, 31.9);
+    engine.step();
+    let map = engine.shard_map().unwrap();
+    assert_ne!(map.shard_of(0), before, "reassignment must follow motion");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole property: for random worlds, shard counts, resolve modes,
+    /// churn interleavings, and motion, the sharded parallel engine's
+    /// observations are bit-for-bit the unsharded sequential engine's.
+    #[test]
+    fn sharded_runs_are_bit_identical_to_unsharded(
+        raw in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 280..400),
+        shards in 2u16..7,
+        channels in 1u16..3,
+        fastmode in 0u8..2,
+        moving in 0u8..2,
+        churn in proptest::collection::vec((0u32..280, 0u64..40, 0u8..2), 0..12),
+    ) {
+        let moving = moving == 1;
+        let positions: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mut faults = FaultPlan::none();
+        for &(node, slot, is_crash) in &churn {
+            if is_crash == 1 {
+                faults.crash_at(node, slot);
+            } else {
+                faults.join_at(node, slot);
+            }
+        }
+        let mode = if fastmode == 1 { ResolveMode::fast() } else { ResolveMode::Exact };
+        let (m_ref, l_ref) = run_chatter(
+            &positions, channels, mode, faults.clone(), 0, false, 40, moving,
+        );
+        let (m_shard, l_shard) = run_chatter(
+            &positions, channels, mode, faults, shards, true, 40, moving,
+        );
+        prop_assert_eq!(m_ref, m_shard);
+        prop_assert_eq!(l_ref, l_shard);
+    }
+}

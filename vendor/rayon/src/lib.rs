@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 pub mod iter;
@@ -21,11 +22,28 @@ pub mod prelude {
     pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
+/// Worker-count override installed by [`set_num_threads`] (0 = automatic).
+static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the number of worker threads used by every subsequent parallel
+/// operation in this process; `0` restores the automatic choice (one per
+/// available core). The real rayon configures this through its global
+/// thread-pool builder; this shim spawns scoped workers per call, so a
+/// process-wide count is the equivalent control. Benchmarks and CI smoke
+/// jobs use it (via `experiments --threads N`) to make wall-clock numbers
+/// reproducible across hosts.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
 /// Number of worker threads used for parallel operations.
 pub fn current_num_threads() -> usize {
-    thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    match NUM_THREADS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
 }
 
 /// Runs both closures, potentially in parallel, returning both results.
@@ -122,5 +140,19 @@ mod tests {
     fn range_par_iter() {
         let squares: Vec<usize> = (0..50usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares[7], 49);
+    }
+
+    #[test]
+    fn thread_count_override_pins_and_restores() {
+        let auto = super::current_num_threads();
+        super::set_num_threads(3);
+        assert_eq!(super::current_num_threads(), 3);
+        // Parallel results are identical under any pinned count.
+        let v: Vec<u64> = (0..1000).collect();
+        let pinned: Vec<u64> = v.clone().into_par_iter().map(|x| x * 7).collect();
+        super::set_num_threads(0);
+        assert_eq!(super::current_num_threads(), auto);
+        let unpinned: Vec<u64> = v.into_par_iter().map(|x| x * 7).collect();
+        assert_eq!(pinned, unpinned);
     }
 }
