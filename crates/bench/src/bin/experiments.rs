@@ -8,6 +8,7 @@
 //! experiments bench-sinr [repeats]
 //! experiments bench-shards [repeats]
 //! experiments repair-bench [seeds]
+//! experiments profile [--scenario <file.toml>] [--slots N] [--jsonl <path>]
 //! experiments golden-trials [--write] [path]
 //! experiments --scenario <file.toml> [--seeds N]
 //! experiments export-scenarios [dir]
@@ -16,7 +17,16 @@
 //!
 //! Every form accepts a global `--threads N` flag pinning the worker
 //! count of all parallel paths (0 = one per core) — CI smoke jobs and
-//! local benchmarking use it for reproducible wall-clock numbers.
+//! local benchmarking use it for reproducible wall-clock numbers — and a
+//! global `--log-level {off,summary,verbose}` flag controlling the
+//! progress stream on stderr (results on stdout are unaffected).
+//!
+//! `profile` runs the flood workload with the `mca-obs` recorder attached
+//! and prints the per-phase time breakdown; it needs the `obs` cargo
+//! feature and exits with status 2 without it. On the default world it
+//! writes `BENCH_profile.json`; the run fails unless the phase spans
+//! cover ≥ 95% of slot wall time (`PROFILE_SMOKE=1` profiles the small
+//! catalog world instead — the CI configuration).
 //!
 //! `--scenario` runs any TOML world (see `docs/SCENARIO_FORMAT.md`)
 //! through the flood max-aggregation workload; `export-scenarios` writes
@@ -26,11 +36,17 @@
 //! job pins `MCA_FORCE_PAR=1` runs against. Unknown subcommands print
 //! usage and exit non-zero.
 
+use mca_bench::LogLevel;
 use mca_scenario::{builtin_scenarios, Scenario};
 use std::env;
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// Whether the progress stream (stderr) is at least `level` verbose.
+fn logs(level: LogLevel) -> bool {
+    mca_bench::log_level() >= level
+}
 
 const USAGE: &str = "\
 Usage:
@@ -44,6 +60,12 @@ Usage:
   experiments repair-bench [seeds]    incremental repair vs rebuild -> BENCH_repair.json
                                       (REPAIR_BENCH_SMOKE=1 for the reduced CI gate;
                                        exits non-zero if any world fails its gate)
+  experiments profile [--scenario <file.toml>] [--slots N] [--jsonl <path>]
+                                      per-phase time breakdown via the mca-obs recorder
+                                      (needs --features obs; default world writes
+                                       BENCH_profile.json; PROFILE_SMOKE=1 profiles the
+                                       small catalog world instead; exits non-zero if
+                                       phase spans cover < 95% of slot wall time)
   experiments golden-trials [--write] [path]
                                       check (default) or rewrite the committed golden
                                       trial metrics (default: scenarios/GOLDEN_trials.json);
@@ -55,6 +77,7 @@ Usage:
 
 Global flags:
   --threads N       pin the parallel worker count (0 = one per core)
+  --log-level L     progress-stream verbosity: off, summary (default), verbose
 
 Subcommands:
   e1..e8, e10..e16  individual experiment tables (see EXPERIMENTS.md)
@@ -82,6 +105,16 @@ fn main() -> ExitCode {
         args.drain(i..=i + 1);
     }
 
+    // Global flag: pin the progress-stream verbosity.
+    if let Some(i) = args.iter().position(|a| a == "--log-level") {
+        let Some(level) = args.get(i + 1).and_then(|l| LogLevel::parse(l)) else {
+            eprintln!("error: --log-level needs one of off, summary, verbose\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        mca_bench::set_log_level(level);
+        args.drain(i..=i + 1);
+    }
+
     // Flag form: run a scenario file.
     if args.iter().any(|a| a == "--scenario") {
         return run_scenario_file(&args);
@@ -102,6 +135,7 @@ fn main() -> ExitCode {
         "export-scenarios" => return export_scenarios(args.get(1).map_or("scenarios", |s| s)),
         "check-scenarios" => return check_scenarios(args.get(1).map_or("scenarios", |s| s)),
         "golden-trials" => return golden_trials(&args[1..]),
+        "profile" => return run_profile(&args[1..]),
         "bench-sinr" | "bench-shards" | "repair-bench" => {}
         id if TABLE_IDS.contains(&id) => {}
         other => {
@@ -131,70 +165,64 @@ fn main() -> ExitCode {
     let want = |id: &str| all || which == id;
     let t0 = Instant::now();
 
-    if want("e1") {
-        println!("{}", mca_bench::e1_speedup(trials));
-    }
-    if want("e2") {
-        println!("{}", mca_bench::e2_scaling_n(trials));
-    }
-    if want("e3") {
-        println!("{}", mca_bench::e3_delta(trials));
-    }
-    if want("e4") {
-        println!("{}", mca_bench::e4_coloring(trials));
-    }
-    if want("e5") {
-        println!("{}", mca_bench::e5_ruling(trials));
-    }
-    if want("e6") {
-        println!("{}", mca_bench::e6_dominate(trials));
-    }
-    if want("e7") {
-        println!("{}", mca_bench::e7_csa(trials));
-    }
-    if want("e8") {
-        println!("{}", mca_bench::e8_reporters(trials));
-    }
-    if want("e10") {
+    // Each table section is timed so `--log-level verbose` can report
+    // per-table wall clock on the progress stream.
+    let section = |id: &str, print: &mut dyn FnMut()| {
+        if !want(id) {
+            return;
+        }
+        let t = Instant::now();
+        print();
+        if logs(LogLevel::Verbose) {
+            eprintln!("[{id} in {:.1}s]", t.elapsed().as_secs_f64());
+        }
+    };
+    section("e1", &mut || println!("{}", mca_bench::e1_speedup(trials)));
+    section("e2", &mut || {
+        println!("{}", mca_bench::e2_scaling_n(trials))
+    });
+    section("e3", &mut || println!("{}", mca_bench::e3_delta(trials)));
+    section("e4", &mut || println!("{}", mca_bench::e4_coloring(trials)));
+    section("e5", &mut || println!("{}", mca_bench::e5_ruling(trials)));
+    section("e6", &mut || println!("{}", mca_bench::e6_dominate(trials)));
+    section("e7", &mut || println!("{}", mca_bench::e7_csa(trials)));
+    section("e8", &mut || {
+        println!("{}", mca_bench::e8_reporters(trials))
+    });
+    section("e10", &mut || {
         let (a, b) = mca_bench::e10_lower_bounds(trials);
         println!("{a}");
         println!("{b}");
-    }
-    if want("e11") {
-        println!("{}", mca_bench::e11_lemmas(trials));
-    }
-    if want("e12") {
-        println!("{}", mca_bench::e12_applications(trials));
-    }
-    if want("e13") {
-        println!("{}", mca_bench::e13_multimessage(trials));
-    }
-    if want("e14") {
-        println!("{}", mca_bench::e14_compressibility(trials));
-    }
-    if want("e15") {
-        println!("{}", mca_bench::e15_mis(trials));
-    }
-    if want("e16") {
-        println!("{}", mca_bench::e16_mobility(trials));
-    }
-    if want("t1") {
-        println!("{}", mca_bench::t1_comparison(trials));
-    }
-    if want("a1") {
-        println!("{}", mca_bench::a1_ablations(trials));
-    }
-    if want("a2") {
-        println!("{}", mca_bench::a2_faults(trials));
-    }
-    if want("a3") {
-        println!("{}", mca_bench::a3_gossip(trials));
-    }
+    });
+    section("e11", &mut || println!("{}", mca_bench::e11_lemmas(trials)));
+    section("e12", &mut || {
+        println!("{}", mca_bench::e12_applications(trials))
+    });
+    section("e13", &mut || {
+        println!("{}", mca_bench::e13_multimessage(trials))
+    });
+    section("e14", &mut || {
+        println!("{}", mca_bench::e14_compressibility(trials))
+    });
+    section("e15", &mut || println!("{}", mca_bench::e15_mis(trials)));
+    section("e16", &mut || {
+        println!("{}", mca_bench::e16_mobility(trials))
+    });
+    section("t1", &mut || {
+        println!("{}", mca_bench::t1_comparison(trials))
+    });
+    section("a1", &mut || {
+        println!("{}", mca_bench::a1_ablations(trials))
+    });
+    section("a2", &mut || println!("{}", mca_bench::a2_faults(trials)));
+    section("a3", &mut || println!("{}", mca_bench::a3_gossip(trials)));
     if which == "bench-sinr" {
         let json = mca_bench::sinr_bench::bench_sinr_json(trials.max(3));
         std::fs::write("BENCH_sinr.json", &json).expect("write BENCH_sinr.json");
         print!("{json}");
-        eprintln!("[wrote BENCH_sinr.json]");
+        if logs(LogLevel::Summary) {
+            eprintln!("[wrote BENCH_sinr.json]");
+        }
     }
     if which == "bench-shards" {
         // Smoke mode (CI): the ≤ 10k-node cases with 3 timing repeats
@@ -206,13 +234,17 @@ fn main() -> ExitCode {
         let (json, ok) = mca_bench::shard_bench_json(repeats, smoke);
         print!("{json}");
         if smoke {
-            eprintln!(
-                "[bench-shards smoke: gate {}]",
-                if ok { "held" } else { "FAILED" }
-            );
+            if logs(LogLevel::Summary) {
+                eprintln!(
+                    "[bench-shards smoke: gate {}]",
+                    if ok { "held" } else { "FAILED" }
+                );
+            }
         } else {
             std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
-            eprintln!("[wrote BENCH_shard.json]");
+            if logs(LogLevel::Summary) {
+                eprintln!("[wrote BENCH_shard.json]");
+            }
         }
         if !ok {
             eprintln!("error: a bench-shards case failed its gate (see JSON above)");
@@ -228,20 +260,148 @@ fn main() -> ExitCode {
         let (json, ok) = mca_bench::repair_bench_json(seeds);
         print!("{json}");
         if smoke {
-            eprintln!(
-                "[repair-bench smoke: gate {}]",
-                if ok { "held" } else { "FAILED" }
-            );
+            if logs(LogLevel::Summary) {
+                eprintln!(
+                    "[repair-bench smoke: gate {}]",
+                    if ok { "held" } else { "FAILED" }
+                );
+            }
         } else {
             std::fs::write("BENCH_repair.json", &json).expect("write BENCH_repair.json");
-            eprintln!("[wrote BENCH_repair.json]");
+            if logs(LogLevel::Summary) {
+                eprintln!("[wrote BENCH_repair.json]");
+            }
         }
         if !ok {
             eprintln!("error: a repair-bench world failed its acceptance gate (see JSON above)");
             return ExitCode::FAILURE;
         }
     }
-    eprintln!("[experiments done in {:.1}s]", t0.elapsed().as_secs_f64());
+    if logs(LogLevel::Summary) {
+        eprintln!("[experiments done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `experiments profile [--scenario <file.toml>] [--slots N] [--jsonl <path>]`
+fn run_profile(args: &[String]) -> ExitCode {
+    if !mca_bench::profile_supported() {
+        eprintln!(
+            "error: the observability layer is compiled out; rebuild with \
+             `--features obs` to run `experiments profile`"
+        );
+        return ExitCode::from(2);
+    }
+    let mut scenario_path: Option<&str> = None;
+    let mut slots: Option<u64> = None;
+    let mut jsonl_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenario" => match it.next() {
+                Some(p) => scenario_path = Some(p),
+                None => {
+                    eprintln!("error: --scenario needs a file path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--slots" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => slots = Some(n),
+                _ => {
+                    eprintln!("error: --slots needs a positive number\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jsonl" => match it.next() {
+                Some(p) => jsonl_path = Some(p),
+                None => {
+                    eprintln!("error: --jsonl needs a file path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Which world: an explicit file, the small catalog world (CI smoke),
+    // or the default 100k dense deployment. Only the default run writes
+    // the committed artifact — a custom or shrunk world must not
+    // masquerade as the reference profile.
+    let smoke = env::var("PROFILE_SMOKE").is_ok_and(|v| v == "1");
+    let (scenario, write_artifact) = if let Some(path) = scenario_path {
+        let mut s = match Scenario::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(n) = slots {
+            s.max_slots = n;
+        }
+        (s, false)
+    } else if smoke {
+        let mut s = builtin_scenarios()
+            .iter()
+            .find(|e| e.scenario.name == "sharded-dense")
+            .expect("catalog has sharded-dense")
+            .scenario
+            .clone();
+        s.max_slots = slots.unwrap_or(40);
+        (s, false)
+    } else {
+        let s = mca_bench::default_profile_scenario(slots.unwrap_or(30));
+        (s, true)
+    };
+    let t0 = Instant::now();
+    let run = mca_bench::profile_scenario(&scenario, mca_bench::PROFILE_SEED);
+    // The recorder's export must satisfy the documented v1 schema before
+    // anything is printed or written.
+    let jsonl = run.recorder.to_jsonl();
+    for (i, line) in jsonl.lines().enumerate() {
+        if let Err(e) = mca_obs::validate_jsonl_line(line) {
+            eprintln!("error: JSONL line {} violates the v1 schema: {e}", i + 1);
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("{}", mca_bench::profile_table(&scenario, &run));
+    if logs(LogLevel::Verbose) {
+        eprint!("{}", run.report.to_folded());
+    }
+    if let Some(path) = jsonl_path {
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if logs(LogLevel::Summary) {
+            eprintln!("[wrote {path}]");
+        }
+    }
+    if write_artifact {
+        let json = mca_bench::profile_json(&scenario, &run);
+        std::fs::write("BENCH_profile.json", &json).expect("write BENCH_profile.json");
+        if logs(LogLevel::Summary) {
+            eprintln!("[wrote BENCH_profile.json]");
+        }
+    }
+    if logs(LogLevel::Summary) {
+        eprintln!(
+            "[profile `{}` in {:.1}s: phase spans cover {:.1}% of slot time]",
+            scenario.name,
+            t0.elapsed().as_secs_f64(),
+            run.slot_coverage() * 100.0
+        );
+    }
+    if !run.gate_ok() {
+        eprintln!(
+            "error: phase spans cover {:.1}% of slot wall time, below the {:.0}% gate",
+            run.slot_coverage() * 100.0,
+            mca_bench::COVERAGE_GATE * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -282,11 +442,13 @@ fn run_scenario_file(args: &[String]) -> ExitCode {
     };
     let t0 = Instant::now();
     println!("{}", mca_bench::run_scenario(&scenario, seeds));
-    eprintln!(
-        "[scenario `{}` x {seeds} seeds in {:.1}s]",
-        scenario.name,
-        t0.elapsed().as_secs_f64()
-    );
+    if logs(LogLevel::Summary) {
+        eprintln!(
+            "[scenario `{}` x {seeds} seeds in {:.1}s]",
+            scenario.name,
+            t0.elapsed().as_secs_f64()
+        );
+    }
     ExitCode::SUCCESS
 }
 

@@ -13,7 +13,7 @@
 //! equality: any parallel or sharded path that flips a single ULP anywhere
 //! in a trial fails the gate.
 
-use crate::scenario_run::scenario_flood_trial;
+use crate::scenario_run::{scenario_flood_trial, scenario_flood_trial_observed, ScenarioTrial};
 use mca_scenario::builtin_scenarios;
 
 /// Seeds every catalog scenario is pinned at.
@@ -21,10 +21,26 @@ pub const GOLDEN_SEEDS: [u64; 2] = [1, 2];
 
 /// Renders the golden trial metrics for the whole catalog.
 pub fn golden_trials_json() -> String {
+    render_golden(scenario_flood_trial)
+}
+
+/// Renders the same golden metrics with an `mca-obs` recorder attached to
+/// every trial. Must be byte-identical to [`golden_trials_json`] whatever
+/// features are compiled in — the obs determinism test pins this against
+/// the committed file under `MCA_FORCE_PAR=1`.
+pub fn golden_trials_json_observed() -> String {
+    render_golden(|scenario, seed| scenario_flood_trial_observed(scenario, seed).0)
+}
+
+fn render_golden(trial: impl Fn(&mca_scenario::Scenario, u64) -> ScenarioTrial) -> String {
     let mut entries = Vec::new();
     for entry in builtin_scenarios() {
         for seed in GOLDEN_SEEDS {
-            entries.push(golden_trial_entry(&entry.scenario, seed));
+            entries.push(golden_trial_entry(
+                &entry.scenario.name,
+                seed,
+                &trial(&entry.scenario, seed),
+            ));
         }
     }
     format!(
@@ -38,15 +54,14 @@ pub fn golden_trials_json() -> String {
 }
 
 /// One golden line: the bit-comparable metrics of `(scenario, seed)`.
-fn golden_trial_entry(scenario: &mca_scenario::Scenario, seed: u64) -> String {
-    let t = scenario_flood_trial(scenario, seed);
+fn golden_trial_entry(name: &str, seed: u64, t: &ScenarioTrial) -> String {
     format!(
         concat!(
             "    {{\"scenario\": \"{}\", \"seed\": {}, \"coverage\": {:?}, ",
             "\"full_coverage\": {}, \"receptions\": {}, \"busy_failures\": {}, ",
             "\"env_drops\": {}, \"slots\": {}}}"
         ),
-        scenario.name,
+        name,
         seed,
         t.coverage,
         t.full_coverage,
@@ -93,8 +108,17 @@ mod tests {
         // property that check mode (and the CI determinism gate) rests on.
         // Full-catalog coverage runs in CI via `experiments golden-trials`.
         let entry = &builtin_scenarios()[0];
-        let a = golden_trial_entry(&entry.scenario, GOLDEN_SEEDS[0]);
-        let b = golden_trial_entry(&entry.scenario, GOLDEN_SEEDS[0]);
+        let name = &entry.scenario.name;
+        let a = golden_trial_entry(
+            name,
+            GOLDEN_SEEDS[0],
+            &scenario_flood_trial(&entry.scenario, GOLDEN_SEEDS[0]),
+        );
+        let b = golden_trial_entry(
+            name,
+            GOLDEN_SEEDS[0],
+            &scenario_flood_trial(&entry.scenario, GOLDEN_SEEDS[0]),
+        );
         assert_eq!(a, b);
         assert!(a.contains("\"scenario\": \"static-uniform\""), "{a}");
         assert!(a.contains("\"receptions\": "), "{a}");

@@ -10,15 +10,62 @@
 #![warn(missing_docs)]
 
 pub mod golden;
+pub mod profile;
 pub mod repair_bench;
 pub mod scenario_run;
 pub mod shard_bench;
 pub mod sinr_bench;
 
-pub use golden::{check_golden_trials, golden_trials_json};
+pub use golden::{check_golden_trials, golden_trials_json, golden_trials_json_observed};
+pub use profile::{
+    default_profile_scenario, profile_json, profile_scenario, profile_supported, profile_table,
+    ProfileRun, COVERAGE_GATE, PROFILE_SEED,
+};
 pub use repair_bench::{repair_bench_json, repair_trial, run_repair_bench, RepairBenchCase};
-pub use scenario_run::{run_scenario, scenario_flood_trial, ScenarioTrial};
+pub use scenario_run::{
+    run_scenario, scenario_flood_trial, scenario_flood_trial_observed, ScenarioTrial,
+};
 pub use shard_bench::shard_bench_json;
+
+/// Verbosity of the `experiments` binary's progress stream (stderr).
+/// Set once via the global `--log-level {off,summary,verbose}` flag;
+/// tables and JSON artifacts (stdout) are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum LogLevel {
+    /// No progress output: stdout carries the results, stderr only errors.
+    Off,
+    /// End-of-run summaries (`[wrote ...]`, `[... done in Ns]`) — the default.
+    #[default]
+    Summary,
+    /// Summaries plus per-table timing lines.
+    Verbose,
+}
+
+impl LogLevel {
+    /// Parses a `--log-level` argument.
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s {
+            "off" => Some(LogLevel::Off),
+            "summary" => Some(LogLevel::Summary),
+            "verbose" => Some(LogLevel::Verbose),
+            _ => None,
+        }
+    }
+}
+
+static LOG_LEVEL: std::sync::OnceLock<LogLevel> = std::sync::OnceLock::new();
+
+/// Pins the progress verbosity for the process (first caller wins; later
+/// calls are ignored, mirroring how thread-pool pinning behaves).
+pub fn set_log_level(level: LogLevel) {
+    let _ = LOG_LEVEL.set(level);
+}
+
+/// The pinned progress verbosity ([`LogLevel::Summary`] until
+/// [`set_log_level`] runs).
+pub fn log_level() -> LogLevel {
+    LOG_LEVEL.get().copied().unwrap_or_default()
+}
 
 use mca_analysis::{run_trials, Summary, Table};
 use mca_baselines as baselines;

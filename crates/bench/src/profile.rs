@@ -1,0 +1,234 @@
+//! The profiling harness: `experiments profile` → `BENCH_profile.json`.
+//!
+//! Runs the flood max-aggregation workload (the same one behind
+//! `--scenario`) with an `mca-obs` recorder attached, then renders where
+//! the engine's slot time goes: one row per span kind with wall, self,
+//! and p50/p95/max durations, the engine's resolver-cache counters, and
+//! the per-phase slot coverage.
+//!
+//! The coverage figure is also the harness's acceptance gate: the phase
+//! spans (event drain, gather, stage, resolve, deliver) must account for
+//! at least [`COVERAGE_GATE`] of measured slot wall time, or the
+//! instrumentation has a hole — `experiments profile` exits non-zero.
+//! The default world is the 100k-node dense deployment of
+//! `SHARD_BENCH_CASES`' largest case (16 channels, 8×8 shards, fast
+//! resolve) so the committed `BENCH_profile.json` profiles the same
+//! regime the shard benchmark gates.
+//!
+//! Everything here requires the `obs` cargo feature; without it the
+//! recorder is the no-op kind, [`profile_supported`] reports `false`,
+//! and the binary refuses to run rather than print an empty table.
+
+use crate::scenario_run::{scenario_flood_trial_observed, ScenarioTrial};
+use mca_analysis::Table;
+use mca_obs::{Recorder, Report};
+use mca_scenario::{DeploymentSpec, Scenario};
+use mca_sinr::{ResolveMode, SinrParams};
+
+/// Minimum fraction of slot wall time the phase spans must cover.
+pub const COVERAGE_GATE: f64 = 0.95;
+
+/// Trial seed of the committed profile (fixed so `BENCH_profile.json`
+/// regenerates against the same world).
+pub const PROFILE_SEED: u64 = 7;
+
+/// Whether the profiling harness can run (the `obs` feature compiled the
+/// recorder in).
+pub const fn profile_supported() -> bool {
+    mca_obs::enabled()
+}
+
+/// The default profile world: the shard benchmark's largest dense case
+/// as a scenario — 100k nodes at 4 nodes per unit², 16 channels, 8×8
+/// shards resolved in parallel, Fast-mode reception.
+pub fn default_profile_scenario(slots: u64) -> Scenario {
+    let n = 100_000;
+    Scenario::builder("profile-dense-100k")
+        .deployment(DeploymentSpec::Uniform {
+            n,
+            side: (n as f64 / 4.0).sqrt(),
+        })
+        .sinr(SinrParams::default().with_resolve(ResolveMode::fast()))
+        .channels(16)
+        .max_slots(slots)
+        .par_channels(true)
+        .shards(crate::shard_bench::shards_for(n))
+        .par_shards(true)
+        .build()
+}
+
+/// One profiled run: the trial outcome, the raw recorder (for JSONL
+/// export), and its aggregated report.
+pub struct ProfileRun {
+    /// The workload's outcome (bit-identical to an unobserved run).
+    pub trial: ScenarioTrial,
+    /// The raw record streams.
+    pub recorder: Recorder,
+    /// Per-kind statistics derived from `recorder`.
+    pub report: Report,
+}
+
+impl ProfileRun {
+    /// Fraction of slot wall time covered by the phase spans (0 when no
+    /// slot spans were recorded).
+    pub fn slot_coverage(&self) -> f64 {
+        self.report.slot_coverage().unwrap_or(0.0)
+    }
+
+    /// Whether the coverage gate holds.
+    pub fn gate_ok(&self) -> bool {
+        self.slot_coverage() >= COVERAGE_GATE
+    }
+}
+
+/// Profiles `scenario` for trial `seed`: the flood workload with a
+/// recorder attached for the whole run.
+pub fn profile_scenario(scenario: &Scenario, seed: u64) -> ProfileRun {
+    let (trial, recorder) = scenario_flood_trial_observed(scenario, seed);
+    let report = recorder.report();
+    ProfileRun {
+        trial,
+        recorder,
+        report,
+    }
+}
+
+/// Renders the per-phase breakdown as a table (one row per span kind, in
+/// the report's fixed kind order).
+pub fn profile_table(scenario: &Scenario, run: &ProfileRun) -> Table {
+    let mut t = Table::new(
+        format!(
+            "profile `{}`: n={}, F={}, {} slots -- phase spans cover {:.1}% of slot time",
+            scenario.name,
+            scenario.len(),
+            scenario.channels,
+            run.trial.slots,
+            run.slot_coverage() * 100.0
+        ),
+        [
+            "span", "count", "wall ms", "self ms", "p50 us", "p95 us", "max us",
+        ],
+    );
+    for k in &run.report.kinds {
+        t.row([
+            k.kind.name().to_string(),
+            k.count.to_string(),
+            format!("{:.2}", k.total_ns as f64 / 1e6),
+            format!("{:.2}", k.self_ns as f64 / 1e6),
+            format!("{:.1}", k.p50_ns as f64 / 1e3),
+            format!("{:.1}", k.p95_ns as f64 / 1e3),
+            format!("{:.1}", k.max_ns as f64 / 1e3),
+        ]);
+    }
+    t
+}
+
+/// Renders `BENCH_profile.json`: the per-phase breakdown plus counters
+/// and the gate verdict, in the same hand-formatted style as the other
+/// committed benchmark artifacts.
+pub fn profile_json(scenario: &Scenario, run: &ProfileRun) -> String {
+    let mut phases = Vec::new();
+    for k in &run.report.kinds {
+        phases.push(format!(
+            concat!(
+                "    {{\"span\": \"{}\", \"count\": {}, \"total_ns\": {}, \"self_ns\": {}, ",
+                "\"p50_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}}}"
+            ),
+            k.kind.name(),
+            k.count,
+            k.total_ns,
+            k.self_ns,
+            k.p50_ns,
+            k.p95_ns,
+            k.max_ns,
+        ));
+    }
+    let mut counters = Vec::new();
+    for (name, value) in &run.report.counters {
+        counters.push(format!("    {{\"name\": \"{name}\", \"value\": {value}}}"));
+    }
+    format!(
+        concat!(
+            "{{\n  \"bench\": \"profile\",\n",
+            "  \"scope\": \"flood max-aggregation workload with mca-obs spans on every engine phase\",\n",
+            "  \"scenario\": \"{}\",\n  \"n\": {},\n  \"channels\": {},\n  \"shards\": {},\n",
+            "  \"slots\": {},\n  \"seed\": {},\n  \"threads\": {},\n",
+            "  \"slot_coverage\": {:.4},\n  \"coverage_gate\": {:.2},\n  \"gate_ok\": {},\n",
+            "  \"records_dropped\": {},\n",
+            "  \"phases\": [\n{}\n  ],\n  \"counters\": [\n{}\n  ]\n}}\n"
+        ),
+        scenario.name,
+        scenario.len(),
+        scenario.channels,
+        scenario.shards,
+        run.trial.slots,
+        PROFILE_SEED,
+        rayon::current_num_threads(),
+        run.slot_coverage(),
+        COVERAGE_GATE,
+        run.gate_ok(),
+        run.report.dropped,
+        phases.join(",\n"),
+        counters.join(",\n"),
+    )
+}
+
+#[cfg(test)]
+#[cfg(feature = "obs")]
+mod tests {
+    use super::*;
+    use mca_obs::SpanKind;
+    use mca_scenario::builtin_scenarios;
+
+    fn small_run() -> (Scenario, ProfileRun) {
+        // The catalog's sharded world, shrunk via the slot budget so the
+        // test stays fast while still exercising the sharded span path.
+        let mut s = builtin_scenarios()
+            .iter()
+            .find(|e| e.scenario.name == "sharded-dense")
+            .expect("catalog has sharded-dense")
+            .scenario
+            .clone();
+        s.max_slots = 40;
+        let run = profile_scenario(&s, PROFILE_SEED);
+        (s, run)
+    }
+
+    #[test]
+    fn profile_covers_slot_time_and_renders() {
+        let (s, run) = small_run();
+        assert!(run.trial.slots > 0);
+        assert!(
+            run.gate_ok(),
+            "phase spans cover only {:.1}% of slot time",
+            run.slot_coverage() * 100.0
+        );
+        let slot = run.report.kind(SpanKind::Slot).expect("slot spans");
+        assert_eq!(slot.count, run.trial.slots);
+        let table = format!("{}", profile_table(&s, &run));
+        assert!(table.contains("resolve"), "{table}");
+        let json = profile_json(&s, &run);
+        assert!(json.contains("\"gate_ok\": true"), "{json}");
+        assert!(json.contains("\"span\": \"unit\""), "{json}");
+    }
+
+    #[test]
+    fn jsonl_export_of_a_profiled_run_validates() {
+        let (_, run) = small_run();
+        let jsonl = run.recorder.to_jsonl();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            mca_obs::validate_jsonl_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
+    }
+
+    #[test]
+    fn default_profile_world_matches_the_shard_bench_case() {
+        let s = default_profile_scenario(30);
+        assert_eq!(s.len(), 100_000);
+        assert_eq!(s.channels, 16);
+        assert_eq!(s.shards, crate::shard_bench::shards_for(100_000));
+        assert!(s.par_shards);
+        assert_eq!(s.max_slots, 30);
+    }
+}

@@ -52,12 +52,39 @@ fn flood_cfg(channels: u16, max_slots: u64) -> FloodCfg {
 /// trial `seed`. Pure in `(scenario, seed)`: identical inputs give a
 /// bit-identical [`ScenarioTrial`].
 pub fn scenario_flood_trial(scenario: &Scenario, seed: u64) -> ScenarioTrial {
+    flood_trial_inner(scenario, seed, false).0
+}
+
+/// [`scenario_flood_trial`] with an `mca-obs` recorder force-attached to
+/// the engine, returning the trial alongside the detached recorder.
+///
+/// Recording is observation-only: the returned [`ScenarioTrial`] is
+/// bit-identical to [`scenario_flood_trial`]'s for the same inputs (the
+/// workspace determinism suite pins this). Without the `obs` feature the
+/// recorder is the no-op kind and comes back empty.
+pub fn scenario_flood_trial_observed(
+    scenario: &Scenario,
+    seed: u64,
+) -> (ScenarioTrial, mca_obs::Recorder) {
+    let (trial, rec) = flood_trial_inner(scenario, seed, true);
+    (trial, rec.unwrap_or_default())
+}
+
+fn flood_trial_inner(
+    scenario: &Scenario,
+    seed: u64,
+    observe: bool,
+) -> (ScenarioTrial, Option<mca_obs::Recorder>) {
     let n = scenario.len();
     let cfg = flood_cfg(scenario.channels, scenario.max_slots);
     let mut sim = ScenarioSim::new(scenario, seed, |i, _| {
         FloodCombine::dominator(MaxAgg, cfg, 0, i as i64)
     });
+    if observe && sim.obs().is_none() {
+        sim.engine_mut().attach_obs(mca_obs::Recorder::new());
+    }
     sim.run_until_done(scenario.max_slots);
+    let recorder = if observe { sim.take_obs() } else { None };
     let faults = scenario.faults_for(seed);
     let slots = sim.slot();
     // The achievable maximum is the highest id that ever *participated*:
@@ -89,7 +116,7 @@ pub fn scenario_flood_trial(scenario: &Scenario, seed: u64) -> ScenarioTrial {
         }
     }
     let metrics = sim.metrics();
-    ScenarioTrial {
+    let trial = ScenarioTrial {
         coverage: if live == 0 {
             0.0
         } else {
@@ -100,7 +127,8 @@ pub fn scenario_flood_trial(scenario: &Scenario, seed: u64) -> ScenarioTrial {
         busy_failures: metrics.busy_failures,
         env_drops: metrics.env_drops,
         slots,
-    }
+    };
+    (trial, recorder)
 }
 
 /// Runs `trials` seeded trials of `scenario` and tabulates the outcome —

@@ -47,7 +47,8 @@ pub use mis::{maximal_independent_set, ruling_set, MisConfig, MisOutcome};
 pub use ruling::{ProbPolicy, RulingConfig, RulingMsg, RulingOutcome, RulingSet};
 pub use schedule::{Tdma, TdmaSlot};
 pub use structure::{
-    aggregate, build_structure, build_structure_masked, AggregateOutcome, AggregationStructure,
-    BuildReport, CsaVariant, InterclusterMode, NetworkEnv, StructureConfig, SubstrateMode,
+    aggregate, build_structure, build_structure_masked, build_structure_observed, AggregateOutcome,
+    AggregationStructure, BuildReport, CsaVariant, InterclusterMode, NetworkEnv, StructureConfig,
+    SubstrateMode,
 };
 pub use validate::{audit_structure, audit_structure_masked, AuditTolerances, StructureAudit};

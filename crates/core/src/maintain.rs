@@ -40,7 +40,10 @@
 
 use crate::knowledge::{NodeRecord, Role};
 use crate::stages::{self, ColorSeat};
-use crate::structure::{build_structure_masked, AggregationStructure, NetworkEnv, StructureConfig};
+use crate::structure::{
+    build_structure_masked, build_structure_observed, AggregationStructure, NetworkEnv,
+    StructureConfig,
+};
 use crate::validate::{audit_structure_masked, AuditTolerances, StructureAudit};
 use mca_geom::SpatialGrid;
 use mca_radio::rng::derive_seed;
@@ -329,6 +332,12 @@ pub struct StructureMaintainer {
     retired: usize,
     /// Repair epochs executed (distinguishes per-epoch RNG streams).
     epochs: u64,
+    /// Observability recorder ([`StructureMaintainer::attach_obs`]);
+    /// repairs emit one typed event per action class per epoch.
+    obs: Option<mca_obs::Recorder>,
+    /// Cumulative repair slots before the current epoch (event/span slot
+    /// attribution).
+    repair_slots: u64,
     /// Scratch grid over live dominator positions, reused across repairs
     /// (allocation-free steady state via [`SpatialGrid::rebuild`]).
     grid: SpatialGrid,
@@ -375,6 +384,8 @@ impl StructureMaintainer {
             movers: BTreeSet::new(),
             retired: 0,
             epochs: 0,
+            obs: None,
+            repair_slots: 0,
             grid: SpatialGrid::build(&[], 1.0),
             grid_doms: Vec::new(),
             grid_pts: Vec::new(),
@@ -399,6 +410,26 @@ impl StructureMaintainer {
     /// Repair epochs executed so far.
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// Attaches an observability recorder: every subsequent
+    /// [`StructureMaintainer::repair`] records a wall-clock span and one
+    /// typed event per repair action class (re-home, MIS patch, recolor,
+    /// merge, re-election, rebuild) with slot/epoch attribution, and a
+    /// full rebuild records its stage breakdown. Requires the `obs` cargo
+    /// feature for real data; recording never influences the repair.
+    pub fn attach_obs(&mut self, rec: mca_obs::Recorder) {
+        self.obs = Some(rec);
+    }
+
+    /// The observability recorder, if one is attached.
+    pub fn obs(&self) -> Option<&mca_obs::Recorder> {
+        self.obs.as_ref()
+    }
+
+    /// Detaches and returns the observability recorder.
+    pub fn take_obs(&mut self) -> Option<mca_obs::Recorder> {
+        self.obs.take()
     }
 
     /// Whether any dirty state is pending (a repair would do work).
@@ -488,6 +519,61 @@ impl StructureMaintainer {
     /// the threshold. `seed` must vary per epoch (it parameterizes every
     /// protocol phase of the repair).
     pub fn repair(&mut self, env: &NetworkEnv, seed: u64) -> RepairReport {
+        use mca_obs::{EventKind, SpanKind, Stopwatch};
+        let sw = Stopwatch::start_if(self.obs.is_some());
+        let before = self.repair_slots;
+        let report = self.repair_inner(env, seed);
+        self.repair_slots = before + report.total_slots();
+        if let Some(rec) = self.obs.as_mut() {
+            let epoch = self.epochs;
+            rec.span(SpanKind::Repair, before, 0, 0, sw.elapsed_ns());
+            match report.kind {
+                RepairKind::Clean => rec.event(EventKind::RepairClean, before, epoch, 0, 1),
+                RepairKind::Rebuilt => rec.event(
+                    EventKind::RepairRebuild,
+                    before,
+                    epoch,
+                    report.rebuild_slots,
+                    1,
+                ),
+                RepairKind::Repaired => {
+                    // One event per action class that did anything.
+                    let actions: [(EventKind, u64, u64); 5] = [
+                        (EventKind::RepairMerge, 0, report.merged_clusters as u64),
+                        (
+                            EventKind::RepairRehome,
+                            report.rehome_slots,
+                            report.rehomed as u64,
+                        ),
+                        (
+                            EventKind::RepairMisPatch,
+                            report.patch_slots,
+                            report.new_dominators as u64,
+                        ),
+                        (
+                            EventKind::RepairRecolor,
+                            report.color_slots,
+                            report.recolored as u64,
+                        ),
+                        (
+                            EventKind::RepairElection,
+                            report.election_slots,
+                            report.reporter_appointments as u64,
+                        ),
+                    ];
+                    for (kind, slots, count) in actions {
+                        if slots > 0 || count > 0 {
+                            rec.event(kind, before, epoch, slots, count);
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// The uninstrumented repair body (see [`StructureMaintainer::repair`]).
+    fn repair_inner(&mut self, env: &NetworkEnv, seed: u64) -> RepairReport {
         let n = env.len();
         assert_eq!(n, self.structure.records.len());
         self.epochs += 1;
@@ -629,7 +715,8 @@ impl StructureMaintainer {
         {
             let mut cfg = self.cfg;
             cfg.seed = derive_seed(seed, 0x4EB1);
-            self.structure = build_structure_masked(env, &cfg, Some(&self.alive));
+            self.structure =
+                build_structure_observed(env, &cfg, Some(&self.alive), self.obs.as_mut());
             self.seekers.clear();
             self.dirty.clear();
             report.kind = RepairKind::Rebuilt;
@@ -1232,5 +1319,55 @@ mod tests {
         let (r2, s2) = run();
         assert_eq!(r1, r2);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn obs_recorder_never_perturbs_repairs() {
+        let run = |observe: bool| {
+            let (env, cfg) = world(120, 11.0, 5);
+            let mut m = StructureMaintainer::build(&env, cfg, MaintainConfig::default(), None);
+            if observe {
+                m.attach_obs(mca_obs::Recorder::new());
+            }
+            crash(&mut m, 3, 10);
+            crash(&mut m, 17, 10);
+            let report = m.repair(&env, 99);
+            (report, m.structure().records.clone())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_repair_emits_typed_events() {
+        use mca_obs::EventKind;
+        let (env, cfg) = world(120, 11.0, 3);
+        let mut m = StructureMaintainer::build(&env, cfg, MaintainConfig::default(), None);
+        m.attach_obs(mca_obs::Recorder::new());
+        let clean = m.repair(&env, 77);
+        assert_eq!(clean.kind, RepairKind::Clean);
+        let victim = m.structure().dominators()[0];
+        crash(&mut m, victim.0, 4);
+        let repaired = m.repair(&env, 78);
+        let rec = m.obs().unwrap();
+        let kinds: Vec<EventKind> = rec.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::RepairClean));
+        // The crash orphans cluster members; either they re-home or the
+        // MIS patch promotes replacements — both must be attributed.
+        if repaired.kind == RepairKind::Repaired {
+            assert!(
+                kinds.contains(&EventKind::RepairRehome)
+                    || kinds.contains(&EventKind::RepairMisPatch)
+            );
+        }
+        // Epoch attribution matches the maintainer's counter.
+        assert!(rec.events().iter().all(|e| e.epoch >= 1 && e.epoch <= 2));
+        // Two repair spans, one per epoch.
+        let spans = rec
+            .spans()
+            .iter()
+            .filter(|s| s.kind == mca_obs::SpanKind::Repair)
+            .count();
+        assert_eq!(spans, 2);
     }
 }

@@ -257,22 +257,54 @@ pub fn build_structure_masked(
     cfg: &StructureConfig,
     alive: Option<&[bool]>,
 ) -> AggregationStructure {
+    build_structure_observed(env, cfg, alive, None)
+}
+
+/// [`build_structure_masked`] with an observability recorder: each stage
+/// records a wall-clock span (`build_dominate` … `build_election` under a
+/// `build` root) and a typed event carrying its slot cost, attributed to
+/// the stage's slot offset within the build. Recording never influences
+/// the construction — the returned structure is identical with `obs =
+/// None`. Requires the `obs` cargo feature for real data; without it the
+/// recorder is a no-op.
+pub fn build_structure_observed(
+    env: &NetworkEnv,
+    cfg: &StructureConfig,
+    alive: Option<&[bool]>,
+    mut obs: Option<&mut mca_obs::Recorder>,
+) -> AggregationStructure {
+    use mca_obs::{EventKind, SpanKind, Stopwatch};
     let n = env.len();
     assert!(n > 0, "cannot build a structure over an empty network");
     if let Some(a) = alive {
         assert_eq!(a.len(), n, "one liveness flag per node required");
     }
+    let timing = obs.is_some();
+    let sw_build = Stopwatch::start_if(timing);
     let mut report = BuildReport::default();
     let mut records: Vec<NodeRecord> = (0..n).map(|i| NodeRecord::new(NodeId(i as u32))).collect();
     let live = |i: usize| alive.is_none_or(|a| a[i]);
 
     // --- Phase 1: dominating set / clustering. ---
+    let sw = Stopwatch::start_if(timing);
     let active: Vec<bool> = (0..n).map(live).collect();
     let dominating = stages::dominating_stage(env, cfg, &active, cfg.seed);
     report.dominate_slots = dominating.slots;
     report.timeout_joins = dominating.timeout_joins;
+    if let Some(rec) = obs.as_deref_mut() {
+        rec.span(SpanKind::BuildDominate, 0, 0, 0, sw.elapsed_ns());
+        rec.event(
+            EventKind::StageDominate,
+            0,
+            0,
+            dominating.slots,
+            dominating.timeout_joins as u64,
+        );
+    }
+    let mut offset = dominating.slots;
 
     // --- Phase 2+3: dominator coloring + announce/attach. ---
+    let sw = Stopwatch::start_if(timing);
     let clusters: ClusterOutcome = stages::cluster_stage(env, cfg, &dominating, cfg.seed, alive);
     report.coloring_slots = clusters.coloring_slots;
     report.announce_slots = clusters.announce_slots;
@@ -293,18 +325,60 @@ pub fn build_structure_masked(
         }
     }
     report.clusters = records.iter().filter(|r| r.role.is_dominator()).count();
+    if let Some(rec) = obs.as_deref_mut() {
+        rec.span(SpanKind::BuildCluster, offset, 0, 0, sw.elapsed_ns());
+        rec.event(
+            EventKind::StageColor,
+            offset,
+            0,
+            clusters.coloring_slots,
+            clusters.phi as u64,
+        );
+        rec.event(
+            EventKind::StageAnnounce,
+            offset + clusters.coloring_slots,
+            0,
+            clusters.announce_slots,
+            report.unclustered as u64,
+        );
+    }
+    offset += clusters.coloring_slots + clusters.announce_slots;
 
     // --- Phase 4: cluster-size approximation (Lemma 14 dispatch). ---
+    let sw = Stopwatch::start_if(timing);
     let csa = stages::csa_stage(env, cfg, &mut records, clusters.phi, cfg.seed, alive);
     report.csa_slots = csa.slots;
     report.estimate_fills = csa.estimate_fills;
+    if let Some(rec) = obs.as_deref_mut() {
+        rec.span(SpanKind::BuildCsa, offset, 0, 0, sw.elapsed_ns());
+        rec.event(
+            EventKind::StageCsa,
+            offset,
+            0,
+            csa.slots,
+            csa.estimate_fills as u64,
+        );
+    }
+    offset += csa.slots;
 
     // --- Phase 5: reporter election + implicit tree (Lemmas 15–16). ---
+    let sw = Stopwatch::start_if(timing);
     report.election_slots =
         stages::election_stage(env, cfg, &mut records, clusters.phi, None, cfg.seed, alive);
     let (filled, total) = stages::channel_accounting(&records);
     report.channels_filled = filled;
     report.channels_total = total;
+    if let Some(rec) = obs {
+        rec.span(SpanKind::BuildElection, offset, 0, 0, sw.elapsed_ns());
+        rec.event(
+            EventKind::StageElection,
+            offset,
+            0,
+            report.election_slots,
+            filled as u64,
+        );
+        rec.span(SpanKind::Build, 0, 0, 0, sw_build.elapsed_ns());
+    }
 
     AggregationStructure::new(records, clusters.phi, report)
 }

@@ -1,0 +1,327 @@
+//! The JSONL sink: one flat record per line, versioned schema (`"v": 1`),
+//! and a validator CI uses to pin the schema.
+//!
+//! Record shapes (all values are unsigned integers except `"t"` and
+//! `"k"`, which are strings):
+//!
+//! ```text
+//! {"v":1,"t":"span","k":"gather","slot":3,"a":0,"b":0,"ns":18250}
+//! {"v":1,"t":"event","k":"repair_rehome","slot":120,"epoch":2,"slots":14,"count":3}
+//! {"v":1,"t":"chan","slot":3,"ch":1,"tx":5,"listens":9,"rx":2,"busy":1,"env":0}
+//! {"v":1,"t":"counter","k":"resolver_cache_builds","n":7}
+//! {"v":1,"t":"trace","slot":3,"ch":0,"from":17,"to":4}
+//! ```
+//!
+//! `"trace"` lines are emitted by `mca-radio`'s `TraceRecorder` export;
+//! the other four by [`Recorder`]. The schema is append-only: a future
+//! `"v": 2` may add record types or fields, but v1 lines stay valid.
+
+use crate::kind::{EventKind, SpanKind};
+use crate::Recorder;
+use std::fmt::Write as _;
+
+/// The JSONL schema version this crate writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+impl Recorder {
+    /// Serializes every retained record as JSONL, in a deterministic
+    /// order: spans, events, channel records (each in recording order),
+    /// then counters by name. Empty when the recorder is (or the feature
+    /// is compiled out).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.spans() {
+            let _ = writeln!(
+                out,
+                "{{\"v\":{SCHEMA_VERSION},\"t\":\"span\",\"k\":\"{}\",\"slot\":{},\"a\":{},\"b\":{},\"ns\":{}}}",
+                s.kind.name(),
+                s.slot,
+                s.a,
+                s.b,
+                s.ns
+            );
+        }
+        for e in self.events() {
+            let _ = writeln!(
+                out,
+                "{{\"v\":{SCHEMA_VERSION},\"t\":\"event\",\"k\":\"{}\",\"slot\":{},\"epoch\":{},\"slots\":{},\"count\":{}}}",
+                e.kind.name(),
+                e.slot,
+                e.epoch,
+                e.slots,
+                e.count
+            );
+        }
+        for c in self.channel_records() {
+            let _ = writeln!(
+                out,
+                "{{\"v\":{SCHEMA_VERSION},\"t\":\"chan\",\"slot\":{},\"ch\":{},\"tx\":{},\"listens\":{},\"rx\":{},\"busy\":{},\"env\":{}}}",
+                c.slot, c.channel, c.tx, c.listens, c.rx, c.busy, c.env
+            );
+        }
+        for (k, v) in self.counters() {
+            let _ = writeln!(
+                out,
+                "{{\"v\":{SCHEMA_VERSION},\"t\":\"counter\",\"k\":\"{k}\",\"n\":{v}}}"
+            );
+        }
+        out
+    }
+}
+
+/// Formats one `"trace"` line (a decode event) in the v1 schema —
+/// `mca-radio`'s trace export goes through here so the schema lives in
+/// one place.
+pub fn trace_line(slot: u64, channel: u16, from: u32, to: u32) -> String {
+    format!(
+        "{{\"v\":{SCHEMA_VERSION},\"t\":\"trace\",\"slot\":{slot},\"ch\":{channel},\"from\":{from},\"to\":{to}}}"
+    )
+}
+
+#[derive(Debug, PartialEq)]
+enum Val {
+    U(u64),
+    S(String),
+}
+
+/// Parses one flat JSON object: string keys, unsigned-integer or
+/// plain-string values, no nesting, no duplicate keys.
+fn parse_flat(line: &str) -> Result<Vec<(String, Val)>, String> {
+    let s = line.trim().as_bytes();
+    let mut i = 0;
+    let mut fields: Vec<(String, Val)> = Vec::new();
+    let err = |msg: &str, at: usize| format!("{msg} at byte {at}");
+    if s.first() != Some(&b'{') {
+        return Err(err("expected '{'", 0));
+    }
+    i += 1;
+    if s.get(i) == Some(&b'}') {
+        return if i + 1 == s.len() {
+            Ok(fields)
+        } else {
+            Err(err("trailing garbage", i + 1))
+        };
+    }
+    loop {
+        // Key.
+        if s.get(i) != Some(&b'"') {
+            return Err(err("expected '\"' starting a key", i));
+        }
+        i += 1;
+        let k0 = i;
+        while i < s.len() && s[i] != b'"' {
+            if s[i] == b'\\' {
+                return Err(err("escapes are not part of the schema", i));
+            }
+            i += 1;
+        }
+        if i >= s.len() {
+            return Err(err("unterminated key", k0));
+        }
+        let key = std::str::from_utf8(&s[k0..i]).map_err(|_| err("non-utf8 key", k0))?;
+        if key.is_empty() {
+            return Err(err("empty key", k0));
+        }
+        if fields.iter().any(|(k, _)| k == key) {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        i += 1;
+        if s.get(i) != Some(&b':') {
+            return Err(err("expected ':'", i));
+        }
+        i += 1;
+        // Value: unsigned integer or plain string.
+        let val = match s.get(i) {
+            Some(&b'"') => {
+                i += 1;
+                let v0 = i;
+                while i < s.len() && s[i] != b'"' {
+                    if s[i] == b'\\' {
+                        return Err(err("escapes are not part of the schema", i));
+                    }
+                    i += 1;
+                }
+                if i >= s.len() {
+                    return Err(err("unterminated string value", v0));
+                }
+                let v = std::str::from_utf8(&s[v0..i]).map_err(|_| err("non-utf8 value", v0))?;
+                i += 1;
+                Val::S(v.to_string())
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let v0 = i;
+                while i < s.len() && s[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let txt = std::str::from_utf8(&s[v0..i]).expect("ascii digits");
+                Val::U(txt.parse().map_err(|_| err("integer out of range", v0))?)
+            }
+            _ => return Err(err("expected an unsigned integer or string value", i)),
+        };
+        fields.push((key.to_string(), val));
+        match s.get(i) {
+            Some(&b',') => i += 1,
+            Some(&b'}') => {
+                return if i + 1 == s.len() {
+                    Ok(fields)
+                } else {
+                    Err(err("trailing garbage", i + 1))
+                };
+            }
+            _ => return Err(err("expected ',' or '}'", i)),
+        }
+    }
+}
+
+fn require_exact(fields: &[(String, Val)], keys: &[&str]) -> Result<(), String> {
+    for k in keys {
+        if !fields.iter().any(|(fk, _)| fk == k) {
+            return Err(format!("missing key {k:?}"));
+        }
+    }
+    for (fk, _) in fields {
+        if !keys.contains(&fk.as_str()) {
+            return Err(format!("unknown key {fk:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn get_u(fields: &[(String, Val)], key: &str) -> Result<u64, String> {
+    match fields.iter().find(|(k, _)| k == key) {
+        Some((_, Val::U(v))) => Ok(*v),
+        Some(_) => Err(format!("key {key:?} must be an unsigned integer")),
+        None => Err(format!("missing key {key:?}")),
+    }
+}
+
+fn get_s<'a>(fields: &'a [(String, Val)], key: &str) -> Result<&'a str, String> {
+    match fields.iter().find(|(k, _)| k == key) {
+        Some((_, Val::S(v))) => Ok(v),
+        Some(_) => Err(format!("key {key:?} must be a string")),
+        None => Err(format!("missing key {key:?}")),
+    }
+}
+
+/// Validates one line against the v1 JSONL schema: a flat object with
+/// the exact key set for its `"t"`, `"v": 1`, and known `"k"` names for
+/// span and event records. Returns a description of the first problem.
+pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
+    let fields = parse_flat(line)?;
+    let v = get_u(&fields, "v")?;
+    if v != SCHEMA_VERSION {
+        return Err(format!("unsupported schema version {v}"));
+    }
+    let t = get_s(&fields, "t")?;
+    match t {
+        "span" => {
+            require_exact(&fields, &["v", "t", "k", "slot", "a", "b", "ns"])?;
+            let k = get_s(&fields, "k")?;
+            if SpanKind::from_name(k).is_none() {
+                return Err(format!("unknown span kind {k:?}"));
+            }
+        }
+        "event" => {
+            require_exact(&fields, &["v", "t", "k", "slot", "epoch", "slots", "count"])?;
+            let k = get_s(&fields, "k")?;
+            if EventKind::from_name(k).is_none() {
+                return Err(format!("unknown event kind {k:?}"));
+            }
+        }
+        "chan" => {
+            require_exact(
+                &fields,
+                &["v", "t", "slot", "ch", "tx", "listens", "rx", "busy", "env"],
+            )?;
+            for key in ["slot", "ch", "tx", "listens", "rx", "busy", "env"] {
+                get_u(&fields, key)?;
+            }
+        }
+        "counter" => {
+            require_exact(&fields, &["v", "t", "k", "n"])?;
+            if get_s(&fields, "k")?.is_empty() {
+                return Err("empty counter name".to_string());
+            }
+            get_u(&fields, "n")?;
+        }
+        "trace" => {
+            require_exact(&fields, &["v", "t", "slot", "ch", "from", "to"])?;
+            for key in ["slot", "ch", "from", "to"] {
+                get_u(&fields, key)?;
+            }
+        }
+        other => return Err(format!("unknown record type {other:?}")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_line_validates() {
+        validate_jsonl_line(&trace_line(3, 1, 17, 4)).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}garbage",
+            "not json",
+            r#"{"v":2,"t":"trace","slot":0,"ch":0,"from":0,"to":0}"#,
+            r#"{"v":1,"t":"mystery","slot":0}"#,
+            r#"{"v":1,"t":"span","k":"nope","slot":0,"a":0,"b":0,"ns":1}"#,
+            r#"{"v":1,"t":"span","k":"slot","slot":0,"a":0,"b":0}"#,
+            r#"{"v":1,"t":"span","k":"slot","slot":0,"a":0,"b":0,"ns":1,"extra":2}"#,
+            r#"{"v":1,"t":"trace","slot":-1,"ch":0,"from":0,"to":0}"#,
+            r#"{"v":1,"t":"trace","slot":1.5,"ch":0,"from":0,"to":0}"#,
+            r#"{"v":1,"v":1,"t":"trace","slot":0,"ch":0,"from":0,"to":0}"#,
+            r#"{"v":1,"t":"counter","k":"x","n":{"nested":1}}"#,
+            r#"{"v":1,"t":"counter","k":"","n":1}"#,
+        ] {
+            assert!(validate_jsonl_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn empty_object_rejected_for_missing_keys() {
+        assert!(validate_jsonl_line("{}").is_err());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn recorder_round_trips_through_validator() {
+        use crate::{ChannelSlotRecord, EventKind, Recorder, SpanKind};
+        let mut r = Recorder::new();
+        r.span(SpanKind::Slot, 0, 0, 0, 1234);
+        r.span(SpanKind::Unit, 0, 3, 1, 99);
+        r.event(EventKind::StageDominate, 0, 0, 40, 2);
+        r.chan(ChannelSlotRecord {
+            slot: 0,
+            channel: 2,
+            tx: 1,
+            listens: 4,
+            rx: 3,
+            busy: 1,
+            env: 0,
+        });
+        r.add("resolver_cache_builds", 7);
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in lines {
+            validate_jsonl_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn noop_recorder_writes_nothing() {
+        let mut r = crate::Recorder::new();
+        r.span(SpanKind::Slot, 0, 0, 0, 1234);
+        assert!(r.to_jsonl().is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! The plain-data record types a [`crate::Recorder`] retains.
+
+use crate::kind::{EventKind, SpanKind};
+
+/// One completed span: a phase of work that took `ns` wall nanoseconds.
+///
+/// Wall times are measurement, not simulation state — two runs of the
+/// same trial produce identical record *sequences* with differing `ns`
+/// values only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Engine slot (or, for build/repair kinds, the protocol-slot offset
+    /// documented on the kind).
+    pub slot: u64,
+    /// First kind-specific attribute (see [`SpanKind`]; 0 if unused).
+    pub a: u32,
+    /// Second kind-specific attribute (0 if unused).
+    pub b: u32,
+    /// Wall-clock duration in nanoseconds.
+    pub ns: u64,
+}
+
+/// One typed protocol event: a build stage or repair action, attributed
+/// to a slot and a repair epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// What happened.
+    pub kind: EventKind,
+    /// Slot attribution: for build stages, the slot offset within the
+    /// build at which the stage started; for repair actions, cumulative
+    /// repair slots before the epoch.
+    pub slot: u64,
+    /// Repair epoch (0 for build stages).
+    pub epoch: u64,
+    /// Protocol slots the action cost.
+    pub slots: u64,
+    /// Action-specific count (see the [`EventKind`] variant docs).
+    pub count: u64,
+}
+
+/// One channel's outcome tallies for one slot — the per-channel stream a
+/// congestion sensor consumes. Emitted for every channel touched in the
+/// slot (transmit-only channels have `listens = 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelSlotRecord {
+    /// Engine slot.
+    pub slot: u64,
+    /// Channel index.
+    pub channel: u16,
+    /// Transmitters on the channel this slot.
+    pub tx: u32,
+    /// Listeners on the channel this slot.
+    pub listens: u32,
+    /// Successful decodes delivered.
+    pub rx: u32,
+    /// Listen slots that sensed power but decoded nothing.
+    pub busy: u32,
+    /// Decodes suppressed by a dynamic channel condition (deep fade).
+    pub env: u32,
+}

@@ -17,6 +17,7 @@ use crate::rng::derive_rng;
 use crate::shard::ShardMap;
 use crate::trace::{TraceEvent, TraceRecorder};
 use mca_geom::{BoundingBox, Point};
+use mca_obs::{ChannelSlotRecord, SpanKind, Stopwatch};
 use mca_sinr::{ChannelResolver, ListenOutcome, ResolverCache, SinrParams};
 use rand::rngs::SmallRng;
 use rayon::prelude::*;
@@ -78,6 +79,16 @@ pub struct Engine<P: Protocol> {
     conditions: Vec<ChannelCondition>,
     trace: Option<TraceRecorder>,
     watch: Option<EventWatch>,
+    /// Observability recorder ([`Engine::attach_obs`]). `None` costs one
+    /// predictable branch per phase; with the `obs` feature off the
+    /// recorder is a zero-sized no-op either way. Recording never feeds
+    /// back into simulation state, so outcomes are bit-identical with or
+    /// without it.
+    obs: Option<mca_obs::Recorder>,
+    /// Last reported totals of per-channel resolver-cache rebuilds and
+    /// rebuild nanoseconds (the `resolver_cache_builds` /
+    /// `resolver_cache_build_ns` counters record per-slot deltas).
+    obs_cache_builds: (u64, u64),
     par_channels: bool,
     par_shards: bool,
     shards: u16,
@@ -195,6 +206,8 @@ impl<P: Protocol> Engine<P> {
             conditions: Vec::new(),
             trace: None,
             watch: None,
+            obs: None,
+            obs_cache_builds: (0, 0),
             par_channels: force,
             par_shards: force,
             shards: if force { FORCED_SHARDS } else { 0 },
@@ -363,6 +376,34 @@ impl<P: Protocol> Engine<P> {
     /// The trace recorder, if tracing is enabled.
     pub fn trace(&self) -> Option<&TraceRecorder> {
         self.trace.as_ref()
+    }
+
+    /// Attaches an observability recorder: every subsequent
+    /// [`Engine::step`] records per-phase spans (gather, staging, each
+    /// (channel × shard) resolve unit with its halo construction, merge,
+    /// delivery, event drain), a per-channel outcome record per active
+    /// channel, and resolver-cache counters. Requires the `obs` cargo
+    /// feature for real data — without it the recorder is a no-op and
+    /// attaching is harmless. Recording is observation only: trial
+    /// outcomes are bit-identical with or without a recorder, under any
+    /// execution schedule.
+    pub fn attach_obs(&mut self, rec: mca_obs::Recorder) {
+        self.obs = Some(rec);
+    }
+
+    /// The observability recorder, if one is attached.
+    pub fn obs(&self) -> Option<&mca_obs::Recorder> {
+        self.obs.as_ref()
+    }
+
+    /// Mutable access to the attached observability recorder.
+    pub fn obs_mut(&mut self) -> Option<&mut mca_obs::Recorder> {
+        self.obs.as_mut()
+    }
+
+    /// Detaches and returns the observability recorder.
+    pub fn take_obs(&mut self) -> Option<mca_obs::Recorder> {
+        self.obs.take()
     }
 
     /// Number of nodes.
@@ -561,22 +602,43 @@ impl<P: Protocol> Engine<P> {
         // `fan_out_listeners` lets the fully sequential engine use the
         // resolver's own listener-level parallelism on huge batches;
         // parallel callers pass `false` to avoid nested thread spawning.
-        fn resolve_work(w: &mut Work<'_>, fan_out_listeners: bool) {
+        // With `timing` on, each unit's wall time (and halo-construction
+        // share, where sharded) is pushed onto `timings` in unit order.
+        fn resolve_work(
+            w: &mut Work<'_>,
+            fan_out_listeners: bool,
+            timing: bool,
+            timings: &mut Vec<(u32, u64, Option<u64>)>,
+        ) {
             if w.sharded {
-                for &(s, e) in w.unit_ranges {
+                for (ui, &(s, e)) in w.unit_ranges.iter().enumerate() {
+                    let sw = Stopwatch::start_if(timing);
                     let ks = &w.shard_rx[s as usize..e as usize];
+                    let sw_halo = Stopwatch::start_if(timing);
                     let bbox = BoundingBox::from_points(ks.iter().map(|&k| w.rx_pos[k as usize]))
                         .expect("resolve units are never empty");
                     let task = w.resolver.task(bbox);
+                    let halo_ns = sw_halo.elapsed_ns();
                     for &k in ks {
                         w.outcomes[k as usize] = task.resolve(w.rx_pos[k as usize], w.extra);
                     }
+                    if timing {
+                        timings.push((ui as u32, sw.elapsed_ns(), Some(halo_ns)));
+                    }
                 }
             } else if fan_out_listeners {
+                let sw = Stopwatch::start_if(timing);
                 w.resolver.resolve_into(w.rx_pos, w.extra, w.outcomes);
+                if timing {
+                    timings.push((0, sw.elapsed_ns(), None));
+                }
             } else {
+                let sw = Stopwatch::start_if(timing);
                 w.resolver
                     .resolve_into_sequential(w.rx_pos, w.extra, w.outcomes);
+                if timing {
+                    timings.push((0, sw.elapsed_ns(), None));
+                }
             }
         }
 
@@ -584,7 +646,14 @@ impl<P: Protocol> Engine<P> {
         // (channel × shard) unit; `par_channels` alone fans out whole
         // channels (each channel's units resolved in order inside its
         // worker — shard units then only serve locality). All three
-        // schedules are bit-identical.
+        // schedules are bit-identical. Unit timings, when a recorder is
+        // attached, flow through the same deterministic channel-major /
+        // shard-minor merge as the outcomes, so the recorded stream is
+        // identical under every schedule (only the `ns` values differ).
+        let timing = self.obs.is_some();
+        // (channel, unit, wall ns, halo ns where the unit built one).
+        let mut unit_timings: Vec<(u16, u32, u64, Option<u64>)> = Vec::new();
+        let mut merge_span: Option<(u32, u64)> = None;
         let threads = rayon::current_num_threads() > 1;
         if self.par_shards && threads {
             // Flatten the units; channel-major, shard-minor — the
@@ -595,18 +664,22 @@ impl<P: Protocol> Engine<P> {
                     units.push((wi as u32, ui as u32));
                 }
             }
-            let results: Vec<Vec<ListenOutcome>> = units
+            let results: Vec<(Vec<ListenOutcome>, u64, u64)> = units
                 .par_iter()
                 .map(|&(wi, ui)| {
+                    let sw = Stopwatch::start_if(timing);
                     let w = &works[wi as usize];
                     let (s, e) = w.unit_ranges[ui as usize];
                     let ks = &w.shard_rx[s as usize..e as usize];
                     let mut out = Vec::with_capacity(ks.len());
+                    let mut halo_ns = 0;
                     if w.sharded {
+                        let sw_halo = Stopwatch::start_if(timing);
                         let bbox =
                             BoundingBox::from_points(ks.iter().map(|&k| w.rx_pos[k as usize]))
                                 .expect("resolve units are never empty");
                         let task = w.resolver.task(bbox);
+                        halo_ns = sw_halo.elapsed_ns();
                         out.extend(
                             ks.iter()
                                 .map(|&k| task.resolve(w.rx_pos[k as usize], w.extra)),
@@ -617,27 +690,62 @@ impl<P: Protocol> Engine<P> {
                                 .map(|&k| w.resolver.resolve(w.rx_pos[k as usize], w.extra)),
                         );
                     }
-                    out
+                    (out, sw.elapsed_ns(), halo_ns)
                 })
                 .collect();
             // Shard-major merge: unit outputs scatter to disjoint listener
             // slots, visited in the fixed unit order.
-            for (&(wi, ui), out) in units.iter().zip(results) {
+            let sw_merge = Stopwatch::start_if(timing);
+            for (&(wi, ui), (out, _, _)) in units.iter().zip(&results) {
                 let w = &mut works[wi as usize];
                 let (s, e) = w.unit_ranges[ui as usize];
                 for (j, &k) in w.shard_rx[s as usize..e as usize].iter().enumerate() {
                     w.outcomes[k as usize] = out[j];
                 }
             }
+            if timing {
+                merge_span = Some((units.len() as u32, sw_merge.elapsed_ns()));
+                for (&(wi, ui), &(_, unit_ns, halo_ns)) in units.iter().zip(&results) {
+                    let halo = works[wi as usize].sharded.then_some(halo_ns);
+                    unit_timings.push((chans[wi as usize].0, ui, unit_ns, halo));
+                }
+            }
         } else if self.par_channels && works.len() > 1 && threads {
-            let done: Vec<()> = works
+            let timings: Vec<Vec<(u32, u64, Option<u64>)>> = works
                 .into_par_iter()
-                .map(|mut w| resolve_work(&mut w, false))
+                .map(|mut w| {
+                    let mut ts = Vec::new();
+                    resolve_work(&mut w, false, timing, &mut ts);
+                    ts
+                })
                 .collect();
-            drop(done);
+            if timing {
+                for (wi, ts) in timings.iter().enumerate() {
+                    for &(ui, ns, halo) in ts {
+                        unit_timings.push((chans[wi].0, ui, ns, halo));
+                    }
+                }
+            }
         } else {
-            for w in works.iter_mut() {
-                resolve_work(w, true);
+            let mut ts = Vec::new();
+            for (wi, w) in works.iter_mut().enumerate() {
+                ts.clear();
+                resolve_work(w, true, timing, &mut ts);
+                for &(ui, ns, halo) in &ts {
+                    unit_timings.push((chans[wi].0, ui, ns, halo));
+                }
+            }
+        }
+        if let Some(rec) = self.obs.as_mut() {
+            let slot = self.slot;
+            for (ch, ui, ns, halo) in unit_timings {
+                rec.span(SpanKind::Unit, slot, u32::from(ch), ui, ns);
+                if let Some(h) = halo {
+                    rec.span(SpanKind::Halo, slot, u32::from(ch), ui, h);
+                }
+            }
+            if let Some((nunits, ns)) = merge_span {
+                rec.span(SpanKind::Merge, slot, nunits, 0, ns);
             }
         }
     }
@@ -650,6 +758,14 @@ impl<P: Protocol> Engine<P> {
         let rx0 = self.metrics.receptions;
         let busy0 = self.metrics.busy_failures;
         let silent0 = self.metrics.silent_listens;
+
+        // Observability: wall-clock phase spans, recorded only when a
+        // recorder is attached (and compiled out entirely without the
+        // `obs` feature). Timings are measurement, never simulation
+        // input — outcomes cannot depend on them.
+        let timing = self.obs.is_some();
+        let sw_slot = Stopwatch::start_if(timing);
+        let sw = Stopwatch::start_if(timing);
 
         // Lifecycle observation first: the slot's presence verdicts and the
         // (possibly environment-mutated) positions are what this slot runs
@@ -695,6 +811,8 @@ impl<P: Protocol> Engine<P> {
         for ch in self.active.drain(..) {
             self.groups[ch as usize].clear();
         }
+        let drain_ns = sw.elapsed_ns();
+        let sw = Stopwatch::start_if(timing);
 
         // Phase 1: gather actions. Absent (crashed or not-yet-joined) or
         // finished nodes stay silent.
@@ -730,6 +848,8 @@ impl<P: Protocol> Engine<P> {
         // the order channels were first touched; also lets every loop below
         // visit only the active channels instead of the whole dense vec.
         self.active.sort_unstable();
+        let gather_ns = sw.elapsed_ns();
+        let sw = Stopwatch::start_if(timing);
 
         // Phase 2a: stage each active channel's inputs — transmitter and
         // listener positions (reused scratch), jamming, fading condition.
@@ -757,6 +877,9 @@ impl<P: Protocol> Engine<P> {
             rx_pos.extend(rx.iter().map(|&i| self.positions[i as usize]));
         }
 
+        let stage_ns = sw.elapsed_ns();
+        let sw = Stopwatch::start_if(timing);
+
         // Phase 2b: resolve every channel's receptions as (channel × shard)
         // units. Each listener's outcome is a pure function of its
         // channel's staged transmitter set, so how listeners are grouped —
@@ -764,6 +887,8 @@ impl<P: Protocol> Engine<P> {
         // never changes a bit; outcomes are merged shard-major into the
         // channel's listener-order buffer either way.
         self.resolve_active_channels();
+        let resolve_ns = sw.elapsed_ns();
+        let sw = Stopwatch::start_if(timing);
 
         // Phase 2c: deliver observations, in ascending channel order
         // (deterministic — the sorted active list replaces the old
@@ -773,6 +898,13 @@ impl<P: Protocol> Engine<P> {
             if self.groups[gi].rx.is_empty() {
                 continue;
             }
+            // Per-channel outcome stream: metric deltas around this
+            // channel's delivery, snapshotted outside the listener loop.
+            let (rx0c, busy0c, env0c) = (
+                self.metrics.receptions,
+                self.metrics.busy_failures,
+                self.metrics.env_drops,
+            );
             for k in 0..self.groups[gi].rx.len() {
                 let group = &self.groups[gi];
                 let li = group.rx[k];
@@ -824,6 +956,17 @@ impl<P: Protocol> Engine<P> {
                 let ti = self.groups[gi].tx[k] as usize;
                 self.protocols[ti].observe(slot, Observation::Sent, &mut self.rngs[ti]);
             }
+            if let Some(rec) = self.obs.as_mut() {
+                rec.chan(ChannelSlotRecord {
+                    slot,
+                    channel: ch,
+                    tx: self.groups[gi].tx.len() as u32,
+                    listens: self.groups[gi].rx.len() as u32,
+                    rx: (self.metrics.receptions - rx0c) as u32,
+                    busy: (self.metrics.busy_failures - busy0c) as u32,
+                    env: (self.metrics.env_drops - env0c) as u32,
+                });
+            }
         }
 
         // Idle nodes get a sleep observation so state machines can advance.
@@ -845,11 +988,48 @@ impl<P: Protocol> Engine<P> {
                     let ti = self.groups[gi].tx[k] as usize;
                     self.protocols[ti].observe(slot, Observation::Sent, &mut self.rngs[ti]);
                 }
+                // Transmit-only channels still appear in the outcome
+                // stream (zero listeners, zero decodes).
+                if let Some(rec) = self.obs.as_mut() {
+                    rec.chan(ChannelSlotRecord {
+                        slot,
+                        channel: ch,
+                        tx: self.groups[gi].tx.len() as u32,
+                        listens: 0,
+                        rx: 0,
+                        busy: 0,
+                        env: 0,
+                    });
+                }
             }
         }
 
         self.slot += 1;
         self.metrics.slots += 1;
+
+        if let Some(rec) = self.obs.as_mut() {
+            let deliver_ns = sw.elapsed_ns();
+            rec.span(SpanKind::EventDrain, slot, 0, 0, drain_ns);
+            rec.span(SpanKind::Gather, slot, 0, 0, gather_ns);
+            rec.span(SpanKind::Stage, slot, 0, 0, stage_ns);
+            rec.span(
+                SpanKind::Resolve,
+                slot,
+                self.active.len() as u32,
+                0,
+                resolve_ns,
+            );
+            rec.span(SpanKind::Deliver, slot, 0, 0, deliver_ns);
+            rec.span(SpanKind::Slot, slot, 0, 0, sw_slot.elapsed_ns());
+            let builds: u64 = self.groups.iter().map(|g| g.cache.builds()).sum();
+            let build_ns: u64 = self.groups.iter().map(|g| g.cache.build_ns()).sum();
+            rec.add("resolver_cache_builds", builds - self.obs_cache_builds.0);
+            rec.add(
+                "resolver_cache_build_ns",
+                build_ns - self.obs_cache_builds.1,
+            );
+            self.obs_cache_builds = (builds, build_ns);
+        }
 
         // Every listen slot must be accounted exactly once — guards the
         // resolver swap against silent miscounting.
@@ -1464,5 +1644,48 @@ mod tests {
             Vec::<Role>::new(),
             1,
         );
+    }
+
+    #[test]
+    fn obs_recorder_never_perturbs_outcomes() {
+        let mut plain = two_node_setup(Channel::FIRST);
+        let mut observed = two_node_setup(Channel::FIRST);
+        observed.attach_obs(mca_obs::Recorder::new());
+        plain.run(5);
+        observed.run(5);
+        assert_eq!(plain.metrics(), observed.metrics());
+        assert!(observed.take_obs().is_some());
+        assert!(observed.obs().is_none());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_records_phase_spans_and_channel_stream() {
+        use mca_obs::SpanKind;
+        let mut e = two_node_setup(Channel::FIRST);
+        e.attach_obs(mca_obs::Recorder::new());
+        e.run(3);
+        let rec = e.obs().unwrap();
+        // Six phase spans per slot plus at least one unit span.
+        let slots = rec
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Slot)
+            .count();
+        assert_eq!(slots, 3);
+        assert!(rec.spans().iter().any(|s| s.kind == SpanKind::Unit));
+        // One active channel per slot, everyone on Channel::FIRST.
+        let chans = rec.channel_records();
+        assert_eq!(chans.len(), 3);
+        assert!(chans
+            .iter()
+            .all(|c| c.channel == 0 && c.tx == 1 && c.listens == 1));
+        // Phase spans account for (nearly) the whole slot.
+        let report = rec.report();
+        assert!(report.slot_coverage().unwrap() > 0.5);
+        // The JSONL dump validates against the schema.
+        for line in rec.to_jsonl().lines() {
+            mca_obs::validate_jsonl_line(line).unwrap_or_else(|err| panic!("{err}: {line}"));
+        }
     }
 }

@@ -55,9 +55,10 @@ impl Metrics {
         }
     }
 
-    /// Fraction of transmissions that were decoded by at least… — not
-    /// measurable per-transmission cheaply; this reports decodes per
-    /// transmission (can exceed 1 when several listeners decode one sender).
+    /// Decodes per transmission. The fraction of transmissions decoded by
+    /// at least one listener is not cheaply measurable per-transmission,
+    /// so this reports total decodes over total transmissions instead —
+    /// it can exceed 1 when several listeners decode one sender.
     pub fn decodes_per_transmission(&self) -> f64 {
         if self.transmissions == 0 {
             0.0
@@ -66,8 +67,12 @@ impl Metrics {
         }
     }
 
-    /// Merges another metrics block into this one (for multi-phase runs).
-    pub fn absorb(&mut self, other: &Metrics) {
+    /// Merges another metrics block into this one, element-wise:
+    /// every counter sums, and `tx_per_channel` extends to cover the
+    /// longer of the two before summing per channel. Combining runs or
+    /// trials this way is exact — the result equals the metrics of the
+    /// concatenated run.
+    pub fn merge(&mut self, other: &Metrics) {
         self.slots += other.slots;
         self.transmissions += other.transmissions;
         self.listens += other.listens;
@@ -82,6 +87,12 @@ impl Metrics {
         for (i, &v) in other.tx_per_channel.iter().enumerate() {
             self.tx_per_channel[i] += v;
         }
+    }
+
+    /// Alias for [`Metrics::merge`], kept for the multi-phase harness
+    /// call sites that predate it.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.merge(other);
     }
 }
 
@@ -140,6 +151,70 @@ mod tests {
         assert_eq!(a.transmissions, 2);
         assert_eq!(a.receptions, 1);
         assert_eq!(a.tx_per_channel, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn merge_is_element_wise_over_every_counter() {
+        let mut a = Metrics {
+            slots: 1,
+            transmissions: 2,
+            listens: 3,
+            idles: 4,
+            receptions: 5,
+            busy_failures: 6,
+            silent_listens: 7,
+            env_drops: 8,
+            tx_per_channel: vec![1, 2],
+        };
+        let b = Metrics {
+            slots: 10,
+            transmissions: 20,
+            listens: 30,
+            idles: 40,
+            receptions: 50,
+            busy_failures: 60,
+            silent_listens: 70,
+            env_drops: 80,
+            tx_per_channel: vec![100],
+        };
+        a.merge(&b);
+        let want = Metrics {
+            slots: 11,
+            transmissions: 22,
+            listens: 33,
+            idles: 44,
+            receptions: 55,
+            busy_failures: 66,
+            silent_listens: 77,
+            env_drops: 88,
+            tx_per_channel: vec![101, 2],
+        };
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn merge_extends_tx_per_channel() {
+        let mut a = Metrics::new();
+        a.record_tx(0);
+        let mut b = Metrics::new();
+        b.record_tx(3);
+        a.merge(&b);
+        assert_eq!(a.tx_per_channel, vec![1, 0, 0, 1]);
+        // And the shorter-into-longer direction keeps the tail.
+        let mut c = Metrics::new();
+        c.record_tx(5);
+        c.merge(&a);
+        assert_eq!(c.tx_per_channel, vec![1, 0, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut a = Metrics::new();
+        a.record_tx(1);
+        a.slots = 9;
+        let before = a.clone();
+        a.merge(&Metrics::default());
+        assert_eq!(a, before);
     }
 
     #[test]

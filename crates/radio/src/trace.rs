@@ -2,6 +2,7 @@
 
 use crate::ids::{Channel, NodeId};
 use std::collections::VecDeque;
+use std::ops::RangeBounds;
 
 /// One successful decode, as seen by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +71,32 @@ impl TraceRecorder {
     pub fn total_recorded(&self) -> u64 {
         self.total_recorded
     }
+
+    /// Retained events whose slot falls in `slots`, oldest first.
+    /// Accepts any range form (`a..b`, `a..=b`, `..`, `a..`).
+    pub fn events_in<'a, R: RangeBounds<u64> + 'a>(
+        &'a self,
+        slots: R,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| slots.contains(&e.slot))
+    }
+
+    /// Retained events on `channel`, oldest first.
+    pub fn events_on(&self, channel: Channel) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.channel == channel)
+    }
+
+    /// Serializes the retained events as JSONL `"trace"` records in the
+    /// versioned observability schema (see `mca-obs` and
+    /// `docs/OBSERVABILITY.md`), oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&mca_obs::trace_line(e.slot, e.channel.0, e.from.0, e.to.0));
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +138,55 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         TraceRecorder::new(0);
+    }
+
+    fn ev_on(slot: u64, ch: u16) -> TraceEvent {
+        TraceEvent {
+            slot,
+            channel: Channel(ch),
+            from: NodeId(1),
+            to: NodeId(2),
+        }
+    }
+
+    #[test]
+    fn events_in_filters_by_slot_range() {
+        let mut t = TraceRecorder::new(10);
+        for s in 0..5 {
+            t.record(ev(s));
+        }
+        let slots: Vec<u64> = t.events_in(1..3).map(|e| e.slot).collect();
+        assert_eq!(slots, vec![1, 2]);
+        let slots: Vec<u64> = t.events_in(3..=4).map(|e| e.slot).collect();
+        assert_eq!(slots, vec![3, 4]);
+        assert_eq!(t.events_in(..).count(), 5);
+    }
+
+    #[test]
+    fn events_on_filters_by_channel() {
+        let mut t = TraceRecorder::new(10);
+        t.record(ev_on(0, 0));
+        t.record(ev_on(1, 3));
+        t.record(ev_on(2, 3));
+        let slots: Vec<u64> = t.events_on(Channel(3)).map(|e| e.slot).collect();
+        assert_eq!(slots, vec![1, 2]);
+        assert_eq!(t.events_on(Channel(9)).count(), 0);
+    }
+
+    #[test]
+    fn jsonl_export_matches_schema() {
+        let mut t = TraceRecorder::new(4);
+        t.record(ev_on(7, 2));
+        t.record(ev_on(8, 0));
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"v\":1,\"t\":\"trace\",\"slot\":7,\"ch\":2,\"from\":1,\"to\":2}"
+        );
+        for line in lines {
+            mca_obs::validate_jsonl_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
     }
 }

@@ -100,6 +100,7 @@ pub use mobility::{GroupConvoy, RandomWaypoint};
 pub use runner::{ScenarioRunner, ScenarioTrials};
 pub use sim::ScenarioSim;
 pub use spec::{
-    ChurnSpec, DeploymentSpec, FadingSpec, MaintenanceSpec, MobilitySpec, Scenario, ScenarioBuilder,
+    ChurnSpec, DeploymentSpec, FadingSpec, MaintenanceSpec, MobilitySpec, ObsSpec, Scenario,
+    ScenarioBuilder,
 };
 pub use toml::{FromToml, ScenarioFileError};

@@ -38,11 +38,19 @@ impl<P: Protocol> ScenarioSim<P> {
             .map(|(i, &p)| make(i, p))
             .collect();
         let faults = scenario.faults_for(seed);
-        let engine = Engine::new(scenario.params, deploy.into_points(), protocols, seed)
+        let mut engine = Engine::new(scenario.params, deploy.into_points(), protocols, seed)
             .with_faults(faults)
             .with_par_channels(scenario.par_channels)
             .with_shards(scenario.shards)
             .with_par_shards(scenario.par_shards);
+        // Honor the scenario's `[obs]` request only when the recorder is
+        // compiled in: a no-op recorder would still flip the engine's
+        // timing branches on for nothing.
+        if mca_obs::enabled() {
+            if let Some(o) = scenario.obs.filter(|o| o.enabled) {
+                engine.attach_obs(mca_obs::Recorder::new().with_channel_stream(o.channel_stream));
+            }
+        }
         let (env, env_rng) = scenario.environment_for(seed);
         let env_static = env.is_static();
         ScenarioSim {
@@ -160,6 +168,22 @@ impl<P: Protocol> ScenarioSim<P> {
         self.engine.metrics()
     }
 
+    /// The engine's observability recorder, if the scenario's `[obs]`
+    /// request attached one (see [`crate::ObsSpec`]).
+    pub fn obs(&self) -> Option<&mca_obs::Recorder> {
+        self.engine.obs()
+    }
+
+    /// Mutable access to the attached recorder (e.g. to add counters).
+    pub fn obs_mut(&mut self) -> Option<&mut mca_obs::Recorder> {
+        self.engine.obs_mut()
+    }
+
+    /// Detaches and returns the recorder for reporting.
+    pub fn take_obs(&mut self) -> Option<mca_obs::Recorder> {
+        self.engine.take_obs()
+    }
+
     /// Slots executed so far.
     pub fn slot(&self) -> u64 {
         self.engine.slot()
@@ -168,5 +192,83 @@ impl<P: Protocol> ScenarioSim<P> {
     /// Consumes the sim, returning the engine.
     pub fn into_engine(self) -> Engine<P> {
         self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DeploymentSpec, ObsSpec};
+    use mca_radio::{Action, Channel, Observation};
+
+    struct Beacon {
+        id: u32,
+        heard: u32,
+    }
+
+    impl Protocol for Beacon {
+        type Msg = u32;
+        fn act(&mut self, _s: u64, _r: &mut SmallRng) -> Action<u32> {
+            if self.id == 0 {
+                Action::Transmit {
+                    channel: Channel::FIRST,
+                    msg: self.id,
+                }
+            } else {
+                Action::Listen {
+                    channel: Channel::FIRST,
+                }
+            }
+        }
+        fn observe(&mut self, _s: u64, obs: Observation<u32>, _r: &mut SmallRng) {
+            if obs.reception().is_some() {
+                self.heard += 1;
+            }
+        }
+    }
+
+    fn beacons(obs: Option<ObsSpec>) -> ScenarioSim<Beacon> {
+        let mut b =
+            Scenario::builder("obs-sim").deployment(DeploymentSpec::Uniform { n: 12, side: 4.0 });
+        if let Some(o) = obs {
+            b = b.obs(o);
+        }
+        ScenarioSim::new(&b.build(), 5, |i, _| Beacon {
+            id: i as u32,
+            heard: 0,
+        })
+    }
+
+    #[test]
+    fn obs_request_never_perturbs_the_trial() {
+        let run = |obs| {
+            let mut sim = beacons(obs);
+            sim.run(20);
+            sim.metrics().clone()
+        };
+        let plain = run(None);
+        let observed = run(Some(ObsSpec::default()));
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn obs_request_attaches_iff_compiled_in() {
+        let mut sim = beacons(Some(ObsSpec::default()));
+        sim.run(10);
+        if mca_obs::enabled() {
+            let rec = sim.obs().expect("recorder attached");
+            assert!(!rec.is_empty());
+            assert!(sim.take_obs().is_some());
+        } else {
+            assert!(sim.obs().is_none());
+        }
+        // A disabled request never attaches.
+        let sim = beacons(Some(ObsSpec {
+            enabled: false,
+            channel_stream: true,
+        }));
+        assert!(sim.obs().is_none());
+        // No request, no recorder.
+        assert!(beacons(None).obs().is_none());
     }
 }

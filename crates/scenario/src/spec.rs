@@ -338,6 +338,33 @@ impl MaintenanceSpec {
     }
 }
 
+/// Observability request for drivers that can attach an `mca-obs`
+/// recorder to the engine. Serialized as the scenario's `[obs]` table.
+///
+/// The request is honored only when the `obs` cargo feature compiled the
+/// recorder in (`mca_obs::enabled()`); otherwise it is carried losslessly
+/// through TOML round-trips but attaches nothing. Recording is
+/// observation-only either way: trial results are bit-identical with and
+/// without it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsSpec {
+    /// Whether drivers should attach a recorder.
+    pub enabled: bool,
+    /// Whether the recorder keeps the per-(slot × channel) outcome
+    /// stream (the bulkiest record class; disable for long runs where
+    /// only spans and counters matter).
+    pub channel_stream: bool,
+}
+
+impl Default for ObsSpec {
+    fn default() -> Self {
+        ObsSpec {
+            enabled: true,
+            channel_stream: true,
+        }
+    }
+}
+
 /// A fully declarative experimental world.
 ///
 /// Scenarios serialize to and from TOML (see [`crate::toml`] and
@@ -381,6 +408,10 @@ pub struct Scenario {
     /// Structure-maintenance policy, if structure-driving harnesses should
     /// repair on a cadence ([`ScenarioSim::run_epochs`](crate::ScenarioSim::run_epochs)).
     pub maintenance: Option<MaintenanceSpec>,
+    /// Observability request ([`ScenarioSim::new`](crate::ScenarioSim::new)
+    /// attaches a recorder when present, enabled, and compiled in).
+    /// Serialized as the `[obs]` table.
+    pub obs: Option<ObsSpec>,
 }
 
 impl Scenario {
@@ -402,6 +433,7 @@ impl Scenario {
                 shards: 0,
                 par_shards: false,
                 maintenance: None,
+                obs: None,
             },
         }
     }
@@ -555,6 +587,12 @@ impl ScenarioBuilder {
     /// Sets the structure-maintenance policy.
     pub fn maintenance(mut self, spec: MaintenanceSpec) -> Self {
         self.scenario.maintenance = Some(spec);
+        self
+    }
+
+    /// Requests observability recording (see [`ObsSpec`]).
+    pub fn obs(mut self, spec: ObsSpec) -> Self {
+        self.scenario.obs = Some(spec);
         self
     }
 

@@ -19,7 +19,9 @@
 //! * **deterministic** — emission order is fixed, so goldens can pin the
 //!   exact bytes.
 
-use crate::spec::{ChurnSpec, DeploymentSpec, FadingSpec, MaintenanceSpec, MobilitySpec, Scenario};
+use crate::spec::{
+    ChurnSpec, DeploymentSpec, FadingSpec, MaintenanceSpec, MobilitySpec, ObsSpec, Scenario,
+};
 use mca_geom::{BoundingBox, Point};
 use mca_radio::{ChannelCondition, FaultPlan, JamSpec};
 use mca_serde::{emit, Fields, Table, ToToml, TomlError, Value};
@@ -66,8 +68,19 @@ impl ToToml for Scenario {
         if let Some(m) = &self.maintenance {
             root.insert("maintenance", Value::table(maintenance_table(m)));
         }
+        if let Some(o) = &self.obs {
+            root.insert("obs", Value::table(obs_table(o)));
+        }
         root
     }
+}
+
+/// The `[obs]` table: an observability request. Like `[engine]`, purely an
+/// execution knob — recording never changes trial results.
+fn obs_table(o: &ObsSpec) -> Table {
+    Table::new()
+        .with("enabled", Value::bool(o.enabled))
+        .with("channel_stream", Value::bool(o.channel_stream))
 }
 
 /// The `[engine]` table: execution knobs (sharding) that never change
@@ -318,6 +331,10 @@ impl FromToml for Scenario {
             Some(f) => Some(decode_maintenance(f)?),
             None => None,
         };
+        let obs = match root.opt_fields("obs")? {
+            Some(f) => Some(decode_obs(f)?),
+            None => None,
+        };
         root.finish()?;
         Ok(Scenario {
             name,
@@ -334,8 +351,19 @@ impl FromToml for Scenario {
             shards,
             par_shards,
             maintenance,
+            obs,
         })
     }
+}
+
+fn decode_obs(mut f: Fields<'_>) -> Result<ObsSpec, TomlError> {
+    let enabled = f.opt_bool("enabled")?.unwrap_or(true);
+    let channel_stream = f.opt_bool("channel_stream")?.unwrap_or(true);
+    f.finish()?;
+    Ok(ObsSpec {
+        enabled,
+        channel_stream,
+    })
 }
 
 fn decode_engine(mut f: Fields<'_>) -> Result<(u16, bool), TomlError> {
@@ -934,6 +962,10 @@ mod tests {
                 handover_hysteresis: 1.4,
                 rebuild_threshold: 0.3,
             })
+            .obs(crate::spec::ObsSpec {
+                enabled: true,
+                channel_stream: false,
+            })
             .build()
     }
 
@@ -1128,6 +1160,34 @@ mod tests {
         ))
         .unwrap_err();
         assert_eq!(e.path, "maintenance.rebuild_threshold");
+    }
+
+    #[test]
+    fn obs_table_defaults_round_trip_and_validation() {
+        let base = "name = \"o\"\n[deployment]\nkind = \"line\"\nn = 4\nspacing = 2.0\n";
+        // Absent table: no request, and the emitter omits the table.
+        let s = Scenario::from_toml_str(base).unwrap();
+        assert!(s.obs.is_none());
+        assert!(!s.to_toml().contains("[obs]"));
+        // Empty table takes the defaults and round-trips.
+        let s = Scenario::from_toml_str(&format!("{base}[obs]\n")).unwrap();
+        let o = s.obs.unwrap();
+        assert!(o.enabled);
+        assert!(o.channel_stream);
+        let back = Scenario::from_toml_str(&s.to_toml()).unwrap();
+        assert_eq!(back, s);
+        // Explicit values round-trip.
+        let s = Scenario::from_toml_str(&format!(
+            "{base}[obs]\nenabled = false\nchannel_stream = false\n"
+        ))
+        .unwrap();
+        let o = s.obs.unwrap();
+        assert!(!o.enabled);
+        assert!(!o.channel_stream);
+        assert_eq!(Scenario::from_toml_str(&s.to_toml()).unwrap(), s);
+        // Unknown keys are rejected with the field path.
+        let e = Scenario::from_toml_str(&format!("{base}[obs]\nverbose = true\n")).unwrap_err();
+        assert_eq!(e.path, "obs.verbose");
     }
 
     #[test]

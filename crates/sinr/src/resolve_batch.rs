@@ -360,6 +360,9 @@ pub struct ResolverCache {
     index: Option<FastIndex>,
     /// Rebuilds performed (observable, for tests and diagnostics).
     builds: u64,
+    /// Wall nanoseconds spent rebuilding (0 unless the `obs` feature is
+    /// on — the stopwatch is compiled out otherwise).
+    build_ns: u64,
 }
 
 impl ResolverCache {
@@ -374,12 +377,20 @@ impl ResolverCache {
         self.builds
     }
 
+    /// Wall nanoseconds spent in index rebuilds. Always 0 without the
+    /// `obs` cargo feature (the clock is never read); with it, the
+    /// engine surfaces this as the `resolver_cache_build_ns` counter.
+    pub fn build_ns(&self) -> u64 {
+        self.build_ns
+    }
+
     /// Ensures the cached index matches `(params, tx)`, rebuilding in
     /// place (buffers reused) when it does not.
     fn ensure(&mut self, params: &SinrParams, tx: &[Point]) {
         if self.matches(params, tx) {
             return;
         }
+        let sw = mca_obs::Stopwatch::start_if(mca_obs::enabled());
         self.snapshot.clear();
         self.snapshot.extend_from_slice(tx);
         self.params = Some(*params);
@@ -391,6 +402,7 @@ impl ResolverCache {
             self.index.take(),
         );
         self.builds += 1;
+        self.build_ns += sw.elapsed_ns();
     }
 
     /// Whether the cached index was built for exactly `(params, tx)`.

@@ -18,7 +18,10 @@
 //!   the exponential-chain lower-bound instance;
 //! * [`analysis`] — statistics and table rendering for experiments;
 //! * [`scenario`] — dynamic environments (mobility, fading, churn) and the
-//!   parallel scenario runner.
+//!   parallel scenario runner;
+//! * [`obs`] — the determinism-preserving observability layer (phase
+//!   spans, typed events, JSONL export); a true no-op unless this crate's
+//!   `obs` cargo feature is on.
 //!
 //! # Quickstart
 //!
@@ -85,6 +88,7 @@ pub use mca_analysis as analysis;
 pub use mca_baselines as baselines;
 pub use mca_core as core;
 pub use mca_geom as geom;
+pub use mca_obs as obs;
 pub use mca_radio as radio;
 pub use mca_scenario as scenario;
 pub use mca_sinr as sinr;
