@@ -8,6 +8,7 @@
 //! experiments bench-sinr [repeats]
 //! experiments bench-shards [repeats]
 //! experiments repair-bench [seeds]
+//! experiments adversary-bench [seeds]
 //! experiments profile [--scenario <file.toml>] [--slots N] [--jsonl <path>]
 //! experiments golden-trials [--write] [path]
 //! experiments --scenario <file.toml> [--seeds N]
@@ -60,6 +61,12 @@ Usage:
   experiments repair-bench [seeds]    incremental repair vs rebuild -> BENCH_repair.json
                                       (REPAIR_BENCH_SMOKE=1 for the reduced CI gate;
                                        exits non-zero if any world fails its gate)
+  experiments adversary-bench [seeds] reactive vs proactive repair under adversaries
+                                      -> BENCH_adversary.json
+                                      (ADVERSARY_BENCH_SMOKE=1 for the reduced CI gate;
+                                       exits non-zero on audit regressions or if the
+                                       proactive arm fails to beat the censored
+                                       reactive time-to-repair)
   experiments profile [--scenario <file.toml>] [--slots N] [--jsonl <path>]
                                       per-phase time breakdown via the mca-obs recorder
                                       (needs --features obs; default world writes
@@ -136,7 +143,7 @@ fn main() -> ExitCode {
         "check-scenarios" => return check_scenarios(args.get(1).map_or("scenarios", |s| s)),
         "golden-trials" => return golden_trials(&args[1..]),
         "profile" => return run_profile(&args[1..]),
-        "bench-sinr" | "bench-shards" | "repair-bench" => {}
+        "bench-sinr" | "bench-shards" | "repair-bench" | "adversary-bench" => {}
         id if TABLE_IDS.contains(&id) => {}
         other => {
             eprintln!("error: unknown subcommand `{other}`\n{USAGE}");
@@ -274,6 +281,35 @@ fn main() -> ExitCode {
         }
         if !ok {
             eprintln!("error: a repair-bench world failed its acceptance gate (see JSON above)");
+            return ExitCode::FAILURE;
+        }
+    }
+    if which == "adversary-bench" {
+        // Smoke mode (CI): one seed still runs every adversary world and
+        // enforces the acceptance gate — both arms audit clean, worlds
+        // bit-identical, and the proactive arm detects, acts, and beats
+        // the censored reactive time-to-repair strictly.
+        let smoke = env::var("ADVERSARY_BENCH_SMOKE").is_ok_and(|v| v == "1");
+        let seeds = if smoke { 1 } else { trials.max(3) };
+        let (json, ok) = mca_bench::adversary_bench_json(seeds);
+        print!("{json}");
+        if smoke {
+            if logs(LogLevel::Summary) {
+                eprintln!(
+                    "[adversary-bench smoke: gate {}]",
+                    if ok { "held" } else { "FAILED" }
+                );
+            }
+        } else {
+            std::fs::write("BENCH_adversary.json", &json).expect("write BENCH_adversary.json");
+            if logs(LogLevel::Summary) {
+                eprintln!("[wrote BENCH_adversary.json]");
+            }
+        }
+        if !ok {
+            eprintln!(
+                "error: an adversary-bench world failed its acceptance gate (see JSON above)"
+            );
             return ExitCode::FAILURE;
         }
     }

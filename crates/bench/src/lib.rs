@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary_bench;
 pub mod golden;
 pub mod profile;
 pub mod repair_bench;
@@ -16,6 +17,9 @@ pub mod scenario_run;
 pub mod shard_bench;
 pub mod sinr_bench;
 
+pub use adversary_bench::{
+    adversary_bench_json, adversary_trial, run_adversary_bench, AdversaryBenchCase,
+};
 pub use golden::{check_golden_trials, golden_trials_json, golden_trials_json_observed};
 pub use profile::{
     default_profile_scenario, profile_json, profile_scenario, profile_supported, profile_table,

@@ -47,11 +47,13 @@ use crate::structure::{
 use crate::validate::{audit_structure_masked, AuditTolerances, StructureAudit};
 use mca_geom::SpatialGrid;
 use mca_radio::rng::derive_seed;
-use mca_radio::{Action, Channel, Engine, NodeEvent, NodeId, Observation, Protocol};
+use mca_radio::{
+    Action, Channel, DetectionEvent, Engine, NodeEvent, NodeId, Observation, Protocol,
+};
 use mca_sinr::SinrParams;
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Maintenance policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +74,15 @@ pub struct MaintainConfig {
     /// up to four anchors' worth, which
     /// [`StructureMaintainer::tolerances`] accounts for.
     pub move_threshold: f64,
+    /// Epochs a node waits after its first proactive action before it can
+    /// be acted on again while still flagged; each further action doubles
+    /// the wait (bounded exponential backoff, capped at
+    /// [`MaintainConfig::backoff_cap`]). A recovery notice resets the
+    /// node's backoff. Keeps a transiently faded link from thrashing
+    /// handovers epoch after epoch.
+    pub backoff_base: u64,
+    /// Upper bound on the proactive backoff wait, in epochs.
+    pub backoff_cap: u64,
 }
 
 impl Default for MaintainConfig {
@@ -80,6 +91,8 @@ impl Default for MaintainConfig {
             handover_hysteresis: 1.25,
             rebuild_threshold: 0.5,
             move_threshold: 0.05,
+            backoff_base: 1,
+            backoff_cap: 16,
         }
     }
 }
@@ -144,6 +157,25 @@ pub struct RepairReport {
     /// JOIN confirmations dominators decoded during re-homing (dominator-
     /// side knowledge of membership changes; quality metric).
     pub join_confirms: usize,
+    /// Flagged members pre-emptively re-homed this epoch, before any audit
+    /// could fail (SINR-triggered proactive repair).
+    pub proactive_rehomes: usize,
+    /// Flagged dominators demoted into scoped re-election this epoch.
+    pub proactive_demotions: usize,
+    /// Flagged nodes whose proactive action was deferred by the bounded
+    /// exponential backoff ([`MaintainConfig::backoff_base`]).
+    pub deferred_flags: usize,
+    /// Recovery notices consumed this epoch (flags cleared without action).
+    pub recovered_flags: usize,
+    /// Worst detection latency (slots from degradation onset to the
+    /// detector flagging it) over the flags acted on this epoch; `0` when
+    /// none were acted on.
+    pub time_to_detect: u64,
+    /// Worst repair latency (slots from degradation onset to the repair
+    /// epoch that acted on it) over the flags acted on this epoch; `0`
+    /// when none were acted on. Requires the caller to supply the current
+    /// slot via [`StructureMaintainer::repair_at`].
+    pub time_to_repair: u64,
 }
 
 impl RepairReport {
@@ -154,6 +186,42 @@ impl RepairReport {
             + self.color_slots
             + self.election_slots
             + self.rebuild_slots
+    }
+
+    /// Folds another epoch's report into this one, element-wise — the
+    /// same accumulation idiom as `Metrics::merge` with its per-channel
+    /// vectors: slot and node counters add, the two latency fields keep
+    /// the worst case, and `kind` keeps the most severe outcome
+    /// (`Rebuilt > Repaired > Clean`).
+    pub fn merge(&mut self, other: &RepairReport) {
+        self.kind = match (self.kind, other.kind) {
+            (RepairKind::Rebuilt, _) | (_, RepairKind::Rebuilt) => RepairKind::Rebuilt,
+            (RepairKind::Repaired, _) | (_, RepairKind::Repaired) => RepairKind::Repaired,
+            (RepairKind::Clean, RepairKind::Clean) => RepairKind::Clean,
+        };
+        self.rehome_slots += other.rehome_slots;
+        self.patch_slots += other.patch_slots;
+        self.color_slots += other.color_slots;
+        self.election_slots += other.election_slots;
+        self.rebuild_slots += other.rebuild_slots;
+        self.seekers += other.seekers;
+        self.rehomed += other.rehomed;
+        self.handovers += other.handovers;
+        self.new_dominators += other.new_dominators;
+        self.forced_singletons += other.forced_singletons;
+        self.retired_clusters += other.retired_clusters;
+        self.merged_clusters += other.merged_clusters;
+        self.dirty_clusters += other.dirty_clusters;
+        self.recolored += other.recolored;
+        self.reporter_dedups += other.reporter_dedups;
+        self.reporter_appointments += other.reporter_appointments;
+        self.join_confirms += other.join_confirms;
+        self.proactive_rehomes += other.proactive_rehomes;
+        self.proactive_demotions += other.proactive_demotions;
+        self.deferred_flags += other.deferred_flags;
+        self.recovered_flags += other.recovered_flags;
+        self.time_to_detect = self.time_to_detect.max(other.time_to_detect);
+        self.time_to_repair = self.time_to_repair.max(other.time_to_repair);
     }
 }
 
@@ -343,6 +411,19 @@ pub struct StructureMaintainer {
     grid: SpatialGrid,
     grid_doms: Vec<u32>,
     grid_pts: Vec<mca_geom::Point>,
+    /// Nodes the degradation detector currently flags
+    /// ([`StructureMaintainer::observe_detection`]); cleared on recovery.
+    flagged: BTreeSet<u32>,
+    /// Per flagged node: `(since, detect_slot)` from the Degraded event,
+    /// for time-to-detect / time-to-repair attribution.
+    flag_meta: HashMap<u32, (u64, u64)>,
+    /// Per-node proactive backoff: `(level, retry_epoch)` — the node is
+    /// not acted on again before `retry_epoch`.
+    backoff: HashMap<u32, (u32, u64)>,
+    /// Recovery notices consumed since the last repair.
+    recovered: usize,
+    /// World slot of the in-flight [`StructureMaintainer::repair_at`] call.
+    now: Option<u64>,
 }
 
 impl StructureMaintainer {
@@ -389,6 +470,11 @@ impl StructureMaintainer {
             grid: SpatialGrid::build(&[], 1.0),
             grid_doms: Vec::new(),
             grid_pts: Vec::new(),
+            flagged: BTreeSet::new(),
+            flag_meta: HashMap::new(),
+            backoff: HashMap::new(),
+            recovered: 0,
+            now: None,
         }
     }
 
@@ -434,7 +520,46 @@ impl StructureMaintainer {
 
     /// Whether any dirty state is pending (a repair would do work).
     pub fn is_dirty(&self) -> bool {
-        !self.seekers.is_empty() || !self.dirty.is_empty() || !self.movers.is_empty()
+        !self.seekers.is_empty()
+            || !self.dirty.is_empty()
+            || !self.movers.is_empty()
+            || !self.flagged.is_empty()
+    }
+
+    /// Digests one detector transition
+    /// ([`Engine::drain_detections`](mca_radio::Engine::drain_detections))
+    /// into proactive-repair state: a degradation flags the node for
+    /// pre-emptive action at the next repair epoch, a recovery clears the
+    /// flag and resets the node's backoff without any repair work.
+    pub fn observe_detection(&mut self, event: &DetectionEvent) {
+        match *event {
+            DetectionEvent::Degraded {
+                node, slot, since, ..
+            } => {
+                if self.alive[node.index()] {
+                    self.flagged.insert(node.0);
+                    self.flag_meta.insert(node.0, (since, slot));
+                }
+            }
+            DetectionEvent::Recovered { node, .. } => {
+                if self.flagged.remove(&node.0) {
+                    self.flag_meta.remove(&node.0);
+                    self.backoff.remove(&node.0);
+                    self.recovered += 1;
+                }
+            }
+        }
+    }
+
+    /// Nodes currently flagged by the detector and awaiting (or backing
+    /// off from) proactive action, ascending.
+    pub fn flagged_nodes(&self) -> Vec<u32> {
+        self.flagged.iter().copied().collect()
+    }
+
+    /// Whether node `node` is currently flagged as degraded.
+    pub fn is_flagged(&self, node: u32) -> bool {
+        self.flagged.contains(&node)
     }
 
     /// The engine watch threshold (absolute distance) this maintainer's
@@ -480,6 +605,11 @@ impl StructureMaintainer {
                 self.alive[i] = false;
                 self.seekers.remove(&node.0);
                 self.movers.remove(&node.0);
+                // A crash supersedes any degradation flag: the lifecycle
+                // path below repairs harder than the proactive one would.
+                self.flagged.remove(&node.0);
+                self.flag_meta.remove(&node.0);
+                self.backoff.remove(&node.0);
                 let rec = &self.structure.records[i];
                 if rec.role.is_dominator() {
                     // Cluster retired: orphan every surviving member.
@@ -527,6 +657,19 @@ impl StructureMaintainer {
         if let Some(rec) = self.obs.as_mut() {
             let epoch = self.epochs;
             rec.span(SpanKind::Repair, before, 0, 0, sw.elapsed_ns());
+            let acted = (report.proactive_rehomes + report.proactive_demotions) as u64;
+            if acted > 0 {
+                rec.event(EventKind::DetectDegraded, before, epoch, 0, acted);
+            }
+            if report.recovered_flags > 0 {
+                rec.event(
+                    EventKind::DetectRecovered,
+                    before,
+                    epoch,
+                    0,
+                    report.recovered_flags as u64,
+                );
+            }
             match report.kind {
                 RepairKind::Clean => rec.event(EventKind::RepairClean, before, epoch, 0, 1),
                 RepairKind::Rebuilt => rec.event(
@@ -538,7 +681,12 @@ impl StructureMaintainer {
                 ),
                 RepairKind::Repaired => {
                     // One event per action class that did anything.
-                    let actions: [(EventKind, u64, u64); 5] = [
+                    let actions: [(EventKind, u64, u64); 6] = [
+                        (
+                            EventKind::RepairProactive,
+                            0,
+                            (report.proactive_rehomes + report.proactive_demotions) as u64,
+                        ),
                         (EventKind::RepairMerge, 0, report.merged_clusters as u64),
                         (
                             EventKind::RepairRehome,
@@ -569,6 +717,19 @@ impl StructureMaintainer {
                 }
             }
         }
+        report
+    }
+
+    /// [`StructureMaintainer::repair`] with the current world slot
+    /// supplied, so proactive actions can report
+    /// [`RepairReport::time_to_repair`] — the slot distance from
+    /// degradation onset (the detector's `since`) to this repair epoch.
+    /// Plain `repair` leaves that field `0` (the maintainer has no clock
+    /// of its own).
+    pub fn repair_at(&mut self, env: &NetworkEnv, seed: u64, now: u64) -> RepairReport {
+        self.now = Some(now);
+        let report = self.repair(env, seed);
+        self.now = None;
         report
     }
 
@@ -697,6 +858,70 @@ impl StructureMaintainer {
                     report.handovers += 1;
                 }
             }
+        }
+
+        // --- Proactive digest: act on detector flags before any audit
+        // fails. A flagged member pre-emptively re-homes; a flagged
+        // dominator demotes and its cluster re-homes plus re-elects, all
+        // through the same seeker machinery the reactive paths use. Each
+        // action arms a bounded exponential backoff on the node so a
+        // transient fade cannot thrash handovers; the flag itself only
+        // clears on a detector recovery notice.
+        report.recovered_flags = std::mem::take(&mut self.recovered);
+        let epoch = self.epochs;
+        let mut proactive_demoted = false;
+        for f in self.flagged.iter().copied().collect::<Vec<u32>>() {
+            let fi = f as usize;
+            if !self.alive[fi] {
+                continue;
+            }
+            if let Some(&(_, until)) = self.backoff.get(&f) {
+                if epoch < until {
+                    report.deferred_flags += 1;
+                    continue;
+                }
+            }
+            if self.structure.records[fi].role.is_dominator() {
+                for m in self.live_members(NodeId(f)) {
+                    if m.0 != f {
+                        detach(&mut self.structure.records[m.index()]);
+                        self.seekers.insert(m.0);
+                    }
+                }
+                detach(&mut self.structure.records[fi]);
+                self.seekers.insert(f);
+                self.dirty.remove(&f);
+                proactive_demoted = true;
+                report.proactive_demotions += 1;
+            } else {
+                if let Some(c) = self.structure.records[fi].cluster {
+                    if self.alive[c.index()] {
+                        self.dirty.insert(c.0);
+                    }
+                }
+                detach(&mut self.structure.records[fi]);
+                self.seekers.insert(f);
+                report.proactive_rehomes += 1;
+            }
+            if let Some(&(since, detect_slot)) = self.flag_meta.get(&f) {
+                report.time_to_detect =
+                    report.time_to_detect.max(detect_slot.saturating_sub(since));
+                if let Some(now) = self.now {
+                    report.time_to_repair = report.time_to_repair.max(now.saturating_sub(since));
+                }
+            }
+            let level = self.backoff.get(&f).map_or(0, |&(l, _)| l);
+            let wait = self
+                .mcfg
+                .backoff_base
+                .saturating_mul(1u64 << level.min(16))
+                .clamp(1, self.mcfg.backoff_cap.max(1));
+            self.backoff
+                .insert(f, (level.saturating_add(1), epoch + wait));
+        }
+        if proactive_demoted {
+            self.structure.rebuild_members_index();
+            self.refresh_dominator_grid(env);
         }
 
         let live_count = self.live_count();
@@ -938,19 +1163,60 @@ impl StructureMaintainer {
         if seekers.is_empty() {
             return (0, Vec::new(), 0, 0);
         }
-        let n = env.len();
         self.refresh_dominator_grid(env);
-        let algo = &self.cfg.algo;
         // The affected neighborhood: anchors a seeker could attach to, with
-        // margin for RSSI slack.
+        // margin for RSSI slack. A detector-flagged dominator cannot
+        // reliably decode JOINs, so the first pass offers only clean
+        // dominators; seekers left over then salvage-attach to flagged
+        // dominators in reach — a hard exclusion would strand whole jammed
+        // neighborhoods into adjacent forced singletons and break dominator
+        // independence.
         let reach = 1.5 * self.cfg.cluster_radius;
-        let mut anchors: BTreeSet<u32> = BTreeSet::new();
-        for &s in seekers {
-            self.grid
-                .for_each_within(&self.grid_pts, env.positions[s as usize], reach, |k| {
-                    anchors.insert(self.grid_doms[k]);
-                });
+        let nearby = |this: &Self, set: &[u32], want_flagged: bool| -> BTreeSet<u32> {
+            let mut anchors = BTreeSet::new();
+            for &s in set {
+                this.grid
+                    .for_each_within(&this.grid_pts, env.positions[s as usize], reach, |k| {
+                        let u = this.grid_doms[k];
+                        if this.flagged.contains(&u) == want_flagged {
+                            anchors.insert(u);
+                        }
+                    });
+            }
+            anchors
+        };
+        let clean = nearby(self, seekers, false);
+        let (attached, still, confirms, slots) =
+            self.rehome_pass(env, seekers, &clean, derive_seed(seed, 0x4E40));
+        if still.is_empty() {
+            return (attached, still, confirms, slots);
         }
+        let flagged = nearby(self, &still, true);
+        if flagged.is_empty() {
+            return (attached, still, confirms, slots);
+        }
+        let (attached2, still2, confirms2, slots2) =
+            self.rehome_pass(env, &still, &flagged, derive_seed(seed, 0x4E41));
+        (
+            attached + attached2,
+            still2,
+            confirms + confirms2,
+            slots + slots2,
+        )
+    }
+
+    /// One simulated announce/join pass of [`StructureMaintainer::rehome`]
+    /// over a fixed anchor set, with `engine_seed` as the engine's RNG
+    /// seed. Returns `(attached, leftover_seekers, confirms, slots)`.
+    fn rehome_pass(
+        &mut self,
+        env: &NetworkEnv,
+        seekers: &[u32],
+        anchors: &BTreeSet<u32>,
+        engine_seed: u64,
+    ) -> (usize, Vec<u32>, usize, u64) {
+        let n = env.len();
+        let algo = &self.cfg.algo;
         let seeker_set: BTreeSet<u32> = seekers.iter().copied().collect();
         let cfg = RehomeCfg {
             radius: self.cfg.cluster_radius,
@@ -976,13 +1242,8 @@ impl StructureMaintainer {
                 RehomeProtocol::new(id, role, cfg)
             })
             .collect();
-        let mut engine = Engine::new(
-            env.params,
-            env.positions.clone(),
-            protocols,
-            derive_seed(seed, 0x4E40),
-        )
-        .with_faults(stages::absence_plan(Some(&participates)));
+        let mut engine = Engine::new(env.params, env.positions.clone(), protocols, engine_seed)
+            .with_faults(stages::absence_plan(Some(&participates)));
         engine.run_until_done(2 * cfg.rounds + 2);
         let slots = engine.slot();
         let out = engine.into_protocols();
@@ -1369,5 +1630,226 @@ mod tests {
             .filter(|s| s.kind == mca_obs::SpanKind::Repair)
             .count();
         assert_eq!(spans, 2);
+    }
+
+    fn degraded(node: u32, slot: u64, since: u64) -> DetectionEvent {
+        DetectionEvent::Degraded {
+            node: NodeId(node),
+            slot,
+            score: 0.2,
+            since,
+        }
+    }
+
+    fn recovered(node: u32, slot: u64) -> DetectionEvent {
+        DetectionEvent::Recovered {
+            node: NodeId(node),
+            slot,
+            score: 0.9,
+        }
+    }
+
+    /// A live member (not a dominator) of a multi-member cluster.
+    fn some_member(m: &StructureMaintainer) -> u32 {
+        m.structure()
+            .records
+            .iter()
+            .position(|r| !r.role.is_dominator() && r.cluster.is_some_and(|c| c != r.id))
+            .expect("world has at least one attached member") as u32
+    }
+
+    #[test]
+    fn proactive_member_rehome_is_audit_clean_with_latencies() {
+        let (env, cfg) = world(150, 11.0, 7);
+        let mut m = StructureMaintainer::build(&env, cfg, MaintainConfig::default(), None);
+        let victim = some_member(&m);
+        m.observe_detection(&degraded(victim, 30, 20));
+        assert!(m.is_dirty() && m.is_flagged(victim));
+        let report = m.repair_at(&env, 123, 40);
+        assert_eq!(report.kind, RepairKind::Repaired);
+        assert_eq!(report.proactive_rehomes, 1);
+        assert_eq!(report.proactive_demotions, 0);
+        assert_eq!(report.time_to_detect, 10, "flag slot 30 - onset 20");
+        assert_eq!(report.time_to_repair, 20, "repair slot 40 - onset 20");
+        m.audit(&env).assert_sound_with(&m.tolerances());
+        // The flag persists (no recovery notice yet) — only the backoff
+        // keeps the next epochs from re-acting.
+        assert!(m.is_flagged(victim));
+    }
+
+    #[test]
+    fn plain_repair_reports_zero_time_to_repair() {
+        let (env, cfg) = world(150, 11.0, 7);
+        let mut m = StructureMaintainer::build(&env, cfg, MaintainConfig::default(), None);
+        m.observe_detection(&degraded(some_member(&m), 30, 20));
+        let report = m.repair(&env, 123);
+        assert_eq!(report.time_to_detect, 10);
+        assert_eq!(report.time_to_repair, 0, "no clock without repair_at");
+    }
+
+    #[test]
+    fn flagged_dominator_demotes_into_scoped_reelection() {
+        let (env, cfg) = world(150, 11.0, 5);
+        let mut m = StructureMaintainer::build(&env, cfg, MaintainConfig::default(), None);
+        let victim = m
+            .structure()
+            .dominators()
+            .into_iter()
+            .max_by_key(|&d| m.structure().members_of(d).len())
+            .unwrap();
+        let orphans = m.structure().members_of(victim).len() - 1;
+        m.observe_detection(&degraded(victim.0, 50, 44));
+        let report = m.repair_at(&env, 91, 60);
+        assert_eq!(report.kind, RepairKind::Repaired);
+        assert_eq!(report.proactive_demotions, 1);
+        assert!(
+            report.seekers >= orphans + 1,
+            "the demoted dominator and its members all re-home"
+        );
+        // The victim may be re-promoted by the MIS patch (an uncovered
+        // seeker is a natural MIS point), and members with no clean
+        // dominator in reach may salvage-attach back to it — but the
+        // cluster was broken up, re-homed with clean-anchors-first
+        // preference, and the structure must still audit sound. The flag
+        // survives (only a detector recovery clears it), so the backoff
+        // now owns the retry cadence.
+        assert!(m.is_flagged(victim.0), "only Recovered clears a flag");
+        m.audit(&env).assert_sound_with(&m.tolerances());
+    }
+
+    #[test]
+    fn backoff_defers_reflagged_nodes_then_rearms() {
+        let (env, cfg) = world(150, 11.0, 7);
+        let mcfg = MaintainConfig {
+            backoff_base: 4,
+            ..MaintainConfig::default()
+        };
+        let mut m = StructureMaintainer::build(&env, cfg, mcfg, None);
+        let victim = some_member(&m);
+        m.observe_detection(&degraded(victim, 30, 20));
+        let first = m.repair(&env, 1);
+        assert_eq!(first.proactive_rehomes, 1);
+        // Epochs 2..=4 sit inside the backoff window: the still-flagged
+        // node is deferred, not thrashed.
+        for seed in 2..=4 {
+            let r = m.repair(&env, seed);
+            assert_eq!(r.proactive_rehomes, 0, "epoch {seed} must defer");
+            assert_eq!(r.deferred_flags, 1);
+        }
+        // Epoch 5 re-arms (and doubles the next wait).
+        let again = m.repair(&env, 5);
+        assert_eq!(again.proactive_rehomes, 1);
+        assert_eq!(again.deferred_flags, 0);
+        m.audit(&env).assert_sound_with(&m.tolerances());
+    }
+
+    #[test]
+    fn recovery_notice_clears_flag_without_repair_work() {
+        let (env, cfg) = world(150, 11.0, 7);
+        let mut m = StructureMaintainer::build(&env, cfg, MaintainConfig::default(), None);
+        let victim = some_member(&m);
+        m.observe_detection(&degraded(victim, 30, 20));
+        m.repair(&env, 1);
+        assert!(m.is_flagged(victim));
+        m.observe_detection(&recovered(victim, 90));
+        assert!(!m.is_flagged(victim));
+        let report = m.repair(&env, 2);
+        assert_eq!(report.recovered_flags, 1);
+        assert_eq!(report.proactive_rehomes, 0);
+        // Backoff was reset: a fresh degradation acts immediately.
+        m.observe_detection(&degraded(victim, 120, 110));
+        let report = m.repair(&env, 3);
+        assert_eq!(report.proactive_rehomes, 1);
+        assert_eq!(report.deferred_flags, 0);
+        m.audit(&env).assert_sound_with(&m.tolerances());
+    }
+
+    #[test]
+    fn flagged_dominators_are_last_resort_anchors() {
+        let (env, cfg) = world(150, 11.0, 5);
+        let mut m = StructureMaintainer::build(&env, cfg, MaintainConfig::default(), None);
+        // Flag a few dominators (few enough to stay under the rebuild
+        // threshold): the proactive digest demotes them, clean dominators
+        // get the first re-home pass, and flagged ones only salvage the
+        // stragglers — a hard exclusion would strand jammed neighborhoods
+        // into adjacent forced singletons. Net effect: flagged clusters
+        // lose most of their membership while the audit stays sound.
+        let victims: Vec<NodeId> = m.structure().dominators().into_iter().take(3).collect();
+        let before: usize = victims
+            .iter()
+            .map(|&d| m.structure().members_of(d).len().saturating_sub(1))
+            .sum();
+        for &d in &victims {
+            m.observe_detection(&degraded(d.0, 10, 5));
+        }
+        let report = m.repair(&env, 7);
+        assert_eq!(report.kind, RepairKind::Repaired);
+        assert_eq!(report.proactive_demotions, 3);
+        m.audit(&env).assert_sound_with(&m.tolerances());
+        let after = m
+            .structure()
+            .records
+            .iter()
+            .enumerate()
+            .filter(|&(i, r)| {
+                r.cluster
+                    .is_some_and(|c| c.index() != i && victims.contains(&c))
+            })
+            .count();
+        assert!(
+            after < before.max(1),
+            "flagged clusters kept {after} of {before} members"
+        );
+    }
+
+    #[test]
+    fn crash_supersedes_degradation_flag() {
+        let (env, cfg) = world(150, 11.0, 5);
+        let mut m = StructureMaintainer::build(&env, cfg, MaintainConfig::default(), None);
+        let victim = some_member(&m);
+        m.observe_detection(&degraded(victim, 30, 20));
+        crash(&mut m, victim, 35);
+        assert!(!m.is_flagged(victim));
+        let report = m.repair(&env, 9);
+        assert_eq!(report.proactive_rehomes, 0);
+        m.audit(&env).assert_sound_with(&m.tolerances());
+    }
+
+    #[test]
+    fn repair_report_merge_is_element_wise() {
+        let a = RepairReport {
+            kind: RepairKind::Repaired,
+            rehome_slots: 10,
+            seekers: 3,
+            rehomed: 2,
+            proactive_rehomes: 1,
+            time_to_detect: 4,
+            time_to_repair: 9,
+            ..RepairReport::default()
+        };
+        let b = RepairReport {
+            kind: RepairKind::Rebuilt,
+            rebuild_slots: 50,
+            seekers: 5,
+            deferred_flags: 2,
+            time_to_detect: 7,
+            time_to_repair: 6,
+            ..RepairReport::default()
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.kind, RepairKind::Rebuilt, "max-severity kind");
+        assert_eq!(merged.rehome_slots, 10);
+        assert_eq!(merged.rebuild_slots, 50);
+        assert_eq!(merged.total_slots(), 60);
+        assert_eq!(merged.seekers, 8);
+        assert_eq!(merged.rehomed, 2);
+        assert_eq!(merged.proactive_rehomes, 1);
+        assert_eq!(merged.deferred_flags, 2);
+        assert_eq!(merged.time_to_detect, 7, "latencies keep the worst case");
+        assert_eq!(merged.time_to_repair, 9);
+        let mut clean = RepairReport::default();
+        clean.merge(&RepairReport::default());
+        assert_eq!(clean.kind, RepairKind::Clean);
     }
 }

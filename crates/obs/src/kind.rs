@@ -151,10 +151,20 @@ pub enum EventKind {
     RepairElection,
     /// Churn exceeded the threshold; full rebuild (`count` = 1).
     RepairRebuild,
+    /// Degradation detections consumed by a repair epoch (`count` =
+    /// flagged nodes acted on).
+    DetectDegraded,
+    /// Recovery notices consumed by a repair epoch (`count` = nodes whose
+    /// link health recovered).
+    DetectRecovered,
+    /// Proactive repair acted before any audit failure: flagged members
+    /// pre-emptively re-homed and flagged dominators demoted into scoped
+    /// re-election (`count` = nodes acted on).
+    RepairProactive,
 }
 
 /// Every event kind, in a fixed report order.
-pub const EVENT_KINDS: [EventKind; 12] = [
+pub const EVENT_KINDS: [EventKind; 15] = [
     EventKind::StageDominate,
     EventKind::StageColor,
     EventKind::StageAnnounce,
@@ -167,6 +177,9 @@ pub const EVENT_KINDS: [EventKind; 12] = [
     EventKind::RepairMerge,
     EventKind::RepairElection,
     EventKind::RepairRebuild,
+    EventKind::DetectDegraded,
+    EventKind::DetectRecovered,
+    EventKind::RepairProactive,
 ];
 
 impl EventKind {
@@ -185,6 +198,9 @@ impl EventKind {
             EventKind::RepairMerge => "repair_merge",
             EventKind::RepairElection => "repair_election",
             EventKind::RepairRebuild => "repair_rebuild",
+            EventKind::DetectDegraded => "detect_degraded",
+            EventKind::DetectRecovered => "detect_recovered",
+            EventKind::RepairProactive => "repair_proactive",
         }
     }
 

@@ -7,6 +7,7 @@
 //! property of the multi-channel model.
 
 use crate::condition::ChannelCondition;
+use crate::detect::{DegradationDetector, DetectionEvent};
 use crate::events::{EventWatch, NodeEvent};
 use crate::fault::FaultPlan;
 use crate::ids::{Channel, NodeId};
@@ -79,6 +80,10 @@ pub struct Engine<P: Protocol> {
     conditions: Vec<ChannelCondition>,
     trace: Option<TraceRecorder>,
     watch: Option<EventWatch>,
+    /// SINR degradation detector ([`Engine::attach_detector`]). Like the
+    /// obs recorder, it only observes delivery outcomes — attaching one
+    /// never changes a bit of the simulation.
+    detector: Option<DegradationDetector>,
     /// Observability recorder ([`Engine::attach_obs`]). `None` costs one
     /// predictable branch per phase; with the `obs` feature off the
     /// recorder is a zero-sized no-op either way. Recording never feeds
@@ -206,6 +211,7 @@ impl<P: Protocol> Engine<P> {
             conditions: Vec::new(),
             trace: None,
             watch: None,
+            detector: None,
             obs: None,
             obs_cache_builds: (0, 0),
             par_channels: force,
@@ -348,8 +354,11 @@ impl<P: Protocol> Engine<P> {
     /// Panics if `move_threshold` is not positive and finite.
     pub fn watch_events(&mut self, move_threshold: f64) {
         let slot = self.slot;
+        // Lifecycle presence only: a duty-cycled node napping through this
+        // slot is still a member (it returns with state), so sleep phases
+        // never masquerade as crash/join churn in the event stream.
         let present: Vec<bool> = (0..self.positions.len())
-            .map(|i| !self.faults.is_absent(i as u32, slot))
+            .map(|i| !self.faults.is_lifecycle_absent(i as u32, slot))
             .collect();
         self.watch = Some(EventWatch::new(
             present,
@@ -371,6 +380,36 @@ impl<P: Protocol> Engine<P> {
     /// Number of queued (undrained) events.
     pub fn pending_events(&self) -> usize {
         self.watch.as_ref().map_or(0, EventWatch::pending)
+    }
+
+    /// Attaches a SINR degradation detector: every subsequent
+    /// [`Engine::step`] folds each contested listen outcome (a listen on a
+    /// channel with at least one transmitter) into the detector's per-node
+    /// health scores, queueing [`DetectionEvent`]s for
+    /// [`Engine::drain_detections`]. Detection is observation only —
+    /// outcomes, metrics, and RNG draws are bit-identical with or without
+    /// a detector attached.
+    pub fn attach_detector(&mut self, detector: DegradationDetector) {
+        self.detector = Some(detector);
+    }
+
+    /// The attached degradation detector, if any.
+    pub fn detector(&self) -> Option<&DegradationDetector> {
+        self.detector.as_ref()
+    }
+
+    /// Mutable access to the attached degradation detector.
+    pub fn detector_mut(&mut self) -> Option<&mut DegradationDetector> {
+        self.detector.as_mut()
+    }
+
+    /// Takes all [`DetectionEvent`]s queued since the last drain (empty
+    /// unless a detector is attached).
+    pub fn drain_detections(&mut self) -> Vec<DetectionEvent> {
+        self.detector
+            .as_mut()
+            .map(DegradationDetector::drain)
+            .unwrap_or_default()
     }
 
     /// The trace recorder, if tracing is enabled.
@@ -772,7 +811,11 @@ impl<P: Protocol> Engine<P> {
         // under, so transitions are reported at the slot they take effect.
         if let Some(watch) = self.watch.as_mut() {
             let faults = &self.faults;
-            watch.observe(slot, &self.positions, |i| faults.is_absent(i as u32, slot));
+            // Lifecycle view: duty-cycle sleep is not a crash (see
+            // `watch_events`), so subscribers only hear real churn.
+            watch.observe(slot, &self.positions, |i| {
+                faults.is_lifecycle_absent(i as u32, slot)
+            });
         }
 
         // Shard partition maintenance: build lazily from the first sharded
@@ -920,6 +963,17 @@ impl<P: Protocol> Engine<P> {
                         total_power: outcome.total_power,
                     };
                 }
+                // Zone jams destroy decodes at victims inside the blast
+                // radius — a deep fade local to the listener.
+                if outcome.decoded.is_some() && self.faults.zone_drop(group.rx_pos[k], ch, slot) {
+                    self.metrics.env_drops += 1;
+                    outcome = ListenOutcome {
+                        decoded: None,
+                        signal: 0.0,
+                        sinr: 0.0,
+                        total_power: outcome.total_power,
+                    };
+                }
                 let obs = Observation::from_outcome(&outcome, |j| {
                     let sender = group.tx[j] as usize;
                     let msg = match &self.actions[sender] {
@@ -948,6 +1002,15 @@ impl<P: Protocol> Engine<P> {
                         }
                     }
                     _ => {}
+                }
+                // Contested listens feed the degradation detector: the
+                // channel had a transmitter, so decode-or-not is evidence
+                // about this listener's link health.
+                if self.detector.is_some() && !self.groups[gi].tx.is_empty() {
+                    let delivered = matches!(&obs, Observation::Received(_));
+                    if let Some(det) = self.detector.as_mut() {
+                        det.sample(li, slot, delivered);
+                    }
                 }
                 self.protocols[li as usize].observe(slot, obs, &mut self.rngs[li as usize]);
             }
@@ -1077,7 +1140,7 @@ impl<P: Protocol> Engine<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::JamSpec;
+    use crate::fault::{JamSpec, ZoneJam};
 
     /// Transmits `msg` on `channel` in every slot.
     struct Talker {
@@ -1633,6 +1696,141 @@ mod tests {
                 slot: next
             }]
         );
+    }
+
+    #[test]
+    fn zone_jam_drops_only_inside_blast_radius() {
+        // Talker at the origin, one ear in the blast zone, one outside.
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(-2.0, 0.0),
+        ];
+        let protocols = vec![
+            Role::Talk(Talker {
+                channel: Channel::FIRST,
+                msg: 9,
+            }),
+            Role::Hear(Ear::new(Channel::FIRST)),
+            Role::Hear(Ear::new(Channel::FIRST)),
+        ];
+        let mut faults = FaultPlan::none();
+        faults.zone_jam(ZoneJam {
+            center: Point::new(2.0, 0.0),
+            radius: 1.0,
+            channel: None,
+            from: 0,
+            to: u64::MAX,
+        });
+        let mut e = Engine::new(SinrParams::default(), positions, protocols, 7).with_faults(faults);
+        e.step();
+        match (&e.protocols()[1], &e.protocols()[2]) {
+            (Role::Hear(hit), Role::Hear(clear)) => {
+                assert!(
+                    hit.heard.is_empty(),
+                    "victim inside the zone decodes nothing"
+                );
+                assert_eq!(hit.noise_slots, 1, "the energy is still sensed");
+                assert_eq!(clear.heard.len(), 1, "outside the zone life goes on");
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(e.metrics().env_drops, 1);
+        assert_eq!(e.metrics().receptions, 1);
+    }
+
+    #[test]
+    fn sleeping_node_is_silent_but_not_lifecycle_churn() {
+        use crate::fault::SleepSchedule;
+        let positions = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        let protocols = vec![
+            Role::Talk(Talker {
+                channel: Channel::FIRST,
+                msg: 3,
+            }),
+            Role::Hear(Ear::new(Channel::FIRST)),
+        ];
+        let mut faults = FaultPlan::none();
+        // Awake slots {0,1}, asleep {2,3}, awake again at 4.
+        faults.sleep(
+            0,
+            SleepSchedule {
+                period: 4,
+                on: 2,
+                phase: 0,
+            },
+        );
+        let mut e = Engine::new(SinrParams::default(), positions, protocols, 7).with_faults(faults);
+        e.watch_events(10.0);
+        e.run(5);
+        match &e.protocols()[1] {
+            Role::Hear(ear) => {
+                assert_eq!(ear.heard.len(), 3, "slots 0, 1, 4 deliver");
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(e.metrics().transmissions, 3);
+        assert_eq!(
+            e.drain_events(),
+            vec![],
+            "duty-cycle sleep is not crash/join churn"
+        );
+    }
+
+    #[test]
+    fn detector_flags_zone_jammed_listener_then_recovers() {
+        use crate::detect::{DegradationDetector, DetectionEvent, DetectorConfig};
+        let mk = || {
+            let positions = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+            let protocols = vec![
+                Role::Talk(Talker {
+                    channel: Channel::FIRST,
+                    msg: 1,
+                }),
+                Role::Hear(Ear::new(Channel::FIRST)),
+            ];
+            let mut faults = FaultPlan::none();
+            // The jam arrives at slot 20 and lifts at slot 60.
+            faults.zone_jam(ZoneJam {
+                center: Point::new(2.0, 0.0),
+                radius: 1.0,
+                channel: None,
+                from: 20,
+                to: 60,
+            });
+            Engine::new(SinrParams::default(), positions, protocols, 7).with_faults(faults)
+        };
+        let mut plain = mk();
+        let mut watched = mk();
+        watched.attach_detector(DegradationDetector::new(2, DetectorConfig::default()));
+        plain.run(100);
+        watched.run(100);
+        assert_eq!(
+            plain.metrics(),
+            watched.metrics(),
+            "detection is observation only"
+        );
+        let events = watched.drain_detections();
+        assert_eq!(events.len(), 2, "{events:?}");
+        match events[0] {
+            DetectionEvent::Degraded {
+                node, slot, since, ..
+            } => {
+                assert_eq!(node, NodeId(1));
+                assert_eq!(since, 20, "onset pinned to the jam's arrival");
+                assert!(slot < 40, "flagged well before the jam lifts");
+            }
+            _ => panic!("expected Degraded first"),
+        }
+        match events[1] {
+            DetectionEvent::Recovered { node, slot, .. } => {
+                assert_eq!(node, NodeId(1));
+                assert!(slot >= 60, "recovery only after the jam lifts");
+            }
+            _ => panic!("expected Recovered second"),
+        }
+        assert!(!watched.detector().unwrap().is_flagged(1));
+        assert!(watched.detector_mut().is_some());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! these to probe the robustness of the aggregation structure.
 
 use crate::rng::mix64;
+use mca_geom::Point;
 use std::collections::HashMap;
 
 /// A channel-jamming specification.
@@ -85,12 +86,71 @@ impl JamSpec {
     }
 }
 
+/// A periodic per-node power-down schedule.
+///
+/// Distinct from crash-stop: a sleeping node is powered off for the back
+/// half of every period (it neither transmits, listens, nor observes, like
+/// an absent node) but **returns with its protocol state intact** and does
+/// not count as a lifecycle transition — see
+/// [`FaultPlan::is_lifecycle_absent`]. Models duty-cycled radios saving
+/// energy on a fixed phase/period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepSchedule {
+    /// Cycle length in slots.
+    pub period: u64,
+    /// Slots awake at the start of each cycle; the remaining
+    /// `period - on` slots are spent asleep. `on >= period` never sleeps.
+    pub on: u64,
+    /// Phase offset in slots (staggers schedules across nodes).
+    pub phase: u64,
+}
+
+impl SleepSchedule {
+    /// Whether the schedule has the node powered down at `slot`.
+    pub fn asleep_at(&self, slot: u64) -> bool {
+        self.period > 0 && self.on < self.period && (slot + self.phase) % self.period >= self.on
+    }
+}
+
+/// A spatially-scoped jammer: receptions decoded by listeners inside
+/// `radius` of `center` during `[from, to)` are destroyed (a deep fade at
+/// the victim — the energy was still sensed, so the listener observes a
+/// busy channel). Unlike [`JamSpec`], which degrades a whole channel
+/// everywhere, a zone jam follows a *position* — the mechanism behind the
+/// mobile tracking jammer in `mca-scenario`, which rewrites `center` each
+/// epoch to sit on the densest live cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneJam {
+    /// Jammer position.
+    pub center: Point,
+    /// Blast radius: listeners strictly within this distance are hit.
+    pub radius: f64,
+    /// Restrict the jam to one channel (`None` hits every channel).
+    pub channel: Option<u16>,
+    /// First jammed slot.
+    pub from: u64,
+    /// One past the last jammed slot.
+    pub to: u64,
+}
+
+impl ZoneJam {
+    /// Whether a listener at `pos` on `channel` is inside the jam at `slot`.
+    pub fn hits(&self, pos: Point, channel: u16, slot: u64) -> bool {
+        slot >= self.from
+            && slot < self.to
+            && self.channel.is_none_or(|c| c == channel)
+            && pos.dist_sq(self.center) < self.radius * self.radius
+    }
+}
+
 /// A plan of faults injected into a run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     crashes: HashMap<u32, u64>,
     joins: HashMap<u32, u64>,
     jams: Vec<JamSpec>,
+    sleeps: HashMap<u32, SleepSchedule>,
+    zone_jams: Vec<ZoneJam>,
 }
 
 impl FaultPlan {
@@ -120,6 +180,21 @@ impl FaultPlan {
         self
     }
 
+    /// Puts node `node` on a duty-cycle sleep schedule (replacing any
+    /// previous schedule for the node).
+    pub fn sleep(&mut self, node: u32, schedule: SleepSchedule) -> &mut Self {
+        self.sleeps.insert(node, schedule);
+        self
+    }
+
+    /// Adds a zone jam and returns its index, so an environment model that
+    /// owns the jammer can re-target it later via
+    /// [`FaultPlan::zone_jams_mut`].
+    pub fn zone_jam(&mut self, jam: ZoneJam) -> usize {
+        self.zone_jams.push(jam);
+        self.zone_jams.len() - 1
+    }
+
     /// Whether `node` is crashed at `slot`.
     pub fn is_crashed(&self, node: u32, slot: u64) -> bool {
         self.crashes.get(&node).is_some_and(|&s| slot >= s)
@@ -131,9 +206,24 @@ impl FaultPlan {
         self.joins.get(&node).is_none_or(|&s| slot >= s)
     }
 
-    /// Whether `node` takes no part in `slot` — crashed, or not yet joined.
-    pub fn is_absent(&self, node: u32, slot: u64) -> bool {
+    /// Whether `node` is powered down by a duty-cycle schedule at `slot`.
+    pub fn is_asleep(&self, node: u32, slot: u64) -> bool {
+        self.sleeps.get(&node).is_some_and(|s| s.asleep_at(slot))
+    }
+
+    /// Whether `node`'s *lifecycle* keeps it out of `slot` — crashed, or
+    /// not yet joined. Excludes duty-cycle sleep: a sleeping node is a
+    /// temporary power-down that returns with state, not a membership
+    /// change, so lifecycle observers
+    /// ([`crate::Engine::watch_events`]) do not report it.
+    pub fn is_lifecycle_absent(&self, node: u32, slot: u64) -> bool {
         self.is_crashed(node, slot) || !self.has_joined(node, slot)
+    }
+
+    /// Whether `node` takes no part in `slot` — crashed, not yet joined,
+    /// or asleep on its duty cycle.
+    pub fn is_absent(&self, node: u32, slot: u64) -> bool {
+        self.is_lifecycle_absent(node, slot) || self.is_asleep(node, slot)
     }
 
     /// Total jamming power on `channel` at `slot`.
@@ -141,9 +231,19 @@ impl FaultPlan {
         self.jams.iter().map(|j| j.power_at(channel, slot)).sum()
     }
 
+    /// Whether any zone jam destroys receptions for a listener at `pos` on
+    /// `channel` at `slot`.
+    pub fn zone_drop(&self, pos: Point, channel: u16, slot: u64) -> bool {
+        self.zone_jams.iter().any(|z| z.hits(pos, channel, slot))
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_trivial(&self) -> bool {
-        self.crashes.is_empty() && self.joins.is_empty() && self.jams.is_empty()
+        self.crashes.is_empty()
+            && self.joins.is_empty()
+            && self.jams.is_empty()
+            && self.sleeps.is_empty()
+            && self.zone_jams.is_empty()
     }
 
     /// The scheduled crash-stops as `(node, slot)` pairs, sorted by node —
@@ -164,6 +264,25 @@ impl FaultPlan {
     /// The jamming specs, in insertion order.
     pub fn jams(&self) -> &[JamSpec] {
         &self.jams
+    }
+
+    /// The duty-cycle schedules as `(node, schedule)` pairs, sorted by
+    /// node — a deterministic view for serialization and reporting.
+    pub fn sleep_schedules(&self) -> Vec<(u32, SleepSchedule)> {
+        let mut v: Vec<(u32, SleepSchedule)> = self.sleeps.iter().map(|(&n, &s)| (n, s)).collect();
+        v.sort_unstable_by_key(|&(n, _)| n);
+        v
+    }
+
+    /// The zone jams, in insertion order.
+    pub fn zone_jams(&self) -> &[ZoneJam] {
+        &self.zone_jams
+    }
+
+    /// Mutable zone jams — how a tracking-jammer environment model
+    /// re-targets the jam it installed between slots.
+    pub fn zone_jams_mut(&mut self) -> &mut [ZoneJam] {
+        &mut self.zone_jams
     }
 }
 
@@ -275,6 +394,91 @@ mod tests {
         assert_eq!(p.crash_events(), vec![(2, 10), (9, 30)]);
         assert_eq!(p.join_events(), vec![(5, 4)]);
         assert_eq!(p.jams().len(), 1);
+    }
+
+    #[test]
+    fn sleep_schedule_cycles_and_staggers() {
+        let s = SleepSchedule {
+            period: 10,
+            on: 6,
+            phase: 0,
+        };
+        for slot in 0..6 {
+            assert!(!s.asleep_at(slot), "slot {slot} should be awake");
+        }
+        for slot in 6..10 {
+            assert!(s.asleep_at(slot), "slot {slot} should be asleep");
+        }
+        assert!(!s.asleep_at(10), "next cycle starts awake");
+        // Phase shifts the window; on >= period never sleeps.
+        let shifted = SleepSchedule {
+            period: 10,
+            on: 6,
+            phase: 4,
+        };
+        assert!(shifted.asleep_at(2));
+        assert!(!shifted.asleep_at(6));
+        let always_on = SleepSchedule {
+            period: 10,
+            on: 10,
+            phase: 3,
+        };
+        assert!((0..40).all(|s| !always_on.asleep_at(s)));
+    }
+
+    #[test]
+    fn sleep_is_absent_but_not_lifecycle_absent() {
+        let mut p = FaultPlan::none();
+        p.sleep(
+            4,
+            SleepSchedule {
+                period: 8,
+                on: 4,
+                phase: 0,
+            },
+        );
+        assert!(!p.is_trivial());
+        assert!(!p.is_absent(4, 3));
+        assert!(p.is_absent(4, 5));
+        assert!(p.is_asleep(4, 5));
+        assert!(
+            !p.is_lifecycle_absent(4, 5),
+            "sleep is not a membership change"
+        );
+        // A crash still counts for both views.
+        p.crash_at(4, 100);
+        assert!(p.is_lifecycle_absent(4, 100));
+        assert!(p.is_absent(4, 100));
+        assert_eq!(p.sleep_schedules().len(), 1);
+        assert_eq!(p.sleep_schedules()[0].0, 4);
+    }
+
+    #[test]
+    fn zone_jam_hits_by_position_channel_and_window() {
+        let mut p = FaultPlan::none();
+        let idx = p.zone_jam(ZoneJam {
+            center: Point::new(5.0, 5.0),
+            radius: 2.0,
+            channel: Some(1),
+            from: 10,
+            to: 20,
+        });
+        assert_eq!(idx, 0);
+        assert!(!p.is_trivial());
+        let inside = Point::new(5.5, 5.0);
+        let outside = Point::new(8.0, 5.0);
+        assert!(p.zone_drop(inside, 1, 10));
+        assert!(!p.zone_drop(inside, 1, 9), "before the window");
+        assert!(!p.zone_drop(inside, 1, 20), "after the window");
+        assert!(!p.zone_drop(inside, 0, 15), "other channel");
+        assert!(!p.zone_drop(outside, 1, 15), "out of range");
+        // Re-targeting moves the blast zone.
+        p.zone_jams_mut()[0].center = Point::new(8.0, 5.0);
+        assert!(p.zone_drop(outside, 1, 15));
+        assert!(!p.zone_drop(inside, 1, 15));
+        // An all-channel jam hits every channel.
+        p.zone_jams_mut()[0].channel = None;
+        assert!(p.zone_drop(outside, 7, 15));
     }
 
     #[test]

@@ -42,12 +42,18 @@
 //! For structure maintenance, [`Engine::watch_events`] surfaces lifecycle
 //! transitions — crashes, late joins, and motion beyond a drift threshold —
 //! as [`NodeEvent`]s that a maintainer drains with [`Engine::drain_events`]
-//! instead of polling the fault plan and position vector.
+//! instead of polling the fault plan and position vector. Orthogonally,
+//! [`Engine::attach_detector`] installs a [`DegradationDetector`] that
+//! watches per-slot delivery outcomes and flags SINR-level damage — jammed
+//! zones, correlated deep fades, duty-cycled dominators — the structural
+//! audit cannot see, as [`DetectionEvent`]s drained with
+//! [`Engine::drain_detections`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod condition;
+mod detect;
 mod engine;
 mod events;
 mod fault;
@@ -60,9 +66,10 @@ pub mod shard;
 mod trace;
 
 pub use condition::ChannelCondition;
+pub use detect::{DegradationDetector, DetectionEvent, DetectorConfig};
 pub use engine::Engine;
 pub use events::NodeEvent;
-pub use fault::{FaultPlan, JamSpec};
+pub use fault::{FaultPlan, JamSpec, SleepSchedule, ZoneJam};
 pub use ids::{Channel, NodeId};
 pub use message::{Action, Observation, Reception};
 pub use metrics::Metrics;

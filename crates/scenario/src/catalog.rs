@@ -1,13 +1,16 @@
 //! The built-in scenario catalog.
 //!
-//! Six reference worlds spanning the dynamic-environment feature matrix —
+//! Eleven reference worlds spanning the dynamic-environment feature matrix —
 //! each one exercises a different axis (density, mobility model, channel
 //! dynamics, adversaries, churn). `experiments export-scenarios` writes
 //! them to the committed `scenarios/` directory, each headed by its
 //! [`CatalogEntry::blurb`] as a comment block, and CI re-parses the files
 //! so the catalog can never drift from the code.
 
-use crate::spec::{ChurnSpec, DeploymentSpec, FadingSpec, MaintenanceSpec, MobilitySpec, Scenario};
+use crate::spec::{
+    AdversarySpec, ChurnSpec, DeploymentSpec, DutyCycleSpec, FadingSpec, MaintenanceSpec,
+    MobilitySpec, Scenario,
+};
 use mca_radio::{FaultPlan, JamSpec};
 use mca_sinr::ResolveMode;
 
@@ -46,7 +49,7 @@ impl CatalogEntry {
     }
 }
 
-/// The nine built-in worlds, in catalog order.
+/// The eleven built-in worlds, in catalog order.
 pub fn builtin_scenarios() -> Vec<CatalogEntry> {
     vec![
         static_uniform(),
@@ -55,6 +58,8 @@ pub fn builtin_scenarios() -> Vec<CatalogEntry> {
         waypoint_mobility(),
         convoy(),
         fading_jammer(),
+        tracking_jammer(),
+        duty_cycle(),
         churn(),
         churn_maintained(),
         mobile_churn(),
@@ -194,6 +199,59 @@ fn fading_jammer() -> CatalogEntry {
     }
 }
 
+fn tracking_jammer() -> CatalogEntry {
+    CatalogEntry {
+        scenario: Scenario::builder("tracking-jammer")
+            .deployment(DeploymentSpec::Uniform { n: 120, side: 12.0 })
+            .adversary(AdversarySpec::TrackingJammer {
+                epoch: 25,
+                radius: 3.0,
+                speed: 0.2,
+                channel: None,
+            })
+            .channels(4)
+            .max_slots(400)
+            .maintenance(MaintenanceSpec::every(50))
+            .build(),
+        blurb: "tracking-jammer: a mobile adversary that hunts the densest cluster.\n\
+                120 nodes packed on a 12 x 12 plane; every 25 slots the jammer\n\
+                re-targets the live node with the most neighbors within 3.0 units\n\
+                (computed deterministically from the engine's own position state --\n\
+                no randomness), glides toward it at 0.2 units/slot, and destroys\n\
+                every reception within its 3.0 blast radius on all channels.\n\
+                Victims still sense jammer energy, so per-link SINR health decays\n\
+                before any structural audit would fail -- the world the\n\
+                degradation detector and proactive repair arm of\n\
+                `experiments adversary-bench` are measured on.",
+    }
+}
+
+fn duty_cycle() -> CatalogEntry {
+    CatalogEntry {
+        scenario: Scenario::builder("duty-cycle")
+            .deployment(DeploymentSpec::Uniform { n: 120, side: 12.0 })
+            .duty_cycle(DutyCycleSpec {
+                period: 40,
+                on: 30,
+                stride: 7,
+                nodes: None,
+            })
+            .channels(4)
+            .max_slots(400)
+            .maintenance(MaintenanceSpec::every(50))
+            .build(),
+        blurb: "duty-cycle: periodic power-down, distinct from crash-stop.\n\
+                Every node sleeps 10 of every 40 slots on a per-node phase\n\
+                (phase = 7i mod 40), so at any slot ~25% of the network is dark\n\
+                but nobody is dead: sleepers keep their protocol state and return\n\
+                on schedule, so the lifecycle event stream stays silent and\n\
+                reactive repair never fires. Links to sleeping members fade in\n\
+                and out instead -- exactly the degradation signature the EWMA\n\
+                detector flags and proactive repair re-homes around\n\
+                (`experiments adversary-bench`, duty-cycle row).",
+    }
+}
+
 fn churn() -> CatalogEntry {
     let mut faults = FaultPlan::none();
     faults.crash_at(0, 200);
@@ -291,13 +349,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_has_nine_distinct_named_entries() {
+    fn catalog_has_eleven_distinct_named_entries() {
         let entries = builtin_scenarios();
-        assert_eq!(entries.len(), 9);
+        assert_eq!(entries.len(), 11);
         let mut names: Vec<&str> = entries.iter().map(|e| e.scenario.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 9, "names must be unique");
+        assert_eq!(names.len(), 11, "names must be unique");
     }
 
     #[test]
@@ -346,5 +404,12 @@ mod tests {
         assert!(entries.iter().any(|e| e.scenario.maintenance.is_some()
             && !matches!(e.scenario.mobility, MobilitySpec::Static)
             && !matches!(e.scenario.churn, ChurnSpec::None)));
+        // Adversary coverage: one world per adversary family, plus a
+        // duty-cycled sleep world.
+        assert!(entries.iter().any(|e| matches!(
+            e.scenario.adversary,
+            Some(AdversarySpec::TrackingJammer { .. })
+        )));
+        assert!(entries.iter().any(|e| e.scenario.duty_cycle.is_some()));
     }
 }

@@ -84,6 +84,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 pub mod catalog;
 mod environment;
 mod fading;
@@ -93,6 +94,7 @@ mod sim;
 mod spec;
 pub mod toml;
 
+pub use adversary::{CorrelatedFading, TrackingJammer};
 pub use catalog::{builtin_scenarios, CatalogEntry};
 pub use environment::{CompositeEnvironment, EnvironmentModel, StaticEnvironment, World};
 pub use fading::GilbertElliot;
@@ -100,7 +102,7 @@ pub use mobility::{GroupConvoy, RandomWaypoint};
 pub use runner::{ScenarioRunner, ScenarioTrials};
 pub use sim::ScenarioSim;
 pub use spec::{
-    ChurnSpec, DeploymentSpec, FadingSpec, MaintenanceSpec, MobilitySpec, ObsSpec, Scenario,
-    ScenarioBuilder,
+    AdversarySpec, ChurnSpec, DeploymentSpec, DutyCycleSpec, FadingSpec, MaintenanceSpec,
+    MobilitySpec, ObsSpec, Scenario, ScenarioBuilder,
 };
 pub use toml::{FromToml, ScenarioFileError};

@@ -7,12 +7,13 @@
 //! `(scenario, seed)` and every table built from scenarios replays
 //! bit-for-bit.
 
+use crate::adversary::{CorrelatedFading, TrackingJammer};
 use crate::environment::{CompositeEnvironment, EnvironmentModel};
 use crate::fading::GilbertElliot;
 use crate::mobility::{GroupConvoy, RandomWaypoint};
 use mca_geom::{BoundingBox, Deployment, Point};
 use mca_radio::rng::derive_rng;
-use mca_radio::{ChannelCondition, FaultPlan};
+use mca_radio::{ChannelCondition, FaultPlan, SleepSchedule};
 use mca_sinr::{ResolveMode, SinrParams};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -231,6 +232,109 @@ impl FadingSpec {
     }
 }
 
+/// A declarative adversary beyond the benign environment models,
+/// serialized as the scenario's `[adversary]` table. See
+/// `docs/ADVERSARIES.md` for the threat model each one encodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdversarySpec {
+    /// A mobile spatial jammer chasing the densest live cluster
+    /// ([`TrackingJammer`]): re-targets every `epoch` slots, glides at
+    /// `speed` per slot, and destroys receptions within `radius` of
+    /// itself on `channel` (`None` = all channels). Deterministic — it
+    /// draws no randomness.
+    TrackingJammer {
+        /// Slots between re-targetings.
+        epoch: u64,
+        /// Blast (and density-scan) radius.
+        radius: f64,
+        /// Glide speed, distance units per slot.
+        speed: f64,
+        /// Jammed channel; `None` jams every channel.
+        channel: Option<u16>,
+    },
+    /// Cross-channel correlated Gilbert–Elliot fading
+    /// ([`CorrelatedFading`]): a channel flipping bad infects each
+    /// spectral neighbor with probability `correlation`.
+    CorrelatedFading {
+        /// Per-slot good→bad transition probability.
+        p_degrade: f64,
+        /// Per-slot bad→good transition probability.
+        p_recover: f64,
+        /// Probability a fresh bad state bleeds into each adjacent
+        /// channel.
+        correlation: f64,
+        /// The condition applied while a channel is bad.
+        bad: ChannelCondition,
+    },
+}
+
+impl AdversarySpec {
+    /// Builds the runtime environment model over `channels` channels.
+    pub fn instantiate(&self, channels: u16) -> Box<dyn EnvironmentModel> {
+        match *self {
+            AdversarySpec::TrackingJammer {
+                epoch,
+                radius,
+                speed,
+                channel,
+            } => Box::new(TrackingJammer::new(epoch, radius, speed, channel)),
+            AdversarySpec::CorrelatedFading {
+                p_degrade,
+                p_recover,
+                correlation,
+                bad,
+            } => Box::new(CorrelatedFading::new(
+                channels,
+                p_degrade,
+                p_recover,
+                correlation,
+                bad,
+            )),
+        }
+    }
+}
+
+/// Duty-cycled sleep schedules, serialized as the scenario's
+/// `[duty_cycle]` table: affected nodes power down periodically (awake
+/// for `on` out of every `period` slots), with per-node phases staggered
+/// by `stride` so the network never sleeps all at once. Distinct from
+/// crash-stop churn: sleepers keep their protocol state and never appear
+/// in the lifecycle event stream — the structural audit cannot see them,
+/// only the degradation detector can.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycleSpec {
+    /// Cycle length in slots.
+    pub period: u64,
+    /// Awake slots per cycle (`on ≥ period` means always awake).
+    pub on: u64,
+    /// Per-node phase stagger: node `i` sleeps with phase
+    /// `(i · stride) mod period`.
+    pub stride: u64,
+    /// How many nodes (ids `0..nodes`) duty-cycle; `None` = all of them.
+    pub nodes: Option<usize>,
+}
+
+impl DutyCycleSpec {
+    /// Compiles the schedule into per-node sleeps on `faults` for a
+    /// network of `n` nodes.
+    pub fn install(&self, n: usize, faults: &mut FaultPlan) {
+        if self.period == 0 || self.on >= self.period {
+            return;
+        }
+        let cap = self.nodes.unwrap_or(n).min(n);
+        for i in 0..cap as u32 {
+            faults.sleep(
+                i,
+                SleepSchedule {
+                    period: self.period,
+                    on: self.on,
+                    phase: (u64::from(i) * self.stride) % self.period,
+                },
+            );
+        }
+    }
+}
+
 /// Seed-parameterized node churn (late joins and crash-stops), beyond any
 /// explicit [`FaultPlan`] the scenario carries.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -384,6 +488,12 @@ pub struct Scenario {
     pub mobility: MobilitySpec,
     /// Per-channel fading, if any.
     pub fading: Option<FadingSpec>,
+    /// An active adversary (tracking jammer or correlated fading), if any.
+    /// Serialized as the `[adversary]` table.
+    pub adversary: Option<AdversarySpec>,
+    /// Duty-cycled sleep schedules, if any. Serialized as the
+    /// `[duty_cycle]` table.
+    pub duty_cycle: Option<DutyCycleSpec>,
     /// Node churn.
     pub churn: ChurnSpec,
     /// Static fault plan (jamming, scripted crashes) churn composes with.
@@ -425,6 +535,8 @@ impl Scenario {
                 area: None,
                 mobility: MobilitySpec::Static,
                 fading: None,
+                adversary: None,
+                duty_cycle: None,
                 churn: ChurnSpec::None,
                 faults: FaultPlan::none(),
                 channels: 8,
@@ -470,6 +582,9 @@ impl Scenario {
         let mut faults = self.faults.clone();
         let mut rng = derive_rng(seed, CHURN_SALT);
         self.churn.install(self.len(), &mut faults, &mut rng);
+        if let Some(dc) = &self.duty_cycle {
+            dc.install(self.len(), &mut faults);
+        }
         faults
     }
 
@@ -486,6 +601,9 @@ impl Scenario {
         }
         if let Some(fading) = &self.fading {
             env.push(Box::new(fading.instantiate(self.channels)));
+        }
+        if let Some(adversary) = &self.adversary {
+            env.push(adversary.instantiate(self.channels));
         }
         (env, env_rng)
     }
@@ -525,6 +643,18 @@ impl ScenarioBuilder {
     /// Enables per-channel fading.
     pub fn fading(mut self, spec: FadingSpec) -> Self {
         self.scenario.fading = Some(spec);
+        self
+    }
+
+    /// Installs an active adversary (see [`AdversarySpec`]).
+    pub fn adversary(mut self, spec: AdversarySpec) -> Self {
+        self.scenario.adversary = Some(spec);
+        self
+    }
+
+    /// Installs duty-cycled sleep schedules (see [`DutyCycleSpec`]).
+    pub fn duty_cycle(mut self, spec: DutyCycleSpec) -> Self {
+        self.scenario.duty_cycle = Some(spec);
         self
     }
 
@@ -728,6 +858,66 @@ mod tests {
                 assert!(f.has_joined(i, 50));
             }
         }
+    }
+
+    #[test]
+    fn duty_cycle_compiles_into_sleep_schedules() {
+        let s = Scenario::builder("dc")
+            .deployment(DeploymentSpec::Line { n: 6, spacing: 1.0 })
+            .duty_cycle(DutyCycleSpec {
+                period: 8,
+                on: 6,
+                stride: 2,
+                nodes: Some(4),
+            })
+            .build();
+        let f = s.faults_for(1);
+        let sleeps = f.sleep_schedules();
+        assert_eq!(sleeps.len(), 4, "only the capped prefix duty-cycles");
+        assert_eq!(sleeps[1].1.phase, 2, "phases stagger by stride");
+        assert!(f.is_asleep(0, 6) && !f.is_asleep(0, 0));
+        assert!(f.is_asleep(1, 4), "staggered phase shifts the off window");
+        assert!(!f.is_asleep(5, 6), "uncapped nodes never sleep");
+        // Sleep is not lifecycle churn.
+        assert!(!f.is_lifecycle_absent(0, 6));
+        // Degenerate cycles are ignored outright.
+        let s2 = Scenario::builder("dc2")
+            .deployment(DeploymentSpec::Line { n: 3, spacing: 1.0 })
+            .duty_cycle(DutyCycleSpec {
+                period: 4,
+                on: 4,
+                stride: 1,
+                nodes: None,
+            })
+            .build();
+        assert!(s2.faults_for(1).sleep_schedules().is_empty());
+    }
+
+    #[test]
+    fn adversary_environment_is_dynamic() {
+        let s = Scenario::builder("adv")
+            .deployment(DeploymentSpec::Uniform { n: 20, side: 8.0 })
+            .adversary(AdversarySpec::TrackingJammer {
+                epoch: 10,
+                radius: 2.0,
+                speed: 0.2,
+                channel: None,
+            })
+            .build();
+        let (env, _) = s.environment_for(3);
+        assert!(!env.is_static());
+        assert_eq!(env.len(), 1);
+        let f = Scenario::builder("cf")
+            .deployment(DeploymentSpec::Uniform { n: 20, side: 8.0 })
+            .adversary(AdversarySpec::CorrelatedFading {
+                p_degrade: 0.02,
+                p_recover: 0.2,
+                correlation: 0.5,
+                bad: ChannelCondition::dropped(80.0),
+            })
+            .build();
+        let (env, _) = f.environment_for(3);
+        assert!(!env.is_static());
     }
 
     #[test]

@@ -20,7 +20,8 @@
 //!   exact bytes.
 
 use crate::spec::{
-    ChurnSpec, DeploymentSpec, FadingSpec, MaintenanceSpec, MobilitySpec, ObsSpec, Scenario,
+    AdversarySpec, ChurnSpec, DeploymentSpec, DutyCycleSpec, FadingSpec, MaintenanceSpec,
+    MobilitySpec, ObsSpec, Scenario,
 };
 use mca_geom::{BoundingBox, Point};
 use mca_radio::{ChannelCondition, FaultPlan, JamSpec};
@@ -58,6 +59,12 @@ impl ToToml for Scenario {
         }
         if let Some(fading) = &self.fading {
             root.insert("fading", Value::table(fading_table(fading)));
+        }
+        if let Some(a) = &self.adversary {
+            root.insert("adversary", Value::table(adversary_table(a)));
+        }
+        if let Some(d) = &self.duty_cycle {
+            root.insert("duty_cycle", Value::table(duty_cycle_table(d)));
         }
         if self.churn != ChurnSpec::None {
             root.insert("churn", Value::table(churn_table(&self.churn)));
@@ -199,6 +206,50 @@ fn fading_table(f: &FadingSpec) -> Table {
         .with("drop", Value::bool(f.bad.drop))
 }
 
+fn adversary_table(a: &AdversarySpec) -> Table {
+    match *a {
+        AdversarySpec::TrackingJammer {
+            epoch,
+            radius,
+            speed,
+            channel,
+        } => {
+            let mut t = Table::new()
+                .with("kind", Value::str("tracking-jammer"))
+                .with("epoch", Value::int(epoch))
+                .with("radius", Value::float(radius))
+                .with("speed", Value::float(speed));
+            if let Some(c) = channel {
+                t.insert("channel", Value::int(c));
+            }
+            t
+        }
+        AdversarySpec::CorrelatedFading {
+            p_degrade,
+            p_recover,
+            correlation,
+            bad,
+        } => Table::new()
+            .with("kind", Value::str("correlated-fading"))
+            .with("p_degrade", Value::float(p_degrade))
+            .with("p_recover", Value::float(p_recover))
+            .with("correlation", Value::float(correlation))
+            .with("power", Value::float(bad.extra_interference))
+            .with("drop", Value::bool(bad.drop)),
+    }
+}
+
+fn duty_cycle_table(d: &DutyCycleSpec) -> Table {
+    let mut t = Table::new()
+        .with("period", Value::int(d.period))
+        .with("on", Value::int(d.on))
+        .with("stride", Value::int(d.stride));
+    if let Some(n) = d.nodes {
+        t.insert("nodes", Value::int(n as i128));
+    }
+    t
+}
+
 fn churn_table(c: &ChurnSpec) -> Table {
     match c {
         ChurnSpec::None => Table::new().with("kind", Value::str("none")),
@@ -319,6 +370,14 @@ impl FromToml for Scenario {
             None => None,
         };
         let n = deployment.len();
+        let adversary = match root.opt_fields("adversary")? {
+            Some(f) => Some(decode_adversary(f, channels)?),
+            None => None,
+        };
+        let duty_cycle = match root.opt_fields("duty_cycle")? {
+            Some(f) => Some(decode_duty_cycle(f)?),
+            None => None,
+        };
         let churn = match root.opt_fields("churn")? {
             Some(f) => decode_churn(f, n)?,
             None => ChurnSpec::None,
@@ -343,6 +402,8 @@ impl FromToml for Scenario {
             area,
             mobility,
             fading,
+            adversary,
+            duty_cycle,
             churn,
             faults,
             channels,
@@ -634,6 +695,78 @@ fn decode_fading(mut f: Fields<'_>) -> Result<FadingSpec, TomlError> {
     })
 }
 
+fn decode_adversary(mut f: Fields<'_>, channels: u16) -> Result<AdversarySpec, TomlError> {
+    let kind = f.str("kind")?.to_string();
+    let spec = match kind.as_str() {
+        "tracking-jammer" => {
+            let epoch = f.u64("epoch")?;
+            if epoch == 0 {
+                return Err(f.invalid("epoch", "re-target epoch must be at least 1 slot"));
+            }
+            let radius = f.pos_f64("radius")?;
+            let speed = f.nn_f64("speed")?;
+            let channel = f.opt_u16("channel")?;
+            if let Some(c) = channel {
+                if c >= channels {
+                    return Err(f.invalid(
+                        "channel",
+                        format!("channel {c} is out of range for {channels} channels"),
+                    ));
+                }
+            }
+            AdversarySpec::TrackingJammer {
+                epoch,
+                radius,
+                speed,
+                channel,
+            }
+        }
+        "correlated-fading" => AdversarySpec::CorrelatedFading {
+            p_degrade: f.prob("p_degrade")?,
+            p_recover: f.prob("p_recover")?,
+            correlation: f.prob("correlation")?,
+            bad: ChannelCondition {
+                extra_interference: f.nn_f64("power")?,
+                drop: f.opt_bool("drop")?.unwrap_or(false),
+            },
+        },
+        other => {
+            return Err(f.invalid(
+                "kind",
+                format!(
+                    "unknown adversary kind `{other}` (expected tracking-jammer or \
+                     correlated-fading)"
+                ),
+            ))
+        }
+    };
+    f.finish()?;
+    Ok(spec)
+}
+
+fn decode_duty_cycle(mut f: Fields<'_>) -> Result<DutyCycleSpec, TomlError> {
+    let period = f.u64("period")?;
+    if period == 0 {
+        return Err(f.invalid("period", "cycle length must be at least 1 slot"));
+    }
+    let on = f.u64("on")?;
+    if on > period {
+        return Err(f.invalid(
+            "on",
+            format!("awake slots {on} exceed the cycle length {period}"),
+        ));
+    }
+    let stride = f.opt_u64("stride")?.unwrap_or(1);
+    let nodes = f.opt_u64("nodes")?.map(|v| v as usize);
+    f.finish()?;
+    Ok(DutyCycleSpec {
+        period,
+        on,
+        stride,
+        nodes,
+    })
+}
+
 fn decode_churn(mut f: Fields<'_>, n: usize) -> Result<ChurnSpec, TomlError> {
     let kind = f.str("kind")?.to_string();
     let spec = match kind.as_str() {
@@ -754,12 +887,28 @@ fn decode_jam(v: &Value, path: &str, channels: u16) -> Result<JamSpec, TomlError
                 power: f.nn_f64("power")?,
             }
         }
-        "random" => JamSpec::Random {
-            t: f.u16("t")?,
-            total: f.u16("total")?,
-            power: f.nn_f64("power")?,
-            seed: f.opt_u64("seed")?.unwrap_or(0),
-        },
+        "random" => {
+            let t = f.u16("t")?;
+            let total = f.u16("total")?;
+            if total > channels {
+                return Err(f.invalid(
+                    "total",
+                    format!(
+                        "random jam draws from {total} channels but the scenario has only \
+                         {channels}"
+                    ),
+                ));
+            }
+            if t > total {
+                return Err(f.invalid("t", format!("cannot jam {t} of {total} channels each slot")));
+            }
+            JamSpec::Random {
+                t,
+                total,
+                power: f.nn_f64("power")?,
+                seed: f.opt_u64("seed")?.unwrap_or(0),
+            }
+        }
         other => {
             return Err(f.invalid(
                 "kind",
@@ -1188,6 +1337,126 @@ mod tests {
         // Unknown keys are rejected with the field path.
         let e = Scenario::from_toml_str(&format!("{base}[obs]\nverbose = true\n")).unwrap_err();
         assert_eq!(e.path, "obs.verbose");
+    }
+
+    #[test]
+    fn adversary_tables_round_trip() {
+        let jam = Scenario::builder("tj")
+            .deployment(DeploymentSpec::Uniform { n: 20, side: 8.0 })
+            .channels(4)
+            .adversary(AdversarySpec::TrackingJammer {
+                epoch: 40,
+                radius: 2.5,
+                speed: 0.15,
+                channel: Some(2),
+            })
+            .build();
+        let text = jam.to_toml();
+        assert!(text.contains("[adversary]"), "{text}");
+        assert_eq!(Scenario::from_toml_str(&text).unwrap(), jam);
+        // Channel-less jammer omits the key and still round-trips.
+        let all = Scenario::builder("tj2")
+            .deployment(DeploymentSpec::Uniform { n: 20, side: 8.0 })
+            .adversary(AdversarySpec::TrackingJammer {
+                epoch: 25,
+                radius: 2.0,
+                speed: 0.1,
+                channel: None,
+            })
+            .build();
+        let text = all.to_toml();
+        assert!(!text.contains("channel = "), "{text}");
+        assert_eq!(Scenario::from_toml_str(&text).unwrap(), all);
+        let fading = Scenario::builder("cf")
+            .deployment(DeploymentSpec::Uniform { n: 20, side: 8.0 })
+            .adversary(AdversarySpec::CorrelatedFading {
+                p_degrade: 0.02,
+                p_recover: 0.25,
+                correlation: 0.6,
+                bad: ChannelCondition::dropped(90.0),
+            })
+            .build();
+        assert_eq!(Scenario::from_toml_str(&fading.to_toml()).unwrap(), fading);
+    }
+
+    #[test]
+    fn adversary_validation_is_field_qualified() {
+        let base = "name = \"a\"\n[deployment]\nkind = \"uniform\"\nn = 4\nside = 4.0\n";
+        let e = Scenario::from_toml_str(&format!(
+            "{base}[adversary]\nkind = \"tracking-jammer\"\nepoch = 0\nradius = 2.0\nspeed = 0.1\n"
+        ))
+        .unwrap_err();
+        assert_eq!(e.path, "adversary.epoch");
+        let e = Scenario::from_toml_str(
+            "name = \"a\"\nchannels = 4\n[deployment]\nkind = \"uniform\"\nn = 4\nside = 4.0\n\
+             [adversary]\nkind = \"tracking-jammer\"\nepoch = 10\n\
+             radius = 2.0\nspeed = 0.1\nchannel = 9\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.path, "adversary.channel");
+        assert!(e.message.contains("out of range"), "{e}");
+        let e = Scenario::from_toml_str(&format!(
+            "{base}[adversary]\nkind = \"correlated-fading\"\np_degrade = 0.1\np_recover = 0.2\n\
+             correlation = 1.5\npower = 10.0\n"
+        ))
+        .unwrap_err();
+        assert_eq!(e.path, "adversary.correlation");
+        let e =
+            Scenario::from_toml_str(&format!("{base}[adversary]\nkind = \"emp\"\n")).unwrap_err();
+        assert_eq!(e.path, "adversary.kind");
+        assert!(e.message.contains("emp"), "{e}");
+    }
+
+    #[test]
+    fn duty_cycle_table_round_trips_and_validates() {
+        let base = "name = \"d\"\n[deployment]\nkind = \"line\"\nn = 6\nspacing = 2.0\n";
+        let s =
+            Scenario::from_toml_str(&format!("{base}[duty_cycle]\nperiod = 8\non = 6\n")).unwrap();
+        let d = s.duty_cycle.unwrap();
+        assert_eq!((d.period, d.on, d.stride, d.nodes), (8, 6, 1, None));
+        assert_eq!(Scenario::from_toml_str(&s.to_toml()).unwrap(), s);
+        let s = Scenario::from_toml_str(&format!(
+            "{base}[duty_cycle]\nperiod = 10\non = 7\nstride = 3\nnodes = 4\n"
+        ))
+        .unwrap();
+        assert_eq!(s.duty_cycle.unwrap().nodes, Some(4));
+        assert_eq!(Scenario::from_toml_str(&s.to_toml()).unwrap(), s);
+
+        let e = Scenario::from_toml_str(&format!("{base}[duty_cycle]\nperiod = 0\non = 0\n"))
+            .unwrap_err();
+        assert_eq!(e.path, "duty_cycle.period");
+        let e = Scenario::from_toml_str(&format!("{base}[duty_cycle]\nperiod = 4\non = 9\n"))
+            .unwrap_err();
+        assert_eq!(e.path, "duty_cycle.on");
+        assert!(e.message.contains("exceed"), "{e}");
+    }
+
+    #[test]
+    fn random_jam_validated_against_channel_count() {
+        // `total` beyond the scenario's channel count is rejected with the
+        // indexed field path, not deferred to a runtime panic.
+        let e = Scenario::from_toml_str(
+            "name = \"x\"\nchannels = 4\n[deployment]\nkind = \"uniform\"\nn = 1\nside = 1.0\n\
+             [[faults.jam]]\nkind = \"random\"\nt = 1\ntotal = 9\npower = 10.0\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.path, "faults.jam[0].total");
+        assert!(e.message.contains("only 4"), "{e}");
+        // So is an adversary strength exceeding the channels it draws from.
+        let e = Scenario::from_toml_str(
+            "name = \"x\"\nchannels = 4\n[deployment]\nkind = \"uniform\"\nn = 1\nside = 1.0\n\
+             [[faults.jam]]\nkind = \"random\"\nt = 3\ntotal = 2\npower = 10.0\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.path, "faults.jam[0].t");
+        assert!(e.message.contains("cannot jam 3 of 2"), "{e}");
+        // The boundary case total == channels stays valid.
+        let s = Scenario::from_toml_str(
+            "name = \"x\"\nchannels = 4\n[deployment]\nkind = \"uniform\"\nn = 1\nside = 1.0\n\
+             [[faults.jam]]\nkind = \"random\"\nt = 2\ntotal = 4\npower = 10.0\n",
+        )
+        .unwrap();
+        assert_eq!(s.faults.jams().len(), 1);
     }
 
     #[test]
