@@ -18,7 +18,12 @@
 //!
 //! Every form accepts a global `--threads N` flag pinning the worker
 //! count of all parallel paths (0 = one per core) — CI smoke jobs and
-//! local benchmarking use it for reproducible wall-clock numbers — and a
+//! local benchmarking use it for reproducible wall-clock numbers.
+//! Reconfiguration is explicit and immediate (`rayon::set_num_threads`):
+//! if the persistent pool is already running at a different size it is
+//! retired on the spot and the next parallel operation spawns a fresh
+//! pool at the new count, so the flag is honored even after the pool has
+//! been used — not only before first use. There is also a
 //! global `--log-level {off,summary,verbose}` flag controlling the
 //! progress stream on stderr (results on stdout are unaffected).
 //!
@@ -83,7 +88,9 @@ Usage:
   experiments check-scenarios [dir]   parse-validate every .toml in a directory
 
 Global flags:
-  --threads N       pin the parallel worker count (0 = one per core)
+  --threads N       pin the parallel worker count (0 = one per core); takes
+                    effect immediately — a live pool at a different size is
+                    retired and relaunched on next use
   --log-level L     progress-stream verbosity: off, summary (default), verbose
 
 Subcommands:

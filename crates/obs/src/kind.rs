@@ -28,6 +28,10 @@ pub enum SpanKind {
     /// The deterministic shard-major scatter merge of unit outputs
     /// (attrs: `a` = unit count; recorded on the unit-parallel path).
     Merge,
+    /// Time the slot thread spent helping/waiting on the work-stealing
+    /// pool while resolve units were in flight (attrs: `a` = unit count;
+    /// recorded on the pooled pipeline path).
+    Pool,
     /// Phase 2c: observation delivery, idle/tx feedback.
     Deliver,
     /// One whole `build_structure` run.
@@ -47,7 +51,7 @@ pub enum SpanKind {
 }
 
 /// Every span kind, in a fixed report order.
-pub const SPAN_KINDS: [SpanKind; 15] = [
+pub const SPAN_KINDS: [SpanKind; 16] = [
     SpanKind::Slot,
     SpanKind::EventDrain,
     SpanKind::Gather,
@@ -56,6 +60,7 @@ pub const SPAN_KINDS: [SpanKind; 15] = [
     SpanKind::Unit,
     SpanKind::Halo,
     SpanKind::Merge,
+    SpanKind::Pool,
     SpanKind::Deliver,
     SpanKind::Build,
     SpanKind::BuildDominate,
@@ -77,6 +82,7 @@ impl SpanKind {
             SpanKind::Unit => "unit",
             SpanKind::Halo => "halo",
             SpanKind::Merge => "merge",
+            SpanKind::Pool => "pool",
             SpanKind::Deliver => "deliver",
             SpanKind::Build => "build",
             SpanKind::BuildDominate => "build_dominate",
@@ -103,7 +109,7 @@ impl SpanKind {
             | SpanKind::Stage
             | SpanKind::Resolve
             | SpanKind::Deliver => Some(SpanKind::Slot),
-            SpanKind::Unit | SpanKind::Merge => Some(SpanKind::Resolve),
+            SpanKind::Unit | SpanKind::Merge | SpanKind::Pool => Some(SpanKind::Resolve),
             SpanKind::Halo => Some(SpanKind::Unit),
             SpanKind::BuildDominate
             | SpanKind::BuildCluster

@@ -22,7 +22,8 @@ use mca_obs::{ChannelSlotRecord, SpanKind, Stopwatch};
 use mca_sinr::{ChannelResolver, ListenOutcome, ResolverCache, SinrParams};
 use rand::rngs::SmallRng;
 use rayon::prelude::*;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Shards per axis forced by `MCA_FORCE_PAR=1` when the caller left
 /// sharding off.
@@ -94,6 +95,14 @@ pub struct Engine<P: Protocol> {
     /// rebuild nanoseconds (the `resolver_cache_builds` /
     /// `resolver_cache_build_ns` counters record per-slot deltas).
     obs_cache_builds: (u64, u64),
+    /// Last reported work-stealing pool totals (steals, tasks, parks) —
+    /// the `pool_steals` / `pool_tasks` / `pool_parks` counters record
+    /// per-slot deltas. The underlying stats are process-global, so with
+    /// several engines stepping concurrently the deltas attribute the
+    /// whole process's pool activity to whichever engine reads first;
+    /// like span nanoseconds, they are measurement, never simulation
+    /// input.
+    obs_pool: (u64, u64, u64),
     par_channels: bool,
     par_shards: bool,
     shards: u16,
@@ -214,6 +223,10 @@ impl<P: Protocol> Engine<P> {
             detector: None,
             obs: None,
             obs_cache_builds: (0, 0),
+            obs_pool: {
+                let ps = rayon::pool_stats();
+                (ps.steals, ps.tasks, ps.parks)
+            },
             par_channels: force,
             par_shards: force,
             shards: if force { FORCED_SHARDS } else { 0 },
@@ -519,11 +532,48 @@ impl<P: Protocol> Engine<P> {
         group
     }
 
-    /// Phase 2b: stage each active channel's listener partition and
-    /// resolve all (channel × shard) units, sequentially or in parallel —
-    /// bit-identical either way, and for any shard count (see
-    /// [`Engine::with_shards`]).
-    fn resolve_active_channels(&mut self) {
+    /// Phases 2b + 2c fused: stage each active channel's listener
+    /// partition, resolve all (channel × shard) units, and deliver every
+    /// observation — bit-identical under every schedule and for any
+    /// shard count (see [`Engine::with_shards`]). Returns
+    /// `(resolve_ns, deliver_ns)` wall-clock attribution for the phase
+    /// spans (zeros when no recorder is attached).
+    ///
+    /// Three execution schedules, selected by the par flags and the
+    /// worker count:
+    ///
+    /// * **Pooled pipeline** (`par_shards`, more than one worker): every
+    ///   (channel × shard) unit is submitted to the persistent
+    ///   work-stealing pool as an independent task writing into its own
+    ///   pre-indexed result cell. While every unit is in flight, the
+    ///   slot thread delivers the Phase-1-derived idle feedback (it
+    ///   depends only on the gathered actions — the first half of the
+    ///   double-buffered slot state), then walks channels in ascending
+    ///   order: help the pool until the channel's unit latch clears,
+    ///   scatter its cells shard-major into the listener-order outcome
+    ///   buffer (the delivery half of the double buffer), and deliver —
+    ///   so delivering channel `c` overlaps resolving channels `> c`.
+    ///   Scheduling is greedy (workers steal across unbalanced units;
+    ///   completion order is arbitrary); only the merge and delivery
+    ///   order is architectural.
+    /// * **Channel fan-out** (`par_channels` alone): whole channels
+    ///   resolve as pool tasks (each channel's units in order inside its
+    ///   task), then delivery runs in ascending channel order.
+    /// * **Sequential** (one worker, or both flags off): each channel
+    ///   resolves — with the resolver's own listener-level fan-out
+    ///   available — and delivers in turn.
+    ///
+    /// Bit-identity of all three rests on the sharding contract: a
+    /// listener's outcome is a pure function of its channel's staged
+    /// transmitter set, and delivery mutates only per-node protocol/RNG
+    /// state and commutative metric sums — never the staged inputs of
+    /// any other channel.
+    fn resolve_and_deliver(&mut self) -> (u64, u64) {
+        let timing = self.obs.is_some();
+        let sw_phase = Stopwatch::start_if(timing);
+        let mut deliver_ns = 0u64;
+        let slot = self.slot;
+
         // Stage the listener partition: shard-major bucketing (counting
         // sort, reused scratch) where sharding engages, identity order
         // otherwise. Outcome buffers are pre-sized for the merge.
@@ -593,28 +643,65 @@ impl<P: Protocol> Engine<P> {
             chans.push((ch, p));
         }
 
+        // Split borrows: everything delivery mutates (protocols, RNGs,
+        // metrics, trace, detector, recorder) is disjoint from the
+        // channel groups the resolver works borrow, so the pooled path
+        // can deliver finished channels while tasks still read the rest.
+        let Engine {
+            groups,
+            actions,
+            protocols,
+            rngs,
+            metrics,
+            trace,
+            detector,
+            obs,
+            faults,
+            par_channels,
+            par_shards,
+            ..
+        } = self;
+        let actions: &[SlotAction<P::Msg>] = actions;
+        let faults: &FaultPlan = faults;
+        let (par_channels, par_shards) = (*par_channels, *par_shards);
+
         struct Work<'g> {
+            ch: u16,
             resolver: ChannelResolver<'g>,
+            tx: &'g [u32],
+            rx: &'g [u32],
             rx_pos: &'g [Point],
             shard_rx: &'g [u32],
             unit_ranges: &'g [(u32, u32)],
-            outcomes: &'g mut Vec<ListenOutcome>,
-            extra: f64,
+            cond: ChannelCondition,
             sharded: bool,
         }
 
+        // One pass over the dense groups: resolver works + detached
+        // outcome buffers for listening channels, the transmit-only
+        // leftovers for the post-delivery feedback loop. Outcomes are
+        // split from the works so the slot thread can merge and deliver
+        // a finished channel while pool tasks still hold shared borrows
+        // of every work.
         let mut works: Vec<Work<'_>> = Vec::with_capacity(chans.len());
+        let mut outs: Vec<&mut Vec<ListenOutcome>> = Vec::with_capacity(chans.len());
+        let mut txonly: Vec<(u16, &[u32])> = Vec::new();
         let mut next_chan = chans.iter().peekable();
-        for (ch, group) in self.groups.iter_mut().enumerate() {
-            let Some(&(c, ref eff)) = next_chan.peek().copied() else {
-                break;
-            };
-            if usize::from(c) != ch {
+        for (ch, group) in groups.iter_mut().enumerate() {
+            if group.is_idle() {
                 continue;
             }
-            next_chan.next();
-            debug_assert!(!group.rx.is_empty(), "chans lists listening channels only");
+            if group.rx.is_empty() {
+                txonly.push((ch as u16, &group.tx));
+                continue;
+            }
+            let (c, eff) = next_chan
+                .next()
+                .expect("chans lists every listening channel");
+            debug_assert_eq!(usize::from(*c), ch);
             let ChannelGroup {
+                tx,
+                rx,
                 tx_pos,
                 rx_pos,
                 shard_rx,
@@ -627,24 +714,55 @@ impl<P: Protocol> Engine<P> {
             let resolver = ChannelResolver::cached(eff, tx_pos, cache);
             let sharded = unit_ranges.len() > 1;
             works.push(Work {
+                ch: *c,
                 resolver,
+                tx,
+                rx,
                 rx_pos,
                 shard_rx,
                 unit_ranges,
-                outcomes,
-                extra: cond.extra_interference,
+                cond: *cond,
                 sharded,
             });
+            outs.push(outcomes);
+        }
+
+        // Resolves one unit of `w` into a fresh buffer, returning
+        // `(outcomes, wall ns, halo ns)` (timings zero unless `timing`).
+        fn resolve_unit(w: &Work<'_>, ui: usize, timing: bool) -> (Vec<ListenOutcome>, u64, u64) {
+            let sw = Stopwatch::start_if(timing);
+            let (s, e) = w.unit_ranges[ui];
+            let ks = &w.shard_rx[s as usize..e as usize];
+            let mut out = Vec::with_capacity(ks.len());
+            let mut halo_ns = 0;
+            if w.sharded {
+                let sw_halo = Stopwatch::start_if(timing);
+                let bbox = BoundingBox::from_points(ks.iter().map(|&k| w.rx_pos[k as usize]))
+                    .expect("resolve units are never empty");
+                let task = w.resolver.task(bbox);
+                halo_ns = sw_halo.elapsed_ns();
+                out.extend(
+                    ks.iter()
+                        .map(|&k| task.resolve(w.rx_pos[k as usize], w.cond.extra_interference)),
+                );
+            } else {
+                out.extend(ks.iter().map(|&k| {
+                    w.resolver
+                        .resolve(w.rx_pos[k as usize], w.cond.extra_interference)
+                }));
+            }
+            (out, sw.elapsed_ns(), halo_ns)
         }
 
         // Resolves one channel's units in place, in unit order.
         // `fan_out_listeners` lets the fully sequential engine use the
         // resolver's own listener-level parallelism on huge batches;
-        // parallel callers pass `false` to avoid nested thread spawning.
+        // parallel callers pass `false` to avoid nested fan-out.
         // With `timing` on, each unit's wall time (and halo-construction
         // share, where sharded) is pushed onto `timings` in unit order.
         fn resolve_work(
-            w: &mut Work<'_>,
+            w: &Work<'_>,
+            out: &mut Vec<ListenOutcome>,
             fan_out_listeners: bool,
             timing: bool,
             timings: &mut Vec<(u32, u64, Option<u64>)>,
@@ -659,7 +777,8 @@ impl<P: Protocol> Engine<P> {
                     let task = w.resolver.task(bbox);
                     let halo_ns = sw_halo.elapsed_ns();
                     for &k in ks {
-                        w.outcomes[k as usize] = task.resolve(w.rx_pos[k as usize], w.extra);
+                        out[k as usize] =
+                            task.resolve(w.rx_pos[k as usize], w.cond.extra_interference);
                     }
                     if timing {
                         timings.push((ui as u32, sw.elapsed_ns(), Some(halo_ns)));
@@ -667,116 +786,316 @@ impl<P: Protocol> Engine<P> {
                 }
             } else if fan_out_listeners {
                 let sw = Stopwatch::start_if(timing);
-                w.resolver.resolve_into(w.rx_pos, w.extra, w.outcomes);
+                w.resolver
+                    .resolve_into(w.rx_pos, w.cond.extra_interference, out);
                 if timing {
                     timings.push((0, sw.elapsed_ns(), None));
                 }
             } else {
                 let sw = Stopwatch::start_if(timing);
                 w.resolver
-                    .resolve_into_sequential(w.rx_pos, w.extra, w.outcomes);
+                    .resolve_into_sequential(w.rx_pos, w.cond.extra_interference, out);
                 if timing {
                     timings.push((0, sw.elapsed_ns(), None));
                 }
             }
         }
 
-        // Execution grain by flag: `par_shards` fans out every
-        // (channel × shard) unit; `par_channels` alone fans out whole
-        // channels (each channel's units resolved in order inside its
-        // worker — shard units then only serve locality). All three
-        // schedules are bit-identical. Unit timings, when a recorder is
+        // Phase-1 feedback: idle nodes' Slept observations depend only
+        // on the gathered actions, never on resolution, and each node
+        // observes exactly once per slot with its own RNG stream — so
+        // this loop commutes with channel delivery bit-for-bit. The
+        // pooled path runs it while every resolve unit is in flight.
+        fn deliver_slept<P: Protocol>(
+            slot: u64,
+            actions: &[SlotAction<P::Msg>],
+            protocols: &mut [P],
+            rngs: &mut [SmallRng],
+            faults: &FaultPlan,
+        ) {
+            for i in 0..actions.len() {
+                if matches!(actions[i], SlotAction::Off)
+                    && !faults.is_absent(i as u32, slot)
+                    && !protocols[i].is_done()
+                {
+                    protocols[i].observe(slot, Observation::Slept, &mut rngs[i]);
+                }
+            }
+        }
+
+        // Delivers one resolved channel: listener observations (deep
+        // fades and zone jams applied), transmitter `Sent` feedback, and
+        // the per-channel outcome record. Identical code on every
+        // schedule; always called in ascending channel order.
+        #[allow(clippy::too_many_arguments)]
+        fn deliver_channel<P: Protocol>(
+            slot: u64,
+            w: &Work<'_>,
+            outcomes: &[ListenOutcome],
+            actions: &[SlotAction<P::Msg>],
+            protocols: &mut [P],
+            rngs: &mut [SmallRng],
+            metrics: &mut Metrics,
+            trace: &mut Option<TraceRecorder>,
+            detector: &mut Option<DegradationDetector>,
+            faults: &FaultPlan,
+            obs: &mut Option<mca_obs::Recorder>,
+        ) {
+            // Per-channel outcome stream: metric deltas around this
+            // channel's delivery, snapshotted outside the listener loop.
+            let (rx0c, busy0c, env0c) =
+                (metrics.receptions, metrics.busy_failures, metrics.env_drops);
+            for (k, &li) in w.rx.iter().enumerate() {
+                let mut outcome = outcomes[k];
+                // Deep fades (condition.drop) suppress decodes outright;
+                // the energy was still sensed during resolution.
+                if w.cond.drop && outcome.decoded.is_some() {
+                    metrics.env_drops += 1;
+                    outcome = ListenOutcome {
+                        decoded: None,
+                        signal: 0.0,
+                        sinr: 0.0,
+                        total_power: outcome.total_power,
+                    };
+                }
+                // Zone jams destroy decodes at victims inside the blast
+                // radius — a deep fade local to the listener.
+                if outcome.decoded.is_some() && faults.zone_drop(w.rx_pos[k], w.ch, slot) {
+                    metrics.env_drops += 1;
+                    outcome = ListenOutcome {
+                        decoded: None,
+                        signal: 0.0,
+                        sinr: 0.0,
+                        total_power: outcome.total_power,
+                    };
+                }
+                let obs_msg = Observation::from_outcome(&outcome, |j| {
+                    let sender = w.tx[j] as usize;
+                    let msg = match &actions[sender] {
+                        SlotAction::Tx(_, m) => m.clone(),
+                        _ => unreachable!("decoded node was not transmitting"),
+                    };
+                    (NodeId(w.tx[j]), msg)
+                });
+                match &obs_msg {
+                    Observation::Received(r) => {
+                        metrics.receptions += 1;
+                        if let Some(t) = trace.as_mut() {
+                            t.record(TraceEvent {
+                                slot,
+                                channel: Channel(w.ch),
+                                from: r.from,
+                                to: NodeId(li),
+                            });
+                        }
+                    }
+                    Observation::Noise { total_power } => {
+                        if *total_power > 0.0 {
+                            metrics.busy_failures += 1;
+                        } else {
+                            metrics.silent_listens += 1;
+                        }
+                    }
+                    _ => {}
+                }
+                // Contested listens feed the degradation detector: the
+                // channel had a transmitter, so decode-or-not is evidence
+                // about this listener's link health.
+                if !w.tx.is_empty() {
+                    let delivered = matches!(&obs_msg, Observation::Received(_));
+                    if let Some(det) = detector.as_mut() {
+                        det.sample(li, slot, delivered);
+                    }
+                }
+                protocols[li as usize].observe(slot, obs_msg, &mut rngs[li as usize]);
+            }
+            // Transmitters learn nothing.
+            for &ti in w.tx {
+                protocols[ti as usize].observe(slot, Observation::Sent, &mut rngs[ti as usize]);
+            }
+            if let Some(rec) = obs.as_mut() {
+                rec.chan(ChannelSlotRecord {
+                    slot,
+                    channel: w.ch,
+                    tx: w.tx.len() as u32,
+                    listens: w.rx.len() as u32,
+                    rx: (metrics.receptions - rx0c) as u32,
+                    busy: (metrics.busy_failures - busy0c) as u32,
+                    env: (metrics.env_drops - env0c) as u32,
+                });
+            }
+        }
+
+        // Execution schedule by flag. Unit timings, when a recorder is
         // attached, flow through the same deterministic channel-major /
         // shard-minor merge as the outcomes, so the recorded stream is
         // identical under every schedule (only the `ns` values differ).
-        let timing = self.obs.is_some();
         // (channel, unit, wall ns, halo ns where the unit built one).
         let mut unit_timings: Vec<(u16, u32, u64, Option<u64>)> = Vec::new();
         let mut merge_span: Option<(u32, u64)> = None;
+        let mut pool_span: Option<(u32, u64)> = None;
         let threads = rayon::current_num_threads() > 1;
-        if self.par_shards && threads {
+        if par_shards && threads {
             // Flatten the units; channel-major, shard-minor — the
-            // deterministic merge order.
+            // deterministic merge order. Each unit gets a pre-indexed
+            // result cell; each channel a countdown latch.
             let mut units: Vec<(u32, u32)> = Vec::new();
+            let mut first_cell: Vec<usize> = Vec::with_capacity(works.len());
             for (wi, w) in works.iter().enumerate() {
+                first_cell.push(units.len());
                 for ui in 0..w.unit_ranges.len() {
                     units.push((wi as u32, ui as u32));
                 }
             }
-            let results: Vec<(Vec<ListenOutcome>, u64, u64)> = units
-                .par_iter()
-                .map(|&(wi, ui)| {
-                    let sw = Stopwatch::start_if(timing);
-                    let w = &works[wi as usize];
-                    let (s, e) = w.unit_ranges[ui as usize];
-                    let ks = &w.shard_rx[s as usize..e as usize];
-                    let mut out = Vec::with_capacity(ks.len());
-                    let mut halo_ns = 0;
-                    if w.sharded {
-                        let sw_halo = Stopwatch::start_if(timing);
-                        let bbox =
-                            BoundingBox::from_points(ks.iter().map(|&k| w.rx_pos[k as usize]))
-                                .expect("resolve units are never empty");
-                        let task = w.resolver.task(bbox);
-                        halo_ns = sw_halo.elapsed_ns();
-                        out.extend(
-                            ks.iter()
-                                .map(|&k| task.resolve(w.rx_pos[k as usize], w.extra)),
-                        );
-                    } else {
-                        out.extend(
-                            ks.iter()
-                                .map(|&k| w.resolver.resolve(w.rx_pos[k as usize], w.extra)),
-                        );
-                    }
-                    (out, sw.elapsed_ns(), halo_ns)
-                })
-                .collect();
-            // Shard-major merge: unit outputs scatter to disjoint listener
-            // slots, visited in the fixed unit order.
-            let sw_merge = Stopwatch::start_if(timing);
-            for (&(wi, ui), (out, _, _)) in units.iter().zip(&results) {
-                let w = &mut works[wi as usize];
-                let (s, e) = w.unit_ranges[ui as usize];
-                for (j, &k) in w.shard_rx[s as usize..e as usize].iter().enumerate() {
-                    w.outcomes[k as usize] = out[j];
-                }
+            #[derive(Default)]
+            struct UnitCell {
+                out: Vec<ListenOutcome>,
+                ns: u64,
+                halo_ns: u64,
             }
-            if timing {
-                merge_span = Some((units.len() as u32, sw_merge.elapsed_ns()));
-                for (&(wi, ui), &(_, unit_ns, halo_ns)) in units.iter().zip(&results) {
-                    let halo = works[wi as usize].sharded.then_some(halo_ns);
-                    unit_timings.push((chans[wi as usize].0, ui, unit_ns, halo));
-                }
-            }
-        } else if self.par_channels && works.len() > 1 && threads {
-            let timings: Vec<Vec<(u32, u64, Option<u64>)>> = works
-                .into_par_iter()
-                .map(|mut w| {
-                    let mut ts = Vec::new();
-                    resolve_work(&mut w, false, timing, &mut ts);
-                    ts
-                })
+            let cells: Vec<Mutex<UnitCell>> = units
+                .iter()
+                .map(|_| Mutex::new(UnitCell::default()))
                 .collect();
-            if timing {
-                for (wi, ts) in timings.iter().enumerate() {
-                    for &(ui, ns, halo) in ts {
-                        unit_timings.push((chans[wi].0, ui, ns, halo));
-                    }
+            let latches: Vec<AtomicU32> = works
+                .iter()
+                .map(|w| AtomicU32::new(w.unit_ranges.len() as u32))
+                .collect();
+            let works_ref = &works;
+            let mut wait_ns = 0u64;
+            let mut merge_ns = 0u64;
+            rayon::scope(|s| {
+                for (uidx, &(wi, ui)) in units.iter().enumerate() {
+                    let cell = &cells[uidx];
+                    let latch = &latches[wi as usize];
+                    s.spawn(move || {
+                        let (out, ns, halo_ns) =
+                            resolve_unit(&works_ref[wi as usize], ui as usize, timing);
+                        {
+                            let mut c = cell.lock().unwrap_or_else(|e| e.into_inner());
+                            *c = UnitCell { out, ns, halo_ns };
+                        }
+                        // Release pairs with the slot thread's Acquire
+                        // latch read; the cell mutex orders the payload.
+                        latch.fetch_sub(1, Ordering::Release);
+                    });
                 }
+                // Phase-1 feedback overlapped with resolution.
+                let sw = Stopwatch::start_if(timing);
+                deliver_slept::<P>(slot, actions, protocols, rngs, faults);
+                deliver_ns += sw.elapsed_ns();
+
+                for (wi, w) in works.iter().enumerate() {
+                    // Help the pool until this channel's units are done;
+                    // later channels keep resolving the whole time.
+                    let sw_wait = Stopwatch::start_if(timing);
+                    let latch = &latches[wi];
+                    s.help_while(|| latch.load(Ordering::Acquire) != 0);
+                    wait_ns += sw_wait.elapsed_ns();
+                    // Shard-major scatter merge into the listener-order
+                    // buffer (uncontended locks: the latch cleared, so
+                    // every writer released its cell).
+                    let sw_merge = Stopwatch::start_if(timing);
+                    let out_buf: &mut Vec<ListenOutcome> = outs[wi];
+                    for ui in 0..w.unit_ranges.len() {
+                        let c = cells[first_cell[wi] + ui]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner());
+                        let (s0, e0) = w.unit_ranges[ui];
+                        debug_assert_eq!(c.out.len(), (e0 - s0) as usize);
+                        for (j, &k) in w.shard_rx[s0 as usize..e0 as usize].iter().enumerate() {
+                            out_buf[k as usize] = c.out[j];
+                        }
+                        if timing {
+                            unit_timings.push((
+                                w.ch,
+                                ui as u32,
+                                c.ns,
+                                w.sharded.then_some(c.halo_ns),
+                            ));
+                        }
+                    }
+                    merge_ns += sw_merge.elapsed_ns();
+                    // Deliver this channel while the rest resolve.
+                    let sw_del = Stopwatch::start_if(timing);
+                    deliver_channel::<P>(
+                        slot, w, out_buf, actions, protocols, rngs, metrics, trace, detector,
+                        faults, obs,
+                    );
+                    deliver_ns += sw_del.elapsed_ns();
+                }
+            });
+            if timing {
+                merge_span = Some((units.len() as u32, merge_ns));
+                pool_span = Some((units.len() as u32, wait_ns));
             }
         } else {
-            let mut ts = Vec::new();
-            for (wi, w) in works.iter_mut().enumerate() {
-                ts.clear();
-                resolve_work(w, true, timing, &mut ts);
-                for &(ui, ns, halo) in &ts {
-                    unit_timings.push((chans[wi].0, ui, ns, halo));
+            let sw = Stopwatch::start_if(timing);
+            deliver_slept::<P>(slot, actions, protocols, rngs, faults);
+            deliver_ns += sw.elapsed_ns();
+            let channel_fanout = par_channels && works.len() > 1 && threads;
+            if channel_fanout {
+                let jobs: Vec<(&Work<'_>, &mut Vec<ListenOutcome>)> = works
+                    .iter()
+                    .zip(outs.iter_mut().map(|o| &mut **o))
+                    .collect();
+                let timings: Vec<Vec<(u32, u64, Option<u64>)>> = jobs
+                    .into_par_iter()
+                    .map(|(w, out)| {
+                        let mut ts = Vec::new();
+                        resolve_work(w, out, false, timing, &mut ts);
+                        ts
+                    })
+                    .collect();
+                if timing {
+                    for (w, ts) in works.iter().zip(&timings) {
+                        for &(ui, ns, halo) in ts {
+                            unit_timings.push((w.ch, ui, ns, halo));
+                        }
+                    }
                 }
             }
+            let mut ts = Vec::new();
+            for (wi, w) in works.iter().enumerate() {
+                if !channel_fanout {
+                    ts.clear();
+                    resolve_work(w, outs[wi], true, timing, &mut ts);
+                    for &(ui, ns, halo) in &ts {
+                        unit_timings.push((w.ch, ui, ns, halo));
+                    }
+                }
+                let sw_del = Stopwatch::start_if(timing);
+                deliver_channel::<P>(
+                    slot, w, outs[wi], actions, protocols, rngs, metrics, trace, detector, faults,
+                    obs,
+                );
+                deliver_ns += sw_del.elapsed_ns();
+            }
         }
-        if let Some(rec) = self.obs.as_mut() {
-            let slot = self.slot;
+
+        // Transmitters on channels nobody listened to still need
+        // feedback; their records trail the listening channels in the
+        // outcome stream, as always.
+        let sw = Stopwatch::start_if(timing);
+        for &(ch, tx) in &txonly {
+            for &ti in tx {
+                protocols[ti as usize].observe(slot, Observation::Sent, &mut rngs[ti as usize]);
+            }
+            if let Some(rec) = obs.as_mut() {
+                rec.chan(ChannelSlotRecord {
+                    slot,
+                    channel: ch,
+                    tx: tx.len() as u32,
+                    listens: 0,
+                    rx: 0,
+                    busy: 0,
+                    env: 0,
+                });
+            }
+        }
+        deliver_ns += sw.elapsed_ns();
+
+        if let Some(rec) = obs.as_mut() {
             for (ch, ui, ns, halo) in unit_timings {
                 rec.span(SpanKind::Unit, slot, u32::from(ch), ui, ns);
                 if let Some(h) = halo {
@@ -786,7 +1105,12 @@ impl<P: Protocol> Engine<P> {
             if let Some((nunits, ns)) = merge_span {
                 rec.span(SpanKind::Merge, slot, nunits, 0, ns);
             }
+            if let Some((nunits, ns)) = pool_span {
+                rec.span(SpanKind::Pool, slot, nunits, 0, ns);
+            }
         }
+        let total_ns = sw_phase.elapsed_ns();
+        (total_ns.saturating_sub(deliver_ns), deliver_ns)
     }
 
     /// Executes one slot.
@@ -921,157 +1245,19 @@ impl<P: Protocol> Engine<P> {
         }
 
         let stage_ns = sw.elapsed_ns();
-        let sw = Stopwatch::start_if(timing);
 
-        // Phase 2b: resolve every channel's receptions as (channel × shard)
-        // units. Each listener's outcome is a pure function of its
-        // channel's staged transmitter set, so how listeners are grouped —
-        // one unit per channel, S² shard units, sequential or parallel —
-        // never changes a bit; outcomes are merged shard-major into the
-        // channel's listener-order buffer either way.
-        self.resolve_active_channels();
-        let resolve_ns = sw.elapsed_ns();
-        let sw = Stopwatch::start_if(timing);
-
-        // Phase 2c: deliver observations, in ascending channel order
-        // (deterministic — the sorted active list replaces the old
-        // HashMap's arbitrary order).
-        for &ch in &self.active {
-            let gi = ch as usize;
-            if self.groups[gi].rx.is_empty() {
-                continue;
-            }
-            // Per-channel outcome stream: metric deltas around this
-            // channel's delivery, snapshotted outside the listener loop.
-            let (rx0c, busy0c, env0c) = (
-                self.metrics.receptions,
-                self.metrics.busy_failures,
-                self.metrics.env_drops,
-            );
-            for k in 0..self.groups[gi].rx.len() {
-                let group = &self.groups[gi];
-                let li = group.rx[k];
-                let mut outcome = group.outcomes[k];
-                // Deep fades (condition.drop) suppress decodes outright;
-                // the energy was still sensed during resolution.
-                if group.cond.drop && outcome.decoded.is_some() {
-                    self.metrics.env_drops += 1;
-                    outcome = ListenOutcome {
-                        decoded: None,
-                        signal: 0.0,
-                        sinr: 0.0,
-                        total_power: outcome.total_power,
-                    };
-                }
-                // Zone jams destroy decodes at victims inside the blast
-                // radius — a deep fade local to the listener.
-                if outcome.decoded.is_some() && self.faults.zone_drop(group.rx_pos[k], ch, slot) {
-                    self.metrics.env_drops += 1;
-                    outcome = ListenOutcome {
-                        decoded: None,
-                        signal: 0.0,
-                        sinr: 0.0,
-                        total_power: outcome.total_power,
-                    };
-                }
-                let obs = Observation::from_outcome(&outcome, |j| {
-                    let sender = group.tx[j] as usize;
-                    let msg = match &self.actions[sender] {
-                        SlotAction::Tx(_, m) => m.clone(),
-                        _ => unreachable!("decoded node was not transmitting"),
-                    };
-                    (NodeId(group.tx[j]), msg)
-                });
-                match &obs {
-                    Observation::Received(r) => {
-                        self.metrics.receptions += 1;
-                        if let Some(t) = self.trace.as_mut() {
-                            t.record(TraceEvent {
-                                slot,
-                                channel: Channel(gi as u16),
-                                from: r.from,
-                                to: NodeId(li),
-                            });
-                        }
-                    }
-                    Observation::Noise { total_power } => {
-                        if *total_power > 0.0 {
-                            self.metrics.busy_failures += 1;
-                        } else {
-                            self.metrics.silent_listens += 1;
-                        }
-                    }
-                    _ => {}
-                }
-                // Contested listens feed the degradation detector: the
-                // channel had a transmitter, so decode-or-not is evidence
-                // about this listener's link health.
-                if self.detector.is_some() && !self.groups[gi].tx.is_empty() {
-                    let delivered = matches!(&obs, Observation::Received(_));
-                    if let Some(det) = self.detector.as_mut() {
-                        det.sample(li, slot, delivered);
-                    }
-                }
-                self.protocols[li as usize].observe(slot, obs, &mut self.rngs[li as usize]);
-            }
-            // Transmitters learn nothing.
-            for k in 0..self.groups[gi].tx.len() {
-                let ti = self.groups[gi].tx[k] as usize;
-                self.protocols[ti].observe(slot, Observation::Sent, &mut self.rngs[ti]);
-            }
-            if let Some(rec) = self.obs.as_mut() {
-                rec.chan(ChannelSlotRecord {
-                    slot,
-                    channel: ch,
-                    tx: self.groups[gi].tx.len() as u32,
-                    listens: self.groups[gi].rx.len() as u32,
-                    rx: (self.metrics.receptions - rx0c) as u32,
-                    busy: (self.metrics.busy_failures - busy0c) as u32,
-                    env: (self.metrics.env_drops - env0c) as u32,
-                });
-            }
-        }
-
-        // Idle nodes get a sleep observation so state machines can advance.
-        // Absent nodes (crashed or not yet joined) observe nothing at all.
-        for i in 0..self.actions.len() {
-            if matches!(self.actions[i], SlotAction::Off)
-                && !self.faults.is_absent(i as u32, slot)
-                && !self.protocols[i].is_done()
-            {
-                self.protocols[i].observe(slot, Observation::Slept, &mut self.rngs[i]);
-            }
-        }
-
-        // Transmitters on channels nobody listened to still need feedback.
-        for &ch in &self.active {
-            let gi = ch as usize;
-            if self.groups[gi].rx.is_empty() {
-                for k in 0..self.groups[gi].tx.len() {
-                    let ti = self.groups[gi].tx[k] as usize;
-                    self.protocols[ti].observe(slot, Observation::Sent, &mut self.rngs[ti]);
-                }
-                // Transmit-only channels still appear in the outcome
-                // stream (zero listeners, zero decodes).
-                if let Some(rec) = self.obs.as_mut() {
-                    rec.chan(ChannelSlotRecord {
-                        slot,
-                        channel: ch,
-                        tx: self.groups[gi].tx.len() as u32,
-                        listens: 0,
-                        rx: 0,
-                        busy: 0,
-                        env: 0,
-                    });
-                }
-            }
-        }
+        // Phases 2b + 2c: resolve every channel's receptions as
+        // (channel x shard) units and deliver every observation - fused
+        // so the pooled schedule can deliver finished channels (and the
+        // Phase-1-derived idle feedback) while later channels still
+        // resolve on the work-stealing pool. Bit-identical under every
+        // schedule; see `resolve_and_deliver`.
+        let (resolve_ns, deliver_ns) = self.resolve_and_deliver();
 
         self.slot += 1;
         self.metrics.slots += 1;
 
         if let Some(rec) = self.obs.as_mut() {
-            let deliver_ns = sw.elapsed_ns();
             rec.span(SpanKind::EventDrain, slot, 0, 0, drain_ns);
             rec.span(SpanKind::Gather, slot, 0, 0, gather_ns);
             rec.span(SpanKind::Stage, slot, 0, 0, stage_ns);
@@ -1092,6 +1278,13 @@ impl<P: Protocol> Engine<P> {
                 build_ns - self.obs_cache_builds.1,
             );
             self.obs_cache_builds = (builds, build_ns);
+            // Work-stealing pool activity, as per-slot deltas of the
+            // process-global cumulative stats (see `obs_pool`).
+            let ps = rayon::pool_stats();
+            rec.add("pool_steals", ps.steals - self.obs_pool.0);
+            rec.add("pool_tasks", ps.tasks - self.obs_pool.1);
+            rec.add("pool_parks", ps.parks - self.obs_pool.2);
+            self.obs_pool = (ps.steals, ps.tasks, ps.parks);
         }
 
         // Every listen slot must be accounted exactly once — guards the
@@ -1570,6 +1763,42 @@ mod tests {
             l_seq, l_par,
             "parallel channel groups changed an observation"
         );
+    }
+
+    #[test]
+    fn pooled_pipeline_bit_identical_under_steal_stress() {
+        // The pooled schedule (par_shards on a multi-worker pool) must
+        // replay the sequential engine bit-for-bit — including when the
+        // stress hook funnels every task through one deque so the other
+        // workers only make progress by stealing. Thread-count and
+        // capacity changes are process-global, but they only steer
+        // scheduling, never outcomes, so racing sibling tests stay
+        // correct.
+        let run = |shards: u16, par: bool, threads: usize, cap: usize| {
+            rayon::set_num_threads(threads);
+            rayon::set_test_deque_capacity(cap);
+            let mut e = hopper_net(120, 5, par, SinrParams::default())
+                .with_shards(shards)
+                .with_par_shards(par);
+            e.run(60);
+            rayon::set_test_deque_capacity(0);
+            rayon::set_num_threads(0);
+            let metrics = e.metrics().clone();
+            let logs: Vec<_> = e
+                .into_protocols()
+                .into_iter()
+                .map(|h| (h.heard, h.noise))
+                .collect();
+            (metrics, logs)
+        };
+        let baseline = run(0, false, 1, 0);
+        for &(threads, cap) in &[(2usize, 0usize), (4, 1), (8, 2)] {
+            let stressed = run(4, true, threads, cap);
+            assert_eq!(
+                baseline, stressed,
+                "pooled schedule diverged at {threads} threads, deque cap {cap}"
+            );
+        }
     }
 
     #[test]

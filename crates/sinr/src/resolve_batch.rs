@@ -79,10 +79,12 @@ use rayon::prelude::*;
 const PAR_LISTENERS: usize = 256;
 
 /// Minimum per-batch work volume (listeners × estimated power evaluations
-/// per listener, mode-aware) before the fan-out engages: the vendored
-/// rayon spawns scoped threads per call (no pool), so the spawn cost
-/// (~tens of µs per worker) must be dwarfed by the resolve work.
-const PAR_MIN_PAIRS: usize = 4_000_000;
+/// per listener, mode-aware) before the fan-out engages. The vendored
+/// rayon runs on a persistent work-stealing pool, so dispatch is a task
+/// handoff to an already-parked worker (~single-digit µs), not a thread
+/// spawn — the bar is set by chunking/merge overhead and cache effects,
+/// an order of magnitude lower than the old spawn-per-call economics.
+const PAR_MIN_PAIRS: usize = 1_000_000;
 
 /// Transmitter count below which Fast mode falls back to the exact scan —
 /// the grid build would cost more than it saves.
@@ -712,12 +714,13 @@ impl<'a> ChannelResolver<'a> {
     }
 
     /// Resolves a batch of listeners into `out` (cleared first), in
-    /// listener order. Batches whose work volume dwarfs the thread-spawn
-    /// cost are resolved in parallel on multi-core hosts; per-listener
-    /// outcomes are independent, so the result is identical to the
-    /// sequential loop on any thread count. When the fan-out engages, the
-    /// caller's buffer is replaced by the collected one (one allocation,
-    /// amortized against `PAR_MIN_PAIRS` (4M) pair resolutions).
+    /// listener order. Batches whose work volume dwarfs the pool's task
+    /// handoff and merge cost are resolved in parallel on multi-core
+    /// hosts; per-listener outcomes are independent, so the result is
+    /// identical to the sequential loop on any thread count. When the
+    /// fan-out engages, the caller's buffer is replaced by the collected
+    /// one (one allocation, amortized against `PAR_MIN_PAIRS` (1M) pair
+    /// resolutions).
     pub fn resolve_into(
         &self,
         listeners: &[Point],

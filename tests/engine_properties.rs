@@ -2,8 +2,9 @@
 //! invariants that must hold for any protocol.
 
 use multichannel_adhoc::prelude::*;
-use multichannel_adhoc::radio::{Action, Observation, Protocol};
+use multichannel_adhoc::radio::{Action, Metrics, Observation, Protocol};
 use multichannel_adhoc::sinr::resolve_listener;
+use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -133,6 +134,127 @@ fn determinism_with_faults() {
         )
     };
     assert_eq!(run(), run());
+}
+
+/// One scripted lifecycle/motion event: at `slot`, either crash `node`
+/// (kind 0), have `node` start crashed and join (kind 1), or nudge
+/// `node` by `(dx, dy)` (kind 2). Crash/join events are installed on the
+/// [`FaultPlan`] before the run; motion events are applied through
+/// `positions_mut` in the step loop — in both cases identically for
+/// every engine configuration under comparison.
+type ScriptEvent = (u64, u8, u32, f64, f64);
+
+/// Per-node observable state after a scripted run: the verbatim decode
+/// log plus the transmit count.
+type NodeLog = (Vec<(u64, NodeId)>, u64);
+
+/// Runs a scripted chatter world and returns everything observable:
+/// full metrics plus each node's verbatim decode log and tx count.
+#[allow(clippy::too_many_arguments)]
+fn run_scripted(
+    positions: &[Point],
+    channels: u16,
+    p: f64,
+    seed: u64,
+    script: &[ScriptEvent],
+    shards: u16,
+    par: bool,
+    slots: u64,
+) -> (Metrics, Vec<NodeLog>) {
+    use multichannel_adhoc::radio::FaultPlan;
+    let n = positions.len();
+    let mut faults = FaultPlan::none();
+    for &(slot, kind, node, _, _) in script {
+        let node = node % n as u32;
+        match kind {
+            0 => {
+                faults.crash_at(node, slot);
+            }
+            1 => {
+                faults.crash_at(node, 0).join_at(node, slot);
+            }
+            _ => {}
+        }
+    }
+    let protocols = (0..n)
+        .map(|_| Chatter {
+            channels,
+            p,
+            decodes: Vec::new(),
+            tx_count: 0,
+        })
+        .collect();
+    let mut engine = Engine::new(SinrParams::default(), positions.to_vec(), protocols, seed)
+        .with_faults(faults)
+        .with_shards(shards)
+        .with_par_channels(par)
+        .with_par_shards(par);
+    for slot in 0..slots {
+        for &(at, kind, node, dx, dy) in script {
+            if kind == 2 && at == slot {
+                let i = (node % n as u32) as usize;
+                let p0 = engine.positions()[i];
+                engine.positions_mut()[i] = Point::new(p0.x + dx, p0.y + dy);
+            }
+        }
+        engine.step();
+    }
+    let metrics = engine.metrics().clone();
+    let logs = engine
+        .into_protocols()
+        .into_iter()
+        .map(|c| (c.decodes, c.tx_count))
+        .collect();
+    (metrics, logs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// Phase-overlap stress: under the pooled pipeline (double-buffered
+    /// slot state, Phase-1-derived feedback delivered while resolve
+    /// units are still in flight, delivery of earlier channels
+    /// overlapping resolution of later ones) a run with random
+    /// crash/join/motion interleavings must be bit-identical — metrics
+    /// and every node's decode log — to the sequential engine, at every
+    /// thread count and even when a tiny test deque capacity forces
+    /// near-every task to be stolen.
+    #[test]
+    fn overlapped_pipeline_matches_sequential_under_random_churn(
+        seed in 0u64..10_000,
+        channels in 1u16..5,
+        p in 0.15f64..0.45,
+        script in proptest::collection::vec(
+            (1u64..40, 0u8..3, 0u32..90, -1.5f64..1.5, -1.5f64..1.5),
+            0..10,
+        ),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let deploy = Deployment::uniform(90, 8.0, &mut rng);
+        let positions = deploy.into_points();
+
+        // Sequential reference: no sharding, no parallel dispatch,
+        // single-threaded pool (everything runs inline).
+        rayon::set_num_threads(1);
+        let baseline = run_scripted(&positions, channels, p, seed, &script, 0, false, 40);
+
+        // Pooled pipeline at several thread counts, each with a steal
+        // funnel of a different severity (0 = normal submission).
+        for (threads, cap) in [(2usize, 0usize), (4, 1), (8, 2)] {
+            rayon::set_num_threads(threads);
+            rayon::set_test_deque_capacity(cap);
+            let pooled = run_scripted(&positions, channels, p, seed, &script, 4, true, 40);
+            rayon::set_test_deque_capacity(0);
+            prop_assert_eq!(
+                &baseline.0, &pooled.0,
+                "metrics diverged at {} threads (cap {})", threads, cap
+            );
+            prop_assert_eq!(
+                &baseline.1, &pooled.1,
+                "decode logs diverged at {} threads (cap {})", threads, cap
+            );
+        }
+        rayon::set_num_threads(0);
+    }
 }
 
 #[test]

@@ -1,0 +1,87 @@
+//! Scheduling-stress determinism suite for the persistent work-stealing
+//! pool: the committed golden metrics (`scenarios/GOLDEN_trials.json`)
+//! must come out **byte-identical** whatever the pool looks like —
+//! any worker count, any steal schedule, any interleaving of unit
+//! execution. The determinism contract is architectural (per-listener
+//! outcomes are pure functions of the channel's transmitter set, and the
+//! merge is ordered channel-major/shard-minor), so scheduling is free to
+//! be greedy; these tests are the teeth behind that claim.
+//!
+//! All tests force the parallel path (`MCA_FORCE_PAR=1`, read once per
+//! process) and serialize through one lock because thread count and the
+//! steal-stress capacity are process-global pool configuration.
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+const GOLDEN: &str = "scenarios/GOLDEN_trials.json";
+
+static POOL_CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+fn config_guard() -> std::sync::MutexGuard<'static, ()> {
+    // `MCA_FORCE_PAR` is latched on first engine construction; setting it
+    // before taking the guard guarantees every test in this binary runs
+    // the forced-parallel configuration regardless of scheduling order.
+    std::env::set_var("MCA_FORCE_PAR", "1");
+    POOL_CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Renders the goldens on the live pool configuration and byte-compares
+/// them against the committed file.
+fn assert_goldens(what: &str) {
+    if let Err(e) = mca_bench::check_golden_trials(GOLDEN) {
+        panic!("goldens diverged ({what}): {e}");
+    }
+}
+
+#[test]
+fn goldens_byte_identical_at_every_thread_count() {
+    let _g = config_guard();
+    for threads in [1usize, 2, 4, 8] {
+        rayon::set_num_threads(threads);
+        assert_goldens(&format!("{threads} threads"));
+    }
+    rayon::set_num_threads(0);
+}
+
+#[test]
+fn goldens_byte_identical_under_injected_steal_storm() {
+    let _g = config_guard();
+    // Capacity 1 funnels every submission through worker 0's one-slot
+    // deque and the shared injector: workers 1..n make progress only by
+    // stealing, so unit execution order bears no resemblance to
+    // submission order. The bytes must not care.
+    rayon::set_num_threads(8);
+    rayon::set_test_deque_capacity(1);
+    let steals_before = rayon::pool_stats().steals;
+    assert_goldens("8 threads, deque capacity 1");
+    rayon::set_test_deque_capacity(0);
+    assert!(
+        rayon::pool_stats().steals > steals_before,
+        "the capacity funnel must actually manufacture steals"
+    );
+    rayon::set_num_threads(0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// Random pool shapes: a drawn worker count and deque capacity give
+    /// a different greedy schedule (and a different steal pattern) every
+    /// case, and every case must reproduce the committed bytes.
+    #[test]
+    fn goldens_byte_identical_under_random_pool_shapes(
+        threads in 1usize..9,
+        cap in 0usize..4,
+    ) {
+        let _g = config_guard();
+        rayon::set_num_threads(threads);
+        rayon::set_test_deque_capacity(cap);
+        let r = mca_bench::check_golden_trials(GOLDEN);
+        rayon::set_test_deque_capacity(0);
+        rayon::set_num_threads(0);
+        prop_assert!(
+            r.is_ok(),
+            "goldens diverged at {} threads, cap {}: {:?}", threads, cap, r.err()
+        );
+    }
+}

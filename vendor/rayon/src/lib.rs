@@ -1,109 +1,56 @@
 //! Offline, API-compatible subset of the `rayon` crate.
 //!
-//! Provides genuinely parallel (std::thread-based) versions of the rayon
-//! idioms this workspace uses: `into_par_iter()` / `par_iter()` with `map`
-//! and order-preserving `collect`, plus [`join`]. Work is split into one
-//! contiguous chunk per available core; results are reassembled in input
-//! order, so a parallel `collect` is always element-for-element identical
-//! to the sequential equivalent.
+//! Provides genuinely parallel versions of the rayon idioms this
+//! workspace uses — `into_par_iter()` / `par_iter()` with `map` and
+//! order-preserving `collect`, [`join`], and a borrowing [`scope`] — all
+//! executing on a **persistent work-stealing worker pool** (the `pool`
+//! module): lazily spawned, one Chase–Lev-style deque per worker with
+//! a shared injector, condvar park/unpark when idle, panic propagation
+//! back to the caller, and explicit reconfiguration through
+//! [`set_num_threads`]. Work is cut into more chunks than workers so
+//! stragglers can be stolen; results are reassembled in input order, so
+//! a parallel `collect` is always element-for-element identical to the
+//! sequential equivalent.
+//!
+//! The crate contains exactly one `unsafe` expression (the scoped-task
+//! lifetime erasure in the `pool` module, with its soundness argument);
+//! everything
+//! else is `#![deny(unsafe_code)]`-clean.
 
-#![forbid(unsafe_code)]
-
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::thread;
+#![deny(unsafe_code)]
 
 pub mod iter;
+mod pool;
 
 pub use iter::{IntoParallelIterator, IntoParallelRefIterator};
+pub use pool::{
+    current_num_threads, join, pool_stats, scope, set_num_threads, set_test_deque_capacity,
+    PoolStats, Scope,
+};
+
+pub(crate) use pool::parallel_map;
 
 /// Common imports.
 pub mod prelude {
     pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
-/// Worker-count override installed by [`set_num_threads`] (0 = automatic).
-static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-
-/// Pins the number of worker threads used by every subsequent parallel
-/// operation in this process; `0` restores the automatic choice (one per
-/// available core). The real rayon configures this through its global
-/// thread-pool builder; this shim spawns scoped workers per call, so a
-/// process-wide count is the equivalent control. Benchmarks and CI smoke
-/// jobs use it (via `experiments --threads N`) to make wall-clock numbers
-/// reproducible across hosts.
-pub fn set_num_threads(n: usize) {
-    NUM_THREADS_OVERRIDE.store(n, Ordering::Relaxed);
-}
-
-/// Number of worker threads used for parallel operations.
-pub fn current_num_threads() -> usize {
-    match NUM_THREADS_OVERRIDE.load(Ordering::Relaxed) {
-        0 => thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1),
-        n => n,
-    }
-}
-
-/// Runs both closures, potentially in parallel, returning both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon::join worker panicked"))
-    })
-}
-
-/// Maps `f` over `items` using one thread per contiguous chunk, preserving
-/// input order in the output.
-pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = current_num_threads().min(n).max(1);
-    if threads == 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let chunk_len = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut rest = items;
-    while rest.len() > chunk_len {
-        let tail = rest.split_off(chunk_len);
-        chunks.push(rest);
-        rest = tail;
-    }
-    chunks.push(rest);
-
-    let fref = &f;
-    thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(fref).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            out.extend(h.join().expect("rayon worker panicked"));
-        }
-        out
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// The pool is process-global; tests that reconfigure it (thread
+    /// count, stress capacity) or assert on its live state serialize
+    /// through this lock so `cargo test`'s parallel harness can't
+    /// interleave reconfigurations.
+    static POOL_CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+    fn config_guard() -> std::sync::MutexGuard<'static, ()> {
+        POOL_CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn join_returns_both() {
@@ -144,6 +91,8 @@ mod tests {
 
     #[test]
     fn thread_count_override_pins_and_restores() {
+        let _g = config_guard();
+        super::set_num_threads(0);
         let auto = super::current_num_threads();
         super::set_num_threads(3);
         assert_eq!(super::current_num_threads(), 3);
@@ -154,5 +103,179 @@ mod tests {
         assert_eq!(super::current_num_threads(), auto);
         let unpinned: Vec<u64> = v.into_par_iter().map(|x| x * 7).collect();
         assert_eq!(pinned, unpinned);
+    }
+
+    #[test]
+    fn scope_spawn_borrows_stack_data() {
+        let _g = config_guard();
+        super::set_num_threads(4);
+        let mut outs = vec![0u64; 16];
+        let inputs: Vec<u64> = (0..16).collect();
+        super::scope(|s| {
+            for (out, x) in outs.iter_mut().zip(inputs.iter()) {
+                s.spawn(move || *out = x * x);
+            }
+        });
+        super::set_num_threads(0);
+        let expect: Vec<u64> = (0..16).map(|x| x * x).collect();
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn set_num_threads_shuts_down_and_reinits_the_pool() {
+        let _g = config_guard();
+        // Spin up a 2-worker pool and prove it is the live one.
+        super::set_num_threads(2);
+        let v: Vec<u64> = (0..256).collect();
+        let _: Vec<u64> = v.clone().into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(super::pool_stats().workers, 2);
+
+        // Explicit reconfiguration: the old pool is retired immediately;
+        // the next operation runs on a fresh 4-worker pool, and results
+        // stay identical across the reinit.
+        super::set_num_threads(4);
+        let before = super::pool_stats();
+        assert_eq!(
+            before.workers, 0,
+            "retiring the mismatched pool empties the registry until next use"
+        );
+        let via4: Vec<u64> = v.clone().into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(super::pool_stats().workers, 4);
+        let seq: Vec<u64> = v.iter().map(|x| x + 1).collect();
+        assert_eq!(via4, seq);
+
+        // Same count again is a no-op (no churn).
+        super::set_num_threads(4);
+        assert_eq!(super::pool_stats().workers, 4);
+        super::set_num_threads(0);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_and_pool_survives() {
+        let _g = config_guard();
+        super::set_num_threads(2);
+        let caught = std::panic::catch_unwind(|| {
+            let v: Vec<u32> = (0..100).collect();
+            let _: Vec<u32> = v
+                .into_par_iter()
+                .map(|x| {
+                    if x == 37 {
+                        panic!("boom at 37");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(caught.is_err(), "a panicking task must reach the caller");
+
+        // Scope-level: body result discarded, spawned panic re-thrown.
+        let caught = std::panic::catch_unwind(|| {
+            super::scope(|s| {
+                s.spawn(|| panic!("scoped boom"));
+            });
+        });
+        assert!(caught.is_err());
+
+        // The pool outlives both panics and still computes correctly.
+        let v: Vec<u64> = (0..1000).collect();
+        let sum: u64 = v
+            .into_par_iter()
+            .map(|x| x * 2)
+            .collect::<Vec<u64>>()
+            .iter()
+            .sum();
+        assert_eq!(sum, 999 * 1000);
+        super::set_num_threads(0);
+    }
+
+    #[test]
+    fn nested_join_from_worker_threads() {
+        let _g = config_guard();
+        super::set_num_threads(4);
+        // Each outer task joins two inner tasks from *inside* a worker;
+        // the inner spawn lands on the worker's own deque and either
+        // runs LIFO on the same worker or is stolen — both orders must
+        // give the same answer.
+        let v: Vec<u64> = (0..64).collect();
+        let nested: Vec<u64> = v
+            .clone()
+            .into_par_iter()
+            .map(|x| {
+                let (a, b) = super::join(|| x * 2, || x * 3);
+                a + b
+            })
+            .collect();
+        let seq: Vec<u64> = v.iter().map(|x| x * 5).collect();
+        assert_eq!(nested, seq);
+        super::set_num_threads(0);
+    }
+
+    #[test]
+    fn idle_pool_parks_instead_of_spinning() {
+        let _g = config_guard();
+        super::set_num_threads(3);
+        let v: Vec<u64> = (0..512).collect();
+        let _: Vec<u64> = v.into_par_iter().map(|x| x + 1).collect();
+        // Give the workers a moment to drain and park, then require every
+        // one of them to be condvar-blocked (not scanning queues in a
+        // loop): a spinning worker never appears in the idle count.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let stats = super::pool_stats();
+            if stats.idle == stats.workers && stats.workers == 3 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers failed to park: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Parked means no task executions happen while quiescent.
+        let t0 = super::pool_stats().tasks;
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(super::pool_stats().tasks, t0);
+        super::set_num_threads(0);
+    }
+
+    #[test]
+    fn steal_stress_capacity_forces_identical_results() {
+        let _g = config_guard();
+        super::set_num_threads(4);
+        let v: Vec<u64> = (0..4096).collect();
+        let baseline: Vec<u64> = v.clone().into_par_iter().map(|x| x * 11).collect();
+        // Funnel all submissions through worker 0 with a tiny capacity:
+        // workers 1..3 make progress only by stealing, and the injector
+        // absorbs the overflow. Results must not change.
+        super::set_test_deque_capacity(1);
+        let steals_before = super::pool_stats().steals;
+        let stressed: Vec<u64> = v.into_par_iter().map(|x| x * 11).collect();
+        super::set_test_deque_capacity(0);
+        assert_eq!(stressed, baseline);
+        assert!(
+            super::pool_stats().steals > steals_before,
+            "the capacity funnel must manufacture steals"
+        );
+        super::set_num_threads(0);
+    }
+
+    #[test]
+    fn help_while_drives_latched_work() {
+        let _g = config_guard();
+        super::set_num_threads(2);
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        DONE.store(0, Ordering::SeqCst);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    DONE.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // The caller waits on an external condition its own spawned
+            // tasks establish, helping to run them meanwhile.
+            s.help_while(|| DONE.load(Ordering::SeqCst) < 8);
+        });
+        assert_eq!(DONE.load(Ordering::SeqCst), 8);
+        super::set_num_threads(0);
     }
 }

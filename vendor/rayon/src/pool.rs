@@ -1,0 +1,613 @@
+//! The persistent work-stealing worker pool behind every parallel
+//! operation of this shim.
+//!
+//! # Architecture
+//!
+//! A lazily-spawned global pool of `current_num_threads() - 0` worker
+//! threads, each owning a Chase–Lev-style deque: the owner pushes and
+//! pops work at the *bottom* (LIFO — hot caches, nested spawns run
+//! immediately), idle workers steal from the *top* (FIFO — the oldest,
+//! coarsest task migrates). The real Chase–Lev structure is a lock-free
+//! array deque; this offline shim renders the same discipline with a
+//! mutexed `VecDeque` per worker, which is indistinguishable at the task
+//! granularity this workspace schedules (whole (channel × shard) resolve
+//! units, map chunks — microseconds to milliseconds each, so an
+//! uncontended lock per transfer is noise).
+//!
+//! External threads (anyone who is not a pool worker) submit by
+//! round-robining tasks across the worker deques; a shared **injector**
+//! queue takes overflow (and everything, under the stress hook below).
+//! Idle workers park on a condvar — a quiescent pool burns no CPU — and
+//! every submission wakes one sleeper.
+//!
+//! # Blocking, helping, and panics
+//!
+//! All entry points ([`scope`], [`join`], the `par_iter` machinery) block
+//! the caller until every task they spawned has completed, and the
+//! blocked caller *helps*: it executes queued tasks (its own deque first
+//! if it is a worker, then the injector, then steals) instead of
+//! sleeping. That blocking is also the soundness argument for the one
+//! `unsafe` in this crate: a scoped task's borrows cannot dangle because
+//! the scope that borrowed them never returns before the task has run.
+//! A panicking task is caught in the worker, carried back, and re-thrown
+//! in the caller at the end of the scope — after every sibling task has
+//! finished, so no borrow is released early.
+//!
+//! # Reconfiguration
+//!
+//! [`set_num_threads`](crate::set_num_threads) takes effect at any time:
+//! if a pool already runs at a different size it is **retired** — its
+//! workers drain their queues and exit, while in-flight scopes keep their
+//! handle to it and complete normally (worst case the scope's own caller
+//! executes the stragglers) — and the next parallel operation spawns a
+//! fresh pool at the new size. Nothing is ever lost or run twice.
+//!
+//! # Scheduling-stress test hook
+//!
+//! [`set_test_deque_capacity`] funnels every submission through worker
+//! 0's deque up to the given capacity (overflow spills to the injector),
+//! manufacturing maximal imbalance so that *every other worker must
+//! steal*. The determinism suite runs golden workloads under tiny
+//! capacities to prove outcomes are schedule-independent.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// A queued unit of work. Always a lifetime-erased scoped closure; the
+/// erasure is sound because the owning scope blocks until the task runs
+/// (see [`Scope::spawn`]).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Worker-count override installed by [`crate::set_num_threads`]
+/// (0 = automatic, one worker per available core).
+static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The live pool, if one has been spawned (`None` before first use, after
+/// retirement, and always when the effective thread count is 1).
+static REGISTRY: Mutex<Option<Arc<Shared>>> = Mutex::new(None);
+
+/// Stress hook: when non-zero, all submissions funnel through worker 0's
+/// deque up to this length, then spill to the injector.
+static TEST_DEQUE_CAP: AtomicUsize = AtomicUsize::new(0);
+
+// Lifetime cumulative counters (across pool retirements — monotone, so
+// observers can take deltas without caring about reconfiguration).
+static STAT_STEALS: AtomicU64 = AtomicU64::new(0);
+static STAT_TASKS: AtomicU64 = AtomicU64::new(0);
+static STAT_PARKS: AtomicU64 = AtomicU64::new(0);
+static STAT_INJECTED: AtomicU64 = AtomicU64::new(0);
+
+/// Pins the number of worker threads used by every subsequent parallel
+/// operation in this process; `0` restores the automatic choice (one per
+/// available core).
+///
+/// Reconfiguration is **explicit and immediate** (this is the documented
+/// fix for `--threads` only taking effect before first pool use): if a
+/// pool is already running at a different size, it is retired — its
+/// workers finish whatever is queued and exit; operations mid-flight on
+/// it complete unaffected — and the next parallel operation lazily spawns
+/// a fresh pool at the new count.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS_OVERRIDE.store(n, Ordering::SeqCst);
+    let mut reg = lock(&REGISTRY);
+    if let Some(pool) = reg.as_ref() {
+        if pool.threads != effective_threads() {
+            pool.begin_shutdown();
+            *reg = None;
+        }
+    }
+}
+
+/// Number of worker threads used for parallel operations (the pinned
+/// override, or one per available core).
+pub fn current_num_threads() -> usize {
+    match NUM_THREADS_OVERRIDE.load(Ordering::SeqCst) {
+        0 => auto_threads(),
+        n => n,
+    }
+}
+
+/// `available_parallelism`, probed once per process (it can involve
+/// cgroup filesystem reads — too costly for a per-slot query).
+fn auto_threads() -> usize {
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+fn effective_threads() -> usize {
+    current_num_threads().max(1)
+}
+
+/// Sets the scheduling-stress deque capacity (`0` = off, the default).
+/// While set, every submission lands on worker 0's deque until it holds
+/// `cap` tasks, then spills to the shared injector — so with two or more
+/// workers, all progress beyond worker 0's first `cap` tasks requires
+/// stealing. A test hook: determinism suites use it to prove outcomes are
+/// independent of steal-heavy schedules; it has no other legitimate use.
+pub fn set_test_deque_capacity(cap: usize) {
+    TEST_DEQUE_CAP.store(cap, Ordering::SeqCst);
+}
+
+/// A snapshot of pool activity. Counters are cumulative over the process
+/// lifetime (they survive [`set_num_threads`] retirements), so observers
+/// take deltas; `workers`/`idle` describe the currently live pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker threads in the live pool (0 when no pool has spawned).
+    pub workers: usize,
+    /// Workers currently parked (no work to do; condvar-blocked, not
+    /// spinning).
+    pub idle: usize,
+    /// Tasks taken from another worker's deque (cumulative).
+    pub steals: u64,
+    /// Tasks executed by pool workers (cumulative; excludes tasks the
+    /// blocked caller ran itself while helping).
+    pub tasks: u64,
+    /// Times a worker parked after finding no work (cumulative).
+    pub parks: u64,
+    /// Tasks that went through the shared injector (cumulative).
+    pub injected: u64,
+}
+
+/// Reads the current [`PoolStats`].
+pub fn pool_stats() -> PoolStats {
+    let (workers, idle) = match lock(&REGISTRY).as_ref() {
+        Some(p) => (p.threads, *lock(&p.idle)),
+        None => (0, 0),
+    };
+    PoolStats {
+        workers,
+        idle,
+        steals: STAT_STEALS.load(Ordering::SeqCst),
+        tasks: STAT_TASKS.load(Ordering::SeqCst),
+        parks: STAT_PARKS.load(Ordering::SeqCst),
+        injected: STAT_INJECTED.load(Ordering::SeqCst),
+    }
+}
+
+/// Everything the workers and their clients share. Held in an `Arc`:
+/// the registry keeps the live pool's, scopes clone it, and retired pools
+/// stay alive exactly as long as someone still schedules on them.
+struct Shared {
+    threads: usize,
+    /// One deque per worker: owner pushes/pops at the back (LIFO),
+    /// thieves pop the front (FIFO).
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// External-overflow queue (and the funnel target under the stress
+    /// hook).
+    injector: Mutex<VecDeque<Job>>,
+    /// Total queued-but-unclaimed tasks; the park/wake handshake keys off
+    /// it (incremented before a push, decremented by the dequeuer).
+    pending: AtomicUsize,
+    /// Parked-worker count, guarded by the mutex `wake` waits on.
+    idle: Mutex<usize>,
+    wake: Condvar,
+    /// Callers blocked in a help loop with nothing left to help with,
+    /// parked for task *completions* (mirrored in `helper_count` so the
+    /// per-task completion path can skip the lock when nobody waits).
+    helpers: Mutex<()>,
+    done: Condvar,
+    helper_count: AtomicUsize,
+    /// Round-robin cursor for external submissions.
+    cursor: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
+    // Worker panics are caught inside the job wrapper, so a poisoned lock
+    // means a panic inside this module itself; propagating the original
+    // panic payload loses nothing.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` for pool workers; `None` on
+    /// external threads. The identity is the `Arc<Shared>` address, so a
+    /// worker of a retired pool never mistakes itself for a worker of the
+    /// live one.
+    static WORKER: std::cell::Cell<Option<(usize, usize)>> = const { std::cell::Cell::new(None) };
+}
+
+impl Shared {
+    fn new(threads: usize) -> Arc<Shared> {
+        let shared = Arc::new(Shared {
+            threads,
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            idle: Mutex::new(0),
+            wake: Condvar::new(),
+            helpers: Mutex::new(()),
+            done: Condvar::new(),
+            helper_count: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        for i in 0..threads {
+            let s = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("mca-pool-{i}"))
+                .spawn(move || s.worker_loop(i))
+                .expect("spawning a pool worker thread failed");
+        }
+        shared
+    }
+
+    fn id(&self) -> usize {
+        self as *const Shared as usize
+    }
+
+    /// The calling thread's worker index in *this* pool, if any.
+    fn own_index(&self) -> Option<usize> {
+        WORKER.with(|w| match w.get() {
+            Some((id, i)) if id == self.id() => Some(i),
+            _ => None,
+        })
+    }
+
+    /// Queues one task and wakes a sleeper. Worker threads push onto
+    /// their own deque (LIFO end); external threads round-robin across
+    /// the worker deques; the stress hook funnels everything through
+    /// worker 0 with injector overflow.
+    fn submit(&self, job: Job) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let cap = TEST_DEQUE_CAP.load(Ordering::SeqCst);
+        if cap != 0 {
+            let mut d0 = lock(&self.deques[0]);
+            if d0.len() < cap {
+                d0.push_back(job);
+            } else {
+                drop(d0);
+                STAT_INJECTED.fetch_add(1, Ordering::SeqCst);
+                lock(&self.injector).push_back(job);
+            }
+        } else if let Some(i) = self.own_index() {
+            lock(&self.deques[i]).push_back(job);
+        } else {
+            let i = self.cursor.fetch_add(1, Ordering::SeqCst) % self.threads;
+            lock(&self.deques[i]).push_back(job);
+        }
+        // Wake one sleeper. Taking the idle lock orders this against the
+        // sleep path's re-check of `pending`, closing the lost-wake race.
+        let idle = lock(&self.idle);
+        if *idle > 0 {
+            self.wake.notify_one();
+        }
+    }
+
+    /// Claims one queued task, as `who` (a worker index, or an external
+    /// helper). Workers prefer their own deque's LIFO end, then the
+    /// injector, then steal the FIFO end of the other deques; helpers
+    /// skip the "own deque" step.
+    fn find_task(&self, who: Option<usize>) -> Option<Job> {
+        if let Some(i) = who {
+            if let Some(job) = lock(&self.deques[i]).pop_back() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        if let Some(job) = lock(&self.injector).pop_front() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let n = self.threads;
+        let start = who.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let v = (start + k) % n;
+            if Some(v) == who {
+                continue;
+            }
+            if let Some(job) = lock(&self.deques[v]).pop_front() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                STAT_STEALS.fetch_add(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Runs one queued task on the calling thread, if any is available.
+    fn try_run_one(&self, who: Option<usize>) -> bool {
+        match self.find_task(who) {
+            Some(job) => {
+                job();
+                self.notify_done();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Wakes helpers parked for task completions.
+    fn notify_done(&self) {
+        if self.helper_count.load(Ordering::SeqCst) > 0 {
+            let _guard = lock(&self.helpers);
+            self.done.notify_all();
+        }
+    }
+
+    /// The worker main loop: run tasks while any exist; park on the wake
+    /// condvar when drained (no busy-spin — a quiescent pool is silent);
+    /// exit once retired and fully drained.
+    fn worker_loop(self: Arc<Shared>, index: usize) {
+        WORKER.with(|w| w.set(Some((self.id(), index))));
+        loop {
+            if let Some(job) = self.find_task(Some(index)) {
+                job();
+                STAT_TASKS.fetch_add(1, Ordering::SeqCst);
+                self.notify_done();
+                continue;
+            }
+            let mut idle = lock(&self.idle);
+            // Re-check under the lock: a submitter increments `pending`
+            // before taking this lock to notify, so either we see the
+            // task here or the submitter sees us sleeping.
+            if self.pending.load(Ordering::SeqCst) > 0 {
+                continue;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            *idle += 1;
+            STAT_PARKS.fetch_add(1, Ordering::SeqCst);
+            // The timeout is belt-and-braces against a missed wake; the
+            // handshake above should make it unreachable.
+            let (guard, _) = self
+                .wake
+                .wait_timeout(idle, Duration::from_millis(100))
+                .unwrap_or_else(|e| e.into_inner());
+            idle = guard;
+            *idle -= 1;
+        }
+    }
+
+    /// Retires the pool: workers drain their queues and exit. In-flight
+    /// scopes keep scheduling on it; their callers' help loops guarantee
+    /// completion even after the last worker is gone.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _idle = lock(&self.idle);
+        self.wake.notify_all();
+    }
+}
+
+/// The live pool, spawning it if needed. `None` when the effective
+/// thread count is 1 — every operation then runs inline, with no pool
+/// and no worker threads at all.
+fn current_pool() -> Option<Arc<Shared>> {
+    let n = effective_threads();
+    if n <= 1 {
+        return None;
+    }
+    let mut reg = lock(&REGISTRY);
+    if let Some(pool) = reg.as_ref() {
+        if pool.threads == n {
+            return Some(Arc::clone(pool));
+        }
+        pool.begin_shutdown();
+    }
+    let pool = Shared::new(n);
+    *reg = Some(Arc::clone(&pool));
+    Some(pool)
+}
+
+/// Completion latch plus panic carrier for one [`Scope`].
+struct ScopeLatch {
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeLatch {
+    fn store_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = lock(&self.panic);
+        // First panic wins; later ones are duplicates of the same broken
+        // invariant and are dropped, as the real rayon does.
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// A scope for spawning borrowed tasks onto the pool; created by
+/// [`scope`], which blocks until every spawned task has completed.
+pub struct Scope<'scope> {
+    pool: Option<Arc<Shared>>,
+    latch: Arc<ScopeLatch>,
+    /// Invariant in `'scope`, as in the real rayon: a longer-lived scope
+    /// must not coerce into a shorter-lived one.
+    marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `f` as a stealable pool task. With an effective thread
+    /// count of 1 the task runs inline right here — same semantics,
+    /// no pool.
+    ///
+    /// If `f` panics, the panic is re-thrown by the enclosing [`scope`]
+    /// call after all sibling tasks have completed.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let Some(pool) = &self.pool else {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                self.latch.store_panic(payload);
+            }
+            return;
+        };
+        self.latch.remaining.fetch_add(1, Ordering::SeqCst);
+        let latch = Arc::clone(&self.latch);
+        let shared = Arc::clone(pool);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                latch.store_panic(payload);
+            }
+            latch.remaining.fetch_sub(1, Ordering::SeqCst);
+            shared.notify_done();
+        });
+        // SAFETY: the only unsafe in this crate. The job borrows data of
+        // lifetime 'scope; erasing that lifetime is sound because
+        // `scope()` (and `Scope::drop` has no part in this — scope() is
+        // the sole constructor and always runs the wait) does not return
+        // until `latch.remaining` is zero, i.e. until this closure has
+        // finished executing — even if the scope body or a sibling task
+        // panics. The borrowed data therefore strictly outlives every
+        // access the job makes. Box<dyn FnOnce + Send> has identical
+        // layout for both lifetimes (only the lifetime bound differs).
+        #[allow(unsafe_code)]
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        pool.submit(job);
+    }
+
+    /// Runs queued pool tasks while `still_waiting()` returns `true`,
+    /// parking briefly when the queues are dry. The caller's way to wait
+    /// for a condition its spawned tasks will establish (e.g. a
+    /// per-channel completion latch) without going idle while there is
+    /// work to help with.
+    pub fn help_while<F: FnMut() -> bool>(&self, mut still_waiting: F) {
+        let Some(pool) = &self.pool else {
+            // Inline mode: spawn() already ran everything.
+            assert!(
+                !still_waiting(),
+                "help_while would wait forever: no pool, and the condition still holds"
+            );
+            return;
+        };
+        let who = pool.own_index();
+        while still_waiting() {
+            if pool.try_run_one(who) {
+                continue;
+            }
+            // Nothing to help with: park for a completion notification.
+            pool.helper_count.fetch_add(1, Ordering::SeqCst);
+            let guard = lock(&pool.helpers);
+            // Re-check after registering; a completion between the last
+            // predicate check and here would otherwise be missed.
+            if still_waiting() && pool.find_task(who).is_none() {
+                let _ = pool
+                    .done
+                    .wait_timeout(guard, Duration::from_micros(200))
+                    .unwrap_or_else(|e| e.into_inner());
+            } else {
+                drop(guard);
+                pool.helper_count.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            pool.helper_count.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn wait_all(&self) {
+        let latch = &self.latch;
+        self.help_while(|| latch.remaining.load(Ordering::SeqCst) != 0);
+    }
+}
+
+/// Creates a [`Scope`] whose spawned tasks may borrow from the caller's
+/// stack, runs `body` with it, and blocks until every spawned task has
+/// completed — helping to execute them rather than sleeping. Panics from
+/// the body or from any task are re-thrown here, after all tasks finish.
+pub fn scope<'scope, R>(body: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    let s = Scope {
+        pool: current_pool(),
+        latch: Arc::new(ScopeLatch {
+            remaining: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        }),
+        marker: std::marker::PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&s)));
+    // The wait must run even when the body panicked: spawned tasks still
+    // borrow the caller's stack.
+    s.wait_all();
+    let task_panic = lock(&s.latch.panic).take();
+    match (result, task_panic) {
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (Ok(_), Some(payload)) => panic::resume_unwind(payload),
+        (Ok(r), None) => r,
+    }
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+/// `b` is made stealable; `a` runs on the calling thread. On a worker
+/// thread `b` lands on the worker's own deque (LIFO), so an un-stolen
+/// `b` runs immediately after `a` with hot caches — the Chase–Lev
+/// nested-join pattern.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut ra = None;
+    let mut rb = None;
+    scope(|s| {
+        s.spawn(|| rb = Some(b()));
+        ra = Some(a());
+    });
+    match (ra, rb) {
+        (Some(ra), Some(rb)) => (ra, rb),
+        // Unreachable: scope() re-throws any panic, and absent a panic
+        // both closures ran to completion.
+        _ => unreachable!("scope returned with a join closure unfinished"),
+    }
+}
+
+/// How many map chunks to cut per worker: more than one so stragglers
+/// are stealable, bounded so tiny items aren't swamped by task overhead.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Maps `f` over `items` on the pool, preserving input order in the
+/// output. Work is cut into [`CHUNKS_PER_THREAD`] × threads chunks so an
+/// unbalanced chunk can be stolen around; results are reassembled in
+/// chunk order, so the output is always element-for-element identical to
+/// the sequential map.
+pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads().min(n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil((threads * CHUNKS_PER_THREAD).min(n));
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(chunk_len));
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+
+    let mut outs: Vec<Option<Vec<R>>> = (0..chunks.len()).map(|_| None).collect();
+    let fref = &f;
+    scope(|s| {
+        for (chunk, out) in chunks.drain(..).zip(outs.iter_mut()) {
+            s.spawn(move || *out = Some(chunk.into_iter().map(fref).collect()));
+        }
+    });
+    let mut result = Vec::with_capacity(n);
+    for out in outs {
+        result.extend(out.expect("scope completed every chunk"));
+    }
+    result
+}
