@@ -59,9 +59,12 @@ Usage:
   experiments [SUBCOMMAND] [trials]   run experiment tables (default: quick)
   experiments bench-sinr [repeats]    SINR resolver benchmark -> BENCH_sinr.json
   experiments bench-shards [repeats]  sharded engine benchmark -> BENCH_shard.json
-                                      (SHARD_BENCH_SMOKE=1 for the reduced CI gate;
+                                      (arms incl. the SIMD lanes-vs-scalar pair and
+                                       a reduced 1M-node dense case;
+                                       SHARD_BENCH_SMOKE=1 for the reduced CI gate;
                                        exits non-zero if sharded resolution regresses
-                                       below the sequential baseline or any
+                                       below the sequential baseline, the lanes arm
+                                       loses to scalar on a dense 10k+ world, or any
                                        bit-identity audit fails)
   experiments repair-bench [seeds]    incremental repair vs rebuild -> BENCH_repair.json
                                       (REPAIR_BENCH_SMOKE=1 for the reduced CI gate;

@@ -29,12 +29,29 @@
 //!   at a pinned worker count (8, or 2 under `SHARD_BENCH_SMOKE=1`); the
 //!   JSON records the host's core count so the speedup figures read
 //!   honestly on small machines, and the gate scales with it.
+//! * **`scalar` / `lanes`** — the sharded schedule with the SIMD lane
+//!   kernels pinned off / on per resolver
+//!   ([`ChannelResolver::with_lanes`]), regardless of the process-wide
+//!   `MCA_LANES` default. `scalar` *is* the PR 8 `sharded` arm (the lane
+//!   rework left the scalar code path byte-for-byte in place), so
+//!   `lanes_speedup_vs_scalar` measures exactly what the SoA lane kernels
+//!   buy — and since lane resolution is bit-identical to scalar, the pair
+//!   is also audited listener-for-listener
+//!   ([`audit_lanes_bit_identity`]).
+//!
+//! The matrix additionally carries a **1M-node dense world** in reduced
+//! form: only the `scalar`/`lanes` pair runs (the frozen PR 2 baseline
+//! would take minutes per slot there), with both audits still enforced.
+//! Under `SHARD_BENCH_SMOKE=1` this row shrinks to 32k nodes — sized for
+//! CI, but still driving the lane path end to end.
 //!
 //! Every arm's outcomes are audited bit-identical to `seq` before timing
 //! counts — the determinism contract, enforced (`SHARD_BENCH_SMOKE=1`
-//! exits non-zero) alongside the throughput gate: sharded resolution must
-//! not regress below the sequential baseline, and must beat the frozen
-//! PR 2 path.
+//! exits non-zero) alongside the throughput gates: sharded resolution must
+//! not regress below the sequential baseline, must beat the frozen
+//! PR 2 path, and the `lanes` arm must not lose to `scalar` on any dense
+//! single-channel world of 10k+ nodes (with a ≥ 2× bar on the 100k world
+//! when the binary was compiled with ≥ 4-wide f64 SIMD).
 
 use crate::sinr_bench::{build_world, SinrWorld};
 use mca_geom::{BoundingBox, Point, SpatialGrid};
@@ -249,6 +266,30 @@ pub fn par_channels_slot(params: &SinrParams, world: &SinrWorld, state: &mut Liv
 /// parallel pass over all (channel × shard) units resolved through
 /// per-task halo views.
 pub fn sharded_slot(params: &SinrParams, world: &SinrWorld, state: &mut LiveArmState) -> f64 {
+    sharded_slot_with(params, world, state, None)
+}
+
+/// [`sharded_slot`] with the lane kernels pinned **on** per resolver —
+/// the `lanes` arm.
+pub fn lanes_slot(params: &SinrParams, world: &SinrWorld, state: &mut LiveArmState) -> f64 {
+    sharded_slot_with(params, world, state, Some(true))
+}
+
+/// [`sharded_slot`] with the lane kernels pinned **off** per resolver —
+/// the `scalar` arm, byte-for-byte the PR 8 `sharded` schedule.
+pub fn scalar_slot(params: &SinrParams, world: &SinrWorld, state: &mut LiveArmState) -> f64 {
+    sharded_slot_with(params, world, state, Some(false))
+}
+
+/// Sharded-schedule core: `lanes` pins the per-resolver lane toggle
+/// (`None` follows the process default). Outcomes are identical for every
+/// value — the toggle only selects which bit-identical kernel runs.
+fn sharded_slot_with(
+    params: &SinrParams,
+    world: &SinrWorld,
+    state: &mut LiveArmState,
+    lanes: Option<bool>,
+) -> f64 {
     for (ci, cache) in state.caches.iter_mut().enumerate() {
         let _ = ChannelResolver::cached(params, &world.tx[ci], cache);
     }
@@ -266,23 +307,28 @@ pub fn sharded_slot(params: &SinrParams, world: &SinrWorld, state: &mut LiveArmS
             let resolver = caches[*ci]
                 .resolver_for(params, &world.tx[*ci])
                 .expect("cache warmed by the ensure pass");
-            let mut acc = 0.0;
+            let resolver = match lanes {
+                Some(v) => resolver.with_lanes(v),
+                None => resolver,
+            };
+            // Resolve the unit through the batched walk into a buffer,
+            // then fold the accumulator in the unit's own listener order —
+            // the same fold sequence as the per-listener loop, so the arm
+            // sum stays bitwise stable under batching.
+            let mut out = Vec::new();
             if ks.len() == rx.len() {
                 // Whole-channel unit (below the engagement threshold, or a
                 // single occupied shard): resolve directly, as the engine's
                 // unsharded channel path does.
-                for &l in rx {
-                    let o = resolver.resolve(l, 0.0);
-                    acc += o.total_power + f64::from(u8::from(o.decoded.is_some()));
-                }
+                resolver.resolve_batch_into(rx, 0.0, &mut out);
             } else {
-                let bbox =
-                    BoundingBox::from_points(ks.iter().map(|&k| rx[k])).expect("non-empty unit");
-                let task = resolver.task(bbox);
-                for &k in ks {
-                    let o = task.resolve(rx[k], 0.0);
-                    acc += o.total_power + f64::from(u8::from(o.decoded.is_some()));
-                }
+                let pts: Vec<Point> = ks.iter().map(|&k| rx[k]).collect();
+                let bbox = BoundingBox::from_points(pts.iter().copied()).expect("non-empty unit");
+                resolver.task(bbox).resolve_batch_into(&pts, 0.0, &mut out);
+            }
+            let mut acc = 0.0;
+            for o in &out {
+                acc += o.total_power + f64::from(u8::from(o.decoded.is_some()));
             }
             acc
         })
@@ -316,20 +362,20 @@ pub fn pooled_slot(params: &SinrParams, world: &SinrWorld, state: &mut LiveArmSt
                 let resolver = caches[*ci]
                     .resolver_for(params, &world.tx[*ci])
                     .expect("cache warmed by the ensure pass");
-                let mut acc = 0.0;
+                let mut outcomes = Vec::new();
                 if ks.len() == rx.len() {
-                    for &l in rx {
-                        let o = resolver.resolve(l, 0.0);
-                        acc += o.total_power + f64::from(u8::from(o.decoded.is_some()));
-                    }
+                    resolver.resolve_batch_into(rx, 0.0, &mut outcomes);
                 } else {
-                    let bbox = BoundingBox::from_points(ks.iter().map(|&k| rx[k]))
-                        .expect("non-empty unit");
-                    let task = resolver.task(bbox);
-                    for &k in ks {
-                        let o = task.resolve(rx[k], 0.0);
-                        acc += o.total_power + f64::from(u8::from(o.decoded.is_some()));
-                    }
+                    let pts: Vec<Point> = ks.iter().map(|&k| rx[k]).collect();
+                    let bbox =
+                        BoundingBox::from_points(pts.iter().copied()).expect("non-empty unit");
+                    resolver
+                        .task(bbox)
+                        .resolve_batch_into(&pts, 0.0, &mut outcomes);
+                }
+                let mut acc = 0.0;
+                for o in &outcomes {
+                    acc += o.total_power + f64::from(u8::from(o.decoded.is_some()));
                 }
                 *out = acc;
             });
@@ -372,6 +418,30 @@ pub fn audit_sharded_bit_identity(params: &SinrParams, world: &SinrWorld, s: u16
                 if task.resolve(rx[k], 0.0) != resolver.resolve(rx[k], 0.0) {
                     mismatches += 1;
                 }
+            }
+        }
+    }
+    mismatches
+}
+
+/// Audits that lane-kernel resolution is **bitwise** identical to scalar
+/// resolution on `world` — the lane determinism contract (stricter than
+/// `PartialEq`: every f64 field compared by bits). Returns the number of
+/// mismatching listeners.
+pub fn audit_lanes_bit_identity(params: &SinrParams, world: &SinrWorld) -> usize {
+    let mut mismatches = 0;
+    for (tx, rx) in world.tx.iter().zip(&world.rx) {
+        let on = ChannelResolver::new(params, tx).with_lanes(true);
+        let off = ChannelResolver::new(params, tx).with_lanes(false);
+        for &l in rx {
+            let a = on.resolve(l, 0.0);
+            let b = off.resolve(l, 0.0);
+            if a.decoded != b.decoded
+                || a.signal.to_bits() != b.signal.to_bits()
+                || a.sinr.to_bits() != b.sinr.to_bits()
+                || a.total_power.to_bits() != b.total_power.to_bits()
+            {
+                mismatches += 1;
             }
         }
     }
@@ -453,34 +523,87 @@ pub fn shard_bench_json(repeats: usize, smoke: bool) -> (String, bool) {
         1.0 / 1.25
     };
     let mut pooled_steals_total: u64 = 0;
-    for &(n, channels) in &SHARD_BENCH_CASES {
-        if smoke && n > 10_000 {
-            continue;
-        }
+    // The matrix: the full-arm cases, then the 1M-node dense world in
+    // reduced form (only the scalar/lanes pair — the frozen PR 2 baseline
+    // would take minutes per slot at that scale). Smoke shrinks the
+    // reduced row to 32k nodes, still driving the lane path end to end.
+    let mut matrix: Vec<(usize, u16, bool)> = SHARD_BENCH_CASES
+        .iter()
+        .filter(|&&(n, _)| !smoke || n <= 10_000)
+        .map(|&(n, c)| (n, c, false))
+        .collect();
+    matrix.push(if smoke {
+        (32_000, 1, true)
+    } else {
+        (1_000_000, 1, true)
+    });
+    for (n, channels, reduced) in matrix {
         let world = build_world(n, channels, true, 7);
         let s = shards_for(n);
         let engaged = world
             .rx
             .iter()
             .any(|rx| mca_radio::shard::effective_shards(s, rx.len()) >= 2);
+        // The reduced row caps its repeats: one 1M slot is seconds of
+        // wall time, and the row's claims (completion + audits + the
+        // lanes-vs-scalar comparison) don't need a deep sample.
+        let case_repeats = if reduced {
+            repeats.clamp(1, 2)
+        } else {
+            repeats
+        };
         let mismatches = audit_sharded_bit_identity(&params, &world, s);
+        let lane_mismatches = audit_lanes_bit_identity(&params, &world);
         let mut state = LiveArmState::new(&world, s);
-        let (pr2_ns, pr2_min) = measure_ns(repeats, || pr2_flat_slot(&params, &world));
-        let (seq_ns, seq_min) = measure_ns(repeats, || seq_slot(&params, &world, &mut state));
-        let (par_ns, _) = measure_ns(repeats, || par_channels_slot(&params, &world, &mut state));
-        let (sharded_ns, sharded_min) =
-            measure_ns(repeats, || sharded_slot(&params, &world, &mut state));
-        let prev_threads = rayon::current_num_threads();
-        rayon::set_num_threads(pooled_threads);
-        let steals_before = rayon::pool_stats().steals;
-        let (pooled_ns, pooled_min) =
-            measure_ns(repeats, || pooled_slot(&params, &world, &mut state));
-        let pooled_steals = rayon::pool_stats().steals - steals_before;
-        rayon::set_num_threads(prev_threads);
-        pooled_steals_total += pooled_steals;
-        let vs_pr2 = pr2_ns as f64 / sharded_ns.max(1) as f64;
-        let vs_seq = seq_ns as f64 / sharded_ns.max(1) as f64;
-        let pooled_vs_seq = seq_ns as f64 / pooled_ns.max(1) as f64;
+        // Full arms (skipped on the reduced row).
+        let mut full = None;
+        if !reduced {
+            let (pr2_ns, pr2_min) = measure_ns(repeats, || pr2_flat_slot(&params, &world));
+            let (seq_ns, seq_min) = measure_ns(repeats, || seq_slot(&params, &world, &mut state));
+            let (par_ns, _) =
+                measure_ns(repeats, || par_channels_slot(&params, &world, &mut state));
+            let (sharded_ns, sharded_min) =
+                measure_ns(repeats, || sharded_slot(&params, &world, &mut state));
+            let prev_threads = rayon::current_num_threads();
+            rayon::set_num_threads(pooled_threads);
+            let steals_before = rayon::pool_stats().steals;
+            let (pooled_ns, pooled_min) =
+                measure_ns(repeats, || pooled_slot(&params, &world, &mut state));
+            let pooled_steals = rayon::pool_stats().steals - steals_before;
+            rayon::set_num_threads(prev_threads);
+            pooled_steals_total += pooled_steals;
+            full = Some((
+                pr2_ns,
+                pr2_min,
+                seq_ns,
+                seq_min,
+                par_ns,
+                sharded_ns,
+                sharded_min,
+                pooled_ns,
+                pooled_min,
+                pooled_steals,
+            ));
+        }
+        // The lane pair runs on every row, reduced or not.
+        let (scalar_ns, scalar_min) =
+            measure_ns(case_repeats, || scalar_slot(&params, &world, &mut state));
+        let (lanes_ns, lanes_min) =
+            measure_ns(case_repeats, || lanes_slot(&params, &world, &mut state));
+        let lanes_vs_scalar = scalar_ns as f64 / lanes_ns.max(1) as f64;
+
+        let audits_ok = mismatches == 0 && lane_mismatches == 0;
+        // Lane gates: on dense single-channel worlds of 10k+ nodes the
+        // lane arm must not lose to scalar (5% timing-noise allowance),
+        // and on the full 100k single-channel case a ≥ 2× speedup is
+        // required when the binary was compiled with ≥ 4-wide f64 SIMD
+        // (an SSE2-baseline build cannot be expected to double a
+        // sqrt-bound kernel, so the bar disengages honestly there).
+        let lanes_ok =
+            !(channels == 1 && n >= 10_000) || lanes_min as f64 <= scalar_min as f64 * 1.05;
+        let lanes_bar_engaged =
+            !smoke && !reduced && n == 100_000 && channels == 1 && mca_sinr::lanes::simd_capable();
+        let lanes_bar_ok = !lanes_bar_engaged || scalar_min as f64 >= 2.0 * lanes_min as f64;
         // The gate compares best-of-N times (robust to unrelated machine
         // load). Below the engagement threshold the sharded arm *is* the
         // sequential schedule, so the throughput comparison would only
@@ -491,42 +614,60 @@ pub fn shard_bench_json(repeats: usize, smoke: bool) -> (String, bool) {
         // on the largest single-channel world (the dense regime the
         // pipeline targets); other engaged cases only must not regress
         // (25% allowance — OS-thread contention under pinned workers).
-        let pooled_ok = if n >= largest && channels == 1 {
-            seq_min as f64 >= pooled_min as f64 * pooled_bar
-        } else {
-            !engaged || pooled_min as f64 <= seq_min as f64 * 1.25
+        let full_ok = match full {
+            None => true,
+            Some((_, pr2_min, _, seq_min, _, _, sharded_min, _, pooled_min, _)) => {
+                let pooled_ok = if n >= largest && channels == 1 {
+                    seq_min as f64 >= pooled_min as f64 * pooled_bar
+                } else {
+                    !engaged || pooled_min as f64 <= seq_min as f64 * 1.25
+                };
+                (!engaged || sharded_min as f64 <= seq_min as f64 * 1.10)
+                    && (n < largest || sharded_min < pr2_min)
+                    && pooled_ok
+            }
         };
-        let case_ok = mismatches == 0
-            && (!engaged || sharded_min as f64 <= seq_min as f64 * 1.10)
-            && (n < largest || sharded_min < pr2_min)
-            && pooled_ok;
+        let case_ok = audits_ok && lanes_ok && lanes_bar_ok && full_ok;
         ok &= case_ok;
-        cases.push(format!(
+
+        let mut row = format!(
             concat!(
                 "    {{\"n\": {}, \"channels\": {}, \"shards\": {}, \"sharding_engaged\": {}, ",
-                "\"pr2_ns_per_slot\": {}, \"seq_ns_per_slot\": {}, ",
-                "\"par_channels_ns_per_slot\": {}, \"sharded_ns_per_slot\": {}, ",
-                "\"pooled_ns_per_slot\": {}, ",
-                "\"sharded_speedup_vs_pr2\": {:.2}, \"sharded_speedup_vs_seq\": {:.2}, ",
-                "\"pooled_speedup_vs_seq\": {:.2}, \"pooled_steals\": {}, ",
+                "\"million_node_reduced\": {}, "
+            ),
+            n, channels, s, engaged, reduced,
+        );
+        if let Some((pr2_ns, _, seq_ns, _, par_ns, sharded_ns, _, pooled_ns, _, pooled_steals)) =
+            full
+        {
+            row.push_str(&format!(
+                concat!(
+                    "\"pr2_ns_per_slot\": {}, \"seq_ns_per_slot\": {}, ",
+                    "\"par_channels_ns_per_slot\": {}, \"sharded_ns_per_slot\": {}, ",
+                    "\"pooled_ns_per_slot\": {}, ",
+                    "\"sharded_speedup_vs_pr2\": {:.2}, \"sharded_speedup_vs_seq\": {:.2}, ",
+                    "\"pooled_speedup_vs_seq\": {:.2}, \"pooled_steals\": {}, "
+                ),
+                pr2_ns,
+                seq_ns,
+                par_ns,
+                sharded_ns,
+                pooled_ns,
+                pr2_ns as f64 / sharded_ns.max(1) as f64,
+                seq_ns as f64 / sharded_ns.max(1) as f64,
+                seq_ns as f64 / pooled_ns.max(1) as f64,
+                pooled_steals,
+            ));
+        }
+        row.push_str(&format!(
+            concat!(
+                "\"scalar_ns_per_slot\": {}, \"lanes_ns_per_slot\": {}, ",
+                "\"lanes_speedup_vs_scalar\": {:.2}, \"lanes_gate_engaged\": {}, ",
                 "\"audit_bit_identical\": {}, \"gate_ok\": {}}}"
             ),
-            n,
-            channels,
-            s,
-            engaged,
-            pr2_ns,
-            seq_ns,
-            par_ns,
-            sharded_ns,
-            pooled_ns,
-            vs_pr2,
-            vs_seq,
-            pooled_vs_seq,
-            pooled_steals,
-            mismatches == 0,
-            case_ok,
+            scalar_ns, lanes_ns, lanes_vs_scalar, lanes_bar_engaged, audits_ok, case_ok,
         ));
+        cases.push(row);
     }
     // Work-stealing sanity: in smoke (≥ 2 pinned workers, thousands of
     // stealable unit tasks, plus the submitter helping via steal-path
@@ -541,11 +682,14 @@ pub fn shard_bench_json(repeats: usize, smoke: bool) -> (String, bool) {
             "  \"scope\": \"one slot of Phase-2 channel resolution (index + all listeners), dense worlds\",\n",
             "  \"baseline\": \"frozen PR 2 flat-grid Fast resolver (every occupied cell per listener)\",\n",
             "  \"threads\": {},\n  \"pooled_threads\": {},\n  \"cores\": {},\n",
+            "  \"simd\": \"{}\",\n  \"lanes_default_on\": {},\n",
             "  \"repeats\": {},\n  \"smoke\": {},\n  \"steal_gate_ok\": {},\n  \"cases\": [\n{}\n  ]\n}}\n"
         ),
         rayon::current_num_threads(),
         pooled_threads,
         cores,
+        mca_sinr::lanes::simd_level(),
+        mca_sinr::lanes::enabled(),
         repeats,
         smoke,
         steal_gate_ok,
@@ -590,6 +734,26 @@ mod tests {
         let params = SinrParams::default().with_resolve(ResolveMode::fast());
         let world = build_world(2_000, 2, true, 5);
         assert_eq!(audit_sharded_bit_identity(&params, &world, 4), 0);
+    }
+
+    #[test]
+    fn lane_and_scalar_arms_are_bit_identical_and_audited() {
+        let params = SinrParams::default().with_resolve(ResolveMode::fast());
+        let world = build_world(2_000, 2, true, 11);
+        assert_eq!(audit_lanes_bit_identity(&params, &world), 0);
+        let s = shards_for(2_000);
+        let mut state = LiveArmState::new(&world, s);
+        // The arm pair runs the same schedule over bit-identical kernels,
+        // so even the checksums match exactly (identical sum order).
+        let a = scalar_slot(&params, &world, &mut state);
+        let b = lanes_slot(&params, &world, &mut state);
+        let c = sharded_slot(&params, &world, &mut state);
+        assert_eq!(a.to_bits(), b.to_bits(), "lane arm diverged from scalar");
+        assert_eq!(
+            a.to_bits(),
+            c.to_bits(),
+            "default arm diverged from pinned arms"
+        );
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! The SIMD lane kernels can never move a golden byte — the bit-exactness
+//! contract of `docs/SIMD_LANES.md`, pinned against the committed goldens
+//! under maximum fan-out.
+//!
+//! The catalog's golden trials are regenerated twice in-process — once
+//! with the lane kernels forced *off* (the scalar reference walk) and
+//! once forced *on* — under `MCA_FORCE_PAR=1` (forced `par_channels` +
+//! `par_shards` + shard grid) and a pinned worker count. Both renderings
+//! must be byte-identical to each other and to the committed
+//! `scenarios/GOLDEN_trials.json`: lane batching, like sharding and
+//! threading, must be invisible in the results.
+//!
+//! Lives in its own test binary: the force-par override is read once per
+//! process, so it must be set before the first `Engine` is built and
+//! would leak into unrelated tests otherwise.
+
+use mca_bench::golden_trials_json;
+
+#[test]
+fn lane_kernels_never_move_a_golden_byte_under_forced_fanout() {
+    std::env::set_var("MCA_FORCE_PAR", "1");
+    rayon::set_num_threads(2);
+
+    mca_sinr::lanes::set_enabled(false);
+    let scalar = golden_trials_json();
+    mca_sinr::lanes::set_enabled(true);
+    let lanes = golden_trials_json();
+    mca_sinr::lanes::clear_override();
+
+    assert_eq!(
+        scalar, lanes,
+        "lane kernels changed a golden byte vs the scalar walk"
+    );
+
+    let committed = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/GOLDEN_trials.json"
+    ))
+    .expect("committed goldens exist");
+    assert_eq!(
+        lanes, committed,
+        "lane-kernel trials diverge from the committed goldens"
+    );
+}

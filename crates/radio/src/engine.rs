@@ -29,6 +29,18 @@ use std::sync::{Mutex, OnceLock};
 /// sharding off.
 const FORCED_SHARDS: u16 = 4;
 
+/// Expected per-channel work volume (listeners × estimated power
+/// evaluations per listener) below which a channel resolves inline on the
+/// slot thread instead of being submitted to the pool or the channel
+/// fan-out. A 16-channel 1000-node world puts ~1k pairs on each channel —
+/// microseconds of work that the task handoff, latch, and scatter merge
+/// would more than double; the threshold keeps such channels sequential
+/// while 10k+-node channels (≥20k pairs) still fan out. Purely an
+/// execution-schedule decision: inline and pooled resolution are
+/// bit-identical, and `MCA_FORCE_PAR=1` overrides the gate so CI still
+/// exercises maximum fan-out on tiny worlds.
+pub const INLINE_CHANNEL_PAIRS: usize = 16_384;
+
 /// Whether `MCA_FORCE_PAR=1` is set: the CI determinism override that
 /// forces `par_channels`, `par_shards`, and (when unset) an
 /// [`FORCED_SHARDS`]-way shard grid on, so the whole test suite and the
@@ -151,6 +163,11 @@ struct ChannelGroup {
     rx: Vec<u32>,
     tx_pos: Vec<Point>,
     rx_pos: Vec<Point>,
+    /// SoA transpose of `tx_pos`, staged in the same Phase 2a pass — the
+    /// resolver's exact-path lane kernels consume these directly, so no
+    /// per-slot transpose happens downstream.
+    tx_xs: Vec<f64>,
+    tx_ys: Vec<f64>,
     outcomes: Vec<ListenOutcome>,
     cond: ChannelCondition,
     jam: f64,
@@ -170,6 +187,8 @@ impl ChannelGroup {
         self.rx.clear();
         self.tx_pos.clear();
         self.rx_pos.clear();
+        self.tx_xs.clear();
+        self.tx_ys.clear();
         self.outcomes.clear();
         self.shard_rx.clear();
         self.unit_ranges.clear();
@@ -675,6 +694,10 @@ impl<P: Protocol> Engine<P> {
             unit_ranges: &'g [(u32, u32)],
             cond: ChannelCondition,
             sharded: bool,
+            /// Expected work too small to pay for pool submission — the
+            /// channel resolves inline on the slot thread (see
+            /// [`INLINE_CHANNEL_PAIRS`]). Bit-identical either way.
+            inline: bool,
         }
 
         // One pass over the dense groups: resolver works + detached
@@ -686,6 +709,7 @@ impl<P: Protocol> Engine<P> {
         let mut works: Vec<Work<'_>> = Vec::with_capacity(chans.len());
         let mut outs: Vec<&mut Vec<ListenOutcome>> = Vec::with_capacity(chans.len());
         let mut txonly: Vec<(u16, &[u32])> = Vec::new();
+        let force = force_par();
         let mut next_chan = chans.iter().peekable();
         for (ch, group) in groups.iter_mut().enumerate() {
             if group.is_idle() {
@@ -704,6 +728,8 @@ impl<P: Protocol> Engine<P> {
                 rx,
                 tx_pos,
                 rx_pos,
+                tx_xs,
+                tx_ys,
                 shard_rx,
                 unit_ranges,
                 outcomes,
@@ -711,8 +737,13 @@ impl<P: Protocol> Engine<P> {
                 cond,
                 ..
             } = group;
-            let resolver = ChannelResolver::cached(eff, tx_pos, cache);
+            let resolver = ChannelResolver::cached(eff, tx_pos, cache).with_soa(tx_xs, tx_ys);
             let sharded = unit_ranges.len() > 1;
+            let inline = !force
+                && rx
+                    .len()
+                    .saturating_mul(resolver.estimated_work_per_listener().max(1))
+                    < INLINE_CHANNEL_PAIRS;
             works.push(Work {
                 ch: *c,
                 resolver,
@@ -723,6 +754,7 @@ impl<P: Protocol> Engine<P> {
                 unit_ranges,
                 cond: *cond,
                 sharded,
+                inline,
             });
             outs.push(outcomes);
         }
@@ -741,15 +773,10 @@ impl<P: Protocol> Engine<P> {
                     .expect("resolve units are never empty");
                 let task = w.resolver.task(bbox);
                 halo_ns = sw_halo.elapsed_ns();
-                out.extend(
-                    ks.iter()
-                        .map(|&k| task.resolve(w.rx_pos[k as usize], w.cond.extra_interference)),
-                );
+                task.resolve_indexed_into(w.rx_pos, ks, w.cond.extra_interference, &mut out);
             } else {
-                out.extend(ks.iter().map(|&k| {
-                    w.resolver
-                        .resolve(w.rx_pos[k as usize], w.cond.extra_interference)
-                }));
+                w.resolver
+                    .resolve_indexed_into(w.rx_pos, ks, w.cond.extra_interference, &mut out);
             }
             (out, sw.elapsed_ns(), halo_ns)
         }
@@ -768,6 +795,7 @@ impl<P: Protocol> Engine<P> {
             timings: &mut Vec<(u32, u64, Option<u64>)>,
         ) {
             if w.sharded {
+                let mut unit_out = Vec::new();
                 for (ui, &(s, e)) in w.unit_ranges.iter().enumerate() {
                     let sw = Stopwatch::start_if(timing);
                     let ks = &w.shard_rx[s as usize..e as usize];
@@ -776,9 +804,14 @@ impl<P: Protocol> Engine<P> {
                         .expect("resolve units are never empty");
                     let task = w.resolver.task(bbox);
                     let halo_ns = sw_halo.elapsed_ns();
-                    for &k in ks {
-                        out[k as usize] =
-                            task.resolve(w.rx_pos[k as usize], w.cond.extra_interference);
+                    task.resolve_indexed_into(
+                        w.rx_pos,
+                        ks,
+                        w.cond.extra_interference,
+                        &mut unit_out,
+                    );
+                    for (j, &k) in ks.iter().enumerate() {
+                        out[k as usize] = unit_out[j];
                     }
                     if timing {
                         timings.push((ui as u32, sw.elapsed_ns(), Some(halo_ns)));
@@ -943,6 +976,11 @@ impl<P: Protocol> Engine<P> {
             let mut first_cell: Vec<usize> = Vec::with_capacity(works.len());
             for (wi, w) in works.iter().enumerate() {
                 first_cell.push(units.len());
+                if w.inline {
+                    // Tiny channel: resolved on the slot thread in the
+                    // merge loop below; contributes no pool units.
+                    continue;
+                }
                 for ui in 0..w.unit_ranges.len() {
                     units.push((wi as u32, ui as u32));
                 }
@@ -959,7 +997,13 @@ impl<P: Protocol> Engine<P> {
                 .collect();
             let latches: Vec<AtomicU32> = works
                 .iter()
-                .map(|w| AtomicU32::new(w.unit_ranges.len() as u32))
+                .map(|w| {
+                    AtomicU32::new(if w.inline {
+                        0
+                    } else {
+                        w.unit_ranges.len() as u32
+                    })
+                })
                 .collect();
             let works_ref = &works;
             let mut wait_ns = 0u64;
@@ -986,6 +1030,25 @@ impl<P: Protocol> Engine<P> {
                 deliver_ns += sw.elapsed_ns();
 
                 for (wi, w) in works.iter().enumerate() {
+                    if w.inline {
+                        // Below the pool-submission threshold: resolve on
+                        // the slot thread now, in channel order — same
+                        // code path, same outcomes, no handoff or merge.
+                        let mut ts = Vec::new();
+                        resolve_work(w, outs[wi], false, timing, &mut ts);
+                        if timing {
+                            for &(ui, ns, halo) in &ts {
+                                unit_timings.push((w.ch, ui, ns, halo));
+                            }
+                        }
+                        let sw_del = Stopwatch::start_if(timing);
+                        deliver_channel::<P>(
+                            slot, w, outs[wi], actions, protocols, rngs, metrics, trace, detector,
+                            faults, obs,
+                        );
+                        deliver_ns += sw_del.elapsed_ns();
+                        continue;
+                    }
                     // Help the pool until this channel's units are done;
                     // later channels keep resolving the whole time.
                     let sw_wait = Stopwatch::start_if(timing);
@@ -1033,13 +1096,23 @@ impl<P: Protocol> Engine<P> {
             let sw = Stopwatch::start_if(timing);
             deliver_slept::<P>(slot, actions, protocols, rngs, faults);
             deliver_ns += sw.elapsed_ns();
-            let channel_fanout = par_channels && works.len() > 1 && threads;
+            // The fan-out only counts channels whose work clears the
+            // inline threshold: tiny channels resolve on the slot thread
+            // either way, and a slot with at most one heavy channel gains
+            // nothing from the parallel machinery.
+            let channel_fanout =
+                par_channels && threads && works.iter().filter(|w| !w.inline).count() > 1;
+            // Per-(non-inline) work unit timings from the fan-out,
+            // re-merged channel-major below so the recorded stream keeps
+            // the same deterministic order as every other schedule.
+            let mut fan_ts: Vec<Vec<(u32, u64, Option<u64>)>> = Vec::new();
             if channel_fanout {
                 let jobs: Vec<(&Work<'_>, &mut Vec<ListenOutcome>)> = works
                     .iter()
                     .zip(outs.iter_mut().map(|o| &mut **o))
+                    .filter(|(w, _)| !w.inline)
                     .collect();
-                let timings: Vec<Vec<(u32, u64, Option<u64>)>> = jobs
+                fan_ts = jobs
                     .into_par_iter()
                     .map(|(w, out)| {
                         let mut ts = Vec::new();
@@ -1047,20 +1120,19 @@ impl<P: Protocol> Engine<P> {
                         ts
                     })
                     .collect();
-                if timing {
-                    for (w, ts) in works.iter().zip(&timings) {
-                        for &(ui, ns, halo) in ts {
-                            unit_timings.push((w.ch, ui, ns, halo));
-                        }
-                    }
-                }
             }
             let mut ts = Vec::new();
+            let mut fan_it = fan_ts.iter();
             for (wi, w) in works.iter().enumerate() {
-                if !channel_fanout {
+                if !channel_fanout || w.inline {
                     ts.clear();
-                    resolve_work(w, outs[wi], true, timing, &mut ts);
+                    resolve_work(w, outs[wi], !channel_fanout, timing, &mut ts);
                     for &(ui, ns, halo) in &ts {
+                        unit_timings.push((w.ch, ui, ns, halo));
+                    }
+                } else {
+                    let wts = fan_it.next().expect("one timing list per fan-out work");
+                    for &(ui, ns, halo) in wts {
                         unit_timings.push((w.ch, ui, ns, halo));
                     }
                 }
@@ -1238,9 +1310,16 @@ impl<P: Protocol> Engine<P> {
                 rx,
                 tx_pos,
                 rx_pos,
+                tx_xs,
+                tx_ys,
                 ..
             } = group;
-            tx_pos.extend(tx.iter().map(|&i| self.positions[i as usize]));
+            for &i in tx.iter() {
+                let p = self.positions[i as usize];
+                tx_pos.push(p);
+                tx_xs.push(p.x);
+                tx_ys.push(p.y);
+            }
             rx_pos.extend(rx.iter().map(|&i| self.positions[i as usize]));
         }
 

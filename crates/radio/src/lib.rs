@@ -67,7 +67,7 @@ mod trace;
 
 pub use condition::ChannelCondition;
 pub use detect::{DegradationDetector, DetectionEvent, DetectorConfig};
-pub use engine::Engine;
+pub use engine::{Engine, INLINE_CHANNEL_PAIRS};
 pub use events::NodeEvent;
 pub use fault::{FaultPlan, JamSpec, SleepSchedule, ZoneJam};
 pub use ids::{Channel, NodeId};

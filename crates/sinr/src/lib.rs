@@ -18,6 +18,9 @@
 //!   derivation). [`ResolverCache`] persists the spatial index across
 //!   slots; [`TaskResolver`] is the per-shard-task view the engine's
 //!   sharded fan-out resolves through (bit-identical to the resolver);
+//! * [`lanes`] — SIMD-friendly structure-of-arrays power kernels with a
+//!   deterministic reduction order, bit-identical to the scalar path (the
+//!   resolvers use them by default; `MCA_LANES=0` opts out);
 //! * [`is_clear_reception`] — Definition 4;
 //! * [`bounds`] — closed forms of Lemmas 2–3 plus the far-field tail bounds
 //!   for validation experiments.
@@ -37,11 +40,12 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod lanes;
 mod params;
 mod resolve;
 pub mod resolve_batch;
 
-pub use params::{NodeKnowledge, ParamInterval, ResolveMode, SinrParams};
+pub use params::{NodeKnowledge, ParamInterval, PowerKernel, ResolveMode, SinrParams};
 pub use resolve::{
     is_clear_reception, resolve_channel, resolve_listener, resolve_listener_ext, ListenOutcome,
 };

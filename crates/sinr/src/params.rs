@@ -233,28 +233,38 @@ impl SinrParams {
     /// `Point::dist_sq`, skipping the square root of `Point::dist` and
     /// using multiply-only fast paths for the integer path-loss exponents
     /// used in practice (a ~5× cheaper inner loop than `powf` for the
-    /// default `α = 3`). Because every resolution path shares this one
-    /// function, batched and scalar resolution are bit-for-bit identical.
+    /// default `α = 3`). The fast-path dispatch itself lives in one place
+    /// — [`PowerKernel`] — shared by this function, the batched resolver,
+    /// and the SIMD lane kernels ([`crate::lanes`]), so every resolution
+    /// path is bit-for-bit identical by construction.
     #[inline]
     pub fn received_power_sq(&self, d_sq: f64) -> f64 {
-        let d_sq = d_sq.max(self.min_dist * self.min_dist);
-        self.power / self.dist_pow_alpha(d_sq)
+        self.power_kernel().eval(d_sq)
     }
 
-    /// `d^α` computed from `d²`, with multiply-only fast paths for the
-    /// small integer exponents (even `α` needs no square root at all).
+    /// The precomputed received-power kernel for these parameters: `P`,
+    /// the squared near-field clamp, and the α fast path resolved once
+    /// (instead of once per power evaluation). [`PowerKernel::eval`] is
+    /// bitwise [`SinrParams::received_power_sq`]; batch resolvers hoist
+    /// the kernel out of their per-transmitter loops.
     #[inline]
-    fn dist_pow_alpha(&self, d_sq: f64) -> f64 {
-        if self.alpha == 3.0 {
-            d_sq * d_sq.sqrt()
-        } else if self.alpha == 4.0 {
-            d_sq * d_sq
-        } else if self.alpha == 5.0 {
-            (d_sq * d_sq) * d_sq.sqrt()
-        } else if self.alpha == 6.0 {
-            (d_sq * d_sq) * d_sq
-        } else {
-            d_sq.powf(self.alpha / 2.0)
+    pub fn power_kernel(&self) -> PowerKernel {
+        PowerKernel {
+            power: self.power,
+            min_d_sq: self.min_dist * self.min_dist,
+            alpha: if self.alpha == 3.0 {
+                AlphaPath::Cubic
+            } else if self.alpha == 4.0 {
+                AlphaPath::Quartic
+            } else if self.alpha == 5.0 {
+                AlphaPath::Quintic
+            } else if self.alpha == 6.0 {
+                AlphaPath::Sextic
+            } else {
+                AlphaPath::General {
+                    half_alpha: self.alpha / 2.0,
+                }
+            },
         }
     }
 
@@ -297,6 +307,118 @@ impl fmt::Display for SinrParams {
             self.eps,
             self.transmission_range()
         )
+    }
+}
+
+/// Which specialization of `d^α`-from-`d²` a [`PowerKernel`] runs: the
+/// multiply-only fast paths for the small integer exponents (even `α`
+/// needs no square root at all), or the general `powf` form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AlphaPath {
+    /// `α = 3`: `d² · √d²`.
+    Cubic,
+    /// `α = 4`: `d² · d²`.
+    Quartic,
+    /// `α = 5`: `(d² · d²) · √d²`.
+    Quintic,
+    /// `α = 6`: `(d² · d²) · d²`.
+    Sextic,
+    /// Any other `α`: `(d²)^{α/2}` via `powf`.
+    General {
+        /// Precomputed `α/2`.
+        half_alpha: f64,
+    },
+}
+
+/// The received-power kernel `d² ↦ P/(d²)^{α/2}` with its α fast path
+/// resolved ahead of time — the **single source of truth** for the
+/// integer-α branches. [`SinrParams::received_power_sq`] delegates here,
+/// the batched resolver hoists one kernel out of its per-transmitter
+/// loops, and the lane kernels in [`crate::lanes`] evaluate it
+/// [`LANE_WIDTH`](crate::lanes::LANE_WIDTH) elements at a time — all
+/// computing the exact same sequence of IEEE operations per element, so
+/// every path is bit-for-bit identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerKernel {
+    /// Transmit power `P` (the numerator).
+    power: f64,
+    /// Squared near-field clamp `min_dist²`, applied to `d²` first.
+    min_d_sq: f64,
+    /// The specialized denominator.
+    alpha: AlphaPath,
+}
+
+impl PowerKernel {
+    /// Received power from the squared distance — bitwise
+    /// [`SinrParams::received_power_sq`] of the parameters this kernel
+    /// was derived from.
+    #[inline]
+    pub fn eval(&self, d_sq: f64) -> f64 {
+        let d_sq = d_sq.max(self.min_d_sq);
+        let denom = match self.alpha {
+            AlphaPath::Cubic => d_sq * d_sq.sqrt(),
+            AlphaPath::Quartic => d_sq * d_sq,
+            AlphaPath::Quintic => (d_sq * d_sq) * d_sq.sqrt(),
+            AlphaPath::Sextic => (d_sq * d_sq) * d_sq,
+            AlphaPath::General { half_alpha } => d_sq.powf(half_alpha),
+        };
+        self.power / denom
+    }
+
+    /// [`PowerKernel::eval`] over an array of squared distances, with the
+    /// α dispatch hoisted out of the element loop so the integer-α arms
+    /// compile to straight-line max/sqrt/mul/div lane code the
+    /// autovectorizer turns into packed `f64` SIMD. Element `j` of the
+    /// result is bitwise `eval(d_sq[j])`: the max-clamp, square roots,
+    /// multiplies, and the divide are exactly-rounded IEEE operations at
+    /// any vector width, and the `powf` arm calls the same scalar libm
+    /// routine per lane.
+    ///
+    /// `inline(always)`: this is the innermost arithmetic of every lane
+    /// kernel — left as a call, the ABI boundary spills the caller's
+    /// vector state to the stack per element and caps the whole batch
+    /// walk at scalar/128-bit code (measured, not hypothetical).
+    #[inline(always)]
+    pub fn eval_lanes<const L: usize>(&self, d_sq: [f64; L]) -> [f64; L] {
+        let mut c = d_sq;
+        for v in &mut c {
+            *v = v.max(self.min_d_sq);
+        }
+        let mut out = [0.0f64; L];
+        match self.alpha {
+            AlphaPath::Cubic => {
+                for j in 0..L {
+                    out[j] = self.power / (c[j] * c[j].sqrt());
+                }
+            }
+            AlphaPath::Quartic => {
+                for j in 0..L {
+                    out[j] = self.power / (c[j] * c[j]);
+                }
+            }
+            AlphaPath::Quintic => {
+                for j in 0..L {
+                    out[j] = self.power / ((c[j] * c[j]) * c[j].sqrt());
+                }
+            }
+            AlphaPath::Sextic => {
+                for j in 0..L {
+                    out[j] = self.power / ((c[j] * c[j]) * c[j]);
+                }
+            }
+            AlphaPath::General { half_alpha } => {
+                for j in 0..L {
+                    out[j] = self.power / c[j].powf(half_alpha);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether this kernel runs a multiply-only integer-α fast path (the
+    /// lane arms that vectorize end to end).
+    pub fn is_integer_fast_path(&self) -> bool {
+        !matches!(self.alpha, AlphaPath::General { .. })
     }
 }
 
@@ -550,6 +672,34 @@ mod tests {
         let p = SinrParams::default();
         for d in [0.0, 0.5, 3.0, 8.0, 20.0] {
             assert_eq!(p.received_power(d), p.received_power_sq(d * d));
+        }
+    }
+
+    #[test]
+    fn power_kernel_lane_eval_is_bitwise_scalar_eval() {
+        // Every α arm (integer fast paths and the powf fallback), lane
+        // widths 4 and 8, including clamped (sub-min_dist) inputs.
+        for alpha in [2.5, 3.0, 3.7, 4.0, 5.0, 6.0] {
+            let p = SinrParams::with_range(alpha, 1.5, 1.0, 8.0, 0.5);
+            let k = p.power_kernel();
+            assert_eq!(
+                k.is_integer_fast_path(),
+                alpha.fract() == 0.0 && alpha <= 6.0
+            );
+            let d = [0.0, 1e-14, 0.25, 1.0, 7.3, 64.0, 144.0, 900.0];
+            let out8 = k.eval_lanes(d);
+            for j in 0..8 {
+                assert_eq!(out8[j].to_bits(), k.eval(d[j]).to_bits(), "α={alpha} j={j}");
+                assert_eq!(
+                    out8[j].to_bits(),
+                    p.received_power_sq(d[j]).to_bits(),
+                    "kernel diverged from received_power_sq at α={alpha}"
+                );
+            }
+            let out4 = k.eval_lanes([d[0], d[3], d[5], d[7]]);
+            for (j, &i) in [0usize, 3, 5, 7].iter().enumerate() {
+                assert_eq!(out4[j].to_bits(), k.eval(d[i]).to_bits());
+            }
         }
     }
 

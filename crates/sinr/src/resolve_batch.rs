@@ -68,7 +68,8 @@
 //! on a decode whose SINR margin is within that published bound plus
 //! floating-point rounding — the property the crate's tests enforce.
 
-use crate::params::{ResolveMode, SinrParams};
+use crate::lanes::{self, LANE_WIDTH};
+use crate::params::{PowerKernel, ResolveMode, SinrParams};
 use crate::resolve::{decide, resolve_listener_ext, ListenOutcome};
 use mca_geom::{BoundingBox, Point, SpatialGrid};
 use rayon::prelude::*;
@@ -135,6 +136,39 @@ struct FastIndex {
     blocks: Vec<BlockSpan>,
     cells: Vec<CellSpan>,
     items: Vec<u32>,
+    /// SoA lanes aligned with `items`: `lane_xs[k]`/`lane_ys[k]` are the
+    /// coordinates of transmitter `items[k]`. The per-cell CSR slices
+    /// (`&lane_xs[cell.start..cell.end]`) feed the lane kernels directly —
+    /// contiguous coordinates per cell, no per-listener gather through the
+    /// `Point` AoS.
+    lane_xs: Vec<f64>,
+    lane_ys: Vec<f64>,
+    /// Per-cell metadata SoA aligned with `cells`: rectangle bounds,
+    /// center, and widened transmitter count. The descended-block scan
+    /// reads these [`LANE_WIDTH`] cells at a time —
+    /// [`lanes::cell_chunk_metrics`] turns the rect-distance
+    /// classification and the far-field center powers into packed `f64`
+    /// SIMD, which per-cell loads of the `CellSpan` AoS cannot.
+    cell_min_x: Vec<f64>,
+    cell_min_y: Vec<f64>,
+    cell_max_x: Vec<f64>,
+    cell_max_y: Vec<f64>,
+    cell_cx: Vec<f64>,
+    cell_cy: Vec<f64>,
+    cell_cnt: Vec<f64>,
+    /// Per-block metadata SoA aligned with `blocks` — same shape as the
+    /// per-cell SoA, for the same reason: the block pass (descend
+    /// classification plus the aggregated far term of every non-descended
+    /// block) is itself a rect-distance + center-power scan, and chunking
+    /// it through [`lanes::cell_chunk_metrics`] vectorizes the ~`O(blocks)`
+    /// scalar evaluations each listener otherwise pays up front.
+    blk_min_x: Vec<f64>,
+    blk_min_y: Vec<f64>,
+    blk_max_x: Vec<f64>,
+    blk_max_y: Vec<f64>,
+    blk_cx: Vec<f64>,
+    blk_cy: Vec<f64>,
+    blk_cnt: Vec<f64>,
     /// Squared near-field cutoff `R_c²`.
     cutoff_sq: f64,
     /// Squared block-descend radius `max(R_c, BLOCK_FAR_FACTOR·diag)²`:
@@ -143,6 +177,12 @@ struct FastIndex {
     /// Estimated power-evaluation count per resolved listener — the
     /// quantity the listener fan-out threshold is measured in.
     work_per_listener: usize,
+    /// Grid origin (minimum y) and cell side — the quantization the
+    /// batched resolver sorts listeners by so the [`LANE_WIDTH`] lanes of
+    /// one batch share their descended-block neighborhood. Locality only:
+    /// outcomes never depend on the sort.
+    origin_y: f64,
+    cell_side: f64,
 }
 
 /// One cell staged during the block-major regrouping pass of
@@ -219,15 +259,78 @@ impl FastIndex {
         let bnx = nx.div_ceil(BLOCK_CELLS);
         let bny = ny.div_ceil(BLOCK_CELLS);
 
-        let (mut blocks, mut cells, mut items) = match recycle {
+        let mut parts = match recycle {
             Some(mut old) => {
                 old.blocks.clear();
                 old.cells.clear();
                 old.items.clear();
-                (old.blocks, old.cells, old.items)
+                old.lane_xs.clear();
+                old.lane_ys.clear();
+                old.cell_min_x.clear();
+                old.cell_min_y.clear();
+                old.cell_max_x.clear();
+                old.cell_max_y.clear();
+                old.cell_cx.clear();
+                old.cell_cy.clear();
+                old.cell_cnt.clear();
+                old.blk_min_x.clear();
+                old.blk_min_y.clear();
+                old.blk_max_x.clear();
+                old.blk_max_y.clear();
+                old.blk_cx.clear();
+                old.blk_cy.clear();
+                old.blk_cnt.clear();
+                old
             }
-            None => (Vec::new(), Vec::new(), Vec::with_capacity(tx.len())),
+            None => FastIndex {
+                blocks: Vec::new(),
+                cells: Vec::new(),
+                items: Vec::with_capacity(tx.len()),
+                lane_xs: Vec::with_capacity(tx.len()),
+                lane_ys: Vec::with_capacity(tx.len()),
+                cell_min_x: Vec::new(),
+                cell_min_y: Vec::new(),
+                cell_max_x: Vec::new(),
+                cell_max_y: Vec::new(),
+                cell_cx: Vec::new(),
+                cell_cy: Vec::new(),
+                cell_cnt: Vec::new(),
+                blk_min_x: Vec::new(),
+                blk_min_y: Vec::new(),
+                blk_max_x: Vec::new(),
+                blk_max_y: Vec::new(),
+                blk_cx: Vec::new(),
+                blk_cy: Vec::new(),
+                blk_cnt: Vec::new(),
+                cutoff_sq: 0.0,
+                descend_sq: 0.0,
+                work_per_listener: 0,
+                origin_y: 0.0,
+                cell_side: 0.0,
+            },
         };
+        let FastIndex {
+            blocks,
+            cells,
+            items,
+            lane_xs,
+            lane_ys,
+            cell_min_x,
+            cell_min_y,
+            cell_max_x,
+            cell_max_y,
+            cell_cx,
+            cell_cy,
+            cell_cnt,
+            blk_min_x,
+            blk_min_y,
+            blk_max_x,
+            blk_max_y,
+            blk_cx,
+            blk_cy,
+            blk_cnt,
+            ..
+        } = &mut parts;
 
         // Pass 1: count occupied cells per block (counting-sort layout),
         // in the reused scratch.
@@ -277,12 +380,23 @@ impl FastIndex {
             for p in &placed[lo..hi] {
                 let cell_rect = p.rect.expect("placed");
                 let start = items.len() as u32;
-                items.extend_from_slice(&flat[p.lo as usize..p.hi as usize]);
+                let span = &flat[p.lo as usize..p.hi as usize];
+                items.extend_from_slice(span);
+                lane_xs.extend(span.iter().map(|&i| tx[i as usize].x));
+                lane_ys.extend(span.iter().map(|&i| tx[i as usize].y));
                 cells.push(CellSpan {
                     rect: cell_rect,
                     start,
                     end: items.len() as u32,
                 });
+                cell_min_x.push(cell_rect.min().x);
+                cell_min_y.push(cell_rect.min().y);
+                cell_max_x.push(cell_rect.max().x);
+                cell_max_y.push(cell_rect.max().y);
+                let c = cell_rect.center();
+                cell_cx.push(c.x);
+                cell_cy.push(c.y);
+                cell_cnt.push(f64::from(p.hi - p.lo));
                 count += p.hi - p.lo;
                 rect = Some(match rect {
                     None => cell_rect,
@@ -294,9 +408,17 @@ impl FastIndex {
                 });
             }
             let rect = rect.expect("non-empty block");
+            let center = rect.center();
+            blk_min_x.push(rect.min().x);
+            blk_min_y.push(rect.min().y);
+            blk_max_x.push(rect.max().x);
+            blk_max_y.push(rect.max().y);
+            blk_cx.push(center.x);
+            blk_cy.push(center.y);
+            blk_cnt.push(f64::from(count));
             blocks.push(BlockSpan {
                 rect,
-                center: rect.center(),
+                center,
                 cell_start,
                 cell_end: cells.len() as u32,
                 count: f64::from(count),
@@ -323,15 +445,65 @@ impl FastIndex {
         let work_per_listener =
             blocks.len() + descended_cells as usize + (tx.len() as f64 * near_frac).ceil() as usize;
 
-        Some(FastIndex {
-            blocks,
-            cells,
-            items,
-            cutoff_sq,
-            descend_sq,
-            work_per_listener,
-        })
+        parts.cutoff_sq = cutoff_sq;
+        parts.descend_sq = descend_sq;
+        parts.work_per_listener = work_per_listener;
+        parts.origin_y = bb.min().y;
+        parts.cell_side = side;
+        Some(parts)
     }
+
+    /// Row-major spatial sort key for a listener: quantized grid row, then
+    /// a monotone 32-bit image of `x`'s total order. Adjacent keys mean
+    /// nearby listeners, so a sorted batch's lanes walk almost the same
+    /// descended blocks. Key collisions and saturation on out-of-range
+    /// coordinates are harmless — the key steers batching locality, never
+    /// an outcome.
+    #[inline]
+    fn batch_key(&self, p: Point) -> u64 {
+        let row = ((p.y - self.origin_y) / self.cell_side).floor();
+        let row = if row.is_finite() && row > 0.0 {
+            (row as u64).min(u64::from(u32::MAX))
+        } else {
+            0
+        };
+        let bx = p.x.to_bits();
+        // Flip to a monotone unsigned order (negative floats reverse).
+        let bx = if bx >> 63 == 1 { !bx } else { bx | (1 << 63) };
+        (row << 32) | (bx >> 32)
+    }
+}
+
+/// Mutable accumulator state threaded through the lane-mode fast scan:
+/// the running near total/argmax, the far estimate, and the pending near
+/// run — a contiguous range of [`FastIndex::items`]. Consecutive near
+/// cells have adjacent CSR spans, so runs extend while contiguous and
+/// flush when broken (or once, after the block pass).
+struct LaneScan {
+    total: f64,
+    best_pow: f64,
+    best: usize,
+    far_est: f64,
+    run_s: usize,
+    run_e: usize,
+}
+
+thread_local! {
+    /// Per-thread scratch for the lane-mode block pass: squared rect
+    /// distance and aggregated far term per block, filled by one vector
+    /// sweep and consumed by the scalar block walk. Thread-local (not on
+    /// the resolver) because the listener fan-out resolves on multiple
+    /// threads through `&self`; reused across resolves so the steady
+    /// state allocates nothing.
+    static BLOCK_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+
+    /// Per-thread scratch for the batched resolver's spatial sort:
+    /// `(key, original position)` per listener. Thread-local for the same
+    /// reason as [`BLOCK_SCRATCH`]; reused so steady-state batches
+    /// allocate nothing.
+    static SORT_SCRATCH: std::cell::RefCell<Vec<(u64, u32)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Persistent per-channel resolver state: the spatial grid and two-level
@@ -360,6 +532,11 @@ pub struct ResolverCache {
     scratch: BuildScratch,
     /// The current index (`None` when Exact mode or the grid was refused).
     index: Option<FastIndex>,
+    /// SoA copy of the snapshot for the exact-scan lane path, maintained
+    /// only when there is no index to carry its own CSR lanes (and the set
+    /// is at least one lane wide).
+    soa_xs: Vec<f64>,
+    soa_ys: Vec<f64>,
     /// Rebuilds performed (observable, for tests and diagnostics).
     builds: u64,
     /// Wall nanoseconds spent rebuilding (0 unless the `obs` feature is
@@ -403,6 +580,12 @@ impl ResolverCache {
             &mut self.scratch,
             self.index.take(),
         );
+        self.soa_xs.clear();
+        self.soa_ys.clear();
+        if self.index.is_none() && tx.len() >= LANE_WIDTH {
+            self.soa_xs.extend(tx.iter().map(|p| p.x));
+            self.soa_ys.extend(tx.iter().map(|p| p.y));
+        }
         self.builds += 1;
         self.build_ns += sw.elapsed_ns();
     }
@@ -429,7 +612,19 @@ impl ResolverCache {
             Some(ix) => IndexRef::Cached(ix),
             None => IndexRef::None,
         };
-        Some(ChannelResolver { params, tx, fast })
+        let soa = if self.soa_xs.len() == tx.len() && !tx.is_empty() {
+            SoaRef::Borrowed(&self.soa_xs, &self.soa_ys)
+        } else {
+            SoaRef::None
+        };
+        Some(ChannelResolver {
+            kernel: params.power_kernel(),
+            lanes: lanes::enabled(),
+            params,
+            tx,
+            fast,
+            soa,
+        })
     }
 }
 
@@ -459,6 +654,17 @@ pub struct ChannelResolver<'a> {
     params: &'a SinrParams,
     tx: &'a [Point],
     fast: IndexRef<'a>,
+    /// The power kernel, extracted once (the α dispatch is hoisted out of
+    /// every hot loop).
+    kernel: PowerKernel,
+    /// Whether this resolver runs the lane kernels — sampled from
+    /// [`lanes::enabled`] at construction, overridable per resolver with
+    /// [`ChannelResolver::with_lanes`]. Purely a throughput knob: lane and
+    /// scalar resolution are bit-identical.
+    lanes: bool,
+    /// SoA transmitter coordinates for the exact-scan lane path (the Fast
+    /// index carries its own CSR lanes instead).
+    soa: SoaRef<'a>,
 }
 
 /// Where the resolver's index lives: built fresh for this resolver, or
@@ -480,6 +686,25 @@ impl IndexRef<'_> {
     }
 }
 
+/// Where the exact-path SoA coordinates live: transposed by this resolver,
+/// staged by the engine (or a [`ResolverCache`]), or absent (scalar scan).
+enum SoaRef<'a> {
+    None,
+    Owned(Vec<f64>, Vec<f64>),
+    Borrowed(&'a [f64], &'a [f64]),
+}
+
+impl SoaRef<'_> {
+    #[inline]
+    fn get(&self) -> Option<(&[f64], &[f64])> {
+        match self {
+            SoaRef::None => None,
+            SoaRef::Owned(xs, ys) => Some((xs, ys)),
+            SoaRef::Borrowed(xs, ys) => Some((xs, ys)),
+        }
+    }
+}
+
 impl<'a> ChannelResolver<'a> {
     /// Indexes `tx_positions` for batched resolution under
     /// `params.resolve`, building a fresh index.
@@ -490,11 +715,60 @@ impl<'a> ChannelResolver<'a> {
             Some(ix) => IndexRef::Owned(Box::new(ix)),
             None => IndexRef::None,
         };
-        ChannelResolver {
+        let mut r = ChannelResolver {
+            kernel: params.power_kernel(),
+            lanes: lanes::enabled(),
             params,
             tx: tx_positions,
             fast,
+            soa: SoaRef::None,
+        };
+        r.ensure_soa();
+        r
+    }
+
+    /// Builds the owned exact-path SoA transpose when the lane path needs
+    /// one and nothing staged it (no Fast index with CSR lanes, no
+    /// engine/cache buffer).
+    fn ensure_soa(&mut self) {
+        if self.lanes
+            && matches!(self.fast, IndexRef::None)
+            && matches!(self.soa, SoaRef::None)
+            && self.tx.len() >= LANE_WIDTH
+        {
+            self.soa = SoaRef::Owned(
+                self.tx.iter().map(|p| p.x).collect(),
+                self.tx.iter().map(|p| p.y).collect(),
+            );
         }
+    }
+
+    /// Replaces the resolver's exact-path SoA coordinates with
+    /// caller-staged buffers (the engine keeps per-channel `xs`/`ys` hot
+    /// across slots, so no per-slot transpose happens). `xs`/`ys` must
+    /// mirror the transmitter slice exactly — debug-asserted.
+    pub fn with_soa(mut self, xs: &'a [f64], ys: &'a [f64]) -> Self {
+        debug_assert_eq!(xs.len(), self.tx.len());
+        debug_assert_eq!(ys.len(), self.tx.len());
+        if xs.len() == self.tx.len() && ys.len() == self.tx.len() && !xs.is_empty() {
+            self.soa = SoaRef::Borrowed(xs, ys);
+        }
+        self
+    }
+
+    /// Pins the lane toggle for this resolver regardless of the global
+    /// [`lanes::enabled`] state — the bench harness' `lanes`-vs-`scalar`
+    /// arms and the bit-identity audits use this for race-free control.
+    /// Outcomes are identical either way; only throughput changes.
+    pub fn with_lanes(mut self, on: bool) -> Self {
+        self.lanes = on;
+        self.ensure_soa();
+        self
+    }
+
+    /// Whether this resolver runs the lane kernels.
+    pub fn lanes_enabled(&self) -> bool {
+        self.lanes
     }
 
     /// Like [`ChannelResolver::new`], but reusing `cache`: if the
@@ -512,10 +786,18 @@ impl<'a> ChannelResolver<'a> {
             Some(ix) => IndexRef::Cached(ix),
             None => IndexRef::None,
         };
+        let soa = if cache.soa_xs.len() == tx_positions.len() && !tx_positions.is_empty() {
+            SoaRef::Borrowed(&cache.soa_xs, &cache.soa_ys)
+        } else {
+            SoaRef::None
+        };
         ChannelResolver {
+            kernel: params.power_kernel(),
+            lanes: lanes::enabled(),
             params,
             tx: tx_positions,
             fast,
+            soa,
         }
     }
 
@@ -545,8 +827,9 @@ impl<'a> ChannelResolver<'a> {
     }
 
     /// Estimated power evaluations per resolved listener (exact scan: all
-    /// transmitters).
-    fn work_per_listener(&self) -> usize {
+    /// transmitters) — the quantity the engine's per-channel inline/pool
+    /// gating and the resolver's own listener fan-out are measured in.
+    pub fn estimated_work_per_listener(&self) -> usize {
         self.fast
             .get()
             .map_or(self.tx.len(), |ix| ix.work_per_listener)
@@ -558,12 +841,48 @@ impl<'a> ChannelResolver<'a> {
     #[inline]
     pub fn resolve(&self, listener: Point, extra_interference: f64) -> ListenOutcome {
         match self.fast.get() {
-            None => resolve_listener_ext(self.params, self.tx, listener, extra_interference),
+            None => {
+                if self.lanes {
+                    if let Some((xs, ys)) = self.soa.get() {
+                        return self.resolve_exact_lanes(xs, ys, listener, extra_interference);
+                    }
+                }
+                resolve_listener_ext(self.params, self.tx, listener, extra_interference)
+            }
             Some(index) => {
                 self.resolve_fast::<false>(index, listener, extra_interference, None)
                     .0
             }
         }
+    }
+
+    /// Exact scan over the SoA transpose through the lane kernels —
+    /// bitwise [`resolve_listener_ext`]: same distance expression, same
+    /// power kernel, same ascending-order accumulation and strict-`>`
+    /// argmax (the lane chunks only restructure the element-wise math).
+    fn resolve_exact_lanes(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        listener: Point,
+        extra_interference: f64,
+    ) -> ListenOutcome {
+        debug_assert!(extra_interference >= 0.0, "interference cannot be negative");
+        debug_assert!(!xs.is_empty(), "SoA staged only for non-empty channels");
+        let mut total = extra_interference;
+        let mut best = 0usize;
+        let mut best_pow = f64::NEG_INFINITY;
+        lanes::accumulate_identity(
+            &self.kernel,
+            xs,
+            ys,
+            listener.x,
+            listener.y,
+            &mut total,
+            &mut best_pow,
+            &mut best,
+        );
+        decide(self.params, best, best_pow, total)
     }
 
     /// Like [`ChannelResolver::resolve`], additionally returning the
@@ -620,6 +939,170 @@ impl<'a> ChannelResolver<'a> {
     /// and reports 0. `candidates` (from [`ChannelResolver::task`]) marks
     /// the blocks that may descend for this listener's task; `None` means
     /// every block is tested.
+    /// Accumulates one pending near run — a contiguous range of
+    /// `index.items` covering consecutive near cells — through the lane
+    /// kernel, which adds each item's power to `total` and tracks the
+    /// argmax in ascending CSR order with the smallest-original-index
+    /// tie-break: bitwise the scalar per-cell loop over the same cells.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn flush_near_run(
+        &self,
+        index: &FastIndex,
+        s: usize,
+        e: usize,
+        listener: Point,
+        total: &mut f64,
+        best_pow: &mut f64,
+        best: &mut usize,
+    ) {
+        if e > s {
+            lanes::accumulate_indexed(
+                &self.kernel,
+                &index.lane_xs[s..e],
+                &index.lane_ys[s..e],
+                &index.items[s..e],
+                listener.x,
+                listener.y,
+                total,
+                best_pow,
+                best,
+            );
+        }
+    }
+
+    /// Merges a near cell's CSR span `[s, e)` into the pending near run,
+    /// flushing the previous run first when the spans are not contiguous.
+    #[inline]
+    fn near_run_push(
+        &self,
+        index: &FastIndex,
+        s: usize,
+        e: usize,
+        listener: Point,
+        st: &mut LaneScan,
+    ) {
+        if st.run_e == s {
+            st.run_e = e;
+        } else {
+            self.flush_near_run(
+                index,
+                st.run_s,
+                st.run_e,
+                listener,
+                &mut st.total,
+                &mut st.best_pow,
+                &mut st.best,
+            );
+            st.run_s = s;
+            st.run_e = e;
+        }
+    }
+
+    /// Cell scan of one descended block under lane mode. `entirely_far`
+    /// records that the block's rectangle lies beyond the near cutoff: no
+    /// cell's minimum distance can undercut the block's, so the scan skips
+    /// classification and folds the far terms straight (vector eval,
+    /// in-order adds). Otherwise the vector phase computes rect distance +
+    /// center power for LANE_WIDTH cells at once — both bitwise their
+    /// scalar counterparts ([`lanes::cell_chunk_metrics`]) — and a scalar
+    /// in-order pass classifies each cell: near cells merge into the
+    /// pending CSR run, far cells fold their pre-multiplied term. Zipped
+    /// `chunks_exact` iterators (not index-and-slice per chunk) keep the
+    /// vector phases free of per-chunk bounds checks — the same codegen
+    /// lesson as `accumulate_indexed`.
+    #[inline]
+    fn lane_block_cells(
+        &self,
+        index: &FastIndex,
+        cs: usize,
+        ce: usize,
+        entirely_far: bool,
+        listener: Point,
+        st: &mut LaneScan,
+    ) {
+        if entirely_far {
+            let mut icx = index.cell_cx[cs..ce].chunks_exact(LANE_WIDTH);
+            let mut icy = index.cell_cy[cs..ce].chunks_exact(LANE_WIDTH);
+            let mut icn = index.cell_cnt[cs..ce].chunks_exact(LANE_WIDTH);
+            for ((cx, cy), cn) in (&mut icx).zip(&mut icy).zip(&mut icn) {
+                let cx: &[f64; LANE_WIDTH] = cx.try_into().expect("exact chunk");
+                let cy: &[f64; LANE_WIDTH] = cy.try_into().expect("exact chunk");
+                let cn: &[f64; LANE_WIDTH] = cn.try_into().expect("exact chunk");
+                let terms =
+                    lanes::far_chunk_terms(&self.kernel, cx, cy, cn, listener.x, listener.y);
+                for &t in &terms {
+                    st.far_est += t;
+                }
+            }
+            // Scalar remainder off the cached centers — bitwise the scalar
+            // far-cell term.
+            for ((&cx, &cy), &cn) in icx
+                .remainder()
+                .iter()
+                .zip(icy.remainder())
+                .zip(icn.remainder())
+            {
+                let dx = cx - listener.x;
+                let dy = cy - listener.y;
+                st.far_est += cn * self.kernel.eval(dx * dx + dy * dy);
+            }
+            return;
+        }
+        let m = ce - cs;
+        let mnx = index.cell_min_x[cs..ce].chunks_exact(LANE_WIDTH);
+        let mny = index.cell_min_y[cs..ce].chunks_exact(LANE_WIDTH);
+        let mxx = index.cell_max_x[cs..ce].chunks_exact(LANE_WIDTH);
+        let mxy = index.cell_max_y[cs..ce].chunks_exact(LANE_WIDTH);
+        let ccx = index.cell_cx[cs..ce].chunks_exact(LANE_WIDTH);
+        let ccy = index.cell_cy[cs..ce].chunks_exact(LANE_WIDTH);
+        let ccn = index.cell_cnt[cs..ce].chunks_exact(LANE_WIDTH);
+        let mut k = 0usize;
+        for ((((((mnx, mny), mxx), mxy), cx), cy), cn) in
+            mnx.zip(mny).zip(mxx).zip(mxy).zip(ccx).zip(ccy).zip(ccn)
+        {
+            let mnx: &[f64; LANE_WIDTH] = mnx.try_into().expect("exact chunk");
+            let mny: &[f64; LANE_WIDTH] = mny.try_into().expect("exact chunk");
+            let mxx: &[f64; LANE_WIDTH] = mxx.try_into().expect("exact chunk");
+            let mxy: &[f64; LANE_WIDTH] = mxy.try_into().expect("exact chunk");
+            let cx: &[f64; LANE_WIDTH] = cx.try_into().expect("exact chunk");
+            let cy: &[f64; LANE_WIDTH] = cy.try_into().expect("exact chunk");
+            let cn: &[f64; LANE_WIDTH] = cn.try_into().expect("exact chunk");
+            let (d_min, terms) = lanes::cell_chunk_metrics(
+                &self.kernel,
+                mnx,
+                mny,
+                mxx,
+                mxy,
+                cx,
+                cy,
+                cn,
+                listener.x,
+                listener.y,
+            );
+            for j in 0..LANE_WIDTH {
+                if d_min[j] <= index.cutoff_sq {
+                    let cell = &index.cells[cs + k + j];
+                    self.near_run_push(index, cell.start as usize, cell.end as usize, listener, st);
+                } else {
+                    st.far_est += terms[j];
+                }
+            }
+            k += LANE_WIDTH;
+        }
+        // Remainder cells: scalar classification, same branches and the
+        // same term values as the vector phase.
+        for cell in &index.cells[cs + (m - m % LANE_WIDTH)..ce] {
+            if cell.rect.dist_sq_to(listener) <= index.cutoff_sq {
+                self.near_run_push(index, cell.start as usize, cell.end as usize, listener, st);
+            } else {
+                let n = f64::from(cell.end - cell.start);
+                let c = cell.rect.center();
+                st.far_est += n * self.params.received_power_sq(c.dist_sq(listener));
+            }
+        }
+    }
+
     fn resolve_fast<const BOUND: bool>(
         &self,
         index: &FastIndex,
@@ -635,62 +1118,204 @@ impl<'a> ChannelResolver<'a> {
         let mut far_lo = 0.0;
         let mut far_hi = 0.0;
         let mut far_est = 0.0;
+        // Lane mode (hot path only — the bound path evaluates three powers
+        // per rectangle and is not hot): the block pass and the descended
+        // cell scans both read the index's metadata SoA LANE_WIDTH entries
+        // at a time — descend classification, rect distances, and
+        // far-field center powers vectorized, every fold kept scalar in
+        // traversal order — and consecutive near cells merge into
+        // contiguous CSR runs accumulated by the lane kernel. Near items
+        // and far terms feed *separate* accumulators (`total` /
+        // `far_est`), each in the scalar traversal's own order, so their
+        // interleaving is free and the final sum is bitwise the scalar
+        // path's.
+        let lanes_on = !BOUND && self.lanes;
         let mut cand = candidates.map(|c| c.iter().copied().peekable());
-        for (bi, block) in index.blocks.iter().enumerate() {
-            // A block not in the task's candidate list is beyond the
-            // descend radius for every listener of the task — same branch
-            // the per-listener test below would take, decided once.
-            let may_descend = match cand.as_mut() {
-                None => true,
-                Some(it) => {
-                    if it.peek() == Some(&(bi as u32)) {
-                        it.next();
-                        true
-                    } else {
-                        false
-                    }
-                }
+        if lanes_on {
+            let mut st = LaneScan {
+                total,
+                best_pow,
+                best,
+                far_est: 0.0,
+                run_s: 0,
+                run_e: 0,
             };
-            if may_descend && block.rect.dist_sq_to(listener) <= index.descend_sq {
-                for cell in &index.cells[block.cell_start as usize..block.cell_end as usize] {
-                    let d_min_sq = cell.rect.dist_sq_to(listener);
-                    if d_min_sq <= index.cutoff_sq {
-                        // Near cell: exact per-transmitter summation. Ties
-                        // on power go to the smallest transmitter index,
-                        // matching the scalar reference's
-                        // first-strongest-wins scan.
-                        for &i in &index.items[cell.start as usize..cell.end as usize] {
-                            let p = params.received_power_sq(self.tx[i as usize].dist_sq(listener));
-                            total += p;
-                            if p > best_pow || (p == best_pow && (i as usize) < best) {
-                                best_pow = p;
-                                best = i as usize;
+            BLOCK_SCRATCH.with(|scratch| {
+                let (d_blk, bterms) = &mut *scratch.borrow_mut();
+                let nb = index.blocks.len();
+                d_blk.clear();
+                d_blk.resize(nb, 0.0);
+                bterms.clear();
+                bterms.resize(nb, 0.0);
+                // Vector sweep: squared rect distance (bitwise
+                // `rect.dist_sq_to`) and the aggregated far term (bitwise
+                // `count · P/d(center)^α`) for LANE_WIDTH blocks at a
+                // time, staged into the scratch so the walk below carries
+                // no vector state across its calls into the cell scans.
+                let bnx = index.blk_min_x.chunks_exact(LANE_WIDTH);
+                let bny = index.blk_min_y.chunks_exact(LANE_WIDTH);
+                let bxx = index.blk_max_x.chunks_exact(LANE_WIDTH);
+                let bxy = index.blk_max_y.chunks_exact(LANE_WIDTH);
+                let bcx = index.blk_cx.chunks_exact(LANE_WIDTH);
+                let bcy = index.blk_cy.chunks_exact(LANE_WIDTH);
+                let bcn = index.blk_cnt.chunks_exact(LANE_WIDTH);
+                let od = d_blk.chunks_exact_mut(LANE_WIDTH);
+                let ot = bterms.chunks_exact_mut(LANE_WIDTH);
+                for ((((((((mnx, mny), mxx), mxy), cx), cy), cn), od), ot) in bnx
+                    .zip(bny)
+                    .zip(bxx)
+                    .zip(bxy)
+                    .zip(bcx)
+                    .zip(bcy)
+                    .zip(bcn)
+                    .zip(od)
+                    .zip(ot)
+                {
+                    let mnx: &[f64; LANE_WIDTH] = mnx.try_into().expect("exact chunk");
+                    let mny: &[f64; LANE_WIDTH] = mny.try_into().expect("exact chunk");
+                    let mxx: &[f64; LANE_WIDTH] = mxx.try_into().expect("exact chunk");
+                    let mxy: &[f64; LANE_WIDTH] = mxy.try_into().expect("exact chunk");
+                    let cx: &[f64; LANE_WIDTH] = cx.try_into().expect("exact chunk");
+                    let cy: &[f64; LANE_WIDTH] = cy.try_into().expect("exact chunk");
+                    let cn: &[f64; LANE_WIDTH] = cn.try_into().expect("exact chunk");
+                    let (d, t) = lanes::cell_chunk_metrics(
+                        &self.kernel,
+                        mnx,
+                        mny,
+                        mxx,
+                        mxy,
+                        cx,
+                        cy,
+                        cn,
+                        listener.x,
+                        listener.y,
+                    );
+                    od.copy_from_slice(&d);
+                    ot.copy_from_slice(&t);
+                }
+                // Scalar remainder, same expressions.
+                for b in nb - nb % LANE_WIDTH..nb {
+                    let block = &index.blocks[b];
+                    d_blk[b] = block.rect.dist_sq_to(listener);
+                    bterms[b] =
+                        block.count * params.received_power_sq(block.center.dist_sq(listener));
+                }
+                // Scalar walk in block order: fold the aggregated term or
+                // descend into the cell scan. A block not in the task's
+                // candidate list never descends — and its aggregated term
+                // is the same value the per-listener test would produce,
+                // so candidacy only steers the branch.
+                for (b, (block, (&d, &t))) in index
+                    .blocks
+                    .iter()
+                    .zip(d_blk.iter().zip(bterms.iter()))
+                    .enumerate()
+                {
+                    let may_descend = match cand.as_mut() {
+                        None => true,
+                        Some(it) => {
+                            if it.peek() == Some(&(b as u32)) {
+                                it.next();
+                                true
+                            } else {
+                                false
                             }
                         }
+                    };
+                    if may_descend && d <= index.descend_sq {
+                        self.lane_block_cells(
+                            index,
+                            block.cell_start as usize,
+                            block.cell_end as usize,
+                            d > index.cutoff_sq,
+                            listener,
+                            &mut st,
+                        );
                     } else {
-                        // Far cell: one aggregated term; the true cell power
-                        // lies in [n·P/d_max^α, n·P/d_min^α] and so does the
-                        // center estimate.
-                        let n = f64::from(cell.end - cell.start);
-                        far_est +=
-                            n * params.received_power_sq(cell.rect.center().dist_sq(listener));
-                        if BOUND {
-                            far_hi += n * params.received_power_sq(d_min_sq);
-                            far_lo +=
-                                n * params.received_power_sq(cell.rect.max_dist_sq_to(listener));
-                        }
+                        st.far_est += t;
                     }
                 }
-            } else {
-                // Far block: one aggregated term for all of its cells. The
-                // descend radius is at least the cutoff, so no cell of an
-                // aggregated block can be near.
-                far_est += block.count * params.received_power_sq(block.center.dist_sq(listener));
-                if BOUND {
-                    far_hi +=
-                        block.count * params.received_power_sq(block.rect.dist_sq_to(listener));
-                    far_lo +=
-                        block.count * params.received_power_sq(block.rect.max_dist_sq_to(listener));
+            });
+            self.flush_near_run(
+                index,
+                st.run_s,
+                st.run_e,
+                listener,
+                &mut st.total,
+                &mut st.best_pow,
+                &mut st.best,
+            );
+            total = st.total;
+            best_pow = st.best_pow;
+            best = st.best;
+            far_est = st.far_est;
+        } else {
+            for (bi, block) in index.blocks.iter().enumerate() {
+                // A block not in the task's candidate list is beyond the
+                // descend radius for every listener of the task — same
+                // branch the per-listener test below would take, decided
+                // once.
+                let may_descend = match cand.as_mut() {
+                    None => true,
+                    Some(it) => {
+                        if it.peek() == Some(&(bi as u32)) {
+                            it.next();
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                };
+                let block_d_sq = if may_descend {
+                    block.rect.dist_sq_to(listener)
+                } else {
+                    f64::INFINITY
+                };
+                if block_d_sq <= index.descend_sq {
+                    let (cs, ce) = (block.cell_start as usize, block.cell_end as usize);
+                    for cell in &index.cells[cs..ce] {
+                        let d_min_sq = cell.rect.dist_sq_to(listener);
+                        if d_min_sq <= index.cutoff_sq {
+                            // Near cell: exact per-transmitter summation.
+                            // Ties on power go to the smallest transmitter
+                            // index, matching the scalar reference's
+                            // first-strongest-wins scan.
+                            let (s, e) = (cell.start as usize, cell.end as usize);
+                            for &i in &index.items[s..e] {
+                                let p =
+                                    params.received_power_sq(self.tx[i as usize].dist_sq(listener));
+                                total += p;
+                                if p > best_pow || (p == best_pow && (i as usize) < best) {
+                                    best_pow = p;
+                                    best = i as usize;
+                                }
+                            }
+                        } else {
+                            // Far cell: one aggregated term; the true cell
+                            // power lies in [n·P/d_max^α, n·P/d_min^α] and
+                            // so does the center estimate.
+                            let n = f64::from(cell.end - cell.start);
+                            let c = cell.rect.center();
+                            far_est += n * params.received_power_sq(c.dist_sq(listener));
+                            if BOUND {
+                                far_hi += n * params.received_power_sq(d_min_sq);
+                                far_lo += n * params
+                                    .received_power_sq(cell.rect.max_dist_sq_to(listener));
+                            }
+                        }
+                    }
+                } else {
+                    // Far block: one aggregated term for all of its cells.
+                    // The descend radius is at least the cutoff, so no
+                    // cell of an aggregated block can be near.
+                    far_est +=
+                        block.count * params.received_power_sq(block.center.dist_sq(listener));
+                    if BOUND {
+                        far_hi +=
+                            block.count * params.received_power_sq(block.rect.dist_sq_to(listener));
+                        far_lo += block.count
+                            * params.received_power_sq(block.rect.max_dist_sq_to(listener));
+                    }
                 }
             }
         }
@@ -713,6 +1338,320 @@ impl<'a> ChannelResolver<'a> {
         (decide(self.params, best, best_pow, total), bound)
     }
 
+    /// Listener-lane fast core: resolves [`LANE_WIDTH`] listeners in **one
+    /// walk** of the index. Lane `l` carries listener `l`'s accumulator
+    /// chain, so every vector add advances LANE_WIDTH independent serial
+    /// reduction chains at once — the structural answer to the
+    /// serial-floating-point-add floor that caps what single-listener
+    /// vectorization can reach (each listener's fold is a dependency chain
+    /// of ~thousands of adds at ~4-cycle latency; batching overlaps eight
+    /// such chains instead of trying to shorten one).
+    ///
+    /// Bitwise contract, per lane: the fold *sequence* of lane `l` is the
+    /// scalar walk's sequence with `+0.0` identities interspersed. Blocks
+    /// and cells are visited in the same row-major order for all lanes;
+    /// where lanes diverge (one listener descends a block another
+    /// aggregates), the inactive lane adds `+0.0` — an exact identity on
+    /// its non-negative accumulator (`x + 0.0 == x` bitwise for every
+    /// `x ≥ +0.0`, and power terms are strictly positive) — while the
+    /// active lane adds the very value the scalar walk would
+    /// ([`lanes::rect_metrics_lanes`] is element-wise bitwise the scalar
+    /// rect/center expressions). Near cells fold through
+    /// [`lanes::accumulate_span_lanes`] — transmitters in CSR order, all
+    /// eight accumulator/argmax chains advanced per element under the
+    /// per-lane near mask, with the same greater-or-tie-on-smaller-index
+    /// predicate as the scalar loop. Hence each lane's outcome is
+    /// bit-for-bit `resolve_fast::<false>` of that listener alone.
+    fn resolve_fast_batch(
+        &self,
+        index: &FastIndex,
+        lxs: &[f64; LANE_WIDTH],
+        lys: &[f64; LANE_WIDTH],
+        extra_interference: f64,
+        candidates: Option<&[u32]>,
+    ) -> [ListenOutcome; LANE_WIDTH] {
+        debug_assert!(extra_interference >= 0.0, "interference cannot be negative");
+        // All lane state is f64 — masks are 1.0/0.0 applied by exact
+        // multiplicative identities, the argmax index rides in a f64 lane
+        // (exact below 2⁵³) — so every fold below is packed-double SIMD.
+        let mut total = [extra_interference; LANE_WIDTH];
+        let mut best_pow = [f64::NEG_INFINITY; LANE_WIDTH];
+        let mut best = [0.0f64; LANE_WIDTH];
+        let mut far = [0.0f64; LANE_WIDTH];
+        let mut cand = candidates.map(|c| c.iter().copied().peekable());
+        for (bi, block) in index.blocks.iter().enumerate() {
+            // Candidacy is a property of the task, not the listener — one
+            // peek serves the whole batch.
+            let may_descend = match cand.as_mut() {
+                None => true,
+                Some(it) => {
+                    if it.peek() == Some(&(bi as u32)) {
+                        it.next();
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if !may_descend {
+                // Aggregate-only for the whole task: no lane needs the
+                // rectangle distance, so skip the clamp entirely.
+                let bterms = lanes::far_terms_lanes(
+                    &self.kernel,
+                    index.blk_cx[bi],
+                    index.blk_cy[bi],
+                    index.blk_cnt[bi],
+                    lxs,
+                    lys,
+                );
+                for l in 0..LANE_WIDTH {
+                    far[l] += bterms[l];
+                }
+                continue;
+            }
+            let (d_blk, bterms) = lanes::rect_metrics_lanes(
+                &self.kernel,
+                index.blk_min_x[bi],
+                index.blk_min_y[bi],
+                index.blk_max_x[bi],
+                index.blk_max_y[bi],
+                index.blk_cx[bi],
+                index.blk_cy[bi],
+                index.blk_cnt[bi],
+                lxs,
+                lys,
+            );
+            let mut desc = [0.0f64; LANE_WIDTH];
+            let mut ndesc = 0.0f64;
+            for l in 0..LANE_WIDTH {
+                desc[l] = if d_blk[l] <= index.descend_sq {
+                    1.0
+                } else {
+                    0.0
+                };
+                ndesc += desc[l];
+            }
+            if ndesc == 0.0 {
+                // The common case under spatial sorting: the whole batch
+                // aggregates this block — one unmasked vector add.
+                for l in 0..LANE_WIDTH {
+                    far[l] += bterms[l];
+                }
+                continue;
+            }
+            // Divergent block: descending lanes take +0.0 here (exact
+            // identity) and fold their per-cell terms below; the rest take
+            // the aggregated term at the same position in their fold
+            // sequence as the scalar walk.
+            for l in 0..LANE_WIDTH {
+                far[l] += bterms[l] * (1.0 - desc[l]);
+            }
+            let (cs, ce) = (block.cell_start as usize, block.cell_end as usize);
+            // A cell can be near for lane `l` only if the block itself is
+            // within the cutoff for `l` (cell distance ≥ block distance).
+            // Most descended blocks sit in the (cutoff, descend] annulus
+            // for the whole batch, so the dominant scan is the `else`
+            // branch below: far-only, clamp-free, and free of calls that
+            // could spill the vector state.
+            let maybe_near = d_blk.iter().any(|&d| d <= index.cutoff_sq);
+            if maybe_near {
+                let iter = index.cells[cs..ce]
+                    .iter()
+                    .zip(&index.cell_min_x[cs..ce])
+                    .zip(&index.cell_min_y[cs..ce])
+                    .zip(&index.cell_max_x[cs..ce])
+                    .zip(&index.cell_max_y[cs..ce])
+                    .zip(&index.cell_cx[cs..ce])
+                    .zip(&index.cell_cy[cs..ce])
+                    .zip(&index.cell_cnt[cs..ce]);
+                for (((((((cell, &mnx), &mny), &mxx), &mxy), &ccx), &ccy), &ccn) in iter {
+                    let (d_min, terms) = lanes::rect_metrics_lanes(
+                        &self.kernel,
+                        mnx,
+                        mny,
+                        mxx,
+                        mxy,
+                        ccx,
+                        ccy,
+                        ccn,
+                        lxs,
+                        lys,
+                    );
+                    // near ⊆ desc, so (desc − near) is exactly the
+                    // far-fold mask: a lane that aggregated this block
+                    // already took its block term and its cells
+                    // contribute +0.0.
+                    let mut near = [0.0f64; LANE_WIDTH];
+                    let mut nnear = 0.0f64;
+                    for l in 0..LANE_WIDTH {
+                        near[l] = if d_min[l] <= index.cutoff_sq {
+                            desc[l]
+                        } else {
+                            0.0
+                        };
+                        nnear += near[l];
+                    }
+                    for l in 0..LANE_WIDTH {
+                        far[l] += terms[l] * (desc[l] - near[l]);
+                    }
+                    if nnear != 0.0 {
+                        // Cross-lane near fold: each transmitter of the
+                        // cell advances all eight accumulator chains with
+                        // one masked vector add, in CSR order.
+                        let (s, e) = (cell.start as usize, cell.end as usize);
+                        lanes::accumulate_span_lanes(
+                            &self.kernel,
+                            &index.lane_xs[s..e],
+                            &index.lane_ys[s..e],
+                            &index.items[s..e],
+                            lxs,
+                            lys,
+                            &near,
+                            &mut total,
+                            &mut best_pow,
+                            &mut best,
+                        );
+                    }
+                }
+            } else {
+                let iter = index.cell_cx[cs..ce]
+                    .iter()
+                    .zip(&index.cell_cy[cs..ce])
+                    .zip(&index.cell_cnt[cs..ce]);
+                for ((&ccx, &ccy), &ccn) in iter {
+                    let terms = lanes::far_terms_lanes(&self.kernel, ccx, ccy, ccn, lxs, lys);
+                    for l in 0..LANE_WIDTH {
+                        far[l] += terms[l] * desc[l];
+                    }
+                }
+            }
+        }
+        let mut out = [ListenOutcome::SILENT; LANE_WIDTH];
+        for l in 0..LANE_WIDTH {
+            let t = total[l] + far[l];
+            out[l] = if best_pow[l] == f64::NEG_INFINITY {
+                ListenOutcome {
+                    decoded: None,
+                    signal: 0.0,
+                    sinr: 0.0,
+                    total_power: t,
+                }
+            } else {
+                decide(self.params, best[l] as usize, best_pow[l], t)
+            };
+        }
+        out
+    }
+
+    /// Resolves one listener under an optional task candidate list — the
+    /// per-listener fallback of the batched path, bitwise
+    /// [`TaskResolver::resolve`] / [`ChannelResolver::resolve`].
+    #[inline]
+    fn resolve_one(
+        &self,
+        listener: Point,
+        extra_interference: f64,
+        candidates: Option<&[u32]>,
+    ) -> ListenOutcome {
+        match (self.fast.get(), candidates) {
+            (Some(index), Some(cand)) => {
+                self.resolve_fast::<false>(index, listener, extra_interference, Some(cand))
+                    .0
+            }
+            _ => self.resolve(listener, extra_interference),
+        }
+    }
+
+    /// Core of the batched drivers: sorts listeners into row-major spatial
+    /// order (so the lanes of each batch share their descended-block
+    /// neighborhood and the common all-aggregate / all-descend vector
+    /// paths dominate), resolves [`LANE_WIDTH`] at a time through
+    /// [`ChannelResolver::resolve_fast_batch`], and scatters outcomes back
+    /// to the **caller's listener order**. The sort permutes only which
+    /// listeners share a walk — each outcome is a pure function of its own
+    /// listener, so `out` is bitwise the per-listener loop. Falls back to
+    /// that loop when lanes are off, the index is absent (Exact mode), or
+    /// the batch is narrower than a lane.
+    fn resolve_batch_impl(
+        &self,
+        listeners: &[Point],
+        extra_interference: f64,
+        candidates: Option<&[u32]>,
+        out: &mut Vec<ListenOutcome>,
+    ) {
+        self.resolve_batch_core(
+            listeners.len(),
+            |i| listeners[i],
+            extra_interference,
+            candidates,
+            out,
+        );
+    }
+
+    /// Shared machinery of the slice and indexed batch drivers: `get(i)`
+    /// yields the `i`-th listener of the batch, `out[i]` its outcome.
+    fn resolve_batch_core(
+        &self,
+        n: usize,
+        get: impl Fn(usize) -> Point + Copy,
+        extra_interference: f64,
+        candidates: Option<&[u32]>,
+        out: &mut Vec<ListenOutcome>,
+    ) {
+        out.clear();
+        let index = match self.fast.get() {
+            Some(ix) if self.lanes && n >= LANE_WIDTH => ix,
+            _ => {
+                out.extend(
+                    (0..n).map(|i| self.resolve_one(get(i), extra_interference, candidates)),
+                );
+                return;
+            }
+        };
+        out.resize(n, ListenOutcome::SILENT);
+        SORT_SCRATCH.with(|scratch| {
+            let order = &mut *scratch.borrow_mut();
+            order.clear();
+            order.extend((0..n).map(|i| (index.batch_key(get(i)), i as u32)));
+            order.sort_unstable();
+            let mut chunks = order.chunks_exact(LANE_WIDTH);
+            let mut lxs = [0.0f64; LANE_WIDTH];
+            let mut lys = [0.0f64; LANE_WIDTH];
+            for chunk in &mut chunks {
+                for (j, &(_, i)) in chunk.iter().enumerate() {
+                    let p = get(i as usize);
+                    lxs[j] = p.x;
+                    lys[j] = p.y;
+                }
+                let outs =
+                    self.resolve_fast_batch(index, &lxs, &lys, extra_interference, candidates);
+                for (j, &(_, i)) in chunk.iter().enumerate() {
+                    out[i as usize] = outs[j];
+                }
+            }
+            for &(_, i) in chunks.remainder() {
+                out[i as usize] = self
+                    .resolve_fast::<false>(index, get(i as usize), extra_interference, candidates)
+                    .0;
+            }
+        });
+    }
+
+    /// Resolves every listener into `out` (cleared first; outcomes in
+    /// listener order), walking the index once per [`LANE_WIDTH`]
+    /// spatially-adjacent listeners instead of once per listener. Each
+    /// outcome is bit-for-bit [`ChannelResolver::resolve`] of that
+    /// listener — batching, like sharding and threading, is invisible in
+    /// the results.
+    pub fn resolve_batch_into(
+        &self,
+        listeners: &[Point],
+        extra_interference: f64,
+        out: &mut Vec<ListenOutcome>,
+    ) {
+        self.resolve_batch_impl(listeners, extra_interference, None, out);
+    }
+
     /// Resolves a batch of listeners into `out` (cleared first), in
     /// listener order. Batches whose work volume dwarfs the pool's task
     /// handoff and merge cost are resolved in parallel on multi-core
@@ -729,7 +1668,7 @@ impl<'a> ChannelResolver<'a> {
     ) {
         let work = listeners
             .len()
-            .saturating_mul(self.work_per_listener().max(1));
+            .saturating_mul(self.estimated_work_per_listener().max(1));
         if listeners.len() >= PAR_LISTENERS
             && work >= PAR_MIN_PAIRS
             && rayon::current_num_threads() > 1
@@ -748,18 +1687,36 @@ impl<'a> ChannelResolver<'a> {
     /// [`ChannelResolver::resolve_into`] without the listener fan-out —
     /// for callers that already parallelize at a coarser grain (the
     /// engine's shard tasks and channel groups) or that rely on `out`'s
-    /// buffer being reused.
+    /// buffer being reused. Runs the lane-batched walk when the fast index
+    /// and lanes are available — outcomes are bitwise the per-listener
+    /// loop either way.
     pub fn resolve_into_sequential(
         &self,
         listeners: &[Point],
         extra_interference: f64,
         out: &mut Vec<ListenOutcome>,
     ) {
-        out.clear();
-        out.extend(
-            listeners
-                .iter()
-                .map(|&l| self.resolve(l, extra_interference)),
+        self.resolve_batch_impl(listeners, extra_interference, None, out);
+    }
+
+    /// Indexed form of [`ChannelResolver::resolve_batch_into`]:
+    /// `out[i]` is the outcome for `positions[keys[i]]`. Lets callers
+    /// that address listeners through index lists (the engine's shard
+    /// units) feed the lane-batched walk without gathering a point
+    /// buffer first.
+    pub fn resolve_indexed_into(
+        &self,
+        positions: &[Point],
+        keys: &[u32],
+        extra_interference: f64,
+        out: &mut Vec<ListenOutcome>,
+    ) {
+        self.resolve_batch_core(
+            keys.len(),
+            |i| positions[keys[i] as usize],
+            extra_interference,
+            None,
+            out,
         );
     }
 }
@@ -793,6 +1750,66 @@ impl TaskResolver<'_, '_> {
             }
             _ => self.resolver.resolve(listener, extra_interference),
         }
+    }
+
+    /// Resolves a batch of this task's listeners into `out` (cleared
+    /// first; outcomes in listener order) through the lane-batched index
+    /// walk — each outcome bit-for-bit [`TaskResolver::resolve`] of that
+    /// listener. This is the engine's and bench harness' hot entry: shard
+    /// tasks hand over whole listener runs, and the batch walk amortizes
+    /// one block traversal across [`LANE_WIDTH`] of them.
+    pub fn resolve_batch_into(
+        &self,
+        listeners: &[Point],
+        extra_interference: f64,
+        out: &mut Vec<ListenOutcome>,
+    ) {
+        #[cfg(debug_assertions)]
+        for &l in listeners {
+            debug_assert!(
+                self.bbox.contains(l),
+                "task listener {l:?} outside its task bbox"
+            );
+        }
+        match (self.resolver.fast.get(), &self.candidates) {
+            (Some(_), Some(cand)) => {
+                self.resolver
+                    .resolve_batch_impl(listeners, extra_interference, Some(cand), out);
+            }
+            _ => self
+                .resolver
+                .resolve_batch_impl(listeners, extra_interference, None, out),
+        }
+    }
+
+    /// Indexed form of [`TaskResolver::resolve_batch_into`]: `out[i]` is
+    /// the outcome for `positions[keys[i]]`.
+    pub fn resolve_indexed_into(
+        &self,
+        positions: &[Point],
+        keys: &[u32],
+        extra_interference: f64,
+        out: &mut Vec<ListenOutcome>,
+    ) {
+        #[cfg(debug_assertions)]
+        for &k in keys {
+            debug_assert!(
+                self.bbox.contains(positions[k as usize]),
+                "task listener {:?} outside its task bbox",
+                positions[k as usize]
+            );
+        }
+        let candidates = match (self.resolver.fast.get(), &self.candidates) {
+            (Some(_), Some(cand)) => Some(cand.as_slice()),
+            _ => None,
+        };
+        self.resolver.resolve_batch_core(
+            keys.len(),
+            |i| positions[keys[i] as usize],
+            extra_interference,
+            candidates,
+            out,
+        );
     }
 
     /// Number of halo blocks this task may descend into (0 on the exact
@@ -992,6 +2009,80 @@ mod tests {
                     resolver.resolve(l, 0.25),
                     "task outcome diverged at {l:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_and_scalar_resolvers_are_bitwise_identical() {
+        // Both modes, fractional and integer α, enough transmitters that
+        // the lane chunks and the scalar remainder both run.
+        for alpha in [3.0, 3.7] {
+            for params in [
+                SinrParams::with_range(alpha, 1.5, 1.0, 8.0, 0.5),
+                SinrParams::with_range(alpha, 1.5, 1.0, 8.0, 0.5)
+                    .with_resolve(ResolveMode::Fast { cutoff_factor: 1.5 }),
+            ] {
+                let (txs, listeners) = dense_blocky_world(17, 5_000);
+                let lanes_on = ChannelResolver::new(&params, &txs).with_lanes(true);
+                let lanes_off = ChannelResolver::new(&params, &txs).with_lanes(false);
+                assert!(lanes_on.lanes_enabled() && !lanes_off.lanes_enabled());
+                for &l in &listeners {
+                    let a = lanes_on.resolve(l, 0.25);
+                    let b = lanes_off.resolve(l, 0.25);
+                    assert_eq!(a.decoded, b.decoded);
+                    assert_eq!(a.signal.to_bits(), b.signal.to_bits());
+                    assert_eq!(a.sinr.to_bits(), b.sinr.to_bits());
+                    assert_eq!(
+                        a.total_power.to_bits(),
+                        b.total_power.to_bits(),
+                        "lane total diverged at {l:?} (α={alpha})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_resolution_is_bitwise_per_listener() {
+        // The listener-lane walk (spatial sort, shared block traversal,
+        // masked folds) must be invisible in the outcomes — through the
+        // resolver directly and through a task's candidate list, with a
+        // remainder narrower than a lane, for integer and fractional α.
+        for alpha in [3.0, 3.7] {
+            let params = SinrParams::with_range(alpha, 1.5, 1.0, 8.0, 0.5)
+                .with_resolve(ResolveMode::Fast { cutoff_factor: 1.5 });
+            let (txs, mut listeners) = dense_blocky_world(23, 8_000);
+            // Odd count so the chunked walk leaves a scalar remainder.
+            listeners.truncate(45);
+            let resolver = ChannelResolver::new(&params, &txs).with_lanes(true);
+            assert!(resolver.is_fast());
+            let mut out = Vec::new();
+            resolver.resolve_batch_into(&listeners, 0.25, &mut out);
+            assert_eq!(out.len(), listeners.len());
+            for (k, &l) in listeners.iter().enumerate() {
+                let one = resolver.resolve(l, 0.25);
+                assert_eq!(out[k].decoded, one.decoded);
+                assert_eq!(out[k].total_power.to_bits(), one.total_power.to_bits());
+                assert_eq!(out[k].signal.to_bits(), one.signal.to_bits());
+                assert_eq!(out[k].sinr.to_bits(), one.sinr.to_bits());
+            }
+            // Task-scoped batches: same contract under a candidate list.
+            let bbox = BoundingBox::from_points(listeners.iter().copied()).unwrap();
+            let task = resolver.task(bbox);
+            let mut task_out = Vec::new();
+            task.resolve_batch_into(&listeners, 0.25, &mut task_out);
+            for (k, &l) in listeners.iter().enumerate() {
+                let one = task.resolve(l, 0.25);
+                assert_eq!(task_out[k].total_power.to_bits(), one.total_power.to_bits());
+                assert_eq!(task_out[k], one);
+            }
+            // Lanes off: the same entry point degrades to the scalar loop.
+            let scalar = ChannelResolver::new(&params, &txs).with_lanes(false);
+            let mut scalar_out = Vec::new();
+            scalar.resolve_batch_into(&listeners, 0.25, &mut scalar_out);
+            for (k, o) in out.iter().enumerate() {
+                assert_eq!(scalar_out[k].total_power.to_bits(), o.total_power.to_bits());
             }
         }
     }
