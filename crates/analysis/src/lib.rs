@@ -12,5 +12,5 @@ pub mod sweep;
 pub mod table;
 
 pub use stats::Summary;
-pub use sweep::{run_trials, trial_seed, TrialOutcome};
+pub use sweep::{run_trials, trial_seed, KeyedTrial, TrialKey, TrialOutcome};
 pub use table::Table;

@@ -6,6 +6,69 @@
 
 use crate::stats::Summary;
 
+/// The stable identity of one trial: a scenario id plus the seed it runs
+/// under. Every trial in this workspace is a pure function of its key, so
+/// the key is the unit of caching, journaling, and resume — two runs of
+/// the same key produce bit-identical results regardless of thread count
+/// or interleaving.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrialKey {
+    /// The scenario this trial runs (the scenario's unique name).
+    pub scenario_id: String,
+    /// The seed the trial is executed under.
+    pub seed: u64,
+}
+
+impl TrialKey {
+    /// Builds a key from a scenario id and seed.
+    pub fn new(scenario_id: impl Into<String>, seed: u64) -> Self {
+        Self {
+            scenario_id: scenario_id.into(),
+            seed,
+        }
+    }
+
+    /// Renders the key as one journal line: `scenario_id <TAB> seed`.
+    ///
+    /// The format is append-only and line-oriented so a sweep journal can
+    /// be written with one flushed line per completed trial and replayed
+    /// by streaming lines back through [`TrialKey::parse_journal_line`].
+    pub fn journal_line(&self) -> String {
+        format!("{}\t{}", self.scenario_id, self.seed)
+    }
+
+    /// Parses one journal line produced by [`TrialKey::journal_line`].
+    ///
+    /// Returns `None` on malformed input (no tab, or a non-numeric seed) —
+    /// a truncated trailing line from an interrupted writer parses as
+    /// `None` and is treated as not-yet-journaled by resume logic.
+    pub fn parse_journal_line(line: &str) -> Option<Self> {
+        let (id, seed) = line.rsplit_once('\t')?;
+        let seed = seed.parse::<u64>().ok()?;
+        if id.is_empty() {
+            return None;
+        }
+        Some(Self::new(id, seed))
+    }
+}
+
+impl std::fmt::Display for TrialKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.scenario_id, self.seed)
+    }
+}
+
+/// One keyed trial result: the [`TrialKey`] it was computed from plus the
+/// trial's output. This is what streams out of a keyed runner, in key
+/// enumeration order.
+#[derive(Debug, Clone)]
+pub struct KeyedTrial<T> {
+    /// The key this result is a pure function of.
+    pub key: TrialKey,
+    /// The trial's output.
+    pub result: T,
+}
+
 /// The outcome of a batch of trials of one configuration.
 #[derive(Debug, Clone)]
 pub struct TrialOutcome<T> {
@@ -88,6 +151,20 @@ mod tests {
         assert_eq!(sum.len(), 10);
         let frac = out.fraction(|&x| x >= 0.0);
         assert_eq!(frac, 1.0);
+    }
+
+    #[test]
+    fn journal_line_round_trips() {
+        let k = TrialKey::new("dense-16ch", 42);
+        let line = k.journal_line();
+        assert_eq!(line, "dense-16ch\t42");
+        assert_eq!(TrialKey::parse_journal_line(&line), Some(k.clone()));
+        assert_eq!(format!("{k}"), "dense-16ch#42");
+        // Malformed lines (truncated writer, junk) parse as None.
+        assert_eq!(TrialKey::parse_journal_line("no-tab"), None);
+        assert_eq!(TrialKey::parse_journal_line("name\tnot-a-seed"), None);
+        assert_eq!(TrialKey::parse_journal_line("\t7"), None);
+        assert_eq!(TrialKey::parse_journal_line(""), None);
     }
 
     #[test]

@@ -44,7 +44,8 @@ use mca_radio::{
     Observation, Protocol,
 };
 use mca_scenario::{
-    builtin_scenarios, AdversarySpec, DeploymentSpec, MaintenanceSpec, Scenario, ScenarioSim,
+    builtin_scenarios, AdversarySpec, DeploymentSpec, KeyedTrial, MaintenanceSpec, Scenario,
+    ScenarioSim, TrialSet,
 };
 use rand::rngs::SmallRng;
 
@@ -379,9 +380,14 @@ pub fn adversary_bench_worlds() -> Vec<Scenario> {
 }
 
 /// Runs `seeds` seeded trials of every adversary world.
+///
+/// Trials execute through the keyed runner ([`TrialSet::run_streaming`])
+/// — seeds of one world resolve in parallel but fold in enumeration
+/// (seed) order, so the aggregate is identical to the historical
+/// sequential loop and `BENCH_adversary.json` stays byte-compatible.
 pub fn run_adversary_bench(seeds: usize) -> Vec<AdversaryBenchCase> {
     adversary_bench_worlds()
-        .iter()
+        .into_iter()
         .map(|scenario| {
             let empty = ArmOutcome {
                 epochs: 0,
@@ -406,8 +412,12 @@ pub fn run_adversary_bench(seeds: usize) -> Vec<AdversaryBenchCase> {
                 worlds_identical: true,
                 first_violation: None,
             };
-            for seed in 1..=seeds as u64 {
-                let t = adversary_trial(scenario, seed);
+            let set = TrialSet::new(vec![scenario], (1..=seeds as u64).collect())
+                .expect("one scenario cannot collide with itself");
+            set.run_streaming(true, adversary_trial, &mut |trial: KeyedTrial<
+                AdversaryTrial,
+            >| {
+                let (seed, t) = (trial.key.seed, trial.result);
                 fold(&mut case.reactive, &t.reactive);
                 fold(&mut case.proactive, &t.proactive);
                 case.worlds_identical &= t.world_identical;
@@ -419,7 +429,7 @@ pub fn run_adversary_bench(seeds: usize) -> Vec<AdversaryBenchCase> {
                 if case.first_violation.is_none() {
                     case.first_violation = t.first_violation.map(|v| format!("seed {seed}, {v}"));
                 }
-            }
+            });
             case
         })
         .collect()

@@ -1,20 +1,11 @@
-//! Regenerates every experiment of `EXPERIMENTS.md` and runs scenario
-//! files.
+//! Regenerates every experiment of `EXPERIMENTS.md`, runs scenario files,
+//! and serves matrix sweeps.
 //!
-//! Usage:
-//!
-//! ```text
-//! experiments [e1|...|e16|t1|a1|a2|a3|all|quick] [trials]
-//! experiments bench-sinr [repeats]
-//! experiments bench-shards [repeats]
-//! experiments repair-bench [seeds]
-//! experiments adversary-bench [seeds]
-//! experiments profile [--scenario <file.toml>] [--slots N] [--jsonl <path>]
-//! experiments golden-trials [--write] [path]
-//! experiments --scenario <file.toml> [--seeds N]
-//! experiments export-scenarios [dir]
-//! experiments check-scenarios [dir]
-//! ```
+//! The binary is a declarative subcommand table ([`COMMANDS`]): each entry
+//! carries its name, argument synopsis, summary, extended help, and
+//! handler, so the overview usage, per-subcommand `--help`, and dispatch
+//! all read from one place. Experiment-table ids (`e1`..`quick`) are the
+//! default command and dispatch through the same main loop.
 //!
 //! Every form accepts a global `--threads N` flag pinning the worker
 //! count of all parallel paths (0 = one per core) — CI smoke jobs and
@@ -35,17 +26,20 @@
 //! catalog world instead — the CI configuration).
 //!
 //! `--scenario` runs any TOML world (see `docs/SCENARIO_FORMAT.md`)
-//! through the flood max-aggregation workload; `export-scenarios` writes
-//! the built-in catalog; `check-scenarios` parse-validates a directory of
-//! scenario files (the CI gate for `scenarios/`); `golden-trials` checks
-//! (or `--write`s) the committed golden trial metrics the CI determinism
-//! job pins `MCA_FORCE_PAR=1` runs against. Unknown subcommands print
-//! usage and exit non-zero.
+//! through the flood max-aggregation workload; `sweep` expands a
+//! `[matrix]` file into a keyed trial set and streams one JSONL record
+//! per trial with checkpoint/resume (see `docs/TRIAL_SERVICE.md`);
+//! `serve` polls a queue directory of such files; `export-scenarios`
+//! writes the built-in catalog; `check-scenarios` parse-validates a
+//! directory of scenario/matrix files (the CI gate for `scenarios/`);
+//! `golden-trials` checks (or `--write`s) the committed golden trial
+//! metrics the CI determinism job pins `MCA_FORCE_PAR=1` runs against.
+//! Unknown subcommands print usage and exit non-zero.
 
-use mca_bench::LogLevel;
-use mca_scenario::{builtin_scenarios, Scenario};
+use mca_bench::{LogLevel, ServeConfig, SweepConfig};
+use mca_scenario::{builtin_scenarios, Scenario, SweepFile};
 use std::env;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -54,82 +48,246 @@ fn logs(level: LogLevel) -> bool {
     mca_bench::log_level() >= level
 }
 
-const USAGE: &str = "\
-Usage:
-  experiments [SUBCOMMAND] [trials]   run experiment tables (default: quick)
-  experiments bench-sinr [repeats]    SINR resolver benchmark -> BENCH_sinr.json
-  experiments bench-shards [repeats]  sharded engine benchmark -> BENCH_shard.json
-                                      (arms incl. the SIMD lanes-vs-scalar pair and
-                                       a reduced 1M-node dense case;
-                                       SHARD_BENCH_SMOKE=1 for the reduced CI gate;
-                                       exits non-zero if sharded resolution regresses
-                                       below the sequential baseline, the lanes arm
-                                       loses to scalar on a dense 10k+ world, or any
-                                       bit-identity audit fails)
-  experiments repair-bench [seeds]    incremental repair vs rebuild -> BENCH_repair.json
-                                      (REPAIR_BENCH_SMOKE=1 for the reduced CI gate;
-                                       exits non-zero if any world fails its gate)
-  experiments adversary-bench [seeds] reactive vs proactive repair under adversaries
-                                      -> BENCH_adversary.json
-                                      (ADVERSARY_BENCH_SMOKE=1 for the reduced CI gate;
-                                       exits non-zero on audit regressions or if the
-                                       proactive arm fails to beat the censored
-                                       reactive time-to-repair)
-  experiments profile [--scenario <file.toml>] [--slots N] [--jsonl <path>]
-                                      per-phase time breakdown via the mca-obs recorder
-                                      (needs --features obs; default world writes
-                                       BENCH_profile.json; PROFILE_SMOKE=1 profiles the
-                                       small catalog world instead; exits non-zero if
-                                       phase spans cover < 95% of slot wall time)
-  experiments golden-trials [--write] [path]
-                                      check (default) or rewrite the committed golden
-                                      trial metrics (default: scenarios/GOLDEN_trials.json);
-                                      check exits non-zero on any metric divergence
-  experiments --scenario <file.toml> [--seeds N]
-                                      run a scenario file end-to-end
-  experiments export-scenarios [dir]  write the built-in catalog (default: scenarios)
-  experiments check-scenarios [dir]   parse-validate every .toml in a directory
+/// One subcommand: everything the overview usage, `--help`, and dispatch
+/// need, in one row.
+struct Cmd {
+    /// The word on the command line.
+    name: &'static str,
+    /// Argument synopsis shown after the name.
+    args: &'static str,
+    /// One-or-few-line summary for the usage overview (indented there).
+    summary: &'static str,
+    /// Extended help for `experiments <name> --help` (empty = summary only).
+    help: &'static str,
+    /// The handler, given the arguments after the subcommand name.
+    run: fn(&[String]) -> ExitCode,
+}
 
-Global flags:
-  --threads N       pin the parallel worker count (0 = one per core); takes
-                    effect immediately — a live pool at a different size is
-                    retired and relaunched on next use
-  --log-level L     progress-stream verbosity: off, summary (default), verbose
-
-Subcommands:
-  e1..e8, e10..e16  individual experiment tables (see EXPERIMENTS.md)
-  t1                related-work comparison table
-  a1, a2, a3        ablation tables
-  all               every table, 3 trials by default
-  quick             every table, 2 trials by default
-";
+/// The subcommand table. Experiment-table ids (`e1`..`quick`, the default)
+/// dispatch through [`run_tables`] instead of a row here.
+const COMMANDS: &[Cmd] = &[
+    Cmd {
+        name: "bench-sinr",
+        args: "[repeats]",
+        summary: "SINR resolver benchmark -> BENCH_sinr.json",
+        help: "",
+        run: cmd_bench_sinr,
+    },
+    Cmd {
+        name: "bench-shards",
+        args: "[repeats]",
+        summary: "sharded engine benchmark -> BENCH_shard.json\n\
+                  (arms incl. the SIMD lanes-vs-scalar pair and\n\
+                   a reduced 1M-node dense case;\n\
+                   SHARD_BENCH_SMOKE=1 for the reduced CI gate;\n\
+                   exits non-zero if sharded resolution regresses\n\
+                   below the sequential baseline, the lanes arm\n\
+                   loses to scalar on a dense 10k+ world, or any\n\
+                   bit-identity audit fails)",
+        help: "",
+        run: cmd_bench_shards,
+    },
+    Cmd {
+        name: "repair-bench",
+        args: "[seeds]",
+        summary: "incremental repair vs rebuild -> BENCH_repair.json\n\
+                  (REPAIR_BENCH_SMOKE=1 for the reduced CI gate;\n\
+                   exits non-zero if any world fails its gate)",
+        help: "",
+        run: cmd_repair_bench,
+    },
+    Cmd {
+        name: "adversary-bench",
+        args: "[seeds]",
+        summary: "reactive vs proactive repair under adversaries\n\
+                  -> BENCH_adversary.json\n\
+                  (ADVERSARY_BENCH_SMOKE=1 for the reduced CI gate;\n\
+                   exits non-zero on audit regressions or if the\n\
+                   proactive arm fails to beat the censored\n\
+                   reactive time-to-repair)",
+        help: "",
+        run: cmd_adversary_bench,
+    },
+    Cmd {
+        name: "profile",
+        args: "[--scenario <file.toml>] [--slots N] [--jsonl <path>]",
+        summary: "per-phase time breakdown via the mca-obs recorder\n\
+                  (needs --features obs; default world writes\n\
+                   BENCH_profile.json; PROFILE_SMOKE=1 profiles the\n\
+                   small catalog world instead; exits non-zero if\n\
+                   phase spans cover < 95% of slot wall time)",
+        help: "",
+        run: run_profile,
+    },
+    Cmd {
+        name: "golden-trials",
+        args: "[--write] [path]",
+        summary: "check (default) or rewrite the committed golden\n\
+                  trial metrics (default: scenarios/GOLDEN_trials.json);\n\
+                  check exits non-zero on any metric divergence",
+        help: "",
+        run: golden_trials,
+    },
+    Cmd {
+        name: "sweep",
+        args: "<matrix.toml> [--out F] [--journal F] [--limit N] [--fresh] [--sequential]",
+        summary: "expand a [matrix] file into a keyed trial set and\n\
+                  stream one JSONL trial record per trial, journaling\n\
+                  completed keys; rerunning resumes after the journal\n\
+                  (exit 3 when --limit leaves the sweep incomplete)",
+        help: "Runs every (scenario, seed) trial of the matrix file through the\n\
+               flood max-aggregation workload, appending one mca-obs JSONL-v1\n\
+               `trial` record per trial to the out file (default:\n\
+               <stem>.trials.jsonl beside the input) and each completed key to\n\
+               the journal (default: <stem>.journal). A rerun verifies the\n\
+               journal against the matrix, truncates any torn tail, and resumes\n\
+               exactly where the previous run stopped — the resulting stream is\n\
+               byte-identical to an uninterrupted run.\n\
+               \n\
+               \x20 --out F        record stream path\n\
+               \x20 --journal F    checkpoint journal path\n\
+               \x20 --limit N      stop after executing N trials (exit 3 if the\n\
+               \x20                sweep is then incomplete — the test interrupt)\n\
+               \x20 --fresh        discard any existing journal and records\n\
+               \x20 --sequential   resolve trials on one worker",
+        run: cmd_sweep,
+    },
+    Cmd {
+        name: "serve",
+        args: "<queue-dir> [--out-dir D] [--once] [--poll-ms N] [--sequential]",
+        summary: "poll a queue directory for matrix/scenario TOML files\n\
+                  and sweep each to completion, resumably",
+        help: "Scans <queue-dir> for *.toml files without <stem>.done markers\n\
+               (sorted by name), sweeps each to completion — journals and record\n\
+               streams land in --out-dir (default: the queue directory) and\n\
+               resume across restarts — then writes the <stem>.done marker.\n\
+               \n\
+               \x20 --out-dir D    where records, journals, and done markers land\n\
+               \x20 --once         one scan-and-drain pass, then exit\n\
+               \x20 --poll-ms N    milliseconds between scans (default 1000)\n\
+               \x20 --sequential   resolve trials on one worker",
+        run: cmd_serve,
+    },
+    Cmd {
+        name: "export-scenarios",
+        args: "[dir]",
+        summary: "write the built-in catalog (default: scenarios)",
+        help: "",
+        run: cmd_export_scenarios,
+    },
+    Cmd {
+        name: "check-scenarios",
+        args: "[dir]",
+        summary: "parse-validate every .toml in a directory\n\
+                  (matrix files report their expanded trial count)",
+        help: "",
+        run: cmd_check_scenarios,
+    },
+];
 
 const TABLE_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14", "e15",
     "e16", "t1", "a1", "a2", "a3", "all", "quick",
 ];
 
-fn main() -> ExitCode {
-    let mut args: Vec<String> = env::args().skip(1).collect();
+const GLOBAL_FLAGS: &str = "\
+Global flags:
+  --threads N       pin the parallel worker count (0 = one per core); takes
+                    effect immediately — a live pool at a different size is
+                    retired and relaunched on next use
+  --log-level L     progress-stream verbosity: off, summary (default), verbose
+";
 
-    // Global flag: pin the parallel worker count before anything runs.
+/// The overview usage, composed from [`COMMANDS`].
+fn usage() -> String {
+    let mut s = String::from(
+        "Usage:\n  experiments [SUBCOMMAND] [trials]   run experiment tables (default: quick)\n",
+    );
+    for cmd in COMMANDS {
+        let invocation = format!("  experiments {} {}", cmd.name, cmd.args);
+        let mut lines = cmd.summary.lines();
+        if invocation.len() <= 37 {
+            let first = lines.next().unwrap_or("");
+            s.push_str(&format!("{invocation:<38}{first}\n"));
+        } else {
+            s.push_str(&invocation);
+            s.push('\n');
+        }
+        for line in lines {
+            s.push_str(&format!("{:38}{}\n", "", line.trim_start()));
+        }
+    }
+    s.push_str(
+        "  experiments --scenario <file.toml> [--seeds N]\n\
+         \u{20}                                     run a scenario file end-to-end\n\n",
+    );
+    s.push_str(GLOBAL_FLAGS);
+    s.push_str(
+        "\nSubcommands:\n\
+         \u{20} e1..e8, e10..e16  individual experiment tables (see EXPERIMENTS.md)\n\
+         \u{20} t1                related-work comparison table\n\
+         \u{20} a1, a2, a3        ablation tables\n\
+         \u{20} all               every table, 3 trials by default\n\
+         \u{20} quick             every table, 2 trials by default\n\n\
+         `experiments <subcommand> --help` prints the subcommand's details.\n",
+    );
+    s
+}
+
+/// The per-subcommand help text for `experiments <name> --help`.
+fn cmd_help(cmd: &Cmd) -> String {
+    let mut s = format!("Usage: experiments {} {}\n\n", cmd.name, cmd.args);
+    let body = if cmd.help.is_empty() {
+        cmd.summary
+    } else {
+        cmd.help
+    };
+    for line in body.lines() {
+        s.push_str(line);
+        s.push('\n');
+    }
+    s.push('\n');
+    s.push_str(GLOBAL_FLAGS);
+    s
+}
+
+/// Extracts the global `--threads` / `--log-level` flags (any position),
+/// applying them process-wide. Shared by every subcommand because it runs
+/// before dispatch.
+fn extract_global_flags(args: &mut Vec<String>) -> Result<(), ExitCode> {
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         let Some(n) = args.get(i + 1).and_then(|n| n.parse::<usize>().ok()) else {
-            eprintln!("error: --threads needs a worker count (0 = one per core)\n{USAGE}");
-            return ExitCode::from(2);
+            eprintln!(
+                "error: --threads needs a worker count (0 = one per core)\n{}",
+                usage()
+            );
+            return Err(ExitCode::from(2));
         };
         rayon::set_num_threads(n);
         args.drain(i..=i + 1);
     }
-
-    // Global flag: pin the progress-stream verbosity.
     if let Some(i) = args.iter().position(|a| a == "--log-level") {
         let Some(level) = args.get(i + 1).and_then(|l| LogLevel::parse(l)) else {
-            eprintln!("error: --log-level needs one of off, summary, verbose\n{USAGE}");
-            return ExitCode::from(2);
+            eprintln!(
+                "error: --log-level needs one of off, summary, verbose\n{}",
+                usage()
+            );
+            return Err(ExitCode::from(2));
         };
         mca_bench::set_log_level(level);
         args.drain(i..=i + 1);
+    }
+    Ok(())
+}
+
+fn wants_help(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--help" || a == "-h")
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    if let Err(code) = extract_global_flags(&mut args) {
+        return code;
     }
 
     // Flag form: run a scenario file.
@@ -138,44 +296,60 @@ fn main() -> ExitCode {
     }
     if let Some(first) = args.first() {
         if first == "--help" || first == "-h" || first == "help" {
-            print!("{USAGE}");
+            print!("{}", usage());
             return ExitCode::SUCCESS;
         }
         if first.starts_with('-') {
-            eprintln!("error: unknown option `{first}`\n{USAGE}");
+            eprintln!("error: unknown option `{first}`\n{}", usage());
             return ExitCode::from(2);
         }
     }
 
     let which = args.first().map(String::as_str).unwrap_or("quick");
-    match which {
-        "export-scenarios" => return export_scenarios(args.get(1).map_or("scenarios", |s| s)),
-        "check-scenarios" => return check_scenarios(args.get(1).map_or("scenarios", |s| s)),
-        "golden-trials" => return golden_trials(&args[1..]),
-        "profile" => return run_profile(&args[1..]),
-        "bench-sinr" | "bench-shards" | "repair-bench" | "adversary-bench" => {}
-        id if TABLE_IDS.contains(&id) => {}
-        other => {
-            eprintln!("error: unknown subcommand `{other}`\n{USAGE}");
-            return ExitCode::from(2);
+    if let Some(cmd) = COMMANDS.iter().find(|c| c.name == which) {
+        let rest = &args[1..];
+        if wants_help(rest) {
+            print!("{}", cmd_help(cmd));
+            return ExitCode::SUCCESS;
         }
+        return (cmd.run)(rest);
     }
+    if TABLE_IDS.contains(&which) {
+        if wants_help(&args[1..]) {
+            println!(
+                "Usage: experiments {which} [trials]\n\n\
+                 Prints the `{which}` experiment table(s); see EXPERIMENTS.md.\n"
+            );
+            print!("{GLOBAL_FLAGS}");
+            return ExitCode::SUCCESS;
+        }
+        return run_tables(which, &args[1..]);
+    }
+    eprintln!("error: unknown subcommand `{which}`\n{}", usage());
+    ExitCode::from(2)
+}
 
-    let trials: usize = match args.get(1) {
+/// Parses the optional positional run count (trials/repeats/seeds) shared
+/// by the table and bench subcommands.
+fn parse_runs(args: &[String], default: usize) -> Result<usize, ExitCode> {
+    match args.first() {
         Some(t) => match t.parse() {
-            Ok(t) => t,
+            Ok(t) => Ok(t),
             Err(_) => {
-                eprintln!("error: trial count `{t}` is not a number\n{USAGE}");
-                return ExitCode::from(2);
+                eprintln!("error: trial count `{t}` is not a number\n{}", usage());
+                Err(ExitCode::from(2))
             }
         },
-        None => {
-            if which == "quick" {
-                2
-            } else {
-                3
-            }
-        }
+        None => Ok(default),
+    }
+}
+
+/// `experiments [e1|...|quick] [trials]` — the experiment tables.
+fn run_tables(which: &str, rest: &[String]) -> ExitCode {
+    let default = if which == "quick" { 2 } else { 3 };
+    let trials = match parse_runs(rest, default) {
+        Ok(t) => t,
+        Err(code) => return code,
     };
 
     let all = which == "all" || which == "quick";
@@ -233,100 +407,252 @@ fn main() -> ExitCode {
     });
     section("a2", &mut || println!("{}", mca_bench::a2_faults(trials)));
     section("a3", &mut || println!("{}", mca_bench::a3_gossip(trials)));
-    if which == "bench-sinr" {
-        let json = mca_bench::sinr_bench::bench_sinr_json(trials.max(3));
-        std::fs::write("BENCH_sinr.json", &json).expect("write BENCH_sinr.json");
-        print!("{json}");
-        if logs(LogLevel::Summary) {
-            eprintln!("[wrote BENCH_sinr.json]");
-        }
-    }
-    if which == "bench-shards" {
-        // Smoke mode (CI): the ≤ 10k-node cases with 3 timing repeats
-        // still run every arm and enforce the full gate — bit-identity
-        // audits clean, sharded no slower than the sequential baseline,
-        // and faster than the frozen PR 2 flat-grid path.
-        let smoke = env::var("SHARD_BENCH_SMOKE").is_ok_and(|v| v == "1");
-        let repeats = if smoke { 3 } else { trials.max(3) };
-        let (json, ok) = mca_bench::shard_bench_json(repeats, smoke);
-        print!("{json}");
-        if smoke {
-            if logs(LogLevel::Summary) {
-                eprintln!(
-                    "[bench-shards smoke: gate {}]",
-                    if ok { "held" } else { "FAILED" }
-                );
-            }
-        } else {
-            std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
-            if logs(LogLevel::Summary) {
-                eprintln!("[wrote BENCH_shard.json]");
-            }
-        }
-        if !ok {
-            eprintln!("error: a bench-shards case failed its gate (see JSON above)");
-            return ExitCode::FAILURE;
-        }
-    }
-    if which == "repair-bench" {
-        // Smoke mode (CI): one seed still runs every world and enforces the
-        // acceptance gate — audits clean at every maintenance epoch and
-        // repair strictly cheaper than rebuild.
-        let smoke = env::var("REPAIR_BENCH_SMOKE").is_ok_and(|v| v == "1");
-        let seeds = if smoke { 1 } else { trials.max(3) };
-        let (json, ok) = mca_bench::repair_bench_json(seeds);
-        print!("{json}");
-        if smoke {
-            if logs(LogLevel::Summary) {
-                eprintln!(
-                    "[repair-bench smoke: gate {}]",
-                    if ok { "held" } else { "FAILED" }
-                );
-            }
-        } else {
-            std::fs::write("BENCH_repair.json", &json).expect("write BENCH_repair.json");
-            if logs(LogLevel::Summary) {
-                eprintln!("[wrote BENCH_repair.json]");
-            }
-        }
-        if !ok {
-            eprintln!("error: a repair-bench world failed its acceptance gate (see JSON above)");
-            return ExitCode::FAILURE;
-        }
-    }
-    if which == "adversary-bench" {
-        // Smoke mode (CI): one seed still runs every adversary world and
-        // enforces the acceptance gate — both arms audit clean, worlds
-        // bit-identical, and the proactive arm detects, acts, and beats
-        // the censored reactive time-to-repair strictly.
-        let smoke = env::var("ADVERSARY_BENCH_SMOKE").is_ok_and(|v| v == "1");
-        let seeds = if smoke { 1 } else { trials.max(3) };
-        let (json, ok) = mca_bench::adversary_bench_json(seeds);
-        print!("{json}");
-        if smoke {
-            if logs(LogLevel::Summary) {
-                eprintln!(
-                    "[adversary-bench smoke: gate {}]",
-                    if ok { "held" } else { "FAILED" }
-                );
-            }
-        } else {
-            std::fs::write("BENCH_adversary.json", &json).expect("write BENCH_adversary.json");
-            if logs(LogLevel::Summary) {
-                eprintln!("[wrote BENCH_adversary.json]");
-            }
-        }
-        if !ok {
-            eprintln!(
-                "error: an adversary-bench world failed its acceptance gate (see JSON above)"
-            );
-            return ExitCode::FAILURE;
-        }
-    }
     if logs(LogLevel::Summary) {
         eprintln!("[experiments done in {:.1}s]", t0.elapsed().as_secs_f64());
     }
     ExitCode::SUCCESS
+}
+
+/// `experiments bench-sinr [repeats]`
+fn cmd_bench_sinr(args: &[String]) -> ExitCode {
+    let repeats = match parse_runs(args, 3) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let json = mca_bench::sinr_bench::bench_sinr_json(repeats.max(3));
+    std::fs::write("BENCH_sinr.json", &json).expect("write BENCH_sinr.json");
+    print!("{json}");
+    if logs(LogLevel::Summary) {
+        eprintln!("[wrote BENCH_sinr.json]");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Shared body of the three gated bench subcommands: run, print the JSON,
+/// write the committed artifact (or log the smoke gate), fail on a gate
+/// violation. The `<env>=1` smoke mode (CI) shrinks the run count but
+/// still runs every arm and enforces the full gate.
+fn run_gated_bench(
+    args: &[String],
+    label: &str,
+    smoke_env: &str,
+    smoke_runs: usize,
+    artifact: &str,
+    gate_msg: &str,
+    json: impl Fn(usize, bool) -> (String, bool),
+) -> ExitCode {
+    let requested = match parse_runs(args, 3) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let smoke = env::var(smoke_env).is_ok_and(|v| v == "1");
+    let runs = if smoke { smoke_runs } else { requested.max(3) };
+    let (json, ok) = json(runs, smoke);
+    print!("{json}");
+    if smoke {
+        if logs(LogLevel::Summary) {
+            eprintln!(
+                "[{label} smoke: gate {}]",
+                if ok { "held" } else { "FAILED" }
+            );
+        }
+    } else {
+        std::fs::write(artifact, &json).unwrap_or_else(|_| panic!("write {artifact}"));
+        if logs(LogLevel::Summary) {
+            eprintln!("[wrote {artifact}]");
+        }
+    }
+    if !ok {
+        eprintln!("error: {gate_msg} (see JSON above)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `experiments bench-shards [repeats]`
+fn cmd_bench_shards(args: &[String]) -> ExitCode {
+    run_gated_bench(
+        args,
+        "bench-shards",
+        "SHARD_BENCH_SMOKE",
+        3,
+        "BENCH_shard.json",
+        "a bench-shards case failed its gate",
+        mca_bench::shard_bench_json,
+    )
+}
+
+/// `experiments repair-bench [seeds]`
+fn cmd_repair_bench(args: &[String]) -> ExitCode {
+    run_gated_bench(
+        args,
+        "repair-bench",
+        "REPAIR_BENCH_SMOKE",
+        1,
+        "BENCH_repair.json",
+        "a repair-bench world failed its acceptance gate",
+        |seeds, _smoke| mca_bench::repair_bench_json(seeds),
+    )
+}
+
+/// `experiments adversary-bench [seeds]`
+fn cmd_adversary_bench(args: &[String]) -> ExitCode {
+    run_gated_bench(
+        args,
+        "adversary-bench",
+        "ADVERSARY_BENCH_SMOKE",
+        1,
+        "BENCH_adversary.json",
+        "an adversary-bench world failed its acceptance gate",
+        |seeds, _smoke| mca_bench::adversary_bench_json(seeds),
+    )
+}
+
+/// `experiments sweep <matrix.toml> [--out F] [--journal F] [--limit N]
+/// [--fresh] [--sequential]`
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let mut input: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut limit: Option<usize> = None;
+    let mut fresh = false;
+    let mut parallel = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return flag_needs("--out", "a file path"),
+            },
+            "--journal" => match it.next() {
+                Some(p) => journal = Some(PathBuf::from(p)),
+                None => return flag_needs("--journal", "a file path"),
+            },
+            "--limit" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => limit = Some(n),
+                None => return flag_needs("--limit", "a trial count"),
+            },
+            "--fresh" => fresh = true,
+            "--sequential" => parallel = false,
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("error: sweep needs a matrix file\n{}", usage());
+        return ExitCode::from(2);
+    };
+    let mut cfg = SweepConfig::for_input(&input);
+    if let Some(p) = out {
+        cfg.out_path = p;
+    }
+    if let Some(p) = journal {
+        cfg.journal_path = p;
+    }
+    cfg.limit = limit;
+    cfg.fresh = fresh;
+    cfg.parallel = parallel;
+
+    let t0 = Instant::now();
+    let summary = match mca_bench::run_sweep_file(&input, &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", summary.line());
+    if logs(LogLevel::Summary) {
+        eprintln!(
+            "[sweep `{}` in {:.1}s: {} -> {}]",
+            input.display(),
+            t0.elapsed().as_secs_f64(),
+            cfg.out_path.display(),
+            cfg.journal_path.display()
+        );
+    }
+    if summary.complete {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}
+
+/// `experiments serve <queue-dir> [--out-dir D] [--once] [--poll-ms N]
+/// [--sequential]`
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut queue: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut once = false;
+    let mut poll_ms: u64 = 1000;
+    let mut parallel = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out-dir" => match it.next() {
+                Some(p) => out_dir = Some(PathBuf::from(p)),
+                None => return flag_needs("--out-dir", "a directory"),
+            },
+            "--poll-ms" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => poll_ms = n,
+                None => return flag_needs("--poll-ms", "a millisecond count"),
+            },
+            "--once" => once = true,
+            "--sequential" => parallel = false,
+            other if !other.starts_with('-') && queue.is_none() => {
+                queue = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(queue) = queue else {
+        eprintln!("error: serve needs a queue directory\n{}", usage());
+        return ExitCode::from(2);
+    };
+    let mut cfg = ServeConfig::new(queue);
+    if let Some(d) = out_dir {
+        cfg.out_dir = d;
+    }
+    cfg.poll_ms = poll_ms;
+    cfg.parallel = parallel;
+
+    let report = |input: &Path, summary: &mca_bench::SweepSummary| {
+        println!("served {}: {}", input.display(), summary.line());
+    };
+    let err = if once {
+        match mca_bench::serve_once(&cfg) {
+            Ok(served) => {
+                for (input, summary) in &served {
+                    report(input, summary);
+                }
+                if logs(LogLevel::Summary) {
+                    eprintln!("[serve --once: {} input(s) drained]", served.len());
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => e,
+        }
+    } else {
+        match mca_bench::serve(&cfg, |input, summary| report(input, summary)) {
+            Ok(never) => match never {},
+            Err(e) => e,
+        }
+    };
+    eprintln!("error: {err}");
+    ExitCode::FAILURE
+}
+
+fn flag_needs(flag: &str, what: &str) -> ExitCode {
+    eprintln!("error: {flag} needs {what}\n{}", usage());
+    ExitCode::from(2)
 }
 
 /// `experiments profile [--scenario <file.toml>] [--slots N] [--jsonl <path>]`
@@ -346,27 +672,18 @@ fn run_profile(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--scenario" => match it.next() {
                 Some(p) => scenario_path = Some(p),
-                None => {
-                    eprintln!("error: --scenario needs a file path\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+                None => return flag_needs("--scenario", "a file path"),
             },
             "--slots" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) if n > 0 => slots = Some(n),
-                _ => {
-                    eprintln!("error: --slots needs a positive number\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+                _ => return flag_needs("--slots", "a positive number"),
             },
             "--jsonl" => match it.next() {
                 Some(p) => jsonl_path = Some(p),
-                None => {
-                    eprintln!("error: --jsonl needs a file path\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+                None => return flag_needs("--jsonl", "a file path"),
             },
             other => {
-                eprintln!("error: unexpected argument `{other}`\n{USAGE}");
+                eprintln!("error: unexpected argument `{other}`\n{}", usage());
                 return ExitCode::from(2);
             }
         }
@@ -460,20 +777,14 @@ fn run_scenario_file(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--scenario" => match it.next() {
                 Some(p) => path = Some(p),
-                None => {
-                    eprintln!("error: --scenario needs a file path\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+                None => return flag_needs("--scenario", "a file path"),
             },
             "--seeds" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) if n > 0 => seeds = n,
-                _ => {
-                    eprintln!("error: --seeds needs a positive number\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+                _ => return flag_needs("--seeds", "a positive number"),
             },
             other => {
-                eprintln!("error: unexpected argument `{other}`\n{USAGE}");
+                eprintln!("error: unexpected argument `{other}`\n{}", usage());
                 return ExitCode::from(2);
             }
         }
@@ -507,7 +818,7 @@ fn golden_trials(args: &[String]) -> ExitCode {
             "--write" => write = true,
             other if !other.starts_with('-') => path = other,
             other => {
-                eprintln!("error: unexpected argument `{other}`\n{USAGE}");
+                eprintln!("error: unexpected argument `{other}`\n{}", usage());
                 return ExitCode::from(2);
             }
         }
@@ -534,8 +845,8 @@ fn golden_trials(args: &[String]) -> ExitCode {
 }
 
 /// `experiments export-scenarios [dir]`
-fn export_scenarios(dir: &str) -> ExitCode {
-    let dir = Path::new(dir);
+fn cmd_export_scenarios(args: &[String]) -> ExitCode {
+    let dir = Path::new(args.first().map_or("scenarios", |s| s.as_str()));
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("error: cannot create {}: {e}", dir.display());
         return ExitCode::FAILURE;
@@ -552,7 +863,12 @@ fn export_scenarios(dir: &str) -> ExitCode {
 }
 
 /// `experiments check-scenarios [dir]`
-fn check_scenarios(dir: &str) -> ExitCode {
+///
+/// Loads every file through [`SweepFile`], so plain scenarios and
+/// `[matrix]` sweep files both validate; sweep files additionally expand
+/// and report their trial count.
+fn cmd_check_scenarios(args: &[String]) -> ExitCode {
+    let dir = args.first().map_or("scenarios", |s| s.as_str());
     let entries = match std::fs::read_dir(dir) {
         Ok(e) => e,
         Err(e) => {
@@ -571,14 +887,29 @@ fn check_scenarios(dir: &str) -> ExitCode {
     }
     let mut failures = 0usize;
     for path in &files {
-        match Scenario::load(path) {
-            Ok(s) => println!(
-                "ok   {} (n={}, F={}, {} slots)",
-                path.display(),
-                s.len(),
-                s.channels,
-                s.max_slots
-            ),
+        match SweepFile::load(path) {
+            Ok(f) if f.is_sweep() => {
+                let s = &f.base;
+                println!(
+                    "ok   {} (n={}, F={}, {} slots; matrix -> {} scenarios x {} seeds)",
+                    path.display(),
+                    s.len(),
+                    s.channels,
+                    s.max_slots,
+                    f.scenarios().len(),
+                    f.matrix.seeds().len()
+                );
+            }
+            Ok(f) => {
+                let s = &f.base;
+                println!(
+                    "ok   {} (n={}, F={}, {} slots)",
+                    path.display(),
+                    s.len(),
+                    s.channels,
+                    s.max_slots
+                );
+            }
             Err(e) => {
                 failures += 1;
                 eprintln!("FAIL {e}");

@@ -14,8 +14,10 @@ pub mod golden;
 pub mod profile;
 pub mod repair_bench;
 pub mod scenario_run;
+pub mod serve;
 pub mod shard_bench;
 pub mod sinr_bench;
+pub mod sweep;
 
 pub use adversary_bench::{
     adversary_bench_json, adversary_trial, run_adversary_bench, AdversaryBenchCase,
@@ -29,7 +31,9 @@ pub use repair_bench::{repair_bench_json, repair_trial, run_repair_bench, Repair
 pub use scenario_run::{
     run_scenario, scenario_flood_trial, scenario_flood_trial_observed, ScenarioTrial,
 };
+pub use serve::{pending_inputs, serve, serve_once, ServeConfig, ServeReport};
 pub use shard_bench::shard_bench_json;
+pub use sweep::{run_sweep, run_sweep_file, SweepConfig, SweepError, SweepSummary};
 
 /// Verbosity of the `experiments` binary's progress stream (stderr).
 /// Set once via the global `--log-level {off,summary,verbose}` flag;

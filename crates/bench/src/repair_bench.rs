@@ -28,7 +28,7 @@ use mca_core::{
 };
 use mca_radio::rng::derive_seed;
 use mca_radio::{Action, NodeEvent, Observation, Protocol};
-use mca_scenario::{builtin_scenarios, MaintenanceSpec, Scenario, ScenarioSim};
+use mca_scenario::{builtin_scenarios, MaintenanceSpec, Scenario, ScenarioSim, TrialSet};
 use rand::rngs::SmallRng;
 
 /// The catalog worlds the bench runs, in order. `churn` and
@@ -230,16 +230,22 @@ impl RepairBenchCase {
 }
 
 /// Runs `seeds` seeded trials of every bench world.
+///
+/// Trials execute through the keyed runner ([`TrialSet::run_streaming`])
+/// — seeds of one world resolve in parallel but fold in enumeration
+/// (seed) order, so the aggregate is identical to the historical
+/// sequential loop and `BENCH_repair.json` stays byte-compatible.
 pub fn run_repair_bench(seeds: usize) -> Vec<RepairBenchCase> {
     let catalog = builtin_scenarios();
     REPAIR_BENCH_WORLDS
         .iter()
         .map(|&name| {
-            let scenario = &catalog
+            let scenario = catalog
                 .iter()
                 .find(|e| e.scenario.name == name)
                 .unwrap_or_else(|| panic!("catalog world `{name}` missing"))
-                .scenario;
+                .scenario
+                .clone();
             let mut case = RepairBenchCase {
                 scenario: name.to_string(),
                 seeds,
@@ -256,25 +262,31 @@ pub fn run_repair_bench(seeds: usize) -> Vec<RepairBenchCase> {
                 fallback_rebuilds: 0,
                 first_violation: None,
             };
-            for seed in 1..=seeds as u64 {
-                let t = repair_trial(scenario, seed);
-                case.epochs += t.epochs;
-                case.initial_build_slots += t.initial_build_slots;
-                case.repair_slots += t.repair_slots;
-                case.rebuild_slots += t.rebuild_slots;
-                case.rehomed += t.rehomed;
-                case.handovers += t.handovers;
-                case.new_dominators += t.new_dominators;
-                case.retired_clusters += t.retired_clusters;
-                case.fallback_rebuilds += t.fallback_rebuilds;
-                if t.clean_epochs != t.epochs {
-                    case.audits_clean = false;
-                    if case.first_violation.is_none() {
-                        case.first_violation =
-                            t.first_violation.map(|v| format!("seed {seed}, {v}"));
+            let set = TrialSet::new(vec![scenario], (1..=seeds as u64).collect())
+                .expect("one scenario cannot collide with itself");
+            set.run_streaming(
+                true,
+                repair_trial,
+                &mut |trial: mca_scenario::KeyedTrial<RepairTrial>| {
+                    let (seed, t) = (trial.key.seed, trial.result);
+                    case.epochs += t.epochs;
+                    case.initial_build_slots += t.initial_build_slots;
+                    case.repair_slots += t.repair_slots;
+                    case.rebuild_slots += t.rebuild_slots;
+                    case.rehomed += t.rehomed;
+                    case.handovers += t.handovers;
+                    case.new_dominators += t.new_dominators;
+                    case.retired_clusters += t.retired_clusters;
+                    case.fallback_rebuilds += t.fallback_rebuilds;
+                    if t.clean_epochs != t.epochs {
+                        case.audits_clean = false;
+                        if case.first_violation.is_none() {
+                            case.first_violation =
+                                t.first_violation.map(|v| format!("seed {seed}, {v}"));
+                        }
                     }
-                }
-            }
+                },
+            );
             case.repair_fraction = case.repair_slots as f64 / case.rebuild_slots.max(1) as f64;
             case
         })

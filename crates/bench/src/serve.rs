@@ -1,0 +1,128 @@
+//! `experiments serve` — a resumable trial service over a queue directory.
+//!
+//! The service watches a queue directory for scenario/matrix TOML files
+//! and runs each through [`crate::sweep::run_sweep_file`], streaming the
+//! per-trial JSONL records and checkpoint journal into an output
+//! directory. A `<stem>.done` marker (holding the final summary line)
+//! records completion; files with markers are never re-run, and files
+//! whose journals are partial resume exactly where they stopped — the
+//! service can be killed at any point and restarted without losing or
+//! duplicating work.
+//!
+//! File discovery is sorted by name, so service order is deterministic
+//! for a fixed queue. [`serve_once`] performs one scan-and-drain pass
+//! (the `--once` mode and the unit of testing); [`serve`] polls forever.
+
+use crate::sweep::{run_sweep_file, SweepConfig, SweepError, SweepSummary};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// How the service runs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Directory scanned for `*.toml` sweep inputs.
+    pub queue_dir: PathBuf,
+    /// Where record streams, journals, and done markers land. Defaults to
+    /// the queue directory itself.
+    pub out_dir: PathBuf,
+    /// Milliseconds between queue scans when polling.
+    pub poll_ms: u64,
+    /// Resolve trial batches across the worker pool.
+    pub parallel: bool,
+}
+
+impl ServeConfig {
+    /// The default service configuration over `queue_dir`: outputs land
+    /// beside the inputs and the queue is scanned once a second.
+    pub fn new(queue_dir: PathBuf) -> ServeConfig {
+        ServeConfig {
+            out_dir: queue_dir.clone(),
+            queue_dir,
+            poll_ms: 1000,
+            parallel: true,
+        }
+    }
+
+    /// The sweep configuration for the queue input at `input`.
+    pub fn sweep_config(&self, input: &Path) -> SweepConfig {
+        let stem = stem_of(input);
+        SweepConfig {
+            out_path: self.out_dir.join(format!("{stem}.trials.jsonl")),
+            journal_path: self.out_dir.join(format!("{stem}.journal")),
+            limit: None,
+            fresh: false,
+            parallel: self.parallel,
+        }
+    }
+
+    /// The completion-marker path for the queue input at `input`.
+    pub fn done_path(&self, input: &Path) -> PathBuf {
+        self.out_dir.join(format!("{}.done", stem_of(input)))
+    }
+}
+
+fn stem_of(input: &Path) -> String {
+    input
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "sweep".to_string())
+}
+
+/// What one queue pass did: each input served, with its summary.
+pub type ServeReport = Vec<(PathBuf, SweepSummary)>;
+
+fn io_err(path: &Path, error: std::io::Error) -> SweepError {
+    SweepError::Io {
+        path: path.to_path_buf(),
+        error,
+    }
+}
+
+/// The queue's pending inputs: `*.toml` files without done markers,
+/// sorted by name.
+pub fn pending_inputs(cfg: &ServeConfig) -> Result<Vec<PathBuf>, SweepError> {
+    let entries = std::fs::read_dir(&cfg.queue_dir).map_err(|e| io_err(&cfg.queue_dir, e))?;
+    let mut inputs = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(&cfg.queue_dir, e))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        if cfg.done_path(&path).exists() {
+            continue;
+        }
+        inputs.push(path);
+    }
+    inputs.sort();
+    Ok(inputs)
+}
+
+/// Scans the queue once and drains every pending input to completion,
+/// resuming partial journals. Returns what was served.
+pub fn serve_once(cfg: &ServeConfig) -> Result<ServeReport, SweepError> {
+    let mut report = Vec::new();
+    for input in pending_inputs(cfg)? {
+        let summary = run_sweep_file(&input, &cfg.sweep_config(&input))?;
+        debug_assert!(summary.complete, "unlimited sweep must complete");
+        let done = cfg.done_path(&input);
+        std::fs::write(&done, format!("{}\n", summary.line())).map_err(|e| io_err(&done, e))?;
+        report.push((input, summary));
+    }
+    Ok(report)
+}
+
+/// Polls the queue forever, draining pending inputs each pass and
+/// reporting each served input through `on_served`. Only returns on
+/// error.
+pub fn serve(
+    cfg: &ServeConfig,
+    mut on_served: impl FnMut(&Path, &SweepSummary),
+) -> Result<std::convert::Infallible, SweepError> {
+    loop {
+        for (input, summary) in serve_once(cfg)? {
+            on_served(&input, &summary);
+        }
+        std::thread::sleep(Duration::from_millis(cfg.poll_ms));
+    }
+}

@@ -1,0 +1,352 @@
+//! `experiments sweep` — run a matrix file through the keyed runner with
+//! checkpoint/resume.
+//!
+//! A sweep executes every trial of a [`SweepFile`]'s [`TrialSet`] through
+//! the flood max-aggregation workload and streams one `mca-obs` JSONL-v1
+//! `"trial"` record per trial to the out file, in key enumeration order.
+//! After each record is written (and flushed), the trial's [`TrialKey`] is
+//! appended to a journal file as one flushed line. Because emission order
+//! is the enumeration order regardless of parallelism, the journal is
+//! always a prefix of the set's key list — and because every trial is a
+//! pure function of its key, resuming is trivially correct:
+//!
+//! 1. count the complete (newline-terminated) journal lines, verifying
+//!    each against the enumeration — a mismatch means the journal belongs
+//!    to a different matrix, and the sweep refuses to continue without
+//!    `--fresh`;
+//! 2. count the complete record lines in the out file: an interrupted
+//!    writer may have torn the last line, or written a record whose
+//!    journal entry never landed;
+//! 3. truncate both files to `k = min(journaled, records)` lines and
+//!    re-run the set from trial `k` onward.
+//!
+//! The resumed stream is byte-identical to an uninterrupted run — pinned
+//! by `tests/sweep_resume.rs` and the CI `sweep-smoke` job. The summary
+//! counts executed vs skipped trials, so journal skips are observable.
+
+use crate::scenario_run::{scenario_flood_trial, ScenarioTrial};
+use mca_analysis::{KeyedTrial, TrialKey};
+use mca_obs::{trial_line, TrialRecord};
+use mca_scenario::{ScenarioFileError, SweepFile, TrialSet, TrialSetError, TrialSink};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// How a sweep should execute.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Where the JSONL trial-record stream goes.
+    pub out_path: PathBuf,
+    /// Where completed keys are journaled.
+    pub journal_path: PathBuf,
+    /// Stop (leaving the sweep incomplete) after executing this many
+    /// trials — the deterministic interrupt used by resume tests and CI.
+    pub limit: Option<usize>,
+    /// Ignore (and overwrite) any existing journal and out file.
+    pub fresh: bool,
+    /// Resolve trial batches across the worker pool.
+    pub parallel: bool,
+}
+
+impl SweepConfig {
+    /// The default configuration for a matrix file at `input`: the record
+    /// stream lands next to it as `<stem>.trials.jsonl`, the journal as
+    /// `<stem>.journal`.
+    pub fn for_input(input: &Path) -> SweepConfig {
+        let stem = input
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "sweep".to_string());
+        let dir = input.parent().unwrap_or_else(|| Path::new("."));
+        SweepConfig {
+            out_path: dir.join(format!("{stem}.trials.jsonl")),
+            journal_path: dir.join(format!("{stem}.journal")),
+            limit: None,
+            fresh: false,
+            parallel: true,
+        }
+    }
+}
+
+/// What a sweep run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Total trials in the set.
+    pub total: usize,
+    /// Journaled trials skipped on resume.
+    pub skipped: usize,
+    /// Trials actually executed this run.
+    pub executed: usize,
+    /// Whether the whole set is now journaled (false when `limit`
+    /// interrupted the run).
+    pub complete: bool,
+}
+
+impl SweepSummary {
+    /// The one-line summary the CLI prints: every counter the resume
+    /// contract promises, machine-greppable.
+    pub fn line(&self) -> String {
+        format!(
+            "sweep summary: total={} executed={} skipped={} complete={}",
+            self.total, self.executed, self.skipped, self.complete
+        )
+    }
+}
+
+/// Everything that can go wrong running a sweep.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Reading the matrix file failed.
+    File(ScenarioFileError),
+    /// The expanded set is invalid (duplicate scenario names).
+    Set(TrialSetError),
+    /// An I/O failure on the out file or journal.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// A complete journal line does not match the matrix's key
+    /// enumeration — the journal belongs to a different (or edited)
+    /// matrix file.
+    JournalMismatch {
+        /// 1-based journal line.
+        line: usize,
+        /// The key the enumeration expects there (`None` when the journal
+        /// holds more lines than the set has trials).
+        expected: Option<TrialKey>,
+        /// What the journal holds (`None` for an unparsable line).
+        found: Option<TrialKey>,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::File(e) => write!(f, "{e}"),
+            SweepError::Set(e) => write!(f, "{e}"),
+            SweepError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            SweepError::JournalMismatch {
+                line,
+                expected,
+                found,
+            } => {
+                write!(f, "journal line {line}: ")?;
+                match found {
+                    Some(found) => write!(f, "key `{found}` ")?,
+                    None => write!(f, "unparsable entry ")?,
+                }
+                match expected {
+                    Some(expected) => {
+                        write!(f, "does not match the matrix (expected `{expected}`)")?
+                    }
+                    None => write!(f, "lies beyond the matrix's last trial")?,
+                }
+                write!(
+                    f,
+                    "; the journal belongs to a different matrix — rerun with \
+                     --fresh to discard it"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<ScenarioFileError> for SweepError {
+    fn from(e: ScenarioFileError) -> Self {
+        SweepError::File(e)
+    }
+}
+
+impl From<TrialSetError> for SweepError {
+    fn from(e: TrialSetError) -> Self {
+        SweepError::Set(e)
+    }
+}
+
+fn io_err(path: &Path) -> impl Fn(std::io::Error) -> SweepError + '_ {
+    move |error| SweepError::Io {
+        path: path.to_path_buf(),
+        error,
+    }
+}
+
+/// Reads a stream file's complete (newline-terminated) lines. Anything
+/// after the last newline is a torn tail from an interrupted write;
+/// reconciliation truncates it away. A missing file reads as empty.
+fn complete_lines(path: &Path) -> Result<Vec<String>, SweepError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(vec![]),
+        Err(e) => return Err(io_err(path)(e)),
+    };
+    let text = String::from_utf8_lossy(&bytes);
+    let mut lines: Vec<String> = Vec::new();
+    let mut rest = text.as_ref();
+    while let Some(nl) = rest.find('\n') {
+        lines.push(rest[..nl].to_string());
+        rest = &rest[nl + 1..];
+    }
+    Ok(lines)
+}
+
+/// Verifies the journal's complete lines form a prefix of the set's key
+/// enumeration, returning the prefix length.
+fn journaled_prefix(lines: &[String], set: &TrialSet) -> Result<usize, SweepError> {
+    for (i, line) in lines.iter().enumerate() {
+        let found = TrialKey::parse_journal_line(line);
+        let expected = (i < set.len()).then(|| set.key_at(i));
+        match (&found, &expected) {
+            (Some(found), Some(expected)) if found == expected => {}
+            _ => {
+                return Err(SweepError::JournalMismatch {
+                    line: i + 1,
+                    expected,
+                    found,
+                })
+            }
+        }
+    }
+    Ok(lines.len())
+}
+
+/// Rewrites `path` to hold exactly `lines[..k]`, each newline-terminated.
+/// Skips the write when the file already has that exact content (so an
+/// untouched resume doesn't dirty mtimes), and won't create a file just
+/// to leave it empty.
+fn write_prefix(path: &Path, lines: &[String], k: usize) -> Result<(), SweepError> {
+    let mut text = String::new();
+    for line in &lines[..k] {
+        text.push_str(line);
+        text.push('\n');
+    }
+    let current = match std::fs::read(path) {
+        Ok(b) => Some(b),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(io_err(path)(e)),
+    };
+    if current.as_deref() == Some(text.as_bytes()) || (current.is_none() && text.is_empty()) {
+        return Ok(());
+    }
+    std::fs::write(path, text).map_err(io_err(path))
+}
+
+/// The streaming sink: one flushed record line, then one flushed journal
+/// line, per trial. Journal-after-record means a crash between the two
+/// writes leaves the record unjournaled — resume truncates it and re-runs
+/// the trial, reproducing the identical bytes.
+struct JournalingSink {
+    out: File,
+    journal: File,
+    out_path: PathBuf,
+    journal_path: PathBuf,
+    executed: usize,
+    error: Option<SweepError>,
+}
+
+impl JournalingSink {
+    fn write_trial(&mut self, trial: &KeyedTrial<ScenarioTrial>) -> Result<(), SweepError> {
+        let line = trial_line(&trial_record(trial));
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| self.out.flush())
+            .map_err(io_err(&self.out_path))?;
+        self.journal
+            .write_all(trial.key.journal_line().as_bytes())
+            .and_then(|()| self.journal.write_all(b"\n"))
+            .and_then(|()| self.journal.flush())
+            .map_err(io_err(&self.journal_path))?;
+        self.executed += 1;
+        Ok(())
+    }
+}
+
+impl TrialSink<ScenarioTrial> for JournalingSink {
+    fn record(&mut self, trial: KeyedTrial<ScenarioTrial>) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.write_trial(&trial) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// The `mca-obs` record a keyed trial streams.
+pub fn trial_record(trial: &KeyedTrial<ScenarioTrial>) -> TrialRecord {
+    let t = &trial.result;
+    TrialRecord {
+        scenario: trial.key.scenario_id.clone(),
+        seed: trial.key.seed,
+        coverage: t.coverage,
+        full_coverage: t.full_coverage,
+        receptions: t.receptions,
+        busy_failures: t.busy_failures,
+        env_drops: t.env_drops,
+        slots: t.slots,
+    }
+}
+
+/// Runs (or resumes) `sweep` under `cfg`. See the module docs for the
+/// resume contract.
+pub fn run_sweep(sweep: &SweepFile, cfg: &SweepConfig) -> Result<SweepSummary, SweepError> {
+    let set = sweep.trial_set()?;
+    let total = set.len();
+
+    // Reconciliation: how much of the set is already safely on disk.
+    let skipped = if cfg.fresh {
+        write_prefix(&cfg.out_path, &[], 0)?;
+        write_prefix(&cfg.journal_path, &[], 0)?;
+        0
+    } else {
+        let journal_lines = complete_lines(&cfg.journal_path)?;
+        let journaled = journaled_prefix(&journal_lines, &set)?;
+        let records = complete_lines(&cfg.out_path)?;
+        let k = journaled.min(records.len());
+        write_prefix(&cfg.out_path, &records, k)?;
+        write_prefix(&cfg.journal_path, &journal_lines, k)?;
+        k
+    };
+
+    let end = match cfg.limit {
+        Some(limit) => total.min(skipped.saturating_add(limit)),
+        None => total,
+    };
+
+    let mut sink = JournalingSink {
+        out: open_append(&cfg.out_path)?,
+        journal: open_append(&cfg.journal_path)?,
+        out_path: cfg.out_path.clone(),
+        journal_path: cfg.journal_path.clone(),
+        executed: 0,
+        error: None,
+    };
+    set.run_range(skipped..end, cfg.parallel, scenario_flood_trial, &mut sink);
+    if let Some(e) = sink.error {
+        return Err(e);
+    }
+    Ok(SweepSummary {
+        total,
+        skipped,
+        executed: sink.executed,
+        complete: end == total,
+    })
+}
+
+/// Loads the matrix file at `path` and runs it under `cfg`.
+pub fn run_sweep_file(path: &Path, cfg: &SweepConfig) -> Result<SweepSummary, SweepError> {
+    let sweep = SweepFile::load(path)?;
+    run_sweep(&sweep, cfg)
+}
+
+fn open_append(path: &Path) -> Result<File, SweepError> {
+    OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(io_err(path))
+}

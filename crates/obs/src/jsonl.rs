@@ -10,13 +10,19 @@
 //! {"v":1,"t":"chan","slot":3,"ch":1,"tx":5,"listens":9,"rx":2,"busy":1,"env":0}
 //! {"v":1,"t":"counter","k":"resolver_cache_builds","n":7}
 //! {"v":1,"t":"trace","slot":3,"ch":0,"from":17,"to":4}
+//! {"v":1,"t":"trial","scenario":"dense-16ch","seed":2,"coverage":0.98,"full":false,"rx":812,"busy":31,"env":0,"slots":400}
 //! ```
 //!
-//! `"trace"` lines are emitted by `mca-radio`'s `TraceRecorder` export;
-//! the other four by [`Recorder`]. The schema is append-only: a future
-//! `"v": 2` may add record types or fields, but v1 lines stay valid.
+//! `"trace"` lines are emitted by `mca-radio`'s `TraceRecorder` export,
+//! `"trial"` lines by the `experiments sweep`/`serve` trial service
+//! ([`trial_line`]); the other four by [`Recorder`]. `"trial"` is the one
+//! record type carrying float (`coverage`, shortest-round-trip formatted,
+//! so byte equality is bit equality) and boolean (`full`) values. The
+//! schema is append-only: a future `"v": 2` may add record types or
+//! fields, but v1 lines stay valid.
 
 use crate::kind::{EventKind, SpanKind};
+use crate::record::TrialRecord;
 use crate::Recorder;
 use std::fmt::Write as _;
 
@@ -78,13 +84,38 @@ pub fn trace_line(slot: u64, channel: u16, from: u32, to: u32) -> String {
     )
 }
 
+/// Formats one `"trial"` line in the v1 schema — the sweep/serve trial
+/// service goes through here so the schema lives in one place. The
+/// `coverage` float uses shortest-round-trip formatting; everything else
+/// is integers, booleans, and the scenario id.
+pub fn trial_line(t: &TrialRecord) -> String {
+    format!(
+        concat!(
+            "{{\"v\":{v},\"t\":\"trial\",\"scenario\":\"{scenario}\",\"seed\":{seed},",
+            "\"coverage\":{coverage:?},\"full\":{full},\"rx\":{rx},\"busy\":{busy},",
+            "\"env\":{env},\"slots\":{slots}}}"
+        ),
+        v = SCHEMA_VERSION,
+        scenario = t.scenario,
+        seed = t.seed,
+        coverage = t.coverage,
+        full = t.full_coverage,
+        rx = t.receptions,
+        busy = t.busy_failures,
+        env = t.env_drops,
+        slots = t.slots,
+    )
+}
+
 #[derive(Debug, PartialEq)]
 enum Val {
     U(u64),
+    F(f64),
+    B(bool),
     S(String),
 }
 
-/// Parses one flat JSON object: string keys, unsigned-integer or
+/// Parses one flat JSON object: string keys, unsigned-number / boolean /
 /// plain-string values, no nesting, no duplicate keys.
 fn parse_flat(line: &str) -> Result<Vec<(String, Val)>, String> {
     let s = line.trim().as_bytes();
@@ -150,13 +181,36 @@ fn parse_flat(line: &str) -> Result<Vec<(String, Val)>, String> {
             }
             Some(c) if c.is_ascii_digit() => {
                 let v0 = i;
-                while i < s.len() && s[i].is_ascii_digit() {
+                while i < s.len()
+                    && (s[i].is_ascii_digit() || matches!(s[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
                     i += 1;
                 }
-                let txt = std::str::from_utf8(&s[v0..i]).expect("ascii digits");
-                Val::U(txt.parse().map_err(|_| err("integer out of range", v0))?)
+                let txt = std::str::from_utf8(&s[v0..i]).expect("ascii number bytes");
+                if txt.bytes().all(|b| b.is_ascii_digit()) {
+                    Val::U(txt.parse().map_err(|_| err("integer out of range", v0))?)
+                } else {
+                    let f: f64 = txt.parse().map_err(|_| err("malformed number", v0))?;
+                    if !f.is_finite() {
+                        return Err(err("non-finite number", v0));
+                    }
+                    Val::F(f)
+                }
             }
-            _ => return Err(err("expected an unsigned integer or string value", i)),
+            Some(&b't') if s[i..].starts_with(b"true") => {
+                i += 4;
+                Val::B(true)
+            }
+            Some(&b'f') if s[i..].starts_with(b"false") => {
+                i += 5;
+                Val::B(false)
+            }
+            _ => {
+                return Err(err(
+                    "expected an unsigned number, boolean, or string value",
+                    i,
+                ))
+            }
         };
         fields.push((key.to_string(), val));
         match s.get(i) {
@@ -191,6 +245,24 @@ fn get_u(fields: &[(String, Val)], key: &str) -> Result<u64, String> {
     match fields.iter().find(|(k, _)| k == key) {
         Some((_, Val::U(v))) => Ok(*v),
         Some(_) => Err(format!("key {key:?} must be an unsigned integer")),
+        None => Err(format!("missing key {key:?}")),
+    }
+}
+
+/// Numeric accessor: floats, with unsigned integers widening.
+fn get_f(fields: &[(String, Val)], key: &str) -> Result<f64, String> {
+    match fields.iter().find(|(k, _)| k == key) {
+        Some((_, Val::F(v))) => Ok(*v),
+        Some((_, Val::U(v))) => Ok(*v as f64),
+        Some(_) => Err(format!("key {key:?} must be a number")),
+        None => Err(format!("missing key {key:?}")),
+    }
+}
+
+fn get_b(fields: &[(String, Val)], key: &str) -> Result<bool, String> {
+    match fields.iter().find(|(k, _)| k == key) {
+        Some((_, Val::B(v))) => Ok(*v),
+        Some(_) => Err(format!("key {key:?} must be a boolean")),
         None => Err(format!("missing key {key:?}")),
     }
 }
@@ -250,6 +322,25 @@ pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
                 get_u(&fields, key)?;
             }
         }
+        "trial" => {
+            require_exact(
+                &fields,
+                &[
+                    "v", "t", "scenario", "seed", "coverage", "full", "rx", "busy", "env", "slots",
+                ],
+            )?;
+            if get_s(&fields, "scenario")?.is_empty() {
+                return Err("empty scenario id".to_string());
+            }
+            for key in ["seed", "rx", "busy", "env", "slots"] {
+                get_u(&fields, key)?;
+            }
+            let coverage = get_f(&fields, "coverage")?;
+            if !(0.0..=1.0).contains(&coverage) {
+                return Err(format!("coverage {coverage} outside [0, 1]"));
+            }
+            get_b(&fields, "full")?;
+        }
         other => return Err(format!("unknown record type {other:?}")),
     }
     Ok(())
@@ -262,6 +353,54 @@ mod tests {
     #[test]
     fn trace_line_validates() {
         validate_jsonl_line(&trace_line(3, 1, 17, 4)).unwrap();
+    }
+
+    #[test]
+    fn trial_line_validates_and_is_byte_stable() {
+        let t = TrialRecord {
+            scenario: "dense-16ch".into(),
+            seed: 2,
+            coverage: 0.9821428571428571,
+            full_coverage: false,
+            receptions: 812,
+            busy_failures: 31,
+            env_drops: 0,
+            slots: 400,
+        };
+        let line = trial_line(&t);
+        validate_jsonl_line(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        assert_eq!(line, trial_line(&t), "formatting must be reproducible");
+        assert!(line.contains("\"coverage\":0.9821428571428571"), "{line}");
+        assert!(line.contains("\"full\":false"), "{line}");
+        // Whole coverage still renders (and validates) as a float.
+        let full = TrialRecord {
+            coverage: 1.0,
+            full_coverage: true,
+            ..t
+        };
+        let line = trial_line(&full);
+        assert!(line.contains("\"coverage\":1.0"), "{line}");
+        validate_jsonl_line(&line).unwrap();
+    }
+
+    #[test]
+    fn trial_validator_rejects_bad_records() {
+        for bad in [
+            // coverage outside [0, 1], non-finite, or non-numeric.
+            r#"{"v":1,"t":"trial","scenario":"s","seed":1,"coverage":1.5,"full":true,"rx":0,"busy":0,"env":0,"slots":1}"#,
+            r#"{"v":1,"t":"trial","scenario":"s","seed":1,"coverage":"hi","full":true,"rx":0,"busy":0,"env":0,"slots":1}"#,
+            // full must be a boolean.
+            r#"{"v":1,"t":"trial","scenario":"s","seed":1,"coverage":0.5,"full":1,"rx":0,"busy":0,"env":0,"slots":1}"#,
+            // empty scenario id.
+            r#"{"v":1,"t":"trial","scenario":"","seed":1,"coverage":0.5,"full":true,"rx":0,"busy":0,"env":0,"slots":1}"#,
+            // seed must stay integral.
+            r#"{"v":1,"t":"trial","scenario":"s","seed":1.5,"coverage":0.5,"full":true,"rx":0,"busy":0,"env":0,"slots":1}"#,
+            // missing / extra keys.
+            r#"{"v":1,"t":"trial","scenario":"s","seed":1,"coverage":0.5,"full":true,"rx":0,"busy":0,"env":0}"#,
+            r#"{"v":1,"t":"trial","scenario":"s","seed":1,"coverage":0.5,"full":true,"rx":0,"busy":0,"env":0,"slots":1,"x":1}"#,
+        ] {
+            assert!(validate_jsonl_line(bad).is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]

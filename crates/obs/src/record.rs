@@ -40,6 +40,33 @@ pub struct EventRecord {
     pub count: u64,
 }
 
+/// One completed trial's metrics, keyed by `(scenario, seed)`.
+///
+/// This is the per-trial record `experiments sweep`/`serve` stream — one
+/// JSONL line per trial, in trial-set enumeration order. Unlike spans it
+/// carries no wall-clock data: every field is a pure function of the key,
+/// so the emitted line is bit-reproducible and journals/resume can rely
+/// on byte identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Scenario id (the expanded scenario's unique name).
+    pub scenario: String,
+    /// The seed the trial ran under.
+    pub seed: u64,
+    /// Fraction of nodes that learned the flood value.
+    pub coverage: f64,
+    /// Whether every live node learned it.
+    pub full_coverage: bool,
+    /// Successful decodes delivered over the trial.
+    pub receptions: u64,
+    /// Listen slots that sensed power but decoded nothing.
+    pub busy_failures: u64,
+    /// Decodes suppressed by dynamic channel conditions.
+    pub env_drops: u64,
+    /// Protocol slots the trial ran.
+    pub slots: u64,
+}
+
 /// One channel's outcome tallies for one slot — the per-channel stream a
 /// congestion sensor consumes. Emitted for every channel touched in the
 /// slot (transmit-only channels have `listens = 0`).

@@ -15,9 +15,15 @@
 //!   every experiment names its world as data;
 //! * [`ScenarioSim`] — an [`Engine`](mca_radio::Engine) paired with the
 //!   scenario's environment, stepped in lockstep;
-//! * [`ScenarioRunner`] — executes a whole (scenario × seed) trial matrix
-//!   across all CPU cores, feeding
+//! * [`TrialSet`] / [`TrialSink`] — the keyed-trial API: every trial is
+//!   named by a [`TrialKey`] `(scenario_id, seed)`, keys enumerate lazily,
+//!   and results stream out in enumeration order (the basis of sweep
+//!   checkpoint/resume); [`ScenarioRunner`] is the ordered-collection
+//!   compatibility layer over it, feeding
 //!   [`TrialOutcome`](mca_analysis::TrialOutcome) summaries;
+//! * [`matrix`] — `[matrix]` sweep expansion: one TOML file describing a
+//!   base scenario plus axes (n × channels × speed × fading × seeds)
+//!   expands into a named [`TrialSet`];
 //! * [`toml`] — lossless TOML (de)serialization
 //!   (`Scenario::{to_toml, from_toml_str, load, save}`), so worlds live in
 //!   version-controlled data files; the schema reference is
@@ -88,6 +94,7 @@ mod adversary;
 pub mod catalog;
 mod environment;
 mod fading;
+pub mod matrix;
 mod mobility;
 mod runner;
 mod sim;
@@ -98,11 +105,14 @@ pub use adversary::{CorrelatedFading, TrackingJammer};
 pub use catalog::{builtin_scenarios, CatalogEntry};
 pub use environment::{CompositeEnvironment, EnvironmentModel, StaticEnvironment, World};
 pub use fading::GilbertElliot;
+pub use matrix::{MatrixSpec, SweepFile};
 pub use mobility::{GroupConvoy, RandomWaypoint};
-pub use runner::{ScenarioRunner, ScenarioTrials};
+pub use runner::{CollectSink, ScenarioRunner, ScenarioTrials, TrialSet, TrialSetError, TrialSink};
 pub use sim::ScenarioSim;
 pub use spec::{
     AdversarySpec, ChurnSpec, DeploymentSpec, DutyCycleSpec, FadingSpec, MaintenanceSpec,
     MobilitySpec, ObsSpec, Scenario, ScenarioBuilder,
 };
 pub use toml::{FromToml, ScenarioFileError};
+
+pub use mca_analysis::{KeyedTrial, TrialKey};

@@ -1,0 +1,168 @@
+//! Matrix-expansion properties: determinism, order stability, exclude
+//! composition, and the scenario-major key enumeration contract that the
+//! sweep journal format relies on.
+//!
+//! Everything here goes through the public API only ([`MatrixSpec`],
+//! [`SweepFile`], [`TrialSet`]) — these are the invariants resume
+//! correctness is built on, so they must hold for *arbitrary* matrices,
+//! not just the committed smoke file.
+
+use mca_scenario::matrix::{ExcludeFilter, MatrixSpec, SeedsSpec};
+use mca_scenario::{DeploymentSpec, Scenario};
+use proptest::prelude::*;
+
+/// The base world every matrix in these tests expands: uniform (so the
+/// `n` axis is rewritable) with a couple of channels.
+fn base() -> Scenario {
+    Scenario::builder("matrix-prop")
+        .deployment(DeploymentSpec::Uniform { n: 24, side: 6.0 })
+        .channels(2)
+        .max_slots(50)
+        .build()
+}
+
+/// A matrix sweeping random (distinct, sorted-by-draw) `n` and `channels`
+/// axes with the given excludes.
+fn matrix_for(
+    ns: Vec<usize>,
+    channels: Vec<u16>,
+    seeds: SeedsSpec,
+    exclude: Vec<ExcludeFilter>,
+) -> MatrixSpec {
+    let mut m = MatrixSpec {
+        seeds,
+        exclude,
+        ..MatrixSpec::default()
+    };
+    m.axes.n = Some(ns);
+    m.axes.channels = Some(channels);
+    m
+}
+
+/// Distinct axis values, preserving first-occurrence (file) order.
+fn dedup<T: PartialEq + Clone>(values: Vec<T>) -> Vec<T> {
+    let mut out: Vec<T> = Vec::new();
+    for v in values {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn names(scenarios: &[Scenario]) -> Vec<String> {
+    scenarios.iter().map(|s| s.name.clone()).collect()
+}
+
+fn exclude_n(n: usize) -> ExcludeFilter {
+    ExcludeFilter {
+        n: Some(n),
+        ..ExcludeFilter::default()
+    }
+}
+
+fn exclude_pair(n: usize, channels: u16) -> ExcludeFilter {
+    ExcludeFilter {
+        n: Some(n),
+        channels: Some(channels),
+        ..ExcludeFilter::default()
+    }
+}
+
+proptest! {
+    /// Expanding the same matrix twice yields identical scenario lists —
+    /// same names, same order, same contents — and expansion order is the
+    /// documented nesting (`n` outermost, then `channels`) over the axis
+    /// values in file order.
+    #[test]
+    fn expansion_is_deterministic_and_order_stable(
+        ns in proptest::collection::vec(4usize..64, 1..5),
+        chans in proptest::collection::vec(1u16..9, 1..4),
+        master in 0u64..u64::MAX,
+        count in 1u64..6,
+    ) {
+        let (ns, chans) = (dedup(ns), dedup(chans));
+        let mut m = matrix_for(ns.clone(), chans.clone(), SeedsSpec::Count(count), vec![]);
+        m.master_seed = master;
+        let base = base();
+        let once = m.expand(&base);
+        let twice = m.expand(&base);
+        prop_assert_eq!(&once, &twice, "expansion must be a pure function of the matrix");
+        prop_assert_eq!(once.len(), ns.len() * chans.len());
+        // Nesting order: n outermost, channels inner, values in file order.
+        for (i, s) in once.iter().enumerate() {
+            let (ni, ci) = (i / chans.len(), i % chans.len());
+            prop_assert_eq!(s.len(), ns[ni]);
+            prop_assert_eq!(s.channels, chans[ci]);
+        }
+        // Names are unique (the duplicate-name guard never fires on a
+        // well-formed matrix), and seeds are stable across calls.
+        let mut seen = names(&once);
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), once.len(), "expanded names must be unique");
+        prop_assert_eq!(m.seeds(), m.seeds());
+        prop_assert_eq!(m.seeds().len(), count as usize);
+    }
+
+    /// Exclude filters compose as a union of exclusions: expanding with
+    /// `[f, g]` keeps exactly the scenarios kept by *both* `[f]` and
+    /// `[g]`, in the order of the unfiltered expansion.
+    #[test]
+    fn exclude_filters_compose(
+        ns in proptest::collection::vec(4usize..64, 2..5),
+        chans in proptest::collection::vec(1u16..9, 2..4),
+        pick_a in 0usize..8,
+        pick_b in 0usize..8,
+    ) {
+        let (ns, chans) = (dedup(ns), dedup(chans));
+        prop_assume!(ns.len() >= 2 && chans.len() >= 2);
+        let f = exclude_n(ns[pick_a % ns.len()]);
+        let g = exclude_pair(ns[pick_b % ns.len()], chans[pick_b % chans.len()]);
+        let base = base();
+
+        let seeds = SeedsSpec::Count(1);
+        let all = matrix_for(ns.clone(), chans.clone(), seeds.clone(), vec![]).expand(&base);
+        let only_f = matrix_for(ns.clone(), chans.clone(), seeds.clone(), vec![f.clone()])
+            .expand(&base);
+        let only_g = matrix_for(ns.clone(), chans.clone(), seeds.clone(), vec![g.clone()])
+            .expand(&base);
+        let both = matrix_for(ns.clone(), chans.clone(), seeds, vec![f, g]).expand(&base);
+
+        let (fset, gset) = (names(&only_f), names(&only_g));
+        let expect: Vec<String> = names(&all)
+            .into_iter()
+            .filter(|name| fset.contains(name) && gset.contains(name))
+            .collect();
+        prop_assert_eq!(names(&both), expect, "excludes must compose as a union");
+        // Single-filter sanity: f alone removes exactly one n-row.
+        prop_assert_eq!(only_f.len(), (ns.len() - 1) * chans.len());
+    }
+
+    /// The trial-set key enumeration is scenario-major and round-trips
+    /// through `position` — the invariant that makes the sweep journal a
+    /// prefix of the enumeration.
+    #[test]
+    fn trial_set_keys_enumerate_scenario_major(
+        ns in proptest::collection::vec(4usize..64, 1..4),
+        seeds in proptest::collection::vec(0u64..u64::MAX, 1..5),
+    ) {
+        let ns = dedup(ns);
+        let seeds = dedup(seeds);
+        let m = matrix_for(ns, vec![1, 2], SeedsSpec::List(seeds.clone()), vec![]);
+        let base = base();
+        let scenarios = m.expand(&base);
+        let set = mca_scenario::TrialSet::new(scenarios.clone(), seeds.clone()).unwrap();
+        prop_assert_eq!(set.len(), scenarios.len() * seeds.len());
+        for (i, key) in set.keys().enumerate() {
+            prop_assert_eq!(&key.scenario_id, &scenarios[i / seeds.len()].name);
+            prop_assert_eq!(key.seed, seeds[i % seeds.len()]);
+            prop_assert_eq!(&key, &set.key_at(i));
+            prop_assert_eq!(set.position(&key), Some(i));
+            // The journal line format round-trips every key of the set.
+            let line = key.journal_line();
+            let parsed = mca_scenario::TrialKey::parse_journal_line(&line);
+            prop_assert_eq!(parsed.as_ref(), Some(&key));
+        }
+    }
+}

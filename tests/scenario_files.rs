@@ -1,7 +1,10 @@
 //! Tier-1 gate for the committed scenario catalog: every `.toml` under
-//! `scenarios/` must parse through the strict loader.
+//! `scenarios/` must parse through the strict loader. Files may carry a
+//! `[matrix]` sweep table, so the gate loads them as [`SweepFile`]s (a
+//! plain scenario is the one-scenario, one-seed sweep) and validates the
+//! expansion alongside the base.
 
-use mca_scenario::Scenario;
+use mca_scenario::{Scenario, SweepFile};
 use std::path::PathBuf;
 
 fn scenarios_dir() -> PathBuf {
@@ -11,18 +14,28 @@ fn scenarios_dir() -> PathBuf {
 #[test]
 fn every_committed_scenario_file_parses() {
     let mut count = 0;
+    let mut sweeps = 0;
     for entry in std::fs::read_dir(scenarios_dir()).expect("scenarios/ directory") {
         let path = entry.unwrap().path();
         if path.extension().is_none_or(|x| x != "toml") {
             continue;
         }
-        let scenario = Scenario::load(&path).unwrap_or_else(|e| panic!("{e}"));
+        let sweep = SweepFile::load(&path).unwrap_or_else(|e| panic!("{e}"));
+        let scenario = &sweep.base;
         assert!(!scenario.name.is_empty(), "{}", path.display());
         assert!(!scenario.is_empty(), "{}: deploys no nodes", path.display());
         assert!(scenario.channels >= 1, "{}", path.display());
+        let set = sweep
+            .trial_set()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(!set.is_empty(), "{}: expands to no trials", path.display());
+        if sweep.is_sweep() {
+            sweeps += 1;
+        }
         count += 1;
     }
     assert!(count >= 9, "catalog shrank: only {count} scenario files");
+    assert!(sweeps >= 1, "catalog lost its [matrix] sweep example");
 }
 
 #[test]
